@@ -1,0 +1,106 @@
+// E10 — microbenchmarks (google-benchmark): substrate throughput.
+//
+// Not a paper figure; engineering data backing the design choices in
+// DESIGN.md: Dinic vs push-relabel on DDS feasibility networks, [x,y]-core
+// peeling throughput, the fixed-x decomposition sweep, and the full
+// CoreApprox pass.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/core_approx.h"
+#include "core/xy_core.h"
+#include "core/xy_core_decomposition.h"
+#include "dds/peel_approx.h"
+#include "flow/dds_network.h"
+#include "flow/dinic.h"
+#include "flow/push_relabel.h"
+#include "graph/generators.h"
+
+namespace ddsgraph {
+namespace {
+
+Digraph BenchGraph(int64_t scale) {
+  return RmatDigraph(static_cast<uint32_t>(scale), 25ll << scale, 77);
+}
+
+std::vector<VertexId> AllVertices(const Digraph& g) {
+  std::vector<VertexId> all(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) all[v] = v;
+  return all;
+}
+
+DdsNetwork MakeNetwork(const Digraph& g) {
+  // A mid-search feasibility test: ratio 1, guess at half the density
+  // upper bound (a regime where the cut is non-trivial).
+  const double guess = 0.5 * std::sqrt(static_cast<double>(g.NumEdges()));
+  return BuildDdsNetwork(g, AllVertices(g), AllVertices(g), 1.0, guess);
+}
+
+void BM_DinicOnDdsNetwork(benchmark::State& state) {
+  const Digraph g = BenchGraph(state.range(0));
+  DdsNetwork net = MakeNetwork(g);
+  for (auto _ : state) {
+    net.net.ResetFlow();
+    Dinic dinic(&net.net);
+    benchmark::DoNotOptimize(dinic.Solve(net.source, net.sink));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_DinicOnDdsNetwork)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_PushRelabelOnDdsNetwork(benchmark::State& state) {
+  const Digraph g = BenchGraph(state.range(0));
+  DdsNetwork net = MakeNetwork(g);
+  for (auto _ : state) {
+    net.net.ResetFlow();
+    PushRelabel pr(&net.net);
+    benchmark::DoNotOptimize(pr.Solve(net.source, net.sink));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_PushRelabelOnDdsNetwork)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_XyCorePeel(benchmark::State& state) {
+  const Digraph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeXyCore(g, 2, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_XyCorePeel)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_MaxYForXSweep(benchmark::State& state) {
+  const Digraph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxYForX(g, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_MaxYForXSweep)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_CoreApprox(benchmark::State& state) {
+  const Digraph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreApprox(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_CoreApprox)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_PeelApproxSinglePassGraph(benchmark::State& state) {
+  const Digraph g = BenchGraph(state.range(0));
+  PeelApproxOptions options;
+  options.epsilon = 2.0;  // few ladder points: measures the peel kernel
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PeelApprox(g, options));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_PeelApproxSinglePassGraph)->Arg(8)->Arg(10)->Arg(12);
+
+}  // namespace
+}  // namespace ddsgraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// E2 — exact-algorithm efficiency (the paper's headline exact figure).
+//
+// Runtime of the baseline FlowExact ("BS-Exact": all O(n^2) ratios, whole
+// graph) versus DcExact (divide & conquer) versus CoreExact (the paper's
+// algorithm) on the small datasets, plus LpExact on instances tiny enough
+// for it. The expected *shape*: FlowExact >> DcExact > CoreExact by orders
+// of magnitude, with LpExact slowest of all.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "dds/core_exact.h"
+#include "dds/flow_exact.h"
+#include "dds/lp_exact.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace ddsgraph {
+namespace bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("e2_exact_efficiency",
+                "E2: exact algorithms runtime comparison");
+  bool* quick = flags.Bool("quick", false, "drop the largest datasets");
+  bool* with_lp = flags.Bool("with_lp", true,
+                             "include the LpExact column (tiny graphs only)");
+  int64_t* lp_max_n = flags.Int64(
+      "lp_max_n", 24,
+      "run LpExact only when n <= this (one dense LP per ratio is "
+      "intractable beyond toy sizes — the paper's motivating anecdote)");
+  flags.ParseOrDie(argc, argv);
+
+  PrintBanner("E2", "exact algorithm efficiency");
+  Table t({"dataset", "n", "m", "rho_opt", "lp-exact", "flow-exact",
+           "dc-exact", "core-exact", "speedup(flow/core)"});
+  for (const Dataset& d : ExactDatasets(*quick)) {
+    DdsSolution flow;
+    DdsSolution dc;
+    DdsSolution core;
+    const double t_flow = TimeOnce([&] { flow = FlowExact(d.graph); });
+    const double t_dc = TimeOnce([&] { dc = DcExact(d.graph); });
+    const double t_core = TimeOnce([&] { core = CoreExact(d.graph); });
+    std::string lp_cell = "-";
+    if (*with_lp && d.graph.NumVertices() <=
+                        static_cast<uint32_t>(std::min<int64_t>(
+                            *lp_max_n, kLpExactMaxVertices))) {
+      DdsSolution lp;
+      const double t_lp = TimeOnce([&] { lp = LpExact(d.graph); });
+      lp_cell = FormatSeconds(t_lp);
+    }
+    t.AddRow({d.name, std::to_string(d.graph.NumVertices()),
+              std::to_string(d.graph.NumEdges()),
+              FormatDouble(core.density, 4), lp_cell, FormatSeconds(t_flow),
+              FormatSeconds(t_dc), FormatSeconds(t_core),
+              FormatDouble(t_flow / t_core, 1) + "x"});
+    // Consistency audit: all exact solvers must agree.
+    if (std::abs(flow.density - core.density) > 1e-5 ||
+        std::abs(dc.density - core.density) > 1e-5) {
+      std::fprintf(stderr, "ERROR: exact solvers disagree on %s\n",
+                   d.name.c_str());
+      return 1;
+    }
+  }
+  t.PrintMarkdown(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ddsgraph
+
+int main(int argc, char** argv) { return ddsgraph::bench::Main(argc, argv); }

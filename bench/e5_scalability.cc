@@ -1,0 +1,53 @@
+// E5 — scalability (the paper's "vary |E|" figure).
+//
+// Runtime of PeelApprox, CoreApprox and CoreExact on 20%..100% edge
+// prefixes of the largest power-law graph. Expected shape: all grow
+// roughly linearly in |E|; CoreApprox stays well below PeelApprox
+// throughout; CoreExact tracks CoreApprox plus the flow overhead.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/core_approx.h"
+#include "dds/core_exact.h"
+#include "dds/peel_approx.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace ddsgraph {
+namespace bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("e5_scalability", "E5: runtime vs |E| fraction");
+  bool* quick = flags.Bool("quick", false, "use the smaller base graph");
+  bool* with_exact =
+      flags.Bool("with_exact", true, "include the CoreExact column");
+  flags.ParseOrDie(argc, argv);
+
+  const Dataset base = ScalabilityDataset(*quick);
+  PrintBanner("E5", "scalability on " + base.name);
+  Table t({"fraction", "n", "m", "peel-approx", "core-approx",
+           "core-exact"});
+  for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const Digraph g = EdgeFraction(base.graph, fraction);
+    const double t_peel = TimeOnce([&] { (void)PeelApprox(g); });
+    const double t_core = TimeOnce([&] { (void)CoreApprox(g); });
+    std::string exact_cell = "-";
+    if (*with_exact) {
+      exact_cell = FormatSeconds(TimeOnce([&] { (void)CoreExact(g); }));
+    }
+    t.AddRow({FormatDouble(fraction * 100, 0) + "%",
+              std::to_string(g.NumVertices()), std::to_string(g.NumEdges()),
+              FormatSeconds(t_peel), FormatSeconds(t_core), exact_cell});
+  }
+  t.PrintMarkdown(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ddsgraph
+
+int main(int argc, char** argv) { return ddsgraph::bench::Main(argc, argv); }

@@ -1,0 +1,86 @@
+// Core decomposition: the [x,y]-core landscape of a directed graph.
+//
+// Prints (1) the skyline staircase y_max(x) — the boundary of the
+// non-empty core region, whose max-x*y corner is the CoreApprox answer —
+// and (2) the fixed-x per-vertex core numbers, the directed analogue of
+// classical core numbers, useful for ranking vertices by how deep they
+// sit in dense structure (influence/robustness analyses).
+//
+// Run: ./build/examples/core_decomposition [--scale 9] [--edges 4000]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "ddsgraph.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ddsgraph;
+  FlagSet flags("core_decomposition", "[x,y]-core landscape explorer");
+  int64_t* scale = flags.Int64("scale", 9, "R-MAT scale (n = 2^scale)");
+  int64_t* edges = flags.Int64("edges", 4000, "edge samples");
+  int64_t* fixed_x = flags.Int64("x", 2, "x for the per-vertex numbers");
+  flags.ParseOrDie(argc, argv);
+
+  const Digraph g = RmatDigraph(static_cast<uint32_t>(*scale), *edges, 11);
+  std::printf("R-MAT graph: n=%u m=%lld\n\n", g.NumVertices(),
+              static_cast<long long>(g.NumEdges()));
+
+  // 1. The skyline staircase.
+  const std::vector<SkylinePoint> skyline = CoreSkyline(g);
+  Table stairs({"x", "y_max(x)", "x*y", "sqrt(x*y) (density cert.)"});
+  int64_t best_product = 0;
+  for (const SkylinePoint& p : skyline) {
+    best_product = std::max(best_product, p.x * p.y);
+    const double cert = std::sqrt(static_cast<double>(p.x * p.y));
+    stairs.AddRow({std::to_string(p.x), std::to_string(p.y),
+                   std::to_string(p.x * p.y), FormatDouble(cert, 3)});
+  }
+  std::printf("skyline (%zu levels):\n", skyline.size());
+  stairs.PrintMarkdown(std::cout);
+
+  const CoreApproxResult approx = CoreApprox(g);
+  std::printf(
+      "\nmax product %lld at the [%lld,%lld]-core -> 2-approximation "
+      "density %.3f (rho_opt in [%.3f, %.3f])\n\n",
+      static_cast<long long>(best_product),
+      static_cast<long long>(approx.best_x),
+      static_cast<long long>(approx.best_y), approx.density,
+      approx.density, approx.upper_bound);
+
+  // 2. Per-vertex numbers at fixed x.
+  const FixedXCoreNumbers numbers = ComputeFixedXCoreNumbers(g, *fixed_x);
+  std::vector<double> t_numbers;
+  int64_t s_participants = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    t_numbers.push_back(static_cast<double>(numbers.t_number[v]));
+    s_participants += numbers.s_number[v] >= 0 ? 1 : 0;
+  }
+  const Summary summary = Summarize(t_numbers);
+  std::printf("fixed x = %lld: y_max = %lld; %lld vertices qualify on the "
+              "S side;\nT-side core numbers: mean %.2f, median %.0f, p90 "
+              "%.0f, max %.0f\n",
+              static_cast<long long>(*fixed_x),
+              static_cast<long long>(numbers.y_max),
+              static_cast<long long>(s_participants), summary.mean,
+              summary.median, summary.p90, summary.max);
+
+  // The densest-by-core vertices (top of the T-side ranking).
+  std::printf("\ndeepest T-side vertices:");
+  int shown = 0;
+  for (int64_t level = numbers.y_max; level >= 0 && shown < 8; --level) {
+    for (VertexId v = 0; v < g.NumVertices() && shown < 8; ++v) {
+      if (numbers.t_number[v] == level && level == numbers.y_max) {
+        std::printf(" %u(y=%lld)", v, static_cast<long long>(level));
+        ++shown;
+      }
+    }
+    break;
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: find the densest directed subgraph of a small graph.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The public API in three steps: build a Digraph, run a solver from
+// dds/solver.h (or call CoreExact / CoreApprox directly), inspect the
+// returned (S, T) pair.
+
+#include <cstdio>
+
+#include "ddsgraph.h"
+
+int main() {
+  using namespace ddsgraph;
+
+  // A toy "who-follows-whom" network. Vertices 0..2 are fan accounts that
+  // all follow the two celebrities 3 and 4; everything else is scattered.
+  DigraphBuilder builder(8);
+  for (VertexId fan : {0, 1, 2}) {
+    builder.AddEdge(fan, 3);
+    builder.AddEdge(fan, 4);
+  }
+  builder.AddEdge(3, 4);
+  builder.AddEdge(5, 6);
+  builder.AddEdge(6, 7);
+  builder.AddEdge(7, 5);
+  const Digraph graph = std::move(builder).Build();
+
+  std::printf("graph: n=%u m=%lld\n", graph.NumVertices(),
+              static_cast<long long>(graph.NumEdges()));
+
+  // Exact solver (the paper's CoreExact).
+  const DdsSolution exact = CoreExact(graph);
+  std::printf("\nCoreExact: %s\n", SolutionSummary(exact).c_str());
+  std::printf("  S (sources): ");
+  for (VertexId u : exact.pair.s) std::printf("%u ", u);
+  std::printf("\n  T (targets): ");
+  for (VertexId v : exact.pair.t) std::printf("%u ", v);
+  std::printf("\n");
+
+  // The 2-approximation: the max-x*y [x,y]-core. On this graph it happens
+  // to coincide with the optimum.
+  const CoreApproxResult approx = CoreApprox(graph);
+  std::printf(
+      "\nCoreApprox: density=%.4f via the [%lld,%lld]-core "
+      "(certified within [%.4f, %.4f])\n",
+      approx.density, static_cast<long long>(approx.best_x),
+      static_cast<long long>(approx.best_y), approx.lower_bound,
+      approx.upper_bound);
+
+  // The density of any pair can be evaluated directly.
+  const double fans_to_celebs = DirectedDensity(graph, {0, 1, 2}, {3, 4});
+  std::printf("\nrho({fans}, {celebrities}) = %.4f\n", fans_to_celebs);
+  return 0;
+}

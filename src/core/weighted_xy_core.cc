@@ -1,0 +1,199 @@
+#include "core/weighted_xy_core.h"
+
+#include <algorithm>
+
+#include "util/bucket_queue.h"
+#include "util/logging.h"
+
+namespace ddsgraph {
+namespace {
+
+void WeightedPeelToFixpoint(const WeightedDigraph& g, int64_t x, int64_t y,
+                            std::vector<bool>& in_s,
+                            std::vector<bool>& in_t) {
+  const uint32_t n = g.NumVertices();
+  std::vector<int64_t> dout(n, 0);
+  std::vector<int64_t> din(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    if (!in_s[u]) continue;
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_t[nbrs[i]]) {
+        dout[u] += weights[i];
+        din[nbrs[i]] += weights[i];
+      }
+    }
+  }
+  std::vector<std::pair<VertexId, int>> stack;
+  for (VertexId v = 0; v < n; ++v) {
+    if (x > 0 && in_s[v] && dout[v] < x) stack.emplace_back(v, 0);
+    if (y > 0 && in_t[v] && din[v] < y) stack.emplace_back(v, 1);
+  }
+  while (!stack.empty()) {
+    const auto [v, side] = stack.back();
+    stack.pop_back();
+    if (side == 0) {
+      if (!in_s[v]) continue;
+      in_s[v] = false;
+      const auto nbrs = g.OutNeighbors(v);
+      const auto weights = g.OutWeights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId w = nbrs[i];
+        if (in_t[w]) {
+          din[w] -= weights[i];
+          if (y > 0 && din[w] < y) stack.emplace_back(w, 1);
+        }
+      }
+    } else {
+      if (!in_t[v]) continue;
+      in_t[v] = false;
+      const auto nbrs = g.InNeighbors(v);
+      const auto weights = g.InWeights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId w = nbrs[i];
+        if (in_s[w]) {
+          dout[w] -= weights[i];
+          if (x > 0 && dout[w] < x) stack.emplace_back(w, 0);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+XyCore ComputeWeightedXyCore(const WeightedDigraph& g, int64_t x,
+                             int64_t y) {
+  CHECK_GE(x, 0);
+  CHECK_GE(y, 0);
+  std::vector<bool> in_s(g.NumVertices(), true);
+  std::vector<bool> in_t(g.NumVertices(), true);
+  WeightedPeelToFixpoint(g, x, y, in_s, in_t);
+  XyCore core;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (in_s[v]) core.s.push_back(v);
+    if (in_t[v]) core.t.push_back(v);
+  }
+  return core;
+}
+
+int64_t WeightedMaxYForX(const WeightedDigraph& g, int64_t x) {
+  CHECK_GE(x, 1);
+  const uint32_t n = g.NumVertices();
+  if (n == 0 || g.TotalWeight() == 0) return 0;
+
+  std::vector<bool> in_s(n, true);
+  std::vector<bool> in_t(n, true);
+  std::vector<int64_t> dout(n);
+  std::vector<int64_t> din(n);
+  for (VertexId v = 0; v < n; ++v) {
+    dout[v] = g.WeightedOutDegree(v);
+    din[v] = g.WeightedInDegree(v);
+  }
+  std::vector<VertexId> s_stack;
+  uint32_t t_remaining = n;
+  BucketQueue t_queue(n, g.MaxWeightedInDegree());
+
+  auto remove_from_s = [&](VertexId u) {
+    in_s[u] = false;
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (in_t[v]) {
+        din[v] -= weights[i];
+        if (t_queue.Contains(v)) t_queue.DecreaseKey(v, din[v]);
+      }
+    }
+  };
+  auto remove_from_t = [&](VertexId v) {
+    in_t[v] = false;
+    --t_remaining;
+    const auto nbrs = g.InNeighbors(v);
+    const auto weights = g.InWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (in_s[u]) {
+        dout[u] -= weights[i];
+        if (dout[u] < x) s_stack.push_back(u);
+      }
+    }
+  };
+
+  // Phase 1: x-constraint at y = 0.
+  for (VertexId u = 0; u < n; ++u) {
+    if (dout[u] < x) s_stack.push_back(u);
+  }
+  while (!s_stack.empty()) {
+    const VertexId u = s_stack.back();
+    s_stack.pop_back();
+    if (!in_s[u]) continue;
+    in_s[u] = false;
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_t[nbrs[i]]) din[nbrs[i]] -= weights[i];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) t_queue.Insert(v, std::max<int64_t>(din[v], 0));
+
+  // Phase 2: raise y; pop T vertices below it, cascade through S.
+  int64_t best_y = 0;
+  int64_t y = 1;
+  while (true) {
+    while (true) {
+      const auto min_key = t_queue.PeekMinKey();
+      if (!min_key.has_value() || *min_key >= y) break;
+      const auto popped = t_queue.PopMin();
+      const VertexId v = popped->first;
+      if (!in_t[v]) continue;
+      remove_from_t(v);
+      while (!s_stack.empty()) {
+        const VertexId u = s_stack.back();
+        s_stack.pop_back();
+        if (!in_s[u] || dout[u] >= x) continue;
+        remove_from_s(u);
+      }
+    }
+    if (t_remaining == 0 || t_queue.Empty()) break;
+    // The surviving set has all weighted in-degrees >= the current min
+    // key K >= y, so it *is* the non-empty [x, y']-core for every y' <= K:
+    // record K and jump straight past it (weighted degrees are large and
+    // sparse, stepping by one would be O(W) rounds).
+    const auto min_key = t_queue.PeekMinKey();
+    if (!min_key.has_value()) break;
+    best_y = *min_key;
+    y = *min_key + 1;
+  }
+  return best_y;
+}
+
+bool IsValidWeightedXyCore(const WeightedDigraph& g, const XyCore& core,
+                           int64_t x, int64_t y) {
+  std::vector<bool> in_s(g.NumVertices(), false);
+  std::vector<bool> in_t(g.NumVertices(), false);
+  for (VertexId u : core.s) in_s[u] = true;
+  for (VertexId v : core.t) in_t[v] = true;
+  for (VertexId u : core.s) {
+    int64_t deg = 0;
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_t[nbrs[i]]) deg += weights[i];
+    }
+    if (deg < x) return false;
+  }
+  for (VertexId v : core.t) {
+    int64_t deg = 0;
+    const auto nbrs = g.InNeighbors(v);
+    const auto weights = g.InWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_s[nbrs[i]]) deg += weights[i];
+    }
+    if (deg < y) return false;
+  }
+  return true;
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,37 @@
+#ifndef DDSGRAPH_CORE_WEIGHTED_XY_CORE_H_
+#define DDSGRAPH_CORE_WEIGHTED_XY_CORE_H_
+
+#include <cstdint>
+
+#include "core/xy_core.h"
+#include "graph/weighted_digraph.h"
+
+/// \file
+/// [x,y]-cores over weighted degrees.
+///
+/// The weighted [x,y]-core is the maximal pair (S, T) with every u in S
+/// having weighted out-degree into T at least x and every v in T weighted
+/// in-degree from S at least y. With integer weights all unweighted
+/// properties transfer: unique fixpoint, nestedness, reversal duality,
+/// and the density bounds with w(E(S,T)) in place of |E(S,T)|:
+///   * a non-empty weighted [x,y]-core has weighted density >= sqrt(x*y);
+///   * the weighted DDS is inside the core with x > rho_w/(2 sqrt a*),
+///     y > rho_w sqrt(a*)/2.
+
+namespace ddsgraph {
+
+/// Computes the weighted [x,y]-core (x = 0 / y = 0 disable a side).
+XyCore ComputeWeightedXyCore(const WeightedDigraph& g, int64_t x, int64_t y);
+
+/// Largest y with a non-empty weighted [x,y]-core (0 if none). x >= 1.
+/// Incremental y-sweep with a bucket queue over weighted in-degrees,
+/// O(n + m + W_in_max) per call.
+int64_t WeightedMaxYForX(const WeightedDigraph& g, int64_t x);
+
+/// Checks the defining property (test/audit helper).
+bool IsValidWeightedXyCore(const WeightedDigraph& g, const XyCore& core,
+                           int64_t x, int64_t y);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_CORE_WEIGHTED_XY_CORE_H_

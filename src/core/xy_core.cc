@@ -1,0 +1,113 @@
+#include "core/xy_core.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+namespace {
+
+// Shared peeling engine. `in_s` / `in_t` mark the candidate memberships on
+// entry and the fixpoint memberships on exit.
+void PeelToFixpoint(const Digraph& g, int64_t x, int64_t y,
+                    std::vector<bool>& in_s, std::vector<bool>& in_t) {
+  const uint32_t n = g.NumVertices();
+  std::vector<int64_t> dout(n, 0);  // |out(u) ∩ T| for u in S
+  std::vector<int64_t> din(n, 0);   // |in(v) ∩ S| for v in T
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (!in_s[u]) continue;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (in_t[v]) {
+        ++dout[u];
+        ++din[v];
+      }
+    }
+  }
+
+  // Work stack of (vertex, side) violations; side 0 = S, side 1 = T.
+  std::vector<std::pair<VertexId, int>> stack;
+  for (VertexId u = 0; u < n; ++u) {
+    if (x > 0 && in_s[u] && dout[u] < x) stack.emplace_back(u, 0);
+    if (y > 0 && in_t[u] && din[u] < y) stack.emplace_back(u, 1);
+  }
+
+  while (!stack.empty()) {
+    const auto [v, side] = stack.back();
+    stack.pop_back();
+    if (side == 0) {
+      if (!in_s[v]) continue;
+      in_s[v] = false;
+      for (VertexId w : g.OutNeighbors(v)) {
+        if (in_t[w] && --din[w] < y && y > 0) stack.emplace_back(w, 1);
+      }
+    } else {
+      if (!in_t[v]) continue;
+      in_t[v] = false;
+      for (VertexId w : g.InNeighbors(v)) {
+        if (in_s[w] && --dout[w] < x && x > 0) stack.emplace_back(w, 0);
+      }
+    }
+  }
+}
+
+XyCore CollectCore(const std::vector<bool>& in_s,
+                   const std::vector<bool>& in_t) {
+  XyCore core;
+  for (VertexId v = 0; v < in_s.size(); ++v) {
+    if (in_s[v]) core.s.push_back(v);
+    if (in_t[v]) core.t.push_back(v);
+  }
+  return core;
+}
+
+}  // namespace
+
+XyCore ComputeXyCore(const Digraph& g, int64_t x, int64_t y) {
+  CHECK_GE(x, 0);
+  CHECK_GE(y, 0);
+  std::vector<bool> in_s(g.NumVertices(), true);
+  std::vector<bool> in_t(g.NumVertices(), true);
+  PeelToFixpoint(g, x, y, in_s, in_t);
+  return CollectCore(in_s, in_t);
+}
+
+XyCore ComputeXyCoreWithin(const Digraph& g, int64_t x, int64_t y,
+                           const std::vector<VertexId>& s_init,
+                           const std::vector<VertexId>& t_init) {
+  CHECK_GE(x, 0);
+  CHECK_GE(y, 0);
+  std::vector<bool> in_s(g.NumVertices(), false);
+  std::vector<bool> in_t(g.NumVertices(), false);
+  for (VertexId u : s_init) {
+    CHECK_LT(u, g.NumVertices());
+    in_s[u] = true;
+  }
+  for (VertexId v : t_init) {
+    CHECK_LT(v, g.NumVertices());
+    in_t[v] = true;
+  }
+  PeelToFixpoint(g, x, y, in_s, in_t);
+  return CollectCore(in_s, in_t);
+}
+
+bool IsValidXyCore(const Digraph& g, const XyCore& core, int64_t x,
+                   int64_t y) {
+  std::vector<bool> in_s(g.NumVertices(), false);
+  std::vector<bool> in_t(g.NumVertices(), false);
+  for (VertexId u : core.s) in_s[u] = true;
+  for (VertexId v : core.t) in_t[v] = true;
+  for (VertexId u : core.s) {
+    int64_t deg = 0;
+    for (VertexId v : g.OutNeighbors(u)) deg += in_t[v] ? 1 : 0;
+    if (deg < x) return false;
+  }
+  for (VertexId v : core.t) {
+    int64_t deg = 0;
+    for (VertexId u : g.InNeighbors(v)) deg += in_s[u] ? 1 : 0;
+    if (deg < y) return false;
+  }
+  return true;
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,59 @@
+#ifndef DDSGRAPH_CORE_XY_CORE_H_
+#define DDSGRAPH_CORE_XY_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+/// \file
+/// The [x,y]-core of a directed graph.
+///
+/// Definition (DESIGN.md §2): the [x,y]-core of G is the unique maximal
+/// pair (S, T), S, T ⊆ V (possibly overlapping), such that
+///   * every u ∈ S has at least x out-neighbors inside T, and
+///   * every v ∈ T has at least y in-neighbors inside S.
+///
+/// It generalizes the undirected k-core to the two-sided directed setting
+/// and is the object that both the approximation algorithm (via the
+/// max-x·y core) and the exact algorithm (via DDS containment) build on.
+///
+/// Computation is a peeling fixpoint: repeatedly delete S-side vertices
+/// whose restricted out-degree drops below x and T-side vertices whose
+/// restricted in-degree drops below y, in any order; the fixpoint is
+/// order-independent (tested) and reached in O(n + m).
+
+namespace ddsgraph {
+
+/// The two sides of an [x,y]-core. Both vectors are sorted ascending.
+/// For x,y >= 1 either both sides are empty or both are non-empty.
+struct XyCore {
+  std::vector<VertexId> s;
+  std::vector<VertexId> t;
+
+  bool Empty() const { return s.empty() && t.empty(); }
+};
+
+/// Computes the [x,y]-core of `g`. x = 0 (resp. y = 0) disables the S-side
+/// (resp. T-side) constraint, so e.g. the [0,0]-core is (V, V).
+XyCore ComputeXyCore(const Digraph& g, int64_t x, int64_t y);
+
+/// Computes the [x,y]-core of the pair-restricted graph: only vertices in
+/// `s_init` may enter S and only vertices in `t_init` may enter T, and only
+/// edges from `s_init` to `t_init` count. Because cores are nested, calling
+/// this with the S/T sides of a weaker core gives the same result as
+/// ComputeXyCore on the full graph (tested), but in time proportional to
+/// the smaller object.
+XyCore ComputeXyCoreWithin(const Digraph& g, int64_t x, int64_t y,
+                           const std::vector<VertexId>& s_init,
+                           const std::vector<VertexId>& t_init);
+
+/// Validates the defining property: every u in core.s has >= x out-neighbors
+/// in core.t and every v in core.t has >= y in-neighbors in core.s.
+/// Used by tests and DCHECK-style audits.
+bool IsValidXyCore(const Digraph& g, const XyCore& core, int64_t x,
+                   int64_t y);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_CORE_XY_CORE_H_

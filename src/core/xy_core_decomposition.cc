@@ -1,0 +1,186 @@
+#include "core/xy_core_decomposition.h"
+
+#include <algorithm>
+
+#include "util/bucket_queue.h"
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+int64_t MaxYForX(const Digraph& g, int64_t x) {
+  CHECK_GE(x, 1);
+  const uint32_t n = g.NumVertices();
+  if (n == 0 || g.NumEdges() == 0) return 0;
+
+  std::vector<bool> in_s(n, true);
+  std::vector<bool> in_t(n, true);
+  std::vector<int64_t> dout(n);  // |out(u) ∩ T|
+  std::vector<int64_t> din(n);   // |in(v) ∩ S|
+  for (VertexId v = 0; v < n; ++v) {
+    dout[v] = g.OutDegree(v);
+    din[v] = g.InDegree(v);
+  }
+
+  // S-side violations cascade through this stack; T-side removals are
+  // driven by the bucket queue below as y rises.
+  std::vector<VertexId> s_stack;
+  uint32_t t_remaining = n;
+
+  BucketQueue t_queue(n, g.MaxInDegree());
+
+  auto remove_from_s = [&](VertexId u) {
+    // pre: in_s[u], dout[u] < x
+    in_s[u] = false;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (in_t[v]) {
+        --din[v];
+        if (t_queue.Contains(v)) t_queue.DecreaseKey(v, din[v]);
+      }
+    }
+  };
+  auto remove_from_t = [&](VertexId v) {
+    // pre: in_t[v] (queue entry already popped/stale-proofed by caller)
+    in_t[v] = false;
+    --t_remaining;
+    for (VertexId u : g.InNeighbors(v)) {
+      if (in_s[u]) {
+        if (--dout[u] < x) s_stack.push_back(u);
+      }
+    }
+  };
+
+  // Phase 1: enforce the x-constraint at y = 0 (T = V fixed).
+  for (VertexId u = 0; u < n; ++u) {
+    if (dout[u] < x) s_stack.push_back(u);
+  }
+  // din updates during phase 1 have no T-side consequences yet, so the
+  // queue is filled afterwards with the settled values.
+  while (!s_stack.empty()) {
+    const VertexId u = s_stack.back();
+    s_stack.pop_back();
+    if (!in_s[u]) continue;
+    in_s[u] = false;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (in_t[v]) --din[v];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) t_queue.Insert(v, din[v]);
+
+  // Phase 2: raise y. At each step remove every T vertex with din < y and
+  // cascade; the largest y for which T (equivalently S∩edges) survives is
+  // the answer.
+  int64_t best_y = 0;
+  for (int64_t y = 1;; ++y) {
+    while (true) {
+      const auto min_key = t_queue.PeekMinKey();
+      if (!min_key.has_value()) break;
+      if (*min_key >= y) break;
+      const auto popped = t_queue.PopMin();
+      const VertexId v = popped->first;
+      if (!in_t[v]) continue;
+      remove_from_t(v);
+      while (!s_stack.empty()) {
+        const VertexId u = s_stack.back();
+        s_stack.pop_back();
+        if (!in_s[u] || dout[u] >= x) continue;
+        remove_from_s(u);
+      }
+    }
+    if (t_remaining == 0 || t_queue.Empty()) break;
+    best_y = y;
+  }
+  return best_y;
+}
+
+FixedXCoreNumbers ComputeFixedXCoreNumbers(const Digraph& g, int64_t x) {
+  CHECK_GE(x, 1);
+  const uint32_t n = g.NumVertices();
+  FixedXCoreNumbers result;
+  result.s_number.assign(n, -1);
+  result.t_number.assign(n, 0);
+  if (n == 0 || g.NumEdges() == 0) return result;
+
+  std::vector<bool> in_s(n, true);
+  std::vector<bool> in_t(n, true);
+  std::vector<int64_t> dout(n);
+  std::vector<int64_t> din(n);
+  for (VertexId v = 0; v < n; ++v) {
+    dout[v] = g.OutDegree(v);
+    din[v] = g.InDegree(v);
+  }
+  std::vector<VertexId> s_stack;
+  uint32_t t_remaining = n;
+  BucketQueue t_queue(n, g.MaxInDegree());
+
+  // Phase 1: enforce the x-constraint at y = 0. Vertices surviving it are
+  // in the [x,0]-core's S side (number >= 0).
+  for (VertexId u = 0; u < n; ++u) {
+    if (dout[u] < x) s_stack.push_back(u);
+  }
+  while (!s_stack.empty()) {
+    const VertexId u = s_stack.back();
+    s_stack.pop_back();
+    if (!in_s[u]) continue;
+    in_s[u] = false;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (in_t[v]) --din[v];
+    }
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (in_s[u]) result.s_number[u] = 0;
+  }
+  for (VertexId v = 0; v < n; ++v) t_queue.Insert(v, din[v]);
+
+  // Phase 2: raise y; a vertex removed while peeling towards level y was
+  // last present in the [x, y-1]-core.
+  for (int64_t y = 1;; ++y) {
+    while (true) {
+      const auto min_key = t_queue.PeekMinKey();
+      if (!min_key.has_value() || *min_key >= y) break;
+      const auto popped = t_queue.PopMin();
+      const VertexId v = popped->first;
+      if (!in_t[v]) continue;
+      in_t[v] = false;
+      result.t_number[v] = y - 1;
+      --t_remaining;
+      for (VertexId u : g.InNeighbors(v)) {
+        if (in_s[u] && --dout[u] < x) s_stack.push_back(u);
+      }
+      while (!s_stack.empty()) {
+        const VertexId u = s_stack.back();
+        s_stack.pop_back();
+        if (!in_s[u] || dout[u] >= x) continue;
+        in_s[u] = false;
+        result.s_number[u] = y - 1;
+        for (VertexId w : g.OutNeighbors(u)) {
+          if (in_t[w]) {
+            --din[w];
+            if (t_queue.Contains(w)) t_queue.DecreaseKey(w, din[w]);
+          }
+        }
+      }
+    }
+    if (t_remaining == 0 || t_queue.Empty()) break;
+    result.y_max = y;
+  }
+  // Survivors sit in every level up to y_max.
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_s[v]) result.s_number[v] = result.y_max;
+    if (in_t[v]) result.t_number[v] = result.y_max;
+  }
+  return result;
+}
+
+std::vector<SkylinePoint> CoreSkyline(const Digraph& g, int64_t x_limit) {
+  std::vector<SkylinePoint> skyline;
+  const int64_t bound =
+      x_limit >= 1 ? x_limit : std::max<int64_t>(g.MaxOutDegree(), 1);
+  for (int64_t x = 1; x <= bound; ++x) {
+    const int64_t y = MaxYForX(g, x);
+    if (y == 0) break;
+    skyline.push_back(SkylinePoint{x, y});
+  }
+  return skyline;
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,59 @@
+#ifndef DDSGRAPH_CORE_XY_CORE_DECOMPOSITION_H_
+#define DDSGRAPH_CORE_XY_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+/// \file
+/// Decomposition of the [x,y]-core space.
+///
+/// Cores are nested in both coordinates, so the non-empty region of the
+/// (x, y) plane is a staircase described by y_max(x) — the largest y with a
+/// non-empty [x,y]-core — which is non-increasing in x. The approximation
+/// algorithm needs the staircase point maximizing x*y; because any
+/// non-empty core satisfies x*y <= m, the maximizer has min(x, y) <=
+/// sqrt(m), so sweeping x = 1..sqrt(m) here plus the transposed sweep on
+/// the reversed graph covers it (core_approx.cc).
+///
+/// `MaxYForX` runs a single incremental peel per fixed x: enforce the
+/// x-constraint once, then raise y step by step with a monotone bucket
+/// queue, for O(n + m) amortized per x (the directed analogue of
+/// Batagelj-Zaversnik k-core decomposition).
+
+namespace ddsgraph {
+
+/// A staircase corner of the non-empty core region.
+struct SkylinePoint {
+  int64_t x = 0;
+  int64_t y = 0;  ///< y_max(x)
+};
+
+/// Returns the largest y such that the [x,y]-core of `g` is non-empty, or
+/// 0 when even the [x,1]-core is empty. Requires x >= 1.
+int64_t MaxYForX(const Digraph& g, int64_t x);
+
+/// Full staircase y_max(x) for x = 1, 2, ... until the core vanishes (or
+/// until `x_limit` if x_limit >= 1). O(x_range * (n + m)).
+std::vector<SkylinePoint> CoreSkyline(const Digraph& g, int64_t x_limit = -1);
+
+/// Per-vertex decomposition at fixed x (the directed analogue of core
+/// numbers): s_number[u] is the largest y such that u belongs to the S
+/// side of the non-empty [x,y]-core (-1 if u is not even in the
+/// [x,0]-core's S side), and t_number[v] likewise for the T side (every
+/// vertex is in the [x,0]-core's T side, so t_number >= 0). By
+/// nestedness, membership in the [x,y]-core is exactly {s,t}_number >= y.
+struct FixedXCoreNumbers {
+  std::vector<int64_t> s_number;
+  std::vector<int64_t> t_number;
+  int64_t y_max = 0;  ///< MaxYForX(g, x)
+};
+
+/// Computes the fixed-x decomposition in one incremental peel,
+/// O(n + m + max_in_degree). Requires x >= 1.
+FixedXCoreNumbers ComputeFixedXCoreNumbers(const Digraph& g, int64_t x);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_CORE_XY_CORE_DECOMPOSITION_H_

@@ -1,0 +1,44 @@
+#ifndef DDSGRAPH_DDS_BATCH_PEEL_APPROX_H_
+#define DDSGRAPH_DDS_BATCH_PEEL_APPROX_H_
+
+#include "dds/result.h"
+#include "graph/digraph.h"
+
+/// \file
+/// BatchPeelApprox — the streaming-style batch-peeling baseline
+/// (Bahmani–Kumar–Vassilvitskii, adapted to the directed objective).
+///
+/// Where PeelApprox removes one vertex at a time, the batch variant
+/// removes, in each pass over a fixed-ratio instance, *every* S-vertex
+/// whose restricted out-degree is below beta * (average out-contribution)
+/// and every T-vertex below the analogous in-threshold (beta = 1 + eps).
+/// Each pass shrinks the candidate pair geometrically, so a fixed ratio
+/// costs O(log(n) / eps) passes of O(n + m) — the MapReduce/streaming
+/// trade-off: more total work than bucket peeling on one machine, but
+/// only O(log n) sequential rounds. Guarantee per ratio: density >=
+/// h(a) / (2 (1+eps)^2)-ish; over the geometric ratio ladder the overall
+/// certificate is upper_bound = 2 (1+eps)^2 phi(1+eps) * density.
+///
+/// Included as the second approximation baseline of the evaluation (the
+/// paper's comparison set includes a streaming/batch peeler); also a
+/// useful contrast in E3: batch peeling is pass-efficient, CoreApprox is
+/// simply faster on one machine.
+
+namespace ddsgraph {
+
+struct BatchPeelOptions {
+  /// Ladder step for the ratio sweep (same role as PeelApprox).
+  double ladder_epsilon = 0.1;
+  /// Batch threshold slack beta = 1 + batch_epsilon.
+  double batch_epsilon = 0.25;
+};
+
+/// Runs the batch-peeling baseline. stats.ratios_probed counts ladder
+/// points; stats.binary_search_iters counts total passes (the quantity a
+/// streaming system would pay).
+DdsSolution BatchPeelApprox(
+    const Digraph& g, const BatchPeelOptions& options = BatchPeelOptions());
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_BATCH_PEEL_APPROX_H_

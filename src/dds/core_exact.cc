@@ -1,0 +1,313 @@
+#include "dds/core_exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/core_approx.h"
+#include "core/xy_core.h"
+#include "dds/ratio_space.h"
+#include "flow/dds_network.h"
+#include "flow/dinic.h"
+#include "flow/min_cut.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ddsgraph {
+namespace {
+
+// Core thresholds implied by density `rho` at ratio bounds [sqrt_lo,
+// sqrt_hi]: any pair strictly denser than rho with ratio a in the interval
+// has S-side out-degrees > rho/(2 sqrt(a)) >= rho/(2 sqrt_hi) and T-side
+// in-degrees > rho*sqrt(a)/2 >= rho*sqrt_lo/2 (DESIGN.md §2, containment).
+// Degrees are integers, so they are >= floor(bound)+1.
+int64_t SideThreshold(double bound) {
+  return static_cast<int64_t>(std::floor(bound)) + 1;
+}
+
+struct EngineState {
+  const Digraph* g = nullptr;
+  ExactOptions options;
+  double delta = 0;
+  double upper_global = 0;
+  DdsPair incumbent;
+  double incumbent_density = 0;
+  SolverStats stats;
+};
+
+void AbsorbProbeStats(const RatioProbeResult& probe, EngineState* state) {
+  ++state->stats.ratios_probed;
+  state->stats.flow_networks_built += probe.networks_built;
+  state->stats.binary_search_iters += probe.iterations;
+  state->stats.max_network_nodes =
+      std::max(state->stats.max_network_nodes, probe.max_network_nodes);
+  if (state->options.record_network_sizes) {
+    state->stats.network_sizes.insert(state->stats.network_sizes.end(),
+                                      probe.network_sizes.begin(),
+                                      probe.network_sizes.end());
+  }
+}
+
+void MaybeUpdateIncumbent(const RatioProbeResult& probe, EngineState* state) {
+  if (!probe.best_pair.Empty() &&
+      probe.best_density > state->incumbent_density) {
+    state->incumbent = probe.best_pair;
+    state->incumbent_density = probe.best_density;
+  }
+}
+
+struct ContextProbe {
+  RatioProbeResult probe;
+  /// True when the context core was empty: no pair with ratio anywhere in
+  /// (lo_ctx, hi_ctx) can beat the incumbent (containment), so the caller
+  /// may discard the entire context, not just this ratio.
+  bool context_exhausted = false;
+};
+
+// Probes `ratio` in the interval context (lo_ctx, hi_ctx): candidates are
+// located in the [x,y]-core implied by the incumbent and the context (when
+// core pruning is on). The binary search starts from 0 so that the
+// returned h_upper genuinely tracks h(ratio) — that is what powers the
+// interval pruning — but is truncated at `stop_below` (see header).
+ContextProbe ProbeInContext(const Fraction& ratio, const Fraction& lo_ctx,
+                            const Fraction& hi_ctx, double stop_below,
+                            EngineState* state) {
+  const Digraph& g = *state->g;
+  ContextProbe result;
+  std::vector<VertexId> s_cand;
+  std::vector<VertexId> t_cand;
+  if (state->options.core_pruning && state->incumbent_density > 0) {
+    const double sqrt_lo = std::sqrt(lo_ctx.ToDouble());
+    const double sqrt_hi = std::sqrt(hi_ctx.ToDouble());
+    const int64_t x_c =
+        SideThreshold(state->incumbent_density / (2.0 * sqrt_hi));
+    const int64_t y_c =
+        SideThreshold(state->incumbent_density * sqrt_lo / 2.0);
+    XyCore core = ComputeXyCore(g, x_c, y_c);
+    if (core.Empty()) {
+      result.probe.h_upper = state->incumbent_density;
+      result.context_exhausted = true;
+      return result;
+    }
+    s_cand = std::move(core.s);
+    t_cand = std::move(core.t);
+  } else {
+    s_cand.resize(g.NumVertices());
+    t_cand.resize(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      s_cand[v] = v;
+      t_cand[v] = v;
+    }
+  }
+  result.probe = ProbeRatio(g, s_cand, t_cand, ratio, /*lower_start=*/0.0,
+                            state->upper_global, state->delta,
+                            state->options.refine_cores_in_probe,
+                            state->options.record_network_sizes, stop_below);
+  AbsorbProbeStats(result.probe, state);
+  MaybeUpdateIncumbent(result.probe, state);
+  return result;
+}
+
+void RunDivideAndConquer(EngineState* state) {
+  const int64_t n = state->g->NumVertices();
+  const Fraction lo = MinRatio(n);
+  const Fraction hi = MaxRatio(n);
+  const ContextProbe probe_lo = ProbeInContext(lo, lo, lo, 0.0, state);
+  if (lo == hi) return;
+  const ContextProbe probe_hi = ProbeInContext(hi, hi, hi, 0.0, state);
+
+  std::vector<RatioInterval> work;
+  work.push_back(RatioInterval{lo, hi, probe_lo.probe.h_upper,
+                               probe_hi.probe.h_upper});
+  while (!work.empty()) {
+    RatioInterval interval = work.back();
+    work.pop_back();
+    if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) continue;
+    const double bound = IntervalDensityBound(interval);
+    const double prune_at =
+        state->incumbent_density +
+        1e-9 * std::max(1.0, state->incumbent_density);
+    if (bound <= prune_at) {
+      ++state->stats.intervals_pruned;
+      continue;
+    }
+    std::optional<Fraction> mid = ProbeRatioForInterval(interval, n);
+    CHECK(mid.has_value());  // HasRealizableRatioBetween passed
+    // The weakest h_upper that still lets both subintervals be pruned:
+    // their phi factors are at most this interval's.
+    const double interval_phi = RatioMismatchPhi(
+        std::sqrt(interval.hi.ToDouble() / interval.lo.ToDouble()));
+    const double stop_below = state->incumbent_density / interval_phi;
+    const ContextProbe probe =
+        ProbeInContext(*mid, interval.lo, interval.hi, stop_below, state);
+    if (probe.context_exhausted) {
+      // Nothing anywhere in (lo, hi) beats the incumbent.
+      state->stats.intervals_pruned += 2;
+      continue;
+    }
+    work.push_back(RatioInterval{interval.lo, *mid, interval.h_upper_lo,
+                                 probe.probe.h_upper});
+    work.push_back(RatioInterval{*mid, interval.hi, probe.probe.h_upper,
+                                 interval.h_upper_hi});
+  }
+}
+
+void RunExhaustive(EngineState* state) {
+  const int64_t n = state->g->NumVertices();
+  CHECK_LE(n, state->options.max_exhaustive_n)
+      << "exhaustive ratio enumeration is O(n^2); enable "
+         "divide_and_conquer for graphs this large";
+  for (const Fraction& ratio : AllRealizableRatios(n)) {
+    // At a single ratio, any pair denser than the incumbent has linearized
+    // value > incumbent, so the descent may stop there.
+    ProbeInContext(ratio, ratio, ratio, state->incumbent_density, state);
+  }
+}
+
+}  // namespace
+
+double ExactSearchDelta(const Digraph& g) {
+  const double n = std::max<double>(2.0, g.NumVertices());
+  const double m = std::max<double>(1.0, static_cast<double>(g.NumEdges()));
+  const double spacing = 1.0 / (2.0 * m * n * n * n);
+  return std::clamp(spacing, 1e-12, 1e-4);
+}
+
+RatioProbeResult ProbeRatio(const Digraph& g,
+                            const std::vector<VertexId>& s_candidates,
+                            const std::vector<VertexId>& t_candidates,
+                            const Fraction& ratio, double lower_start,
+                            double upper_start, double delta,
+                            bool refine_cores, bool record_sizes,
+                            double stop_below) {
+  CHECK_GT(delta, 0.0);
+  RatioProbeResult result;
+  result.last_feasible = lower_start;
+  result.h_upper = upper_start;
+  if (upper_start <= lower_start) return result;
+
+  const double sqrt_a = std::sqrt(ratio.ToDouble());
+  double l = lower_start;
+  double u = upper_start;
+  std::vector<VertexId> cur_s = s_candidates;
+  std::vector<VertexId> cur_t = t_candidates;
+
+  while (u - l >= delta && u > stop_below) {
+    const double guess = 0.5 * (l + u);
+    if (guess <= l || guess >= u) break;  // double precision exhausted
+    ++result.iterations;
+
+    const std::vector<VertexId>* net_s = &cur_s;
+    const std::vector<VertexId>* net_t = &cur_t;
+    XyCore refined;
+    if (refine_cores) {
+      // The maximizer of the linearized objective at value > guess has
+      // S-side degrees > guess/(2 sqrt a) and T-side degrees >
+      // guess*sqrt(a)/2 within the candidates, so feasibility of `guess`
+      // is unchanged when restricting to this core.
+      const int64_t x_c = SideThreshold(guess / (2.0 * sqrt_a));
+      const int64_t y_c = SideThreshold(guess * sqrt_a / 2.0);
+      refined = ComputeXyCoreWithin(g, x_c, y_c, cur_s, cur_t);
+      if (refined.Empty()) {
+        u = guess;
+        continue;
+      }
+      net_s = &refined.s;
+      net_t = &refined.t;
+    }
+
+    DdsNetwork network =
+        BuildDdsNetwork(g, *net_s, *net_t, sqrt_a, guess);
+    ++result.networks_built;
+    result.max_network_nodes =
+        std::max<int64_t>(result.max_network_nodes, network.NumNodes());
+    if (record_sizes) result.network_sizes.push_back(network.NumNodes());
+    if (network.num_pair_edges == 0) {
+      u = guess;
+      continue;
+    }
+    Dinic dinic(&network.net);
+    dinic.Solve(network.source, network.sink);
+    const std::vector<bool> side =
+        SourceSideOfMinCut(network.net, network.source);
+    ExtractedPair extracted = ExtractPairFromCut(network, side);
+
+    // Witness-based feasibility: the guess is feasible iff the cut-side
+    // pair certifiably exceeds it. This keeps `l` anchored to real pairs
+    // regardless of floating-point flow values.
+    DdsPair pair{std::move(extracted.s), std::move(extracted.t)};
+    double lin = 0;
+    if (!pair.Empty()) lin = LinearizedDensity(g, pair, sqrt_a);
+    if (lin > guess) {
+      l = std::max(guess, lin - 1e-15 * std::max(1.0, lin));
+      const double true_density = DirectedDensity(g, pair);
+      if (true_density > result.best_density) {
+        result.best_density = true_density;
+        result.best_pair = std::move(pair);
+      }
+      if (refine_cores) {
+        // Candidates better than l stay inside the refined core from now
+        // on; shrink the working sets permanently.
+        cur_s = std::move(refined.s);
+        cur_t = std::move(refined.t);
+      }
+    } else {
+      u = guess;
+    }
+  }
+  result.h_upper = u;
+  result.last_feasible = l;
+  return result;
+}
+
+DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options) {
+  WallTimer timer;
+  DdsSolution solution;
+  if (g.NumEdges() == 0) return solution;
+
+  EngineState state;
+  state.g = &g;
+  state.options = options;
+  state.delta = ExactSearchDelta(g);
+  // rho <= sqrt(E(S,T)) <= sqrt(m) for every pair, since E <= |S||T|.
+  state.upper_global =
+      std::sqrt(static_cast<double>(g.NumEdges()));
+
+  if (options.approx_warm_start) {
+    const CoreApproxResult approx = CoreApprox(g);
+    if (!approx.Empty()) {
+      state.incumbent = DdsPair{approx.core.s, approx.core.t};
+      state.incumbent_density = approx.density;
+      state.upper_global = std::min(state.upper_global, approx.upper_bound);
+    }
+  }
+
+  if (options.divide_and_conquer) {
+    RunDivideAndConquer(&state);
+  } else {
+    RunExhaustive(&state);
+  }
+
+  solution.pair = std::move(state.incumbent);
+  solution.density = DirectedDensity(g, solution.pair);
+  solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
+  solution.lower_bound = solution.density;
+  solution.upper_bound = solution.density;
+  solution.stats = std::move(state.stats);
+  solution.stats.seconds = timer.Seconds();
+  return solution;
+}
+
+DdsSolution CoreExact(const Digraph& g) {
+  return SolveExactDds(g, ExactOptions{});
+}
+
+DdsSolution DcExact(const Digraph& g) {
+  ExactOptions options;
+  options.core_pruning = false;
+  options.refine_cores_in_probe = false;
+  options.approx_warm_start = false;
+  return SolveExactDds(g, options);
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,114 @@
+#ifndef DDSGRAPH_DDS_CORE_EXACT_H_
+#define DDSGRAPH_DDS_CORE_EXACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dds/result.h"
+#include "graph/digraph.h"
+#include "util/stern_brocot.h"
+
+/// \file
+/// The exact DDS solver engine.
+///
+/// One engine implements three published algorithms via feature flags
+/// (DESIGN.md §3), which is also how the ablation experiment E7 is run:
+///
+///   * FlowExact  (baseline "BS-Exact"): probe every realizable ratio
+///     p/q (p, q <= n) with a binary search of min-cut feasibility tests on
+///     the whole graph — the Khuller-Saha-style state of the art the paper
+///     compares against.
+///   * DcExact: explore the ratio space by divide and conquer, pruning
+///     intervals with the phi bound once the incumbent is high enough.
+///   * CoreExact (the paper's algorithm): DcExact plus (i) warm-starting
+///     the incumbent with CoreApprox, (ii) locating candidates inside the
+///     [x,y]-core implied by the incumbent and the ratio interval, and
+///     (iii) re-peeling the core as the binary search's lower bound rises,
+///     so flow networks shrink across iterations.
+///
+/// Correctness invariants maintained throughout (see core_exact.cc):
+///   * the incumbent is always a real pair with exactly evaluated density;
+///   * every interval is discarded only under a certified upper bound;
+///   * feasibility of a guess is decided by exhibiting a witness pair from
+///     the min cut and evaluating it exactly, so the lower bound of the
+///     binary search never rests on floating-point flow values.
+
+namespace ddsgraph {
+
+/// Feature flags of the exact engine. Defaults = CoreExact.
+struct ExactOptions {
+  /// Divide and conquer over ratio intervals instead of enumerating all
+  /// O(n^2) realizable ratios.
+  bool divide_and_conquer = true;
+  /// Restrict each probe to the [x,y]-core implied by the incumbent
+  /// density and the ratio interval (Pruning 1/2 of the paper).
+  bool core_pruning = true;
+  /// Within a probe, re-peel the candidate core each time the binary
+  /// search raises its lower bound, shrinking the flow networks
+  /// (Pruning 3 / "networks gradually become smaller").
+  bool refine_cores_in_probe = true;
+  /// Seed the incumbent (and the global upper bound) with CoreApprox.
+  bool approx_warm_start = true;
+  /// Record per-network node counts in SolverStats::network_sizes.
+  bool record_network_sizes = false;
+  /// Safety limit for the non-D&C exhaustive ratio enumeration, which
+  /// materializes O(n^2) fractions.
+  int64_t max_exhaustive_n = 2000;
+};
+
+/// Outcome of probing a single ratio value.
+struct RatioProbeResult {
+  /// Certified upper bound on the max linearized density at this ratio
+  /// over the candidate sets (the final `u` of the binary search).
+  double h_upper = 0;
+  /// Highest witnessed linearized density (final `l`), or `lower_start`
+  /// if no feasible guess was found.
+  double last_feasible = 0;
+  /// Best extracted pair by true density (may be empty).
+  DdsPair best_pair;
+  double best_density = 0;
+  int64_t iterations = 0;
+  int64_t networks_built = 0;
+  int64_t max_network_nodes = 0;
+  /// Per-network node counts; filled only when record_sizes is set.
+  std::vector<int64_t> network_sizes;
+};
+
+/// Binary search with min-cut feasibility tests at a fixed `ratio`,
+/// restricted to the given candidate sides. `lower_start` is a value below
+/// which the search need not certify anything (pass 0 for a full h(a)
+/// computation); `upper_start` must be a certified upper bound on the max
+/// linearized density. `delta` is the termination gap (see
+/// ExactSearchDelta). `stop_below` lets the caller truncate the descent:
+/// once the upper bound u falls to or below it, the probe exits early with
+/// h_upper = u — the divide-and-conquer engine passes incumbent /
+/// phi(interval), the weakest bound that still lets both adjacent
+/// subintervals be pruned.
+RatioProbeResult ProbeRatio(const Digraph& g,
+                            const std::vector<VertexId>& s_candidates,
+                            const std::vector<VertexId>& t_candidates,
+                            const Fraction& ratio, double lower_start,
+                            double upper_start, double delta,
+                            bool refine_cores, bool record_sizes,
+                            double stop_below = 0.0);
+
+/// Termination gap for the binary searches: below the minimum spacing of
+/// distinct (linearized) density values, clamped to [1e-12, 1e-4]. For
+/// graphs small enough that the exact spacing bound 1/(2 m n^3) exceeds
+/// 1e-12 the search is provably exact; beyond that it is exact up to the
+/// clamp (validated by cross-checks in tests).
+double ExactSearchDelta(const Digraph& g);
+
+/// Runs the exact engine with the given options.
+DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options);
+
+/// The paper's exact algorithm: all optimizations enabled.
+DdsSolution CoreExact(const Digraph& g);
+
+/// Divide and conquer only (no core pruning, no warm start) — the middle
+/// rung of the ablation ladder.
+DdsSolution DcExact(const Digraph& g);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_CORE_EXACT_H_

@@ -1,0 +1,64 @@
+#include "dds/density.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+int64_t CountPairEdges(const Digraph& g, const std::vector<VertexId>& s,
+                       const std::vector<VertexId>& t) {
+  if (s.empty() || t.empty()) return 0;
+  std::vector<bool> in_t(g.NumVertices(), false);
+  for (VertexId v : t) {
+    DCHECK_LT(v, g.NumVertices());
+    in_t[v] = true;
+  }
+  int64_t count = 0;
+  for (VertexId u : s) {
+    DCHECK_LT(u, g.NumVertices());
+    for (VertexId v : g.OutNeighbors(u)) count += in_t[v] ? 1 : 0;
+  }
+  return count;
+}
+
+double DirectedDensity(const Digraph& g, const std::vector<VertexId>& s,
+                       const std::vector<VertexId>& t) {
+  if (s.empty() || t.empty()) return 0.0;
+  const int64_t edges = CountPairEdges(g, s, t);
+  return static_cast<double>(edges) /
+         std::sqrt(static_cast<double>(s.size()) *
+                   static_cast<double>(t.size()));
+}
+
+double DirectedDensity(const Digraph& g, const DdsPair& pair) {
+  return DirectedDensity(g, pair.s, pair.t);
+}
+
+double LinearizedDensity(const Digraph& g, const DdsPair& pair,
+                         double sqrt_ratio) {
+  CHECK_GT(sqrt_ratio, 0.0);
+  if (pair.Empty()) return 0.0;
+  const int64_t edges = CountPairEdges(g, pair.s, pair.t);
+  const double denom = static_cast<double>(pair.s.size()) / sqrt_ratio +
+                       sqrt_ratio * static_cast<double>(pair.t.size());
+  return 2.0 * static_cast<double>(edges) / denom;
+}
+
+double RatioMismatchPhi(double r) {
+  CHECK_GT(r, 0.0);
+  const double root = std::sqrt(r);
+  return 0.5 * (root + 1.0 / root);
+}
+
+bool NormalizePair(const Digraph& g, DdsPair* pair) {
+  auto normalize = [&](std::vector<VertexId>& side) {
+    std::sort(side.begin(), side.end());
+    side.erase(std::unique(side.begin(), side.end()), side.end());
+    return side.empty() || side.back() < g.NumVertices();
+  };
+  return normalize(pair->s) && normalize(pair->t);
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,54 @@
+#ifndef DDSGRAPH_DDS_DENSITY_H_
+#define DDSGRAPH_DDS_DENSITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+/// \file
+/// Directed density evaluation.
+///
+/// The quantity being maximized throughout the library is the Kannan-Vinay
+/// directed density rho(S,T) = |E(S,T)| / sqrt(|S| |T|), where
+/// E(S,T) = {(u,v) in E : u in S, v in T} and S, T may overlap.
+
+namespace ddsgraph {
+
+/// A candidate solution pair. Vectors hold distinct vertex ids.
+struct DdsPair {
+  std::vector<VertexId> s;
+  std::vector<VertexId> t;
+
+  bool Empty() const { return s.empty() || t.empty(); }
+};
+
+/// |E(S,T)|: edges leaving `s` and landing in `t`. O(sum of out-degrees
+/// over the smaller iteration side).
+int64_t CountPairEdges(const Digraph& g, const std::vector<VertexId>& s,
+                       const std::vector<VertexId>& t);
+
+/// rho(S,T) = |E(S,T)| / sqrt(|S||T|); 0 if either side is empty.
+double DirectedDensity(const Digraph& g, const std::vector<VertexId>& s,
+                       const std::vector<VertexId>& t);
+
+/// Convenience overload.
+double DirectedDensity(const Digraph& g, const DdsPair& pair);
+
+/// Linearized density at ratio a: 2|E(S,T)| / (|S|/sqrt(a) + sqrt(a)|T|).
+/// By AM-GM this is <= rho(S,T), with equality iff |S|/|T| = a.
+double LinearizedDensity(const Digraph& g, const DdsPair& pair,
+                         double sqrt_ratio);
+
+/// The AM/GM mismatch factor phi(r) = (sqrt(r) + 1/sqrt(r)) / 2 >= 1 used by
+/// the ratio-interval pruning bound: rho(S,T) <= h(c) * phi(a/c) whenever
+/// |S|/|T| = a and h(c) is the max linearized density at probe ratio c.
+double RatioMismatchPhi(double r);
+
+/// Removes duplicate ids and sorts both sides in place; returns false if
+/// any id is out of range.
+bool NormalizePair(const Digraph& g, DdsPair* pair);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_DENSITY_H_

@@ -1,0 +1,16 @@
+#include "dds/flow_exact.h"
+
+#include "dds/core_exact.h"
+
+namespace ddsgraph {
+
+DdsSolution FlowExact(const Digraph& g) {
+  ExactOptions options;
+  options.divide_and_conquer = false;
+  options.core_pruning = false;
+  options.refine_cores_in_probe = false;
+  options.approx_warm_start = false;
+  return SolveExactDds(g, options);
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,23 @@
+#ifndef DDSGRAPH_DDS_FLOW_EXACT_H_
+#define DDSGRAPH_DDS_FLOW_EXACT_H_
+
+#include "dds/result.h"
+#include "graph/digraph.h"
+
+/// \file
+/// FlowExact — the state-of-the-art baseline exact algorithm the paper
+/// improves on ("BS-Exact"): for every realizable ratio a = p/q (1 <= p, q
+/// <= n) run a binary search of max-flow feasibility tests on the *whole*
+/// graph. Exact but Θ(n^2) flow binary-searches; intended for the small
+/// datasets of experiments E2/E6/E7 (its cost blowup versus CoreExact *is*
+/// the headline result).
+
+namespace ddsgraph {
+
+/// Runs the baseline. Fatal error if n exceeds ExactOptions::
+/// max_exhaustive_n (the O(n^2) enumeration would be intractable anyway).
+DdsSolution FlowExact(const Digraph& g);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_FLOW_EXACT_H_

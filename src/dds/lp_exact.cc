@@ -1,0 +1,43 @@
+#include "dds/lp_exact.h"
+
+#include <algorithm>
+
+#include "lp/charikar_lp.h"
+#include "util/logging.h"
+#include "util/stern_brocot.h"
+#include "util/timer.h"
+
+namespace ddsgraph {
+
+DdsSolution LpExact(const Digraph& g) {
+  WallTimer timer;
+  const uint32_t n = g.NumVertices();
+  CHECK_LE(n, kLpExactMaxVertices)
+      << "LpExact solves O(n^2) dense LPs; use CoreExact";
+  DdsSolution solution;
+  if (g.NumEdges() == 0) return solution;
+
+  double best_lp_value = 0;
+  for (const Fraction& ratio : AllRealizableRatios(n)) {
+    ++solution.stats.ratios_probed;
+    const CharikarLpResult lp = SolveCharikarLp(g, ratio);
+    CHECK(lp.status == LpStatus::kOptimal)
+        << "Charikar LP must be feasible and bounded, got "
+        << LpStatusName(lp.status) << " at ratio " << ratio.ToString();
+    best_lp_value = std::max(best_lp_value, lp.lp_value);
+    if (lp.rounded_density > solution.density) {
+      solution.density = lp.rounded_density;
+      solution.pair = lp.rounded;
+    }
+  }
+
+  solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
+  solution.lower_bound = solution.density;
+  // The LP value at the best ratio upper-bounds rho_opt; report it so tests
+  // can verify LP duality: rounded density == max LP value (within tol).
+  solution.upper_bound = best_lp_value;
+  solution.stats.seconds = timer.Seconds();
+  return solution;
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,26 @@
+#ifndef DDSGRAPH_DDS_LP_EXACT_H_
+#define DDSGRAPH_DDS_LP_EXACT_H_
+
+#include "dds/result.h"
+#include "graph/digraph.h"
+
+/// \file
+/// LpExact — Charikar's LP-based exact baseline: solve LP(a) for every
+/// realizable ratio a and return the densest rounded level set. One dense
+/// LP per ratio makes this the slowest exact method by far (the paper's
+/// motivating anecdote: days on a three-thousand-edge graph); the
+/// benchmark harness accordingly restricts it to the tiniest inputs, and
+/// the test suite uses it as an independent certifier of the flow-based
+/// solvers.
+
+namespace ddsgraph {
+
+/// Vertex-count guard: beyond this the all-ratios LP sweep is intractable.
+inline constexpr uint32_t kLpExactMaxVertices = 64;
+
+/// Runs the LP baseline (fatal error if n > kLpExactMaxVertices).
+DdsSolution LpExact(const Digraph& g);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_LP_EXACT_H_

@@ -1,0 +1,36 @@
+#ifndef DDSGRAPH_DDS_PEEL_APPROX_H_
+#define DDSGRAPH_DDS_PEEL_APPROX_H_
+
+#include "dds/result.h"
+#include "graph/digraph.h"
+
+/// \file
+/// PeelApprox — the greedy peeling approximation baseline
+/// (Charikar-style greedy per ratio, over a geometric ladder of ratio
+/// guesses, as in the streaming/peeling baselines the paper compares with).
+///
+/// For a fixed ratio a, the S-side weight is 1/sqrt(a) and the T-side
+/// weight sqrt(a); the greedy repeatedly removes the vertex with minimum
+/// degree-to-weight ratio and remembers the densest intermediate pair.
+/// That achieves half the maximum linearized density at ratio a; running
+/// it for ratios a_k = (1/n) * (1+eps)^k covering [1/n, n] loses a further
+/// phi(1+eps) ratio-mismatch factor, giving a 2*phi(1+eps) approximation
+/// overall: rho_opt <= 2 * phi(1+eps) * density(returned).
+///
+/// Complexity: O((n + m) * log(n) / eps) using monotone bucket queues.
+
+namespace ddsgraph {
+
+struct PeelApproxOptions {
+  /// Geometric ladder step; smaller = tighter guarantee, more passes.
+  double epsilon = 0.1;
+};
+
+/// Runs the peeling baseline. stats.ratios_probed reports the number of
+/// ladder points; upper_bound carries the certified 2*phi(1+eps) bound.
+DdsSolution PeelApprox(const Digraph& g,
+                       const PeelApproxOptions& options = PeelApproxOptions());
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_PEEL_APPROX_H_

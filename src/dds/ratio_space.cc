@@ -1,0 +1,53 @@
+#include "dds/ratio_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dds/density.h"
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+double IntervalDensityBound(const RatioInterval& interval) {
+  const double lo = interval.lo.ToDouble();
+  const double hi = interval.hi.ToDouble();
+  CHECK_GT(lo, 0.0);
+  CHECK_GT(hi, lo);
+  // For a in (lo, sqrt(lo*hi)]: rho <= h(lo) * phi(a/lo) <= h(lo) *
+  // phi(sqrt(hi/lo)); symmetrically for the upper half through hi.
+  const double phi = RatioMismatchPhi(std::sqrt(hi / lo));
+  return std::max(interval.h_upper_lo, interval.h_upper_hi) * phi;
+}
+
+std::optional<Fraction> ProbeRatioForInterval(const RatioInterval& interval,
+                                              int64_t n) {
+  if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) {
+    return std::nullopt;
+  }
+  const double mid =
+      std::sqrt(interval.lo.ToDouble() * interval.hi.ToDouble());
+  const Fraction near = BestRationalInBox(mid, n, n);
+  if (FractionLess(interval.lo, near) && FractionLess(near, interval.hi)) {
+    return near;
+  }
+  // The nearest box fraction collapsed onto an endpoint; fall back to the
+  // simplest fraction, which HasRealizableRatioBetween guarantees fits.
+  std::optional<Fraction> simplest =
+      SimplestFractionBetween(interval.lo, interval.hi);
+  CHECK(simplest.has_value());
+  CHECK_LE(simplest->num, n);
+  CHECK_LE(simplest->den, n);
+  return simplest;
+}
+
+Fraction MinRatio(int64_t n) {
+  CHECK_GE(n, 1);
+  return Fraction{1, n};
+}
+
+Fraction MaxRatio(int64_t n) {
+  CHECK_GE(n, 1);
+  return Fraction{n, 1};
+}
+
+}  // namespace ddsgraph

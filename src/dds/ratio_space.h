@@ -1,0 +1,50 @@
+#ifndef DDSGRAPH_DDS_RATIO_SPACE_H_
+#define DDSGRAPH_DDS_RATIO_SPACE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "util/stern_brocot.h"
+
+/// \file
+/// The ratio search space of the exact DDS solvers.
+///
+/// Every candidate pair has ratio |S|/|T| in {p/q : 1 <= p,q <= n}. The
+/// baseline exact algorithm probes every such value; the divide-and-conquer
+/// solver explores intervals of this space and prunes them with the phi
+/// bound (DESIGN.md §2): for a probed ratio c with max linearized density
+/// h(c), every pair with ratio a satisfies rho <= h(c) * phi(a/c),
+/// phi(r) = (sqrt(r) + 1/sqrt(r))/2.
+
+namespace ddsgraph {
+
+/// An open ratio interval (lo, hi) with upper bounds on the maximum
+/// linearized density at its two (already probed) endpoints.
+struct RatioInterval {
+  Fraction lo;
+  Fraction hi;
+  double h_upper_lo = 0;  ///< valid upper bound on h(lo)
+  double h_upper_hi = 0;  ///< valid upper bound on h(hi)
+};
+
+/// Upper bound on rho(S,T) over all pairs with ratio strictly inside
+/// (interval.lo, interval.hi): splitting at the geometric midpoint, ratios
+/// in the lower half are bounded through the lo endpoint and the upper half
+/// through hi, each with mismatch at most phi(sqrt(hi/lo)).
+double IntervalDensityBound(const RatioInterval& interval);
+
+/// Picks the probe ratio for an interval: the realizable fraction (p, q <=
+/// n) nearest the geometric midpoint sqrt(lo*hi), falling back to the
+/// Stern-Brocot simplest fraction if the approximation is not strictly
+/// inside. Returns nullopt when no realizable ratio lies inside — the
+/// interval is exhausted.
+std::optional<Fraction> ProbeRatioForInterval(const RatioInterval& interval,
+                                              int64_t n);
+
+/// The extreme realizable ratios 1/n and n/1.
+Fraction MinRatio(int64_t n);
+Fraction MaxRatio(int64_t n);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_RATIO_SPACE_H_

@@ -1,0 +1,45 @@
+#ifndef DDSGRAPH_DDS_RESULT_H_
+#define DDSGRAPH_DDS_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dds/density.h"
+
+/// \file
+/// Result and statistics types shared by the DDS solvers.
+
+namespace ddsgraph {
+
+/// Counters describing the work a solver performed; the ablation and
+/// network-size experiments (E6-E8) are reported from these.
+struct SolverStats {
+  int64_t ratios_probed = 0;         ///< ratio values evaluated with flows
+  int64_t flow_networks_built = 0;   ///< one per min-cut computation
+  int64_t binary_search_iters = 0;   ///< total guesses across all ratios
+  int64_t max_network_nodes = 0;     ///< largest flow network constructed
+  int64_t intervals_pruned = 0;      ///< D&C intervals discarded by bounds
+  /// Node count of each flow network in construction order (E8 traces).
+  std::vector<int64_t> network_sizes;
+  double seconds = 0;                ///< wall time of the solve
+
+  std::string ToString() const;
+};
+
+/// The output of an exact or approximate DDS solver.
+struct DdsSolution {
+  DdsPair pair;            ///< the reported (S, T)
+  double density = 0;      ///< rho(S, T), exact recomputation
+  int64_t pair_edges = 0;  ///< |E(S,T)|
+  /// Certified bounds on rho_opt: for exact solvers lower == upper ==
+  /// density (up to numerical tolerance); for approximations
+  /// [density, upper_bound] brackets the optimum.
+  double lower_bound = 0;
+  double upper_bound = 0;
+  SolverStats stats;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_RESULT_H_

@@ -1,0 +1,123 @@
+#include "dds/solver.h"
+
+#include <sstream>
+
+#include "core/core_approx.h"
+#include "dds/core_exact.h"
+#include "dds/flow_exact.h"
+#include "dds/lp_exact.h"
+#include "dds/naive_exact.h"
+#include "dds/batch_peel_approx.h"
+#include "dds/peel_approx.h"
+#include "util/logging.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ddsgraph {
+
+std::string SolverStats::ToString() const {
+  std::ostringstream os;
+  os << "ratios=" << ratios_probed << " flows=" << flow_networks_built
+     << " iters=" << binary_search_iters
+     << " max_net=" << max_network_nodes << " pruned=" << intervals_pruned
+     << " time=" << FormatSeconds(seconds);
+  return os.str();
+}
+
+const char* AlgorithmName(DdsAlgorithm algorithm) {
+  switch (algorithm) {
+    case DdsAlgorithm::kNaiveExact:
+      return "naive-exact";
+    case DdsAlgorithm::kLpExact:
+      return "lp-exact";
+    case DdsAlgorithm::kFlowExact:
+      return "flow-exact";
+    case DdsAlgorithm::kDcExact:
+      return "dc-exact";
+    case DdsAlgorithm::kCoreExact:
+      return "core-exact";
+    case DdsAlgorithm::kPeelApprox:
+      return "peel-approx";
+    case DdsAlgorithm::kBatchPeelApprox:
+      return "batch-peel-approx";
+    case DdsAlgorithm::kCoreApprox:
+      return "core-approx";
+  }
+  return "unknown";
+}
+
+std::optional<DdsAlgorithm> ParseAlgorithmName(const std::string& name) {
+  for (DdsAlgorithm algorithm :
+       {DdsAlgorithm::kNaiveExact, DdsAlgorithm::kLpExact,
+        DdsAlgorithm::kFlowExact, DdsAlgorithm::kDcExact,
+        DdsAlgorithm::kCoreExact, DdsAlgorithm::kPeelApprox,
+        DdsAlgorithm::kBatchPeelApprox, DdsAlgorithm::kCoreApprox}) {
+    if (name == AlgorithmName(algorithm)) return algorithm;
+  }
+  return std::nullopt;
+}
+
+bool IsExactAlgorithm(DdsAlgorithm algorithm) {
+  switch (algorithm) {
+    case DdsAlgorithm::kNaiveExact:
+    case DdsAlgorithm::kLpExact:
+    case DdsAlgorithm::kFlowExact:
+    case DdsAlgorithm::kDcExact:
+    case DdsAlgorithm::kCoreExact:
+      return true;
+    case DdsAlgorithm::kPeelApprox:
+    case DdsAlgorithm::kBatchPeelApprox:
+    case DdsAlgorithm::kCoreApprox:
+      return false;
+  }
+  return false;
+}
+
+DdsSolution RunDdsAlgorithm(const Digraph& g, DdsAlgorithm algorithm) {
+  switch (algorithm) {
+    case DdsAlgorithm::kNaiveExact:
+      return NaiveExact(g);
+    case DdsAlgorithm::kLpExact:
+      return LpExact(g);
+    case DdsAlgorithm::kFlowExact:
+      return FlowExact(g);
+    case DdsAlgorithm::kDcExact:
+      return DcExact(g);
+    case DdsAlgorithm::kCoreExact:
+      return CoreExact(g);
+    case DdsAlgorithm::kPeelApprox:
+      return PeelApprox(g);
+    case DdsAlgorithm::kBatchPeelApprox:
+      return BatchPeelApprox(g);
+    case DdsAlgorithm::kCoreApprox: {
+      WallTimer timer;
+      const CoreApproxResult approx = CoreApprox(g);
+      DdsSolution solution;
+      solution.pair = DdsPair{approx.core.s, approx.core.t};
+      solution.density = approx.density;
+      solution.pair_edges =
+          CountPairEdges(g, solution.pair.s, solution.pair.t);
+      solution.lower_bound = approx.density;
+      solution.upper_bound = approx.upper_bound;
+      solution.stats.ratios_probed = approx.sweeps;
+      solution.stats.seconds = timer.Seconds();
+      return solution;
+    }
+  }
+  LOG(FATAL) << "unknown algorithm";
+  return DdsSolution{};
+}
+
+std::string SolutionSummary(const DdsSolution& solution) {
+  std::ostringstream os;
+  os << "rho=" << FormatDouble(solution.density, 6)
+     << " |S|=" << solution.pair.s.size()
+     << " |T|=" << solution.pair.t.size()
+     << " edges=" << solution.pair_edges << " ["
+     << FormatDouble(solution.lower_bound, 4) << ", "
+     << FormatDouble(solution.upper_bound, 4) << "] "
+     << solution.stats.ToString();
+  return os.str();
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,44 @@
+#ifndef DDSGRAPH_DDS_SOLVER_H_
+#define DDSGRAPH_DDS_SOLVER_H_
+
+#include <optional>
+#include <string>
+
+#include "dds/result.h"
+#include "graph/digraph.h"
+
+/// \file
+/// Facade over all DDS algorithms, keyed by an enum — the entry point used
+/// by the examples, the CLI tool, and the benchmark harness.
+
+namespace ddsgraph {
+
+enum class DdsAlgorithm {
+  kNaiveExact,  ///< exhaustive (tests / tiny graphs only)
+  kLpExact,     ///< Charikar LP per ratio (baseline)
+  kFlowExact,   ///< flow binary search over all ratios (baseline)
+  kDcExact,     ///< divide-and-conquer over ratios
+  kCoreExact,   ///< the paper's exact algorithm
+  kPeelApprox,  ///< greedy peeling 2(1+eps)-approximation (baseline)
+  kBatchPeelApprox,  ///< streaming-style batch peeling (baseline)
+  kCoreApprox,  ///< the paper's core-based 2-approximation
+};
+
+/// Canonical lower-case name ("core-exact", "peel-approx", ...).
+const char* AlgorithmName(DdsAlgorithm algorithm);
+
+/// Inverse of AlgorithmName; nullopt for unknown names.
+std::optional<DdsAlgorithm> ParseAlgorithmName(const std::string& name);
+
+/// True for the algorithms that return the optimum (not an approximation).
+bool IsExactAlgorithm(DdsAlgorithm algorithm);
+
+/// Runs the selected algorithm on `g`. stats.seconds is always filled.
+DdsSolution RunDdsAlgorithm(const Digraph& g, DdsAlgorithm algorithm);
+
+/// One-line human-readable summary of a solution.
+std::string SolutionSummary(const DdsSolution& solution);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_SOLVER_H_

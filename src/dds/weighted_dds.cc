@@ -1,0 +1,425 @@
+#include "dds/weighted_dds.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/weighted_xy_core.h"
+#include "dds/naive_exact.h"
+#include "dds/ratio_space.h"
+#include "flow/dinic.h"
+#include "flow/flow_network.h"
+#include "flow/min_cut.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ddsgraph {
+namespace {
+
+// ---------------------------------------------------------------------
+// Weighted feasibility network: nodes {s,t} ∪ A ∪ B; capacities
+//   s -> u_A : weighted out-degree into the T candidates
+//   u_A -> v_B : w(u, v)
+//   u_A -> t : g / (2 sqrt a),     v_B -> t : g sqrt(a) / 2
+// mincut < W' (candidate pair weight) <=> some (S,T) has weighted
+// linearized density > g. Mirrors flow/dds_network.cc with |E| -> w(E).
+// ---------------------------------------------------------------------
+struct WeightedDdsNetwork {
+  FlowNetwork net;
+  uint32_t source = 0;
+  uint32_t sink = 1;
+  std::vector<VertexId> a_vertices;
+  std::vector<VertexId> b_vertices;
+  int64_t pair_weight = 0;
+
+  uint32_t ANode(size_t i) const { return 2 + static_cast<uint32_t>(i); }
+  uint32_t BNode(size_t i) const {
+    return 2 + static_cast<uint32_t>(a_vertices.size() + i);
+  }
+};
+
+WeightedDdsNetwork BuildWeightedNetwork(
+    const WeightedDigraph& g, const std::vector<VertexId>& s_candidates,
+    const std::vector<VertexId>& t_candidates, double sqrt_a,
+    double density_guess) {
+  std::vector<bool> is_t(g.NumVertices(), false);
+  for (VertexId v : t_candidates) is_t[v] = true;
+
+  WeightedDdsNetwork out;
+  std::vector<int64_t> restricted(s_candidates.size(), 0);
+  std::vector<bool> b_used(g.NumVertices(), false);
+  for (size_t i = 0; i < s_candidates.size(); ++i) {
+    const VertexId u = s_candidates[i];
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      if (is_t[nbrs[k]]) {
+        restricted[i] += weights[k];
+        b_used[nbrs[k]] = true;
+      }
+    }
+    out.pair_weight += restricted[i];
+  }
+  std::vector<uint32_t> b_index(g.NumVertices(), static_cast<uint32_t>(-1));
+  for (VertexId v : t_candidates) {
+    if (b_used[v]) {
+      b_index[v] = static_cast<uint32_t>(out.b_vertices.size());
+      out.b_vertices.push_back(v);
+    }
+  }
+  std::vector<VertexId> a_kept;
+  std::vector<int64_t> a_weight;
+  for (size_t i = 0; i < s_candidates.size(); ++i) {
+    if (restricted[i] > 0) {
+      a_kept.push_back(s_candidates[i]);
+      a_weight.push_back(restricted[i]);
+    }
+  }
+  out.a_vertices = std::move(a_kept);
+
+  out.net = FlowNetwork(
+      2 + static_cast<uint32_t>(out.a_vertices.size() +
+                                out.b_vertices.size()));
+  const double cap_a = density_guess / (2.0 * sqrt_a);
+  const double cap_b = density_guess * sqrt_a / 2.0;
+  for (size_t i = 0; i < out.a_vertices.size(); ++i) {
+    const uint32_t a_node = out.ANode(i);
+    out.net.AddEdge(out.source, a_node,
+                    static_cast<FlowCap>(a_weight[i]));
+    out.net.AddEdge(a_node, out.sink, cap_a);
+    const VertexId u = out.a_vertices[i];
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      if (is_t[nbrs[k]]) {
+        out.net.AddEdge(a_node, out.BNode(b_index[nbrs[k]]),
+                        static_cast<FlowCap>(weights[k]));
+      }
+    }
+  }
+  for (size_t j = 0; j < out.b_vertices.size(); ++j) {
+    out.net.AddEdge(out.BNode(j), out.sink, cap_b);
+  }
+  return out;
+}
+
+double WeightedLinearized(const WeightedDigraph& g, const DdsPair& pair,
+                          double sqrt_a) {
+  if (pair.Empty()) return 0;
+  const int64_t w = WeightedPairWeight(g, pair.s, pair.t);
+  const double denom = static_cast<double>(pair.s.size()) / sqrt_a +
+                       sqrt_a * static_cast<double>(pair.t.size());
+  return 2.0 * static_cast<double>(w) / denom;
+}
+
+double WeightedSearchDelta(const WeightedDigraph& g) {
+  const double n = std::max<double>(2.0, g.NumVertices());
+  const double w = std::max<double>(1.0, static_cast<double>(g.TotalWeight()));
+  return std::clamp(1.0 / (2.0 * w * n * n * n), 1e-12, 1e-4);
+}
+
+int64_t SideThreshold(double bound) {
+  return static_cast<int64_t>(std::floor(bound)) + 1;
+}
+
+struct WeightedProbeResult {
+  double h_upper = 0;
+  DdsPair best_pair;
+  double best_density = 0;
+  int64_t iterations = 0;
+};
+
+// Weighted twin of ProbeRatio (dds/core_exact.cc), including the
+// witness-based feasibility rule and per-guess core refinement.
+WeightedProbeResult WeightedProbe(const WeightedDigraph& g,
+                                  const std::vector<VertexId>& s_candidates,
+                                  const std::vector<VertexId>& t_candidates,
+                                  const Fraction& ratio, double upper_start,
+                                  double delta, double stop_below) {
+  WeightedProbeResult result;
+  result.h_upper = upper_start;
+  const double sqrt_a = std::sqrt(ratio.ToDouble());
+  double l = 0;
+  double u = upper_start;
+  std::vector<VertexId> cur_s = s_candidates;
+  std::vector<VertexId> cur_t = t_candidates;
+
+  while (u - l >= delta && u > stop_below) {
+    const double guess = 0.5 * (l + u);
+    if (guess <= l || guess >= u) break;
+    ++result.iterations;
+
+    const int64_t x_c = SideThreshold(guess / (2.0 * sqrt_a));
+    const int64_t y_c = SideThreshold(guess * sqrt_a / 2.0);
+    // Weighted cores are global; restrict to current candidates by
+    // intersecting (the candidates shrink monotonically, and the weighted
+    // core of the full graph intersected with candidates contains every
+    // maximizer within them — recompute within for exactness).
+    XyCore refined = ComputeWeightedXyCore(g, x_c, y_c);
+    auto intersect = [](std::vector<VertexId>& lhs,
+                        const std::vector<VertexId>& rhs) {
+      std::vector<VertexId> out;
+      std::set_intersection(lhs.begin(), lhs.end(), rhs.begin(), rhs.end(),
+                            std::back_inserter(out));
+      lhs = std::move(out);
+    };
+    intersect(refined.s, cur_s);
+    intersect(refined.t, cur_t);
+    if (refined.s.empty() || refined.t.empty()) {
+      u = guess;
+      continue;
+    }
+
+    WeightedDdsNetwork network =
+        BuildWeightedNetwork(g, refined.s, refined.t, sqrt_a, guess);
+    if (network.pair_weight == 0) {
+      u = guess;
+      continue;
+    }
+    Dinic dinic(&network.net);
+    dinic.Solve(network.source, network.sink);
+    const std::vector<bool> side =
+        SourceSideOfMinCut(network.net, network.source);
+    DdsPair pair;
+    for (size_t i = 0; i < network.a_vertices.size(); ++i) {
+      if (side[network.ANode(i)]) pair.s.push_back(network.a_vertices[i]);
+    }
+    for (size_t j = 0; j < network.b_vertices.size(); ++j) {
+      if (side[network.BNode(j)]) pair.t.push_back(network.b_vertices[j]);
+    }
+    std::sort(pair.s.begin(), pair.s.end());
+    std::sort(pair.t.begin(), pair.t.end());
+
+    const double lin = WeightedLinearized(g, pair, sqrt_a);
+    if (lin > guess) {
+      l = std::max(guess, lin - 1e-15 * std::max(1.0, lin));
+      const double density = WeightedDensity(g, pair.s, pair.t);
+      if (density > result.best_density) {
+        result.best_density = density;
+        result.best_pair = std::move(pair);
+      }
+      cur_s = std::move(refined.s);
+      cur_t = std::move(refined.t);
+    } else {
+      u = guess;
+    }
+  }
+  result.h_upper = u;
+  return result;
+}
+
+}  // namespace
+
+int64_t WeightedPairWeight(const WeightedDigraph& g,
+                           const std::vector<VertexId>& s,
+                           const std::vector<VertexId>& t) {
+  if (s.empty() || t.empty()) return 0;
+  std::vector<bool> in_t(g.NumVertices(), false);
+  for (VertexId v : t) in_t[v] = true;
+  int64_t total = 0;
+  for (VertexId u : s) {
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_t[nbrs[i]]) total += weights[i];
+    }
+  }
+  return total;
+}
+
+double WeightedDensity(const WeightedDigraph& g,
+                       const std::vector<VertexId>& s,
+                       const std::vector<VertexId>& t) {
+  if (s.empty() || t.empty()) return 0;
+  return static_cast<double>(WeightedPairWeight(g, s, t)) /
+         std::sqrt(static_cast<double>(s.size()) *
+                   static_cast<double>(t.size()));
+}
+
+WeightedCoreApproxResult WeightedCoreApprox(const WeightedDigraph& g) {
+  WeightedCoreApproxResult result;
+  if (g.TotalWeight() == 0) return result;
+  const WeightedDigraph reversed = g.Reversed();
+  int64_t best_product = 0;
+  int64_t x = 1;
+  // Corner-jumping over the weighted skyline; see core/core_approx.cc.
+  while (true) {
+    ++result.sweeps;
+    const int64_t y = WeightedMaxYForX(g, x);
+    if (y == 0) break;
+    ++result.sweeps;
+    const int64_t x_right = WeightedMaxYForX(reversed, y);
+    CHECK_GE(x_right, x);
+    if (x_right * y > best_product) {
+      best_product = x_right * y;
+      result.best_x = x_right;
+      result.best_y = y;
+    }
+    x = x_right + 1;
+  }
+  if (best_product == 0) return result;
+  result.core = ComputeWeightedXyCore(g, result.best_x, result.best_y);
+  CHECK(!result.core.Empty());
+  result.density = WeightedDensity(g, result.core.s, result.core.t);
+  result.lower_bound = std::sqrt(static_cast<double>(best_product));
+  result.upper_bound = 2.0 * result.lower_bound;
+  CHECK_GE(result.density + 1e-9, result.lower_bound);
+  return result;
+}
+
+DdsSolution WeightedNaiveExact(const WeightedDigraph& g) {
+  WallTimer timer;
+  const uint32_t n = g.NumVertices();
+  CHECK_LE(n, kNaiveExactMaxVertices);
+  DdsSolution solution;
+  if (g.TotalWeight() == 0) return solution;
+
+  std::vector<std::vector<int64_t>> weight(n, std::vector<int64_t>(n, 0));
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) weight[u][nbrs[i]] = weights[i];
+  }
+  const uint32_t full = (1u << n) - 1;
+  double best = 0;
+  uint32_t best_s = 0;
+  uint32_t best_t = 0;
+  int64_t best_weight = 0;
+  for (uint32_t s_mask = 1; s_mask <= full; ++s_mask) {
+    for (uint32_t t_mask = 1; t_mask <= full; ++t_mask) {
+      int64_t w = 0;
+      for (uint32_t rest = s_mask; rest != 0; rest &= rest - 1) {
+        const uint32_t u = static_cast<uint32_t>(std::countr_zero(rest));
+        for (uint32_t rest_t = t_mask; rest_t != 0; rest_t &= rest_t - 1) {
+          const uint32_t v =
+              static_cast<uint32_t>(std::countr_zero(rest_t));
+          w += weight[u][v];
+        }
+      }
+      if (w == 0) continue;
+      const double density =
+          static_cast<double>(w) /
+          std::sqrt(static_cast<double>(std::popcount(s_mask)) *
+                    static_cast<double>(std::popcount(t_mask)));
+      if (density > best) {
+        best = density;
+        best_s = s_mask;
+        best_t = t_mask;
+        best_weight = w;
+      }
+    }
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    if (best_s & (1u << v)) solution.pair.s.push_back(v);
+    if (best_t & (1u << v)) solution.pair.t.push_back(v);
+  }
+  solution.density = best;
+  solution.pair_edges = best_weight;
+  solution.lower_bound = best;
+  solution.upper_bound = best;
+  solution.stats.seconds = timer.Seconds();
+  return solution;
+}
+
+DdsSolution WeightedCoreExact(const WeightedDigraph& g) {
+  WallTimer timer;
+  DdsSolution solution;
+  if (g.TotalWeight() == 0) return solution;
+  const int64_t n = g.NumVertices();
+  const double delta = WeightedSearchDelta(g);
+
+  // Warm start and certified upper bound.
+  DdsPair incumbent;
+  double incumbent_density = 0;
+  double upper = std::sqrt(static_cast<double>(g.TotalWeight()) *
+                           static_cast<double>(std::max<int64_t>(
+                               1, g.MaxWeightedOutDegree())));
+  const WeightedCoreApproxResult approx = WeightedCoreApprox(g);
+  if (!approx.Empty()) {
+    incumbent = DdsPair{approx.core.s, approx.core.t};
+    incumbent_density = approx.density;
+    upper = std::min(upper, approx.upper_bound);
+  }
+
+  auto probe_in_context = [&](const Fraction& ratio, const Fraction& lo,
+                              const Fraction& hi, double stop_below,
+                              bool* exhausted) -> double {
+    const double sqrt_lo = std::sqrt(lo.ToDouble());
+    const double sqrt_hi = std::sqrt(hi.ToDouble());
+    std::vector<VertexId> s_cand;
+    std::vector<VertexId> t_cand;
+    if (incumbent_density > 0) {
+      const XyCore core = ComputeWeightedXyCore(
+          g, SideThreshold(incumbent_density / (2.0 * sqrt_hi)),
+          SideThreshold(incumbent_density * sqrt_lo / 2.0));
+      if (core.Empty()) {
+        *exhausted = true;
+        return incumbent_density;
+      }
+      s_cand = core.s;
+      t_cand = core.t;
+    } else {
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        s_cand.push_back(v);
+        t_cand.push_back(v);
+      }
+    }
+    *exhausted = false;
+    const WeightedProbeResult probe =
+        WeightedProbe(g, s_cand, t_cand, ratio, upper, delta, stop_below);
+    ++solution.stats.ratios_probed;
+    solution.stats.binary_search_iters += probe.iterations;
+    if (!probe.best_pair.Empty() &&
+        probe.best_density > incumbent_density) {
+      incumbent = probe.best_pair;
+      incumbent_density = probe.best_density;
+    }
+    return probe.h_upper;
+  };
+
+  const Fraction lo = MinRatio(n);
+  const Fraction hi = MaxRatio(n);
+  bool exhausted = false;
+  const double h_lo = probe_in_context(lo, lo, lo, 0.0, &exhausted);
+  double h_hi = h_lo;
+  if (!(lo == hi)) {
+    h_hi = probe_in_context(hi, hi, hi, 0.0, &exhausted);
+    std::vector<RatioInterval> work{RatioInterval{lo, hi, h_lo, h_hi}};
+    while (!work.empty()) {
+      RatioInterval interval = work.back();
+      work.pop_back();
+      if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) continue;
+      if (IntervalDensityBound(interval) <=
+          incumbent_density + 1e-9 * std::max(1.0, incumbent_density)) {
+        ++solution.stats.intervals_pruned;
+        continue;
+      }
+      const std::optional<Fraction> mid = ProbeRatioForInterval(interval, n);
+      CHECK(mid.has_value());
+      const double phi = RatioMismatchPhi(
+          std::sqrt(interval.hi.ToDouble() / interval.lo.ToDouble()));
+      const double h_mid = probe_in_context(
+          *mid, interval.lo, interval.hi, incumbent_density / phi,
+          &exhausted);
+      if (exhausted) {
+        solution.stats.intervals_pruned += 2;
+        continue;
+      }
+      work.push_back(RatioInterval{interval.lo, *mid, interval.h_upper_lo,
+                                   h_mid});
+      work.push_back(RatioInterval{*mid, interval.hi, h_mid,
+                                   interval.h_upper_hi});
+    }
+  }
+
+  solution.pair = std::move(incumbent);
+  solution.density = WeightedDensity(g, solution.pair.s, solution.pair.t);
+  solution.pair_edges =
+      WeightedPairWeight(g, solution.pair.s, solution.pair.t);
+  solution.lower_bound = solution.density;
+  solution.upper_bound = solution.density;
+  solution.stats.seconds = timer.Seconds();
+  return solution;
+}
+
+}  // namespace ddsgraph

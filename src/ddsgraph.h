@@ -1,0 +1,35 @@
+#ifndef DDSGRAPH_DDSGRAPH_H_
+#define DDSGRAPH_DDSGRAPH_H_
+
+/// \file
+/// Umbrella header: the public API of the ddsgraph library.
+///
+/// ddsgraph reproduces "Efficient Algorithms for Densest Subgraph
+/// Discovery on Large Directed Graphs" (SIGMOD 2020): exact and
+/// approximation algorithms for the directed densest subgraph problem
+/// built on [x,y]-cores. See README.md for a quickstart and DESIGN.md for
+/// the architecture.
+
+#include "core/core_approx.h"             // IWYU pragma: export
+#include "core/weighted_xy_core.h"        // IWYU pragma: export
+#include "core/xy_core.h"                 // IWYU pragma: export
+#include "core/xy_core_decomposition.h"   // IWYU pragma: export
+#include "dds/core_exact.h"               // IWYU pragma: export
+#include "dds/density.h"                  // IWYU pragma: export
+#include "dds/flow_exact.h"               // IWYU pragma: export
+#include "dds/lp_exact.h"                 // IWYU pragma: export
+#include "dds/naive_exact.h"              // IWYU pragma: export
+#include "dds/peel_approx.h"              // IWYU pragma: export
+#include "dds/result.h"                   // IWYU pragma: export
+#include "dds/solver.h"                   // IWYU pragma: export
+#include "dds/weighted_dds.h"             // IWYU pragma: export
+#include "graph/degree.h"                 // IWYU pragma: export
+#include "graph/digraph.h"                // IWYU pragma: export
+#include "graph/digraph_builder.h"        // IWYU pragma: export
+#include "graph/generators.h"             // IWYU pragma: export
+#include "graph/io.h"                     // IWYU pragma: export
+#include "graph/subgraph.h"               // IWYU pragma: export
+#include "graph/wcc.h"                    // IWYU pragma: export
+#include "graph/weighted_digraph.h"       // IWYU pragma: export
+
+#endif  // DDSGRAPH_DDSGRAPH_H_

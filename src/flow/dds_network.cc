@@ -1,0 +1,104 @@
+#include "flow/dds_network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+DdsNetwork BuildDdsNetwork(const Digraph& g,
+                           const std::vector<VertexId>& s_candidates,
+                           const std::vector<VertexId>& t_candidates,
+                           double sqrt_ratio, double density_guess) {
+  CHECK_GT(sqrt_ratio, 0.0);
+  CHECK_GE(density_guess, 0.0);
+
+  // Membership masks and, for B-side vertices, their local index.
+  std::vector<uint32_t> b_index(g.NumVertices(), static_cast<uint32_t>(-1));
+  std::vector<bool> is_t(g.NumVertices(), false);
+  for (VertexId v : t_candidates) {
+    CHECK_LT(v, g.NumVertices());
+    is_t[v] = true;
+  }
+
+  DdsNetwork out;
+
+  // Pass 1: which candidate vertices actually carry pair edges. Vertices
+  // with zero restricted degree can never enter an optimal pair at g > 0
+  // and are dropped to keep the network minimal.
+  std::vector<int64_t> restricted_out;
+  restricted_out.reserve(s_candidates.size());
+  std::vector<bool> b_used(g.NumVertices(), false);
+  for (VertexId u : s_candidates) {
+    CHECK_LT(u, g.NumVertices());
+    int64_t deg = 0;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (is_t[v]) {
+        ++deg;
+        b_used[v] = true;
+      }
+    }
+    restricted_out.push_back(deg);
+    out.num_pair_edges += deg;
+  }
+  for (VertexId v : t_candidates) {
+    if (b_used[v]) {
+      b_index[v] = static_cast<uint32_t>(out.b_vertices.size());
+      out.b_vertices.push_back(v);
+    }
+  }
+  std::vector<VertexId> a_kept;
+  std::vector<int64_t> a_deg;
+  for (size_t i = 0; i < s_candidates.size(); ++i) {
+    if (restricted_out[i] > 0) {
+      a_kept.push_back(s_candidates[i]);
+      a_deg.push_back(restricted_out[i]);
+    }
+  }
+  out.a_vertices = std::move(a_kept);
+
+  // Pass 2: materialize the network.
+  const uint32_t num_nodes = out.NumNodes();
+  out.net = FlowNetwork(num_nodes);
+  out.source = 0;
+  out.sink = 1;
+  const double cap_a_to_sink = density_guess / (2.0 * sqrt_ratio);
+  const double cap_b_to_sink = density_guess * sqrt_ratio / 2.0;
+
+  for (size_t i = 0; i < out.a_vertices.size(); ++i) {
+    const uint32_t a_node = out.ANode(i);
+    out.net.AddEdge(out.source, a_node, static_cast<FlowCap>(a_deg[i]));
+    out.net.AddEdge(a_node, out.sink, cap_a_to_sink);
+    for (VertexId v : g.OutNeighbors(out.a_vertices[i])) {
+      if (is_t[v]) {
+        const uint32_t b_node = out.BNode(b_index[v]);
+        out.net.AddEdge(a_node, b_node, 1.0);
+      }
+    }
+  }
+  for (size_t j = 0; j < out.b_vertices.size(); ++j) {
+    out.net.AddEdge(out.BNode(j), out.sink, cap_b_to_sink);
+  }
+  return out;
+}
+
+ExtractedPair ExtractPairFromCut(const DdsNetwork& network,
+                                 const std::vector<bool>& source_side) {
+  CHECK_EQ(source_side.size(), network.net.NumNodes());
+  ExtractedPair pair;
+  for (size_t i = 0; i < network.a_vertices.size(); ++i) {
+    if (source_side[network.ANode(i)]) {
+      pair.s.push_back(network.a_vertices[i]);
+    }
+  }
+  for (size_t j = 0; j < network.b_vertices.size(); ++j) {
+    if (source_side[network.BNode(j)]) {
+      pair.t.push_back(network.b_vertices[j]);
+    }
+  }
+  std::sort(pair.s.begin(), pair.s.end());
+  std::sort(pair.t.begin(), pair.t.end());
+  return pair;
+}
+
+}  // namespace ddsgraph

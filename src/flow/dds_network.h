@@ -1,0 +1,86 @@
+#ifndef DDSGRAPH_FLOW_DDS_NETWORK_H_
+#define DDSGRAPH_FLOW_DDS_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flow/flow_network.h"
+#include "graph/digraph.h"
+
+/// \file
+/// The DDS feasibility flow network N(G, a, g).
+///
+/// For a ratio guess `a` and density guess `g`, the exact solvers must
+/// decide whether some pair (S, T) has *linearized* density
+///
+///   2 |E(S,T)| / (|S|/sqrt(a) + sqrt(a) |T|)  >  g.
+///
+/// Construction (DESIGN.md §5): nodes {s, t} ∪ A ∪ B with A a node per
+/// candidate source-side vertex and B per candidate target-side vertex;
+/// arcs
+///   s  -> u_A  cap d_out(u)            (out-degree restricted to B-side)
+///   u_A-> v_B  cap 1                   for each graph edge (u, v)
+///   u_A-> t    cap g / (2 sqrt(a))
+///   v_B-> t    cap g * sqrt(a) / 2
+///
+/// A cut keeping {s} ∪ S_A ∪ T_B on the source side has capacity
+/// m' − |E(S,T)| + (g/2)(|S|/√a + √a|T|) where m' is the number of
+/// candidate pair edges, so  mincut < m'  ⇔  a feasible (S,T) exists, and
+/// the source side of the min cut is a maximizer of
+/// |E(S,T)| − (g/2)(|S|/√a + √a|T|).
+///
+/// The candidate sets default to all of V; the core-based solver passes the
+/// S-/T-sides of an [x,y]-core, which is how the networks shrink across
+/// binary-search iterations (experiment E8).
+
+namespace ddsgraph {
+
+/// A DDS network together with the node layout needed to interpret cuts.
+struct DdsNetwork {
+  FlowNetwork net;
+  uint32_t source = 0;
+  uint32_t sink = 0;
+  /// Original vertex ids of A-side nodes; node id of a_vertices[i] is
+  /// ANode(i). Vertices with no candidate out-edge are omitted.
+  std::vector<VertexId> a_vertices;
+  /// Original vertex ids of B-side nodes; vertices with no candidate
+  /// in-edge are omitted.
+  std::vector<VertexId> b_vertices;
+  /// Number of candidate pair edges m' = |E(S_cand, T_cand)|; the
+  /// feasibility threshold of the min cut.
+  int64_t num_pair_edges = 0;
+
+  uint32_t ANode(size_t i) const { return 2 + static_cast<uint32_t>(i); }
+  uint32_t BNode(size_t i) const {
+    return 2 + static_cast<uint32_t>(a_vertices.size() + i);
+  }
+  /// Total node count (2 + |A| + |B|), the "flow network size" metric that
+  /// experiment E8 tracks per iteration.
+  uint32_t NumNodes() const {
+    return 2 + static_cast<uint32_t>(a_vertices.size() + b_vertices.size());
+  }
+};
+
+/// The (S, T) pair read off a feasible min cut, in original vertex ids.
+struct ExtractedPair {
+  std::vector<VertexId> s;
+  std::vector<VertexId> t;
+};
+
+/// Builds N(G, a, g) restricted to the candidate sides. `s_candidates` /
+/// `t_candidates` are vertex lists in original ids (pass all vertices for
+/// the unpruned baseline). `sqrt_ratio` is sqrt(a); `density_guess` is g.
+DdsNetwork BuildDdsNetwork(const Digraph& g,
+                           const std::vector<VertexId>& s_candidates,
+                           const std::vector<VertexId>& t_candidates,
+                           double sqrt_ratio, double density_guess);
+
+/// Reads the (S, T) pair off the source side of a min cut of `network`.
+/// `source_side` must come from SourceSideOfMinCut on the solved network.
+ExtractedPair ExtractPairFromCut(const DdsNetwork& network,
+                                 const std::vector<bool>& source_side);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_FLOW_DDS_NETWORK_H_

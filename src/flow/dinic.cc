@@ -1,0 +1,67 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+Dinic::Dinic(FlowNetwork* network) : net_(network) {
+  CHECK(net_ != nullptr);
+}
+
+bool Dinic::BuildLevels(uint32_t source, uint32_t sink) {
+  level_.assign(net_->NumNodes(), -1);
+  queue_.clear();
+  queue_.push_back(source);
+  level_[source] = 0;
+  for (size_t qi = 0; qi < queue_.size(); ++qi) {
+    const uint32_t v = queue_[qi];
+    for (uint32_t e = net_->Head(v); e != FlowNetwork::kNil;
+         e = net_->Next(e)) {
+      const uint32_t w = net_->To(e);
+      if (level_[w] < 0 && net_->Residual(e) > kFlowEps) {
+        level_[w] = level_[v] + 1;
+        queue_.push_back(w);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+FlowCap Dinic::Augment(uint32_t v, uint32_t sink, FlowCap limit) {
+  if (v == sink) return limit;
+  for (uint32_t& e = iter_[v]; e != FlowNetwork::kNil; e = net_->Next(e)) {
+    const uint32_t w = net_->To(e);
+    if (level_[w] != level_[v] + 1 || net_->Residual(e) <= kFlowEps) continue;
+    const FlowCap pushed =
+        Augment(w, sink, std::min(limit, net_->Residual(e)));
+    if (pushed > 0) {
+      net_->Push(e, pushed);
+      return pushed;
+    }
+  }
+  level_[v] = -1;  // dead end; prune for the rest of this phase
+  return 0;
+}
+
+FlowCap Dinic::Solve(uint32_t source, uint32_t sink) {
+  CHECK_NE(source, sink);
+  num_phases_ = 0;
+  FlowCap total = 0;
+  while (BuildLevels(source, sink)) {
+    ++num_phases_;
+    iter_.assign(net_->NumNodes(), 0);
+    for (uint32_t v = 0; v < net_->NumNodes(); ++v) iter_[v] = net_->Head(v);
+    while (true) {
+      const FlowCap pushed =
+          Augment(source, sink, std::numeric_limits<FlowCap>::max());
+      if (pushed <= 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+}  // namespace ddsgraph

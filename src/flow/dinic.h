@@ -1,0 +1,42 @@
+#ifndef DDSGRAPH_FLOW_DINIC_H_
+#define DDSGRAPH_FLOW_DINIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow_network.h"
+
+/// \file
+/// Dinic's max-flow algorithm (BFS level graph + DFS blocking flows).
+///
+/// O(V^2 E) in general, O(E sqrt(V)) on unit-capacity networks — the DDS
+/// networks are dominated by unit arcs, so Dinic is the default solver.
+
+namespace ddsgraph {
+
+class Dinic {
+ public:
+  /// Wraps `network` (not owned); Solve mutates its residual capacities.
+  explicit Dinic(FlowNetwork* network);
+
+  /// Computes the maximum s-t flow and returns its value. Residual
+  /// capacities in the wrapped network reflect the final flow.
+  FlowCap Solve(uint32_t source, uint32_t sink);
+
+  /// Number of BFS phases used by the last Solve (statistics for E10).
+  int64_t num_phases() const { return num_phases_; }
+
+ private:
+  bool BuildLevels(uint32_t source, uint32_t sink);
+  FlowCap Augment(uint32_t v, uint32_t sink, FlowCap limit);
+
+  FlowNetwork* net_;
+  std::vector<int32_t> level_;
+  std::vector<uint32_t> iter_;
+  std::vector<uint32_t> queue_;
+  int64_t num_phases_ = 0;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_FLOW_DINIC_H_

@@ -1,0 +1,7 @@
+#include "flow/flow_network.h"
+
+// FlowNetwork is header-only; this translation unit exists so the build
+// target has a stable home for the class should out-of-line members be
+// added later.
+
+namespace ddsgraph {}  // namespace ddsgraph

@@ -1,0 +1,103 @@
+#ifndef DDSGRAPH_FLOW_FLOW_NETWORK_H_
+#define DDSGRAPH_FLOW_FLOW_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file
+/// Residual flow network shared by the max-flow solvers.
+///
+/// Edges are stored in an arena as (forward, reverse) pairs at indices
+/// (2k, 2k+1); `e ^ 1` is the reverse of edge `e`. Adjacency is a linked
+/// list threaded through the arena (head_/next_), the standard compact
+/// representation for flow algorithms.
+///
+/// Capacities are `double` because the DDS networks carry irrational
+/// capacities (multiples of sqrt(ratio)); all solvers treat residuals below
+/// `kFlowEps` as saturated.
+
+namespace ddsgraph {
+
+using FlowCap = double;
+
+/// Residual capacities below this threshold are treated as zero.
+inline constexpr FlowCap kFlowEps = 1e-9;
+
+class FlowNetwork {
+ public:
+  /// Creates an empty network; nodes can be added with AddNode.
+  FlowNetwork() = default;
+
+  /// Creates a network with `num_nodes` nodes and no edges.
+  explicit FlowNetwork(uint32_t num_nodes)
+      : head_(num_nodes, kNil) {}
+
+  uint32_t NumNodes() const { return static_cast<uint32_t>(head_.size()); }
+  size_t NumArcs() const { return to_.size(); }  ///< includes reverse arcs
+
+  /// Adds node and returns its id.
+  uint32_t AddNode() {
+    head_.push_back(kNil);
+    return NumNodes() - 1;
+  }
+
+  /// Adds a directed edge u -> v with capacity `cap` (and its residual
+  /// reverse arc with capacity `rev_cap`, default 0). Returns the arc index.
+  uint32_t AddEdge(uint32_t u, uint32_t v, FlowCap cap, FlowCap rev_cap = 0) {
+    DCHECK_LT(u, NumNodes());
+    DCHECK_LT(v, NumNodes());
+    DCHECK_GE(cap, 0);
+    DCHECK_GE(rev_cap, 0);
+    const uint32_t e = PushArc(u, v, cap);
+    PushArc(v, u, rev_cap);
+    return e;
+  }
+
+  // --- Arena accessors (hot-path, used by the solvers) ------------------
+
+  uint32_t Head(uint32_t node) const { return head_[node]; }
+  uint32_t Next(uint32_t arc) const { return next_[arc]; }
+  uint32_t To(uint32_t arc) const { return to_[arc]; }
+  FlowCap Residual(uint32_t arc) const { return cap_[arc]; }
+  FlowCap InitialCap(uint32_t arc) const { return initial_cap_[arc]; }
+
+  /// Pushes `amount` of flow along `arc` (decreasing its residual and
+  /// increasing the reverse residual).
+  void Push(uint32_t arc, FlowCap amount) {
+    cap_[arc] -= amount;
+    cap_[arc ^ 1] += amount;
+  }
+
+  /// Flow currently on a *forward* arc (initial capacity minus residual).
+  FlowCap FlowOn(uint32_t arc) const {
+    return initial_cap_[arc] - cap_[arc];
+  }
+
+  /// Resets all residuals to the initial capacities (removes all flow).
+  void ResetFlow() { cap_ = initial_cap_; }
+
+  static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
+
+ private:
+  uint32_t PushArc(uint32_t u, uint32_t v, FlowCap cap) {
+    const uint32_t e = static_cast<uint32_t>(to_.size());
+    to_.push_back(v);
+    cap_.push_back(cap);
+    initial_cap_.push_back(cap);
+    next_.push_back(head_[u]);
+    head_[u] = e;
+    return e;
+  }
+
+  std::vector<uint32_t> head_;
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> to_;
+  std::vector<FlowCap> cap_;
+  std::vector<FlowCap> initial_cap_;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_FLOW_FLOW_NETWORK_H_

@@ -1,0 +1,32 @@
+#ifndef DDSGRAPH_FLOW_MIN_CUT_H_
+#define DDSGRAPH_FLOW_MIN_CUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow_network.h"
+
+/// \file
+/// Minimum-cut extraction and verification on a solved flow network.
+
+namespace ddsgraph {
+
+/// Returns the source side of a minimum s-t cut: the set of nodes reachable
+/// from `source` via arcs with positive residual capacity. Must be called
+/// after a max-flow solver has run on `net`.
+std::vector<bool> SourceSideOfMinCut(const FlowNetwork& net, uint32_t source);
+
+/// Capacity of the cut defined by `source_side`: the sum of *initial*
+/// capacities of arcs from inside to outside.
+FlowCap CutCapacity(const FlowNetwork& net,
+                    const std::vector<bool>& source_side);
+
+/// True iff |flow_value - capacity(mincut)| <= tol * max(1, flow_value),
+/// i.e. max-flow/min-cut duality holds numerically — the solver's
+/// correctness certificate used in tests.
+bool VerifyMaxFlowMinCut(const FlowNetwork& net, uint32_t source,
+                         uint32_t sink, FlowCap flow_value, double tol);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_FLOW_MIN_CUT_H_

@@ -1,0 +1,135 @@
+#include "flow/push_relabel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+PushRelabel::PushRelabel(FlowNetwork* network) : net_(network) {
+  CHECK(net_ != nullptr);
+}
+
+void PushRelabel::InitializeHeights(uint32_t source, uint32_t sink) {
+  const uint32_t n = net_->NumNodes();
+  height_.assign(n, n);  // unreachable-from-sink nodes sit at height n
+  height_.at(sink) = 0;
+  std::vector<uint32_t> queue{sink};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const uint32_t v = queue[qi];
+    for (uint32_t e = net_->Head(v); e != FlowNetwork::kNil;
+         e = net_->Next(e)) {
+      // Arc e is v->w; flow towards the sink would use w->v, i.e. the
+      // reverse arc e^1. It is usable iff its residual is positive.
+      const uint32_t w = net_->To(e);
+      if (height_[w] == n && net_->Residual(e ^ 1) > kFlowEps && w != source) {
+        height_[w] = height_[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  height_[source] = n;
+  height_count_.assign(2 * n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) ++height_count_[height_[v]];
+}
+
+void PushRelabel::Enqueue(uint32_t v, uint32_t source, uint32_t sink) {
+  if (v == source || v == sink) return;
+  if (in_fifo_[v] || excess_[v] <= kFlowEps) return;
+  in_fifo_[v] = true;
+  fifo_.push_back(v);
+}
+
+void PushRelabel::Relabel(uint32_t v) {
+  ++num_relabels_;
+  const uint32_t n = net_->NumNodes();
+  const uint32_t old_height = height_[v];
+  uint32_t best = 2 * n;
+  for (uint32_t e = net_->Head(v); e != FlowNetwork::kNil;
+       e = net_->Next(e)) {
+    if (net_->Residual(e) > kFlowEps) {
+      best = std::min(best, height_[net_->To(e)] + 1);
+    }
+  }
+  --height_count_[old_height];
+  height_[v] = best;
+  ++height_count_[best];
+  current_arc_[v] = net_->Head(v);
+  if (height_count_[old_height] == 0 && old_height < n) {
+    ApplyGapHeuristic(old_height);
+  }
+}
+
+void PushRelabel::ApplyGapHeuristic(uint32_t empty_height) {
+  // No node can route flow to the sink through an empty height level; lift
+  // everything stranded above the gap straight past the source height.
+  const uint32_t n = net_->NumNodes();
+  for (uint32_t v = 0; v < n; ++v) {
+    if (height_[v] > empty_height && height_[v] < n) {
+      --height_count_[height_[v]];
+      height_[v] = n + 1;
+      ++height_count_[height_[v]];
+    }
+  }
+}
+
+void PushRelabel::Discharge(uint32_t v, uint32_t source, uint32_t sink) {
+  while (excess_[v] > kFlowEps) {
+    if (current_arc_[v] == FlowNetwork::kNil) {
+      Relabel(v);
+      if (height_[v] >= 2 * net_->NumNodes()) break;  // cannot push further
+      continue;
+    }
+    const uint32_t e = current_arc_[v];
+    const uint32_t w = net_->To(e);
+    if (net_->Residual(e) > kFlowEps && height_[v] == height_[w] + 1) {
+      const FlowCap amount = std::min(excess_[v], net_->Residual(e));
+      net_->Push(e, amount);
+      excess_[v] -= amount;
+      excess_[w] += amount;
+      Enqueue(w, source, sink);
+    } else {
+      current_arc_[v] = net_->Next(e);
+    }
+  }
+}
+
+FlowCap PushRelabel::Solve(uint32_t source, uint32_t sink) {
+  CHECK_NE(source, sink);
+  const uint32_t n = net_->NumNodes();
+  num_relabels_ = 0;
+  excess_.assign(n, 0);
+  current_arc_.assign(n, FlowNetwork::kNil);
+  for (uint32_t v = 0; v < n; ++v) current_arc_[v] = net_->Head(v);
+  InitializeHeights(source, sink);
+
+  fifo_.clear();
+  fifo_head_ = 0;
+  in_fifo_.assign(n, false);
+
+  // Saturate all source arcs.
+  for (uint32_t e = net_->Head(source); e != FlowNetwork::kNil;
+       e = net_->Next(e)) {
+    const FlowCap cap = net_->Residual(e);
+    if (cap > kFlowEps) {
+      const uint32_t w = net_->To(e);
+      net_->Push(e, cap);
+      excess_[w] += cap;
+      Enqueue(w, source, sink);
+    }
+  }
+
+  while (fifo_head_ < fifo_.size()) {
+    const uint32_t v = fifo_[fifo_head_++];
+    in_fifo_[v] = false;
+    Discharge(v, source, sink);
+    // Periodically compact the FIFO storage.
+    if (fifo_head_ > 1024 && fifo_head_ * 2 > fifo_.size()) {
+      fifo_.erase(fifo_.begin(), fifo_.begin() + fifo_head_);
+      fifo_head_ = 0;
+    }
+  }
+  return excess_[sink];
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,58 @@
+#include "graph/degree.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/wcc.h"
+#include "util/table.h"
+
+namespace ddsgraph {
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double weighted = 0;
+  double total = 0;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    weighted += (2.0 * (static_cast<double>(i) + 1) - n - 1) * values[i];
+    total += values[i];
+  }
+  if (total <= 0) return 0;
+  return weighted / (n * total);
+}
+
+DegreeStats ComputeDegreeStats(const Digraph& g) {
+  DegreeStats stats;
+  stats.num_vertices = g.NumVertices();
+  stats.num_edges = g.NumEdges();
+  std::vector<double> out_deg(g.NumVertices());
+  std::vector<double> in_deg(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out_deg[v] = static_cast<double>(g.OutDegree(v));
+    in_deg[v] = static_cast<double>(g.InDegree(v));
+    stats.max_out_degree = std::max(stats.max_out_degree, g.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, g.InDegree(v));
+  }
+  if (g.NumVertices() > 0) {
+    stats.avg_degree =
+        static_cast<double>(g.NumEdges()) / g.NumVertices();
+  }
+  stats.out_degree_gini = GiniCoefficient(std::move(out_deg));
+  stats.in_degree_gini = GiniCoefficient(std::move(in_deg));
+  stats.num_weak_components = WeaklyConnectedComponents(g).num_components;
+  return stats;
+}
+
+std::string DegreeStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << num_vertices << " m=" << num_edges
+     << " d_out_max=" << max_out_degree << " d_in_max=" << max_in_degree
+     << " avg_deg=" << FormatDouble(avg_degree, 2)
+     << " gini_out=" << FormatDouble(out_degree_gini, 3)
+     << " gini_in=" << FormatDouble(in_degree_gini, 3)
+     << " wcc=" << num_weak_components;
+  return os.str();
+}
+
+}  // namespace ddsgraph

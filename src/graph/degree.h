@@ -1,0 +1,37 @@
+#ifndef DDSGRAPH_GRAPH_DEGREE_H_
+#define DDSGRAPH_GRAPH_DEGREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+/// \file
+/// Degree statistics for dataset characterization (experiment E1).
+
+namespace ddsgraph {
+
+struct DegreeStats {
+  uint32_t num_vertices = 0;
+  int64_t num_edges = 0;
+  int64_t max_out_degree = 0;
+  int64_t max_in_degree = 0;
+  double avg_degree = 0;            ///< m / n
+  double out_degree_gini = 0;       ///< skew of the out-degree distribution
+  double in_degree_gini = 0;        ///< skew of the in-degree distribution
+  uint32_t num_weak_components = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes summary statistics over `g` (includes a WCC pass).
+DegreeStats ComputeDegreeStats(const Digraph& g);
+
+/// Gini coefficient of a non-negative sample (0 = perfectly uniform,
+/// -> 1 = maximally skewed). Used as a compact power-law-ness proxy.
+double GiniCoefficient(std::vector<double> values);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_GRAPH_DEGREE_H_

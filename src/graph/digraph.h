@@ -1,0 +1,88 @@
+#ifndef DDSGRAPH_GRAPH_DIGRAPH_H_
+#define DDSGRAPH_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Immutable directed graph in compressed sparse row (CSR) form.
+///
+/// `Digraph` is the central data structure of the library: simple (no
+/// parallel edges), loop-free (no self-loops), unweighted, with vertices
+/// labelled 0..n-1. Both out- and in-adjacency are materialized so that
+/// peeling algorithms can decrement both endpoints of an edge in O(1), and
+/// adjacency lists are sorted to allow O(log d) edge queries.
+///
+/// Construction goes through `DigraphBuilder` (graph/digraph_builder.h) or
+/// `Digraph::FromEdges`, which sort, deduplicate and drop self-loops.
+
+namespace ddsgraph {
+
+using VertexId = uint32_t;
+
+/// An edge (u, v) means u -> v.
+using Edge = std::pair<VertexId, VertexId>;
+
+class Digraph {
+ public:
+  /// Creates an empty graph with no vertices.
+  Digraph() = default;
+
+  /// Builds a graph with `num_vertices` vertices from an edge list.
+  /// Self-loops and duplicate edges are discarded. Edges whose endpoints are
+  /// >= num_vertices are a fatal error (CHECK).
+  static Digraph FromEdges(uint32_t num_vertices, std::vector<Edge> edges);
+
+  uint32_t NumVertices() const { return num_vertices_; }
+  int64_t NumEdges() const {
+    return static_cast<int64_t>(out_targets_.size());
+  }
+
+  /// Out-neighbors of u, sorted ascending.
+  std::span<const VertexId> OutNeighbors(VertexId u) const {
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  /// In-neighbors of v, sorted ascending.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  int64_t OutDegree(VertexId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  int64_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// True iff the edge u -> v exists. O(log OutDegree(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Materializes the edge list in (u, v) lexicographic order.
+  std::vector<Edge> EdgeList() const;
+
+  /// Returns the transpose graph (every edge reversed).
+  Digraph Reversed() const;
+
+  /// Maximum out-degree over all vertices (0 for the empty graph).
+  int64_t MaxOutDegree() const;
+  /// Maximum in-degree over all vertices (0 for the empty graph).
+  int64_t MaxInDegree() const;
+
+ private:
+  friend class DigraphBuilder;
+
+  uint32_t num_vertices_ = 0;
+  std::vector<int64_t> out_offsets_{0};
+  std::vector<VertexId> out_targets_;
+  std::vector<int64_t> in_offsets_{0};
+  std::vector<VertexId> in_sources_;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_GRAPH_DIGRAPH_H_

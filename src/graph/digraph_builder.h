@@ -1,0 +1,39 @@
+#ifndef DDSGRAPH_GRAPH_DIGRAPH_BUILDER_H_
+#define DDSGRAPH_GRAPH_DIGRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+/// \file
+/// Mutable accumulator for constructing a Digraph from a stream of edges.
+
+namespace ddsgraph {
+
+/// Collects edges and finalizes them into an immutable CSR `Digraph`.
+/// Duplicate edges and self-loops are silently dropped at Build time, which
+/// makes loaders and generators simpler (they can over-emit freely).
+class DigraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex universe 0..num_vertices-1 up front.
+  explicit DigraphBuilder(uint32_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Appends the edge u -> v. Endpoints must be < num_vertices.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Number of edges accumulated so far (before dedup).
+  size_t NumPendingEdges() const { return edges_.size(); }
+
+  /// Finalizes into a Digraph. Consumes the builder (rvalue-qualified) so
+  /// the edge buffer can be sorted in place without a copy.
+  Digraph Build() &&;
+
+ private:
+  uint32_t num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_GRAPH_DIGRAPH_BUILDER_H_

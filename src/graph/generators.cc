@@ -1,0 +1,153 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+
+#include "graph/digraph_builder.h"
+#include "util/logging.h"
+
+namespace ddsgraph {
+namespace {
+
+// Packs an ordered pair into one key for dedup sets.
+inline uint64_t PairKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Digraph UniformDigraph(uint32_t n, int64_t num_edges, uint64_t seed) {
+  CHECK_GE(n, 1u);
+  const int64_t max_edges = static_cast<int64_t>(n) * (n - 1);
+  CHECK_LE(num_edges, max_edges);
+  Rng rng(seed);
+  DigraphBuilder builder(n);
+  if (num_edges * 2 > max_edges) {
+    // Dense regime: enumerate all pairs and keep a uniform subset via
+    // reservoir-free selection (sample num_edges indices without
+    // replacement from the pair universe).
+    std::vector<uint64_t> chosen;
+    std::unordered_set<uint64_t> seen;
+    while (static_cast<int64_t>(chosen.size()) < num_edges) {
+      const uint64_t idx = rng.NextBounded(static_cast<uint64_t>(max_edges));
+      if (seen.insert(idx).second) chosen.push_back(idx);
+    }
+    for (uint64_t idx : chosen) {
+      const VertexId u = static_cast<VertexId>(idx / (n - 1));
+      VertexId v = static_cast<VertexId>(idx % (n - 1));
+      if (v >= u) ++v;  // skip the diagonal
+      builder.AddEdge(u, v);
+    }
+  } else {
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(static_cast<size_t>(num_edges) * 2);
+    while (static_cast<int64_t>(seen.size()) < num_edges) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v) continue;
+      if (seen.insert(PairKey(u, v)).second) builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Digraph RmatDigraph(uint32_t scale, int64_t num_edges, uint64_t seed,
+                    const RmatParams& params) {
+  CHECK_LE(scale, 30u);
+  const double sum = params.a + params.b + params.c + params.d;
+  CHECK(sum > 0.999 && sum < 1.001) << "R-MAT params must sum to 1";
+  const uint32_t n = 1u << scale;
+  Rng rng(seed);
+  DigraphBuilder builder(n);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      // Slightly perturb quadrant probabilities per level, the standard
+      // R-MAT "noise" that avoids exact self-similarity artifacts.
+      const double jitter = 0.95 + 0.1 * rng.NextDouble();
+      const double a = params.a * jitter;
+      const double r = rng.NextDouble() * (a + params.b + params.c + params.d);
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + params.b) {
+        v |= 1;
+      } else if (r < a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);  // dedup and loop removal happen at Build
+  }
+  return std::move(builder).Build();
+}
+
+PlantedDigraph PlantedDenseBlock(uint32_t n, int64_t background_edges,
+                                 uint32_t s, uint32_t t, double block_density,
+                                 uint64_t seed) {
+  CHECK_GE(n, s + t);
+  CHECK_GE(block_density, 0.0);
+  CHECK_LE(block_density, 1.0);
+  Rng rng(seed);
+  PlantedDigraph out;
+  // Place the planted sets on random, disjoint vertex ids so positional
+  // artifacts cannot leak into algorithms.
+  std::vector<uint32_t> ids = SampleWithoutReplacement(n, s + t, rng);
+  out.planted_s.assign(ids.begin(), ids.begin() + s);
+  out.planted_t.assign(ids.begin() + s, ids.end());
+
+  DigraphBuilder builder(n);
+  for (VertexId u : out.planted_s) {
+    for (VertexId v : out.planted_t) {
+      if (rng.NextBool(block_density)) builder.AddEdge(u, v);
+    }
+  }
+  const int64_t max_edges = static_cast<int64_t>(n) * (n - 1);
+  CHECK_LE(background_edges, max_edges);
+  int64_t added = 0;
+  // Background edges may coincide with block edges; the builder dedups, so
+  // over-draw slightly rather than tracking the exact set.
+  while (added < background_edges) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+    ++added;
+  }
+  out.graph = std::move(builder).Build();
+  return out;
+}
+
+Digraph BicliqueWithNoise(uint32_t n, uint32_t s, uint32_t t,
+                          int64_t noise_edges, uint64_t seed) {
+  CHECK_GE(n, s + t);
+  Rng rng(seed);
+  DigraphBuilder builder(n);
+  for (VertexId u = 0; u < s; ++u) {
+    for (VertexId v = s; v < s + t; ++v) builder.AddEdge(u, v);
+  }
+  for (int64_t e = 0; e < noise_edges; ++e) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+Digraph GnpDigraph(uint32_t n, double p, uint64_t seed) {
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 1.0);
+  Rng rng(seed);
+  DigraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v && rng.NextBool(p)) builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,75 @@
+#ifndef DDSGRAPH_GRAPH_GENERATORS_H_
+#define DDSGRAPH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/random.h"
+
+/// \file
+/// Synthetic digraph generators.
+///
+/// The paper evaluates on public SNAP / WebGraph datasets; this offline
+/// reproduction substitutes synthetic graphs with matching shape classes
+/// (see DESIGN.md §6):
+///   * UniformDigraph     — Erdős–Rényi-style G(n, m), flat degrees;
+///   * RmatDigraph        — recursive-matrix power-law graphs (the skewed
+///                          in/out-degree shape of web/social graphs);
+///   * PlantedDigraph     — background noise + a planted dense (S,T) block,
+///                          giving a known ground-truth densest region;
+///   * BicliqueWithNoise  — a directed complete bipartite core + noise, the
+///                          extreme asymmetric-ratio stress case.
+/// All generators are fully deterministic given the seed.
+
+namespace ddsgraph {
+
+/// Uniform random simple digraph with exactly `num_edges` distinct edges
+/// (u != v). Requires num_edges <= n*(n-1).
+Digraph UniformDigraph(uint32_t n, int64_t num_edges, uint64_t seed);
+
+/// Parameters of the R-MAT recursive quadrant distribution; must sum to 1.
+struct RmatParams {
+  double a = 0.57;  ///< top-left (hub -> hub)
+  double b = 0.19;  ///< top-right
+  double c = 0.19;  ///< bottom-left
+  double d = 0.05;  ///< bottom-right
+};
+
+/// R-MAT generator over 2^scale vertices, sampling `num_edges` edge slots
+/// (after removing duplicates and self-loops the realized edge count can be
+/// slightly lower). Produces heavy-tailed in/out degree distributions.
+Digraph RmatDigraph(uint32_t scale, int64_t num_edges, uint64_t seed,
+                    const RmatParams& params = RmatParams());
+
+/// A planted dense directed block on top of uniform background noise.
+struct PlantedDigraph {
+  Digraph graph;
+  std::vector<VertexId> planted_s;  ///< source side of the planted block
+  std::vector<VertexId> planted_t;  ///< target side of the planted block
+};
+
+/// Background: uniform digraph with `background_edges` edges over n
+/// vertices. Planted: disjoint vertex sets S (size s) and T (size t); each
+/// of the s*t possible S->T edges is added independently with probability
+/// `block_density`. With block_density near 1 and sparse background, the
+/// densest subgraph is the planted pair (ratio s/t) — used for ground-truth
+/// recovery experiments (E9) and tests.
+PlantedDigraph PlantedDenseBlock(uint32_t n, int64_t background_edges,
+                                 uint32_t s, uint32_t t, double block_density,
+                                 uint64_t seed);
+
+/// Complete directed bipartite block S -> T (|S|=s, |T|=t over the first
+/// s+t vertices) plus `noise_edges` uniform random edges over all n
+/// vertices.
+Digraph BicliqueWithNoise(uint32_t n, uint32_t s, uint32_t t,
+                          int64_t noise_edges, uint64_t seed);
+
+/// Uniformly samples a simple digraph where each of the n*(n-1) ordered
+/// pairs is an edge independently with probability p. Intended for small
+/// property-test graphs.
+Digraph GnpDigraph(uint32_t n, double p, uint64_t seed);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_GRAPH_GENERATORS_H_

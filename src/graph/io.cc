@@ -1,0 +1,148 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/digraph_builder.h"
+#include "util/logging.h"
+
+namespace ddsgraph {
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x44445347'42494e31ull;  // "DDSG" "BIN1"
+
+}  // namespace
+
+Result<LoadedGraph> LoadSnapEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  std::vector<std::pair<uint64_t, uint64_t>> raw_edges;
+  std::unordered_map<uint64_t, VertexId> remap;
+  std::vector<uint64_t> labels;
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t a = 0;
+    uint64_t b = 0;
+    if (!(ls >> a >> b)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected 'u v', got '" + line + "'");
+    }
+    raw_edges.emplace_back(a, b);
+  }
+
+  auto intern = [&](uint64_t label) -> VertexId {
+    auto [it, inserted] =
+        remap.emplace(label, static_cast<VertexId>(labels.size()));
+    if (inserted) labels.push_back(label);
+    return it->second;
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(raw_edges.size());
+  for (const auto& [a, b] : raw_edges) {
+    // Intern in reading order (function-argument evaluation order is
+    // unspecified, so do not inline these calls into emplace_back).
+    const VertexId ua = intern(a);
+    const VertexId ub = intern(b);
+    edges.emplace_back(ua, ub);
+  }
+
+  // If the label set is exactly {0..n-1}, keep the file's own ids (a file
+  // we wrote ourselves round-trips verbatim); otherwise densify in
+  // encounter order and report the mapping.
+  const bool identity = [&] {
+    for (uint64_t label : labels) {
+      if (label >= labels.size()) return false;
+    }
+    return true;
+  }();
+
+  LoadedGraph out;
+  if (identity) {
+    for (auto& [u, v] : edges) {
+      u = static_cast<VertexId>(labels[u]);
+      v = static_cast<VertexId>(labels[v]);
+    }
+    out.graph = Digraph::FromEdges(static_cast<uint32_t>(labels.size()),
+                                   std::move(edges));
+  } else {
+    out.graph = Digraph::FromEdges(static_cast<uint32_t>(labels.size()),
+                                   std::move(edges));
+    out.labels = std::move(labels);
+  }
+  return out;
+}
+
+Status SaveSnapEdgeList(const Digraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << "# ddsgraph edge list: n=" << g.NumVertices()
+      << " m=" << g.NumEdges() << "\n";
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      out << u << "\t" << v << "\n";
+    }
+  }
+  if (!out) return Status::Internal("write failure on " + path);
+  return Status::Ok();
+}
+
+Status SaveBinary(const Digraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  auto put_u64 = [&](uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u64(kBinaryMagic);
+  put_u64(g.NumVertices());
+  put_u64(static_cast<uint64_t>(g.NumEdges()));
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      uint32_t pair[2] = {u, v};
+      out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+    }
+  }
+  if (!out) return Status::Internal("write failure on " + path);
+  return Status::Ok();
+}
+
+Result<Digraph> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  auto get_u64 = [&](uint64_t* v) -> bool {
+    in.read(reinterpret_cast<char*>(v), sizeof(*v));
+    return static_cast<bool>(in);
+  };
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  if (!get_u64(&magic) || magic != kBinaryMagic) {
+    return Status::InvalidArgument(path + ": bad magic");
+  }
+  if (!get_u64(&n) || !get_u64(&m)) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+  if (n > (1ull << 32)) {
+    return Status::OutOfRange(path + ": vertex count too large");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    uint32_t pair[2];
+    in.read(reinterpret_cast<char*>(pair), sizeof(pair));
+    if (!in) return Status::InvalidArgument(path + ": truncated edges");
+    edges.emplace_back(pair[0], pair[1]);
+  }
+  return Digraph::FromEdges(static_cast<uint32_t>(n), std::move(edges));
+}
+
+}  // namespace ddsgraph

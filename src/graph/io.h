@@ -1,0 +1,45 @@
+#ifndef DDSGRAPH_GRAPH_IO_H_
+#define DDSGRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+/// \file
+/// Graph serialization.
+///
+/// * SNAP text format: one `u<ws>v` edge per line, `#` comments — the format
+///   of the public datasets the paper evaluates on, so real data can be
+///   dropped into the benchmark harness by path.
+/// * A compact binary format for caching generated benchmark graphs.
+///
+/// SNAP files use arbitrary vertex labels; the loader densifies them and
+/// returns the label mapping.
+
+namespace ddsgraph {
+
+struct LoadedGraph {
+  Digraph graph;
+  /// original label of each dense vertex id (empty if the file was already
+  /// dense, i.e. labels were exactly 0..n-1).
+  std::vector<uint64_t> labels;
+};
+
+/// Parses a SNAP-style edge list. Lines starting with '#' or '%' are
+/// comments; blank lines are skipped. Self-loops and duplicates are dropped.
+Result<LoadedGraph> LoadSnapEdgeList(const std::string& path);
+
+/// Writes `g` as a SNAP-style edge list with a small header comment.
+Status SaveSnapEdgeList(const Digraph& g, const std::string& path);
+
+/// Writes the binary cache format (magic, version, n, m, CSR arrays).
+Status SaveBinary(const Digraph& g, const std::string& path);
+
+/// Reads the binary cache format.
+Result<Digraph> LoadBinary(const std::string& path);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_GRAPH_IO_H_

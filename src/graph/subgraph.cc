@@ -1,0 +1,68 @@
+#include "graph/subgraph.h"
+
+#include "graph/digraph_builder.h"
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+std::vector<VertexId> InducedSubgraph::ToOriginal(
+    const std::vector<VertexId>& local) const {
+  std::vector<VertexId> out;
+  out.reserve(local.size());
+  for (VertexId v : local) {
+    DCHECK_LT(v, to_original.size());
+    out.push_back(to_original[v]);
+  }
+  return out;
+}
+
+InducedSubgraph Induce(const Digraph& g,
+                       const std::vector<VertexId>& vertices) {
+  InducedSubgraph sub;
+  sub.from_original.assign(g.NumVertices(), kNoVertex);
+  sub.to_original.reserve(vertices.size());
+  for (VertexId v : vertices) {
+    CHECK_LT(v, g.NumVertices());
+    CHECK_EQ(sub.from_original[v], kNoVertex) << "duplicate vertex " << v;
+    sub.from_original[v] = static_cast<VertexId>(sub.to_original.size());
+    sub.to_original.push_back(v);
+  }
+  DigraphBuilder builder(static_cast<uint32_t>(sub.to_original.size()));
+  for (VertexId v : vertices) {
+    const VertexId lv = sub.from_original[v];
+    for (VertexId w : g.OutNeighbors(v)) {
+      const VertexId lw = sub.from_original[w];
+      if (lw != kNoVertex) builder.AddEdge(lv, lw);
+    }
+  }
+  sub.graph = std::move(builder).Build();
+  return sub;
+}
+
+InducedSubgraph InducePair(const Digraph& g,
+                           const std::vector<bool>& keep_source,
+                           const std::vector<bool>& keep_target) {
+  CHECK_EQ(keep_source.size(), g.NumVertices());
+  CHECK_EQ(keep_target.size(), g.NumVertices());
+  InducedSubgraph sub;
+  sub.from_original.assign(g.NumVertices(), kNoVertex);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (keep_source[v] || keep_target[v]) {
+      sub.from_original[v] = static_cast<VertexId>(sub.to_original.size());
+      sub.to_original.push_back(v);
+    }
+  }
+  DigraphBuilder builder(static_cast<uint32_t>(sub.to_original.size()));
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (!keep_source[u]) continue;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (keep_target[v]) {
+        builder.AddEdge(sub.from_original[u], sub.from_original[v]);
+      }
+    }
+  }
+  sub.graph = std::move(builder).Build();
+  return sub;
+}
+
+}  // namespace ddsgraph

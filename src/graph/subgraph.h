@@ -1,0 +1,46 @@
+#ifndef DDSGRAPH_GRAPH_SUBGRAPH_H_
+#define DDSGRAPH_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+/// \file
+/// Vertex-induced subgraphs with bidirectional vertex mappings.
+///
+/// The core-based DDS solvers repeatedly restrict the working graph to an
+/// [x,y]-core, run flow computations on the (relabelled, compact) subgraph,
+/// and translate results back. `InducedSubgraph` packages the subgraph with
+/// both mapping directions.
+
+namespace ddsgraph {
+
+/// Sentinel for "vertex not present in the subgraph".
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+
+struct InducedSubgraph {
+  Digraph graph;                        ///< relabelled to 0..k-1
+  std::vector<VertexId> to_original;    ///< local id -> original id
+  std::vector<VertexId> from_original;  ///< original id -> local id or
+                                        ///< kNoVertex
+
+  /// Maps a vector of local ids back to original ids.
+  std::vector<VertexId> ToOriginal(const std::vector<VertexId>& local) const;
+};
+
+/// Builds the subgraph induced by `vertices` (original ids, duplicates not
+/// allowed). An edge is kept iff both endpoints are selected.
+InducedSubgraph Induce(const Digraph& g, const std::vector<VertexId>& vertices);
+
+/// Builds the subgraph keeping vertex u's out-edges only if keep_source[u],
+/// and vertex v's in-edges only if keep_target[v]; a vertex is retained if
+/// it is selected on either side. This matches the (S,T)-pair semantics of
+/// the DDS problem: edges of the induced object are exactly E(S_mask,
+/// T_mask). Vertices selected on neither side are dropped.
+InducedSubgraph InducePair(const Digraph& g,
+                           const std::vector<bool>& keep_source,
+                           const std::vector<bool>& keep_target);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_GRAPH_SUBGRAPH_H_

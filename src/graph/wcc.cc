@@ -1,0 +1,40 @@
+#include "graph/wcc.h"
+
+#include <queue>
+
+namespace ddsgraph {
+
+std::vector<std::vector<VertexId>> WccResult::Members() const {
+  std::vector<std::vector<VertexId>> groups(num_components);
+  for (VertexId v = 0; v < component.size(); ++v) {
+    groups[component[v]].push_back(v);
+  }
+  return groups;
+}
+
+WccResult WeaklyConnectedComponents(const Digraph& g) {
+  WccResult result;
+  result.component.assign(g.NumVertices(), static_cast<uint32_t>(-1));
+  std::queue<VertexId> frontier;
+  for (VertexId start = 0; start < g.NumVertices(); ++start) {
+    if (result.component[start] != static_cast<uint32_t>(-1)) continue;
+    const uint32_t label = result.num_components++;
+    result.component[start] = label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      auto visit = [&](VertexId w) {
+        if (result.component[w] == static_cast<uint32_t>(-1)) {
+          result.component[w] = label;
+          frontier.push(w);
+        }
+      };
+      for (VertexId w : g.OutNeighbors(v)) visit(w);
+      for (VertexId w : g.InNeighbors(v)) visit(w);
+    }
+  }
+  return result;
+}
+
+}  // namespace ddsgraph

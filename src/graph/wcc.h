@@ -1,0 +1,32 @@
+#ifndef DDSGRAPH_GRAPH_WCC_H_
+#define DDSGRAPH_GRAPH_WCC_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+/// \file
+/// Weakly connected components.
+///
+/// The densest pair (S*, T*) induces a weakly connected object once isolated
+/// vertices are removed (a disconnected optimum can be split without losing
+/// density), so exact solvers may process components independently; the
+/// dataset tables also report component counts.
+
+namespace ddsgraph {
+
+struct WccResult {
+  /// Component label per vertex, in [0, num_components).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+
+  /// Vertices of each component, grouped.
+  std::vector<std::vector<VertexId>> Members() const;
+};
+
+/// Computes weakly connected components (edge direction ignored) by BFS.
+WccResult WeaklyConnectedComponents(const Digraph& g);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_GRAPH_WCC_H_

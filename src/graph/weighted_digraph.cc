@@ -1,0 +1,121 @@
+#include "graph/weighted_digraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+WeightedDigraph WeightedDigraph::FromEdges(uint32_t num_vertices,
+                                           std::vector<WeightedEdge> edges) {
+  // Drop loops / non-positive weights, then merge parallel arcs.
+  std::vector<WeightedEdge> kept;
+  kept.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    CHECK_LT(e.from, num_vertices);
+    CHECK_LT(e.to, num_vertices);
+    if (e.from == e.to || e.weight <= 0) continue;
+    kept.push_back(e);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+            });
+  std::vector<WeightedEdge> merged;
+  for (const WeightedEdge& e : kept) {
+    if (!merged.empty() && merged.back().from == e.from &&
+        merged.back().to == e.to) {
+      merged.back().weight += e.weight;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  WeightedDigraph g;
+  g.num_vertices_ = num_vertices;
+  const size_t m = merged.size();
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  g.out_to_.resize(m);
+  g.out_weight_.resize(m);
+  g.in_from_.resize(m);
+  g.in_weight_.resize(m);
+  g.weighted_out_degree_.assign(num_vertices, 0);
+  g.weighted_in_degree_.assign(num_vertices, 0);
+
+  for (const WeightedEdge& e : merged) {
+    ++g.out_offsets_[e.from + 1];
+    ++g.in_offsets_[e.to + 1];
+    g.weighted_out_degree_[e.from] += e.weight;
+    g.weighted_in_degree_[e.to] += e.weight;
+    g.total_weight_ += e.weight;
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  // merged is sorted by (from, to): out-CSR fills sequentially; in-CSR via
+  // cursors (stable, so sources stay sorted per target).
+  std::vector<int64_t> out_cursor(g.out_offsets_.begin(),
+                                  g.out_offsets_.end() - 1);
+  std::vector<int64_t> in_cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+  for (const WeightedEdge& e : merged) {
+    const int64_t oi = out_cursor[e.from]++;
+    g.out_to_[oi] = e.to;
+    g.out_weight_[oi] = e.weight;
+    const int64_t ii = in_cursor[e.to]++;
+    g.in_from_[ii] = e.from;
+    g.in_weight_[ii] = e.weight;
+  }
+  return g;
+}
+
+WeightedDigraph WeightedDigraph::FromDigraph(const Digraph& g) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(g.NumEdges()));
+  for (const auto& [u, v] : g.EdgeList()) {
+    edges.push_back(WeightedEdge{u, v, 1});
+  }
+  return FromEdges(g.NumVertices(), std::move(edges));
+}
+
+int64_t WeightedDigraph::MaxWeightedOutDegree() const {
+  int64_t best = 0;
+  for (int64_t d : weighted_out_degree_) best = std::max(best, d);
+  return best;
+}
+
+int64_t WeightedDigraph::MaxWeightedInDegree() const {
+  int64_t best = 0;
+  for (int64_t d : weighted_in_degree_) best = std::max(best, d);
+  return best;
+}
+
+WeightedDigraph WeightedDigraph::Reversed() const {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(out_to_.size());
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    const auto nbrs = OutNeighbors(u);
+    const auto weights = OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      edges.push_back(WeightedEdge{nbrs[i], u, weights[i]});
+    }
+  }
+  return FromEdges(num_vertices_, std::move(edges));
+}
+
+std::vector<WeightedEdge> WeightedDigraph::EdgeList() const {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(out_to_.size());
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    const auto nbrs = OutNeighbors(u);
+    const auto weights = OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      edges.push_back(WeightedEdge{u, nbrs[i], weights[i]});
+    }
+  }
+  return edges;
+}
+
+}  // namespace ddsgraph

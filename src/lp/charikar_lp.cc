@@ -1,0 +1,84 @@
+#include "lp/charikar_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+CharikarLpResult SolveCharikarLp(const Digraph& g, const Fraction& ratio) {
+  CharikarLpResult result;
+  const uint32_t n = g.NumVertices();
+  const int64_t m = g.NumEdges();
+  if (m == 0) {
+    result.status = LpStatus::kOptimal;
+    return result;
+  }
+  const double sqrt_a = std::sqrt(ratio.ToDouble());
+
+  // Variable layout: x_e (m) | s_u (n) | t_v (n).
+  LpProblem lp;
+  lp.num_vars = static_cast<int>(m + 2 * n);
+  lp.objective.assign(lp.num_vars, 0.0);
+  for (int64_t e = 0; e < m; ++e) lp.objective[e] = 1.0;
+
+  const auto s_var = [&](VertexId u) { return static_cast<int>(m + u); };
+  const auto t_var = [&](VertexId v) { return static_cast<int>(m + n + v); };
+
+  const std::vector<Edge> edges = g.EdgeList();
+  for (int64_t e = 0; e < m; ++e) {
+    const auto [u, v] = edges[static_cast<size_t>(e)];
+    std::vector<double> row1(lp.num_vars, 0.0);  // x_e - s_u <= 0
+    row1[e] = 1.0;
+    row1[s_var(u)] = -1.0;
+    lp.AddConstraint(std::move(row1), 0.0);
+    std::vector<double> row2(lp.num_vars, 0.0);  // x_e - t_v <= 0
+    row2[e] = 1.0;
+    row2[t_var(v)] = -1.0;
+    lp.AddConstraint(std::move(row2), 0.0);
+  }
+  std::vector<double> s_budget(lp.num_vars, 0.0);
+  for (VertexId u = 0; u < n; ++u) s_budget[s_var(u)] = 1.0;
+  lp.AddConstraint(std::move(s_budget), sqrt_a);
+  std::vector<double> t_budget(lp.num_vars, 0.0);
+  for (VertexId v = 0; v < n; ++v) t_budget[t_var(v)] = 1.0;
+  lp.AddConstraint(std::move(t_budget), 1.0 / sqrt_a);
+
+  const LpSolution lp_solution = SolveLp(lp);
+  result.status = lp_solution.status;
+  result.lp_iterations = lp_solution.iterations;
+  if (lp_solution.status != LpStatus::kOptimal) return result;
+  result.lp_value = lp_solution.objective;
+
+  // Level-set rounding: sweep r over all positive s/t values; take the
+  // densest (S(r), T(r)).
+  std::vector<double> thresholds;
+  thresholds.reserve(2 * n);
+  for (VertexId u = 0; u < n; ++u) {
+    const double sv = lp_solution.x[s_var(u)];
+    if (sv > 1e-12) thresholds.push_back(sv);
+    const double tv = lp_solution.x[t_var(u)];
+    if (tv > 1e-12) thresholds.push_back(tv);
+  }
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  for (double r : thresholds) {
+    DdsPair pair;
+    for (VertexId u = 0; u < n; ++u) {
+      if (lp_solution.x[s_var(u)] >= r - 1e-12) pair.s.push_back(u);
+      if (lp_solution.x[t_var(u)] >= r - 1e-12) pair.t.push_back(u);
+    }
+    if (pair.Empty()) continue;
+    const double density = DirectedDensity(g, pair);
+    if (density > result.rounded_density) {
+      result.rounded_density = density;
+      result.rounded = std::move(pair);
+    }
+  }
+  return result;
+}
+
+}  // namespace ddsgraph

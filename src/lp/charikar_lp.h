@@ -1,0 +1,40 @@
+#ifndef DDSGRAPH_LP_CHARIKAR_LP_H_
+#define DDSGRAPH_LP_CHARIKAR_LP_H_
+
+#include "dds/density.h"
+#include "graph/digraph.h"
+#include "lp/simplex.h"
+#include "util/stern_brocot.h"
+
+/// \file
+/// Charikar's LP relaxation of directed densest subgraph at a fixed ratio.
+///
+/// LP(a):  maximize   sum_{(u,v) in E} x_uv
+///         subject to x_uv <= s_u,  x_uv <= t_v          for every edge
+///                    sum_u s_u <= sqrt(a)
+///                    sum_v t_v <= 1 / sqrt(a)
+///                    x, s, t >= 0
+///
+/// For every pair (S,T) with |S|/|T| = a, the assignment s_u = t_v = x_uv =
+/// 1/sqrt(|S||T|) is feasible with objective rho(S,T), so LP(a) >=
+/// max density at ratio a; Charikar's rounding shows some level set
+/// S(r) = {u : s_u >= r}, T(r) = {v : t_v >= r} matches the LP value, and
+/// max over realizable a equals rho_opt. The level-set sweep below
+/// evaluates every candidate r and returns the densest pair.
+
+namespace ddsgraph {
+
+struct CharikarLpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double lp_value = 0;        ///< optimal LP objective at this ratio
+  DdsPair rounded;            ///< densest level-set pair
+  double rounded_density = 0; ///< rho of `rounded`
+  int64_t lp_iterations = 0;
+};
+
+/// Builds and solves LP(ratio), then rounds by the level-set sweep.
+CharikarLpResult SolveCharikarLp(const Digraph& g, const Fraction& ratio);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_LP_CHARIKAR_LP_H_

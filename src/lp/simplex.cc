@@ -1,0 +1,229 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+namespace {
+
+constexpr double kPivotEps = 1e-9;
+
+// Dense simplex tableau over columns [structural | slack | artificial |
+// rhs]. Rows are constraints; basis_[r] is the variable basic in row r.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem) {
+    num_structural_ = problem.num_vars;
+    num_rows_ = static_cast<int>(problem.rows.size());
+    num_slack_ = num_rows_;
+    // Artificial variables only for rows with negative rhs (after slack,
+    // those rows have no feasible identity column).
+    for (int r = 0; r < num_rows_; ++r) {
+      if (problem.rhs[r] < 0) artificial_rows_.push_back(r);
+    }
+    num_artificial_ = static_cast<int>(artificial_rows_.size());
+    const int cols = num_structural_ + num_slack_ + num_artificial_ + 1;
+    a_.assign(num_rows_, std::vector<double>(cols, 0.0));
+    basis_.assign(num_rows_, -1);
+
+    int next_artificial = 0;
+    for (int r = 0; r < num_rows_; ++r) {
+      const double sign = problem.rhs[r] < 0 ? -1.0 : 1.0;
+      for (int j = 0; j < num_structural_; ++j) {
+        a_[r][j] = sign * problem.rows[r][j];
+      }
+      a_[r][num_structural_ + r] = sign;  // slack (negated if row flipped)
+      a_[r].back() = sign * problem.rhs[r];
+      if (sign < 0) {
+        const int art_col =
+            num_structural_ + num_slack_ + next_artificial;
+        a_[r][art_col] = 1.0;
+        basis_[r] = art_col;
+        ++next_artificial;
+      } else {
+        basis_[r] = num_structural_ + r;
+      }
+    }
+  }
+
+  int num_structural() const { return num_structural_; }
+  int num_rows() const { return num_rows_; }
+  bool has_artificials() const { return num_artificial_ > 0; }
+  int first_artificial_col() const { return num_structural_ + num_slack_; }
+  int total_cols_without_rhs() const {
+    return num_structural_ + num_slack_ + num_artificial_;
+  }
+  double rhs(int r) const { return a_[r].back(); }
+  int basis(int r) const { return basis_[r]; }
+
+  // Runs simplex on the objective `obj` (length = total columns, maximize).
+  // `allowed_cols` limits entering candidates. Returns final status.
+  LpStatus Optimize(const std::vector<double>& obj, int max_cols,
+                    int64_t max_iterations, int64_t* iterations,
+                    double* objective_out) {
+    // Reduced costs are recomputed from the tableau each pivot (dense
+    // textbook variant; fine at baseline scale).
+    while (true) {
+      if (*iterations >= max_iterations) return LpStatus::kIterationLimit;
+      // Reduced cost of column j: c_j - sum_r c_{basis r} * a[r][j].
+      int entering = -1;
+      for (int j = 0; j < max_cols; ++j) {
+        double reduced = obj[j];
+        for (int r = 0; r < num_rows_; ++r) {
+          const double cb = obj[basis_[r]];
+          if (cb != 0.0) reduced -= cb * a_[r][j];
+        }
+        if (reduced > kPivotEps) {
+          entering = j;  // Bland: first improving column
+          break;
+        }
+      }
+      if (entering < 0) {
+        double obj_val = 0;
+        for (int r = 0; r < num_rows_; ++r) {
+          obj_val += obj[basis_[r]] * a_[r].back();
+        }
+        *objective_out = obj_val;
+        return LpStatus::kOptimal;
+      }
+      // Ratio test; Bland tie-break on smallest basis variable index.
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < num_rows_; ++r) {
+        if (a_[r][entering] > kPivotEps) {
+          const double ratio = a_[r].back() / a_[r][entering];
+          if (ratio < best_ratio - kPivotEps ||
+              (ratio < best_ratio + kPivotEps &&
+               (leaving < 0 || basis_[r] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving < 0) return LpStatus::kUnbounded;
+      Pivot(leaving, entering);
+      ++*iterations;
+    }
+  }
+
+  void Pivot(int row, int col) {
+    const double pivot = a_[row][col];
+    DCHECK_GT(std::fabs(pivot), kPivotEps);
+    const int cols = static_cast<int>(a_[row].size());
+    for (int j = 0; j < cols; ++j) a_[row][j] /= pivot;
+    for (int r = 0; r < num_rows_; ++r) {
+      if (r == row) continue;
+      const double factor = a_[r][col];
+      if (std::fabs(factor) < 1e-14) continue;
+      for (int j = 0; j < cols; ++j) a_[r][j] -= factor * a_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  // Forces artificial variables out of the basis where possible after
+  // phase 1 (degenerate zero rows may keep them at value 0).
+  void DriveOutArtificials() {
+    for (int r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < first_artificial_col()) continue;
+      for (int j = 0; j < first_artificial_col(); ++j) {
+        if (std::fabs(a_[r][j]) > kPivotEps) {
+          Pivot(r, j);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<double> ExtractPrimal() const {
+    std::vector<double> x(num_structural_, 0.0);
+    for (int r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < num_structural_) x[basis_[r]] = a_[r].back();
+    }
+    return x;
+  }
+
+ private:
+  int num_structural_ = 0;
+  int num_rows_ = 0;
+  int num_slack_ = 0;
+  int num_artificial_ = 0;
+  std::vector<int> artificial_rows_;
+  std::vector<std::vector<double>> a_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+void LpProblem::AddConstraint(std::vector<double> coeffs, double bound) {
+  CHECK_EQ(static_cast<int>(coeffs.size()), num_vars);
+  rows.push_back(std::move(coeffs));
+  rhs.push_back(bound);
+}
+
+const char* LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "OPTIMAL";
+    case LpStatus::kInfeasible:
+      return "INFEASIBLE";
+    case LpStatus::kUnbounded:
+      return "UNBOUNDED";
+    case LpStatus::kIterationLimit:
+      return "ITERATION_LIMIT";
+  }
+  return "UNKNOWN";
+}
+
+LpSolution SolveLp(const LpProblem& problem, int64_t max_iterations) {
+  CHECK_EQ(problem.objective.size(), static_cast<size_t>(problem.num_vars));
+  CHECK_EQ(problem.rows.size(), problem.rhs.size());
+  LpSolution solution;
+  if (max_iterations <= 0) {
+    max_iterations =
+        50 * (problem.num_vars + static_cast<int64_t>(problem.rows.size()) + 8);
+  }
+
+  Tableau tableau(problem);
+  const int total_cols = tableau.total_cols_without_rhs();
+
+  if (tableau.has_artificials()) {
+    // Phase 1: maximize -(sum of artificials).
+    std::vector<double> phase1(total_cols, 0.0);
+    for (int j = tableau.first_artificial_col(); j < total_cols; ++j) {
+      phase1[j] = -1.0;
+    }
+    double phase1_obj = 0;
+    const LpStatus status =
+        tableau.Optimize(phase1, total_cols, max_iterations,
+                         &solution.iterations, &phase1_obj);
+    if (status == LpStatus::kIterationLimit) {
+      solution.status = status;
+      return solution;
+    }
+    if (status == LpStatus::kUnbounded || phase1_obj < -1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    tableau.DriveOutArtificials();
+  }
+
+  // Phase 2 over structural + slack columns only.
+  std::vector<double> phase2(total_cols, 0.0);
+  for (int j = 0; j < tableau.num_structural(); ++j) {
+    phase2[j] = problem.objective[j];
+  }
+  double objective = 0;
+  solution.status =
+      tableau.Optimize(phase2, tableau.first_artificial_col(),
+                       max_iterations, &solution.iterations, &objective);
+  if (solution.status == LpStatus::kOptimal) {
+    solution.objective = objective;
+    solution.x = tableau.ExtractPrimal();
+  }
+  return solution;
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,54 @@
+#ifndef DDSGRAPH_LP_SIMPLEX_H_
+#define DDSGRAPH_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Dense two-phase primal simplex.
+///
+/// Built from scratch as the substrate for the LP-based exact baseline
+/// (Charikar's per-ratio LP). Problems are in canonical inequality form
+///
+///   maximize  c . x   subject to   A x <= b,   x >= 0,
+///
+/// with arbitrary-sign b (phase 1 introduces artificial variables for
+/// negative rows). Pivoting uses Bland's rule, which precludes cycling at
+/// the cost of speed — the right trade-off for a correctness baseline.
+
+namespace ddsgraph {
+
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;            ///< length num_vars
+  std::vector<std::vector<double>> rows;    ///< each length num_vars
+  std::vector<double> rhs;                  ///< length rows.size()
+
+  /// Appends the constraint `coeffs . x <= bound`.
+  void AddConstraint(std::vector<double> coeffs, double bound);
+};
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* LpStatusName(LpStatus status);
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0;
+  std::vector<double> x;   ///< primal values, length num_vars
+  int64_t iterations = 0;  ///< pivots across both phases
+};
+
+/// Solves `problem`. `max_iterations` bounds total pivots (<=0 means the
+/// default of 50 * (num_vars + num_constraints)).
+LpSolution SolveLp(const LpProblem& problem, int64_t max_iterations = 0);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_LP_SIMPLEX_H_

@@ -1,0 +1,122 @@
+#ifndef DDSGRAPH_UTIL_BUCKET_QUEUE_H_
+#define DDSGRAPH_UTIL_BUCKET_QUEUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file
+/// Monotone bucket priority queue for peeling algorithms.
+///
+/// All peeling-style algorithms in this library (greedy approximation,
+/// [x,y]-core fixpoints and decompositions) repeatedly extract an item of
+/// minimum integer key while keys of the remaining items only *decrease*.
+/// A bucket array with lazy (stale-entry) deletion gives O(1) amortized
+/// operations and O(max_key + n + #updates) total memory, which is the
+/// standard trick behind O(m) k-core decomposition (Batagelj-Zaversnik).
+
+namespace ddsgraph {
+
+/// Min-priority queue over items {0..n-1} with integer keys in [0, max_key].
+/// Keys may be decreased (or items removed) at any time; PopMin is amortized
+/// O(1) plus bucket-scan work that totals O(max_key) per monotone phase.
+class BucketQueue {
+ public:
+  /// Creates a queue for `n` items with keys bounded by `max_key`.
+  /// All items start absent; call Insert for each.
+  BucketQueue(uint32_t n, int64_t max_key)
+      : key_(n, kAbsent), buckets_(static_cast<size_t>(max_key) + 1) {}
+
+  /// Inserts `item` with the given key. The item must be absent.
+  void Insert(uint32_t item, int64_t key) {
+    DCHECK_EQ(key_[item], kAbsent);
+    DCHECK_GE(key, 0);
+    DCHECK_LT(static_cast<size_t>(key), buckets_.size());
+    key_[item] = key;
+    buckets_[key].push_back(item);
+    if (key < cursor_) cursor_ = key;
+    ++size_;
+  }
+
+  /// Lowers the key of a present item. `new_key` must be <= current key.
+  void DecreaseKey(uint32_t item, int64_t new_key) {
+    DCHECK_NE(key_[item], kAbsent);
+    DCHECK_LE(new_key, key_[item]);
+    if (new_key == key_[item]) return;
+    key_[item] = new_key;
+    buckets_[new_key].push_back(item);  // old entry becomes stale
+    if (new_key < cursor_) cursor_ = new_key;
+  }
+
+  /// Convenience: decrease the key by one.
+  void Decrement(uint32_t item) { DecreaseKey(item, key_[item] - 1); }
+
+  /// Removes an item from the queue (its bucket entries become stale).
+  void Remove(uint32_t item) {
+    DCHECK_NE(key_[item], kAbsent);
+    key_[item] = kAbsent;
+    --size_;
+  }
+
+  /// True if `item` is currently in the queue.
+  bool Contains(uint32_t item) const { return key_[item] != kAbsent; }
+
+  /// Current key of a present item.
+  int64_t KeyOf(uint32_t item) const {
+    DCHECK_NE(key_[item], kAbsent);
+    return key_[item];
+  }
+
+  bool Empty() const { return size_ == 0; }
+  uint32_t Size() const { return size_; }
+
+  /// Extracts an item with minimum key. Returns nullopt when empty.
+  std::optional<std::pair<uint32_t, int64_t>> PopMin() {
+    while (size_ > 0) {
+      while (cursor_ < static_cast<int64_t>(buckets_.size()) &&
+             buckets_[cursor_].empty()) {
+        ++cursor_;
+      }
+      if (cursor_ >= static_cast<int64_t>(buckets_.size())) break;
+      const uint32_t item = buckets_[cursor_].back();
+      buckets_[cursor_].pop_back();
+      if (key_[item] != cursor_) continue;  // stale or removed
+      key_[item] = kAbsent;
+      --size_;
+      return std::make_pair(item, cursor_);
+    }
+    return std::nullopt;
+  }
+
+  /// Key of the current minimum without extracting, or nullopt when empty.
+  std::optional<int64_t> PeekMinKey() {
+    while (size_ > 0) {
+      while (cursor_ < static_cast<int64_t>(buckets_.size()) &&
+             buckets_[cursor_].empty()) {
+        ++cursor_;
+      }
+      if (cursor_ >= static_cast<int64_t>(buckets_.size())) break;
+      const uint32_t item = buckets_[cursor_].back();
+      if (key_[item] != cursor_) {
+        buckets_[cursor_].pop_back();  // drop stale entry and retry
+        continue;
+      }
+      return cursor_;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr int64_t kAbsent = -1;
+
+  std::vector<int64_t> key_;
+  std::vector<std::vector<uint32_t>> buckets_;
+  int64_t cursor_ = 0;
+  uint32_t size_ = 0;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_BUCKET_QUEUE_H_

@@ -1,0 +1,175 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+FlagSet::FlagSet(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+FlagSet::~FlagSet() {
+  for (Flag* f : owned_) delete f;
+}
+
+int64_t* FlagSet::Int64(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  CHECK(flags_.find(name) == flags_.end()) << "duplicate flag " << name;
+  Flag* f = new Flag{Kind::kInt64, help, std::to_string(default_value),
+                     0, 0, false, {}};
+  f->int64_value = default_value;
+  owned_.push_back(f);
+  flags_[name] = f;
+  order_.push_back(name);
+  return &f->int64_value;
+}
+
+double* FlagSet::Double(const std::string& name, double default_value,
+                        const std::string& help) {
+  CHECK(flags_.find(name) == flags_.end()) << "duplicate flag " << name;
+  Flag* f = new Flag{Kind::kDouble, help, std::to_string(default_value),
+                     0, 0, false, {}};
+  f->double_value = default_value;
+  owned_.push_back(f);
+  flags_[name] = f;
+  order_.push_back(name);
+  return &f->double_value;
+}
+
+bool* FlagSet::Bool(const std::string& name, bool default_value,
+                    const std::string& help) {
+  CHECK(flags_.find(name) == flags_.end()) << "duplicate flag " << name;
+  Flag* f = new Flag{Kind::kBool, help, default_value ? "true" : "false",
+                     0, 0, false, {}};
+  f->bool_value = default_value;
+  owned_.push_back(f);
+  flags_[name] = f;
+  order_.push_back(name);
+  return &f->bool_value;
+}
+
+std::string* FlagSet::String(const std::string& name,
+                             const std::string& default_value,
+                             const std::string& help) {
+  CHECK(flags_.find(name) == flags_.end()) << "duplicate flag " << name;
+  Flag* f = new Flag{Kind::kString, help, default_value, 0, 0, false, {}};
+  f->string_value = default_value;
+  owned_.push_back(f);
+  flags_[name] = f;
+  order_.push_back(name);
+  return &f->string_value;
+}
+
+Status FlagSet::SetFromText(Flag* flag, const std::string& name,
+                            const std::string& text) {
+  switch (flag->kind) {
+    case Kind::kInt64: {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not an integer: '" + text + "'");
+      }
+      flag->int64_value = v;
+      return Status::Ok();
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not a number: '" + text + "'");
+      }
+      flag->double_value = v;
+      return Status::Ok();
+    }
+    case Kind::kBool: {
+      if (text == "true" || text == "1") {
+        flag->bool_value = true;
+      } else if (text == "false" || text == "0") {
+        flag->bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not a bool: '" + text + "'");
+      }
+      return Status::Ok();
+    }
+    case Kind::kString:
+      flag->string_value = text;
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  help_requested_ = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Flag* flag = it->second;
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        flag->bool_value = true;  // bare --flag enables a bool
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    RETURN_IF_ERROR(SetFromText(flag, name, value));
+  }
+  return Status::Ok();
+}
+
+void FlagSet::ParseOrDie(int argc, const char* const* argv) {
+  const Status st = Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), Usage().c_str());
+    std::exit(2);
+  }
+  if (help_requested_) {
+    std::fprintf(stdout, "%s", Usage().c_str());
+    std::exit(0);
+  }
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\nFlags:\n";
+  for (const std::string& name : order_) {
+    const Flag* f = flags_.at(name);
+    os << "  --" << name << "  (default: " << f->default_text << ")\n"
+       << "      " << f->help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,84 @@
+#ifndef DDSGRAPH_UTIL_FLAGS_H_
+#define DDSGRAPH_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Minimal command-line flag parsing for the benchmark and example binaries.
+///
+/// Supports `--name=value`, `--name value`, and bare `--bool_flag`.
+/// Unknown flags are an error; positional arguments are collected in order.
+///
+/// Usage:
+///   FlagSet flags("e2_exact_efficiency", "Reproduces experiment E2");
+///   int64_t* seed = flags.Int64("seed", 42, "PRNG seed");
+///   bool* quick = flags.Bool("quick", false, "Reduced sizes");
+///   flags.ParseOrDie(argc, argv);
+
+namespace ddsgraph {
+
+class FlagSet {
+ public:
+  FlagSet(std::string program, std::string description);
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+  ~FlagSet();
+
+  /// Registers a flag and returns a stable pointer to its value. The pointer
+  /// remains valid for the lifetime of the FlagSet.
+  int64_t* Int64(const std::string& name, int64_t default_value,
+                 const std::string& help);
+  double* Double(const std::string& name, double default_value,
+                 const std::string& help);
+  bool* Bool(const std::string& name, bool default_value,
+             const std::string& help);
+  std::string* String(const std::string& name,
+                      const std::string& default_value,
+                      const std::string& help);
+
+  /// Parses argv. On error returns InvalidArgument with an explanation.
+  /// `--help` makes Parse return OK with help_requested() set.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Parse + on error or --help: print usage and exit.
+  void ParseOrDie(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Writes a usage/help message listing all flags.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    // Owned storage; exactly one is used depending on `kind`.
+    int64_t int64_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  Status SetFromText(Flag* flag, const std::string& name,
+                     const std::string& text);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag*> flags_;
+  std::vector<Flag*> owned_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_FLAGS_H_

@@ -1,0 +1,80 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace ddsgraph {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogSeverity::kInfo)};
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+// Strips the directory part so log lines stay short.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetLogThreshold(LogSeverity severity) {
+  g_threshold.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity GetLogThreshold() {
+  return static_cast<LogSeverity>(g_threshold.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << Basename(file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  if (severity_ >= GetLogThreshold() || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str();
+    std::cerr.flush();
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+std::string FormatCheckOp(const char* expr, const std::string& lhs,
+                          const std::string& rhs) {
+  std::string out = "Check failed: ";
+  out += expr;
+  out += " (";
+  out += lhs;
+  out += " vs. ";
+  out += rhs;
+  out += ") ";
+  return out;
+}
+
+}  // namespace internal_logging
+}  // namespace ddsgraph

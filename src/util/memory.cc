@@ -1,0 +1,32 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ddsgraph {
+namespace {
+
+int64_t ReadStatusField(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t value = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      long long kib = 0;
+      if (std::sscanf(line + field_len, " %lld", &kib) == 1) value = kib;
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+int64_t PeakRssKib() { return ReadStatusField("VmHWM:"); }
+
+int64_t CurrentRssKib() { return ReadStatusField("VmRSS:"); }
+
+}  // namespace ddsgraph

@@ -1,0 +1,21 @@
+#ifndef DDSGRAPH_UTIL_MEMORY_H_
+#define DDSGRAPH_UTIL_MEMORY_H_
+
+#include <cstdint>
+
+/// \file
+/// Process memory introspection for the benchmark harness (the paper
+/// reports memory alongside runtime). Linux-only: values come from
+/// /proc/self/status; on read failure the functions return 0.
+
+namespace ddsgraph {
+
+/// Peak resident set size of the process so far, in KiB (VmHWM).
+int64_t PeakRssKib();
+
+/// Current resident set size, in KiB (VmRSS).
+int64_t CurrentRssKib();
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_MEMORY_H_

@@ -1,0 +1,108 @@
+#include "util/random.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+  // All-zero state is the one forbidden state of xoshiro; SplitMix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  CHECK_GT(bound, 0ull);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>((*this)());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = static_cast<uint32_t>(rng.NextBounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                               Rng& rng) {
+  CHECK_LE(k, n);
+  if (k == 0) return {};
+  // Dense case: partial Fisher-Yates over an explicit array.
+  if (k * 3ull >= n) {
+    std::vector<uint32_t> pool(n);
+    for (uint32_t i = 0; i < n; ++i) pool[i] = i;
+    for (uint32_t i = 0; i < k; ++i) {
+      uint32_t j = i + static_cast<uint32_t>(rng.NextBounded(n - i));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+  // Sparse case: rejection sampling into a hash set.
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ddsgraph

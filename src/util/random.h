@@ -1,0 +1,61 @@
+#ifndef DDSGRAPH_UTIL_RANDOM_H_
+#define DDSGRAPH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Deterministic pseudo-random number generation.
+///
+/// Benchmarks and tests must be reproducible across runs and platforms, so
+/// the library ships its own generator (xoshiro256**, seeded via SplitMix64)
+/// instead of relying on implementation-defined std::mt19937 distributions.
+
+namespace ddsgraph {
+
+/// SplitMix64 step; used to derive well-mixed seeds from small integers.
+uint64_t SplitMix64(uint64_t& state);
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next raw 64-bit output.
+  uint64_t operator()();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Returns a uniformly random permutation of {0, ..., n-1}.
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng& rng);
+
+/// Samples k distinct values from {0, ..., n-1} (k <= n), in random order.
+/// Uses a partial Fisher-Yates when k is large and rejection otherwise.
+std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                               Rng& rng);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_RANDOM_H_

@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double log_sum = 0;
+  for (double v : values) {
+    if (v <= 0) return 0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.mean = Mean(values);
+  double sq = 0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sq += (v - s.mean) * (v - s.mean);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  s.median = Quantile(values, 0.5);
+  s.p90 = Quantile(values, 0.9);
+  return s;
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,40 @@
+#ifndef DDSGRAPH_UTIL_STATS_H_
+#define DDSGRAPH_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Summary statistics used by benchmark reporting and dataset tables.
+
+namespace ddsgraph {
+
+/// Summary of a sample of doubles.
+struct Summary {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;   ///< population standard deviation
+  double median = 0;
+  double p90 = 0;      ///< 90th percentile (linear interpolation)
+};
+
+/// Computes a Summary. Returns a zeroed Summary for an empty sample.
+Summary Summarize(std::vector<double> values);
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// Geometric mean of positive values; 0 if the sample is empty or any value
+/// is non-positive.
+double GeometricMean(const std::vector<double>& values);
+
+/// q-th quantile (q in [0,1]) with linear interpolation on a copy of the
+/// sample. Returns 0 for an empty sample.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_STATS_H_

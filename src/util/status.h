@@ -1,0 +1,110 @@
+#ifndef DDSGRAPH_UTIL_STATUS_H_
+#define DDSGRAPH_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+/// \file
+/// Error propagation without exceptions.
+///
+/// `Status` carries an error code plus message; `Result<T>` is a tiny
+/// StatusOr-style wrapper holding either a value or an error `Status`.
+/// Library code returns these from every fallible entry point (mostly I/O
+/// and input validation); algorithmic invariants use CHECK instead.
+
+namespace ddsgraph {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kInternal = 4,
+  kUnimplemented = 5,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing `value()`
+/// on an error Result is a fatal error (CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse,
+  /// mirroring absl::StatusOr.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    CHECK(!status_.ok()) << "Result(Status) requires a non-OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ddsgraph
+
+/// Propagates a non-OK status to the caller.
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::ddsgraph::Status _st = (expr);         \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // DDSGRAPH_UTIL_STATUS_H_

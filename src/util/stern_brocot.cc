@@ -1,0 +1,148 @@
+#include "util/stern_brocot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+namespace {
+
+using int128 = __int128;
+
+// Core of SimplestFractionBetween on the open interval (p/q, r/s) with
+// 0 <= p/q < r/s, q, s > 0. Returns the fraction with minimal denominator
+// (then minimal numerator). Classic continued-fraction descent: strip the
+// shared integer part, then recurse on the reciprocal of the remainder.
+Fraction SimplestBetweenImpl(int64_t p, int64_t q, int64_t r, int64_t s) {
+  const int64_t n = p / q;  // floor, p >= 0
+  // Integer candidate n+1: strictly above p/q by construction; inside iff
+  // n+1 < r/s.
+  if (static_cast<int128>(n + 1) * s < static_cast<int128>(r)) {
+    return Fraction{n + 1, 1};
+  }
+  const int64_t p1 = p - n * q;  // 0 <= p1 < q
+  const int64_t r1 = r - n * s;  // interval is now (p1/q, r1/s), r1 <= s+? ;
+                                 // r1 > s was handled by the integer case.
+  if (p1 == 0) {
+    // Interval (0, r1/s): the simplest fraction is 1/k for the smallest k
+    // with 1/k < r1/s, i.e. k = floor(s/r1) + 1.
+    const int64_t k = s / r1 + 1;
+    return Fraction{n * k + 1, k};
+  }
+  // Reciprocal flips and reverses the interval: (s/r1, q/p1).
+  const Fraction inner = SimplestBetweenImpl(s, r1, q, p1);
+  return Fraction{n * inner.num + inner.den, inner.num};
+}
+
+}  // namespace
+
+std::string Fraction::ToString() const {
+  return std::to_string(num) + "/" + std::to_string(den);
+}
+
+bool FractionLess(const Fraction& a, const Fraction& b) {
+  return static_cast<int128>(a.num) * b.den < static_cast<int128>(b.num) * a.den;
+}
+
+Fraction MakeFraction(int64_t p, int64_t q) {
+  CHECK_GE(p, 0);
+  CHECK_GT(q, 0);
+  const int64_t g = std::gcd(p, q);
+  if (g == 0) return Fraction{0, 1};
+  return Fraction{p / g, q / g};
+}
+
+std::optional<Fraction> SimplestFractionBetween(const Fraction& lo,
+                                                const Fraction& hi) {
+  CHECK_GT(lo.den, 0);
+  CHECK_GT(hi.den, 0);
+  CHECK_GE(lo.num, 0);
+  if (!FractionLess(lo, hi)) return std::nullopt;
+  Fraction f = SimplestBetweenImpl(lo.num, lo.den, hi.num, hi.den);
+  DCHECK(FractionLess(lo, f) && FractionLess(f, hi))
+      << "simplest fraction " << f.ToString() << " not inside ("
+      << lo.ToString() << ", " << hi.ToString() << ")";
+  return f;
+}
+
+bool HasRealizableRatioBetween(const Fraction& lo, const Fraction& hi,
+                               int64_t n) {
+  std::optional<Fraction> f = SimplestFractionBetween(lo, hi);
+  if (!f.has_value()) return false;
+  // Every fraction in the open interval is a Stern-Brocot descendant of the
+  // simplest one, and both numerator and denominator are non-decreasing along
+  // any descent, so the simplest fraction minimizes max(p, q) over the
+  // interval. It fits the n-by-n box iff any realizable ratio does.
+  return f->num <= n && f->den <= n;
+}
+
+Fraction BestRationalInBox(double target, int64_t max_num, int64_t max_den) {
+  CHECK_GT(target, 0.0);
+  CHECK_GE(max_num, 1);
+  CHECK_GE(max_den, 1);
+  // Convergents h_i / k_i of the continued-fraction expansion of target.
+  int64_t h2 = 0, h1 = 1;  // numerators of convergents i-2, i-1
+  int64_t k2 = 1, k1 = 0;  // denominators
+  double x = target;
+  Fraction best{1, 1};
+  bool have_best = false;
+  auto consider = [&](int64_t p, int64_t q) {
+    if (p < 1 || q < 1 || p > max_num || q > max_den) return;
+    const Fraction f = MakeFraction(p, q);
+    if (!have_best ||
+        std::abs(f.ToDouble() - target) < std::abs(best.ToDouble() - target)) {
+      best = f;
+      have_best = true;
+    }
+  };
+  for (int iter = 0; iter < 64; ++iter) {
+    const double fa = std::floor(x);
+    if (fa > 2e18) break;  // degenerate expansion
+    const int64_t a = static_cast<int64_t>(fa);
+    // Next convergent would be (a*h1 + h2) / (a*k1 + k2); clamp `a` so it
+    // stays inside the box (a semiconvergent when clamped).
+    int64_t a_fit = a;
+    if (h1 > 0) a_fit = std::min(a_fit, (max_num - h2) / h1);
+    if (k1 > 0) a_fit = std::min(a_fit, (max_den - k2) / k1);
+    if (a_fit < a) {
+      if (a_fit >= 1) consider(a_fit * h1 + h2, a_fit * k1 + k2);
+      break;
+    }
+    const int64_t h = a * h1 + h2;
+    const int64_t k = a * k1 + k2;
+    consider(h, k);
+    h2 = h1;
+    h1 = h;
+    k2 = k1;
+    k1 = k;
+    const double frac = x - fa;
+    if (frac < 1e-12) break;  // exact (or numerically exact) expansion
+    x = 1.0 / frac;
+  }
+  if (!have_best) {
+    // target below 1/max_den or above max_num; clamp to the box edge.
+    if (target < 1.0) return Fraction{1, max_den};
+    return Fraction{max_num, 1};
+  }
+  return best;
+}
+
+std::vector<Fraction> AllRealizableRatios(int64_t n) {
+  CHECK_GE(n, 1);
+  std::vector<Fraction> out;
+  out.reserve(static_cast<size_t>(n) * n);
+  for (int64_t p = 1; p <= n; ++p) {
+    for (int64_t q = 1; q <= n; ++q) {
+      if (std::gcd(p, q) == 1) out.push_back(Fraction{p, q});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Fraction& a, const Fraction& b) {
+              return FractionLess(a, b);
+            });
+  return out;
+}
+
+}  // namespace ddsgraph

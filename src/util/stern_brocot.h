@@ -1,0 +1,71 @@
+#ifndef DDSGRAPH_UTIL_STERN_BROCOT_H_
+#define DDSGRAPH_UTIL_STERN_BROCOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file
+/// Exact rational arithmetic over the realizable DDS ratio space.
+///
+/// For a digraph with n vertices, the ratio |S|/|T| of any vertex-set pair is
+/// a fraction p/q with 1 <= p, q <= n. The divide-and-conquer exact solver
+/// needs two exact primitives on this set:
+///   * decide whether a realizable ratio lies strictly inside an open
+///     interval (lo, hi), and
+///   * if so, return the *simplest* such fraction (the Stern-Brocot mediant),
+///     which is used as the next probe ratio.
+/// Both are answered by a Stern-Brocot / continued-fraction descent in
+/// O(log(max(p, q))) arithmetic operations, entirely in 64-bit integers.
+
+namespace ddsgraph {
+
+/// A positive fraction p/q in lowest terms.
+struct Fraction {
+  int64_t num = 0;
+  int64_t den = 1;
+
+  double ToDouble() const { return static_cast<double>(num) / den; }
+  std::string ToString() const;
+
+  friend bool operator==(const Fraction& a, const Fraction& b) {
+    return a.num == b.num && a.den == b.den;
+  }
+};
+
+/// Exact comparison a/b < c/d using 128-bit intermediates.
+bool FractionLess(const Fraction& a, const Fraction& b);
+
+/// Reduces p/q to lowest terms. Requires p >= 0, q > 0.
+Fraction MakeFraction(int64_t p, int64_t q);
+
+/// Returns the fraction with the smallest denominator (and, among those, the
+/// smallest numerator) strictly inside the open interval (lo, hi), or
+/// std::nullopt if the interval is empty or degenerate (lo >= hi). The result
+/// is always in lowest terms. This is the classic Stern-Brocot "simplest
+/// fraction between" algorithm.
+std::optional<Fraction> SimplestFractionBetween(const Fraction& lo,
+                                                const Fraction& hi);
+
+/// Returns true iff some fraction p/q with 1 <= p, q <= n lies strictly
+/// inside (lo, hi). Equivalent to: SimplestFractionBetween fits in the n-box.
+/// (The simplest fraction minimizes max(p, q) among all fractions in the
+/// interval, so checking it suffices; see stern_brocot_test.cc.)
+bool HasRealizableRatioBetween(const Fraction& lo, const Fraction& hi,
+                               int64_t n);
+
+/// Enumerates all distinct values p/q with 1 <= p, q <= n in increasing
+/// order. O(n^2 log n) — intended for tests and the small-graph baseline.
+std::vector<Fraction> AllRealizableRatios(int64_t n);
+
+/// Returns a fraction p/q with 1 <= p <= max_num, 1 <= q <= max_den that is
+/// close to `target` (> 0): the continued-fraction convergent of `target`
+/// truncated to the box, with a clamped final coefficient. Used to pick
+/// probe ratios near the geometric midpoint of a ratio interval; closeness
+/// is best-effort (a good probe point, not a provably nearest one).
+Fraction BestRationalInBox(double target, int64_t max_num, int64_t max_den);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_STERN_BROCOT_H_

@@ -1,0 +1,34 @@
+#ifndef DDSGRAPH_UTIL_TIMER_H_
+#define DDSGRAPH_UTIL_TIMER_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timing helper used by benchmarks and solver statistics.
+
+namespace ddsgraph {
+
+/// Measures elapsed wall time. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_TIMER_H_

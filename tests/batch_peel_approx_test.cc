@@ -1,0 +1,78 @@
+#include "dds/batch_peel_approx.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dds/naive_exact.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ddsgraph {
+namespace {
+
+TEST(BatchPeelApproxTest, EmptyGraph) {
+  EXPECT_EQ(BatchPeelApprox(Digraph::FromEdges(3, {})).density, 0.0);
+}
+
+TEST(BatchPeelApproxTest, SingleEdge) {
+  const Digraph g = Digraph::FromEdges(2, {{0, 1}});
+  EXPECT_NEAR(BatchPeelApprox(g).density, 1.0, 1e-12);
+}
+
+TEST(BatchPeelApproxTest, BicliqueIsRecovered) {
+  const Digraph g = BicliqueWithNoise(9, 4, 5, 0, 1);
+  const DdsSolution sol = BatchPeelApprox(g);
+  EXPECT_NEAR(sol.density, std::sqrt(20.0), 1e-9);
+}
+
+TEST(BatchPeelApproxTest, SelfConsistentReporting) {
+  const Digraph g = RmatDigraph(7, 800, 4);
+  const DdsSolution sol = BatchPeelApprox(g);
+  EXPECT_NEAR(sol.density, DirectedDensity(g, sol.pair), 1e-12);
+  EXPECT_EQ(sol.pair_edges, CountPairEdges(g, sol.pair.s, sol.pair.t));
+  EXPECT_GE(sol.upper_bound, sol.density);
+  EXPECT_GT(sol.stats.ratios_probed, 0);
+  EXPECT_GT(sol.stats.binary_search_iters, 0);  // total passes
+}
+
+TEST(BatchPeelApproxTest, UsesFewPassesPerRatio) {
+  // The point of the batch variant: O(log n / log beta) passes per ratio.
+  const Digraph g = UniformDigraph(2000, 12000, 5);
+  BatchPeelOptions options;
+  options.batch_epsilon = 0.5;
+  const DdsSolution sol = BatchPeelApprox(g, options);
+  const double avg_passes =
+      static_cast<double>(sol.stats.binary_search_iters) /
+      static_cast<double>(sol.stats.ratios_probed);
+  // log_{1.5}(2000) ~ 18.7; allow generous slack, but far below n.
+  EXPECT_LT(avg_passes, 60.0);
+}
+
+class BatchPeelGuaranteeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BatchPeelGuaranteeTest, CertifiedBracketHolds) {
+  const auto [seed, density_class] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 53 + 11);
+  const uint32_t n = 5 + static_cast<uint32_t>(rng.NextBounded(6));
+  const int64_t max_edges = static_cast<int64_t>(n) * (n - 1);
+  const int64_t m =
+      std::max<int64_t>(1, max_edges * (1 + density_class) / 7);
+  const Digraph g = UniformDigraph(n, m, static_cast<uint64_t>(seed) + 40);
+  const DdsSolution exact = NaiveExact(g);
+  const DdsSolution approx = BatchPeelApprox(g);
+  // The certified upper bound brackets the optimum...
+  EXPECT_LE(exact.density, approx.upper_bound + 1e-9)
+      << "n=" << n << " m=" << m;
+  // ...and the solution is within the guarantee factor.
+  const double factor = approx.upper_bound / approx.density;
+  EXPECT_GE(approx.density * factor + 1e-9, exact.density);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDensities, BatchPeelGuaranteeTest,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,102 @@
+#include "core/core_approx.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/xy_core_decomposition.h"
+#include "dds/naive_exact.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ddsgraph {
+namespace {
+
+TEST(CoreApproxTest, EmptyGraph) {
+  const CoreApproxResult result = CoreApprox(Digraph::FromEdges(5, {}));
+  EXPECT_TRUE(result.Empty());
+  EXPECT_EQ(result.density, 0.0);
+}
+
+TEST(CoreApproxTest, SingleEdge) {
+  const Digraph g = Digraph::FromEdges(2, {{0, 1}});
+  const CoreApproxResult result = CoreApprox(g);
+  ASSERT_FALSE(result.Empty());
+  EXPECT_EQ(result.best_x, 1);
+  EXPECT_EQ(result.best_y, 1);
+  EXPECT_NEAR(result.density, 1.0, 1e-12);
+}
+
+TEST(CoreApproxTest, BicliqueIsRecoveredExactly) {
+  // Pure biclique s x t: best core is [t, s], density sqrt(s t) = rho_opt.
+  const Digraph g = BicliqueWithNoise(9, 4, 5, 0, 1);
+  const CoreApproxResult result = CoreApprox(g);
+  EXPECT_EQ(result.best_x, 5);
+  EXPECT_EQ(result.best_y, 4);
+  EXPECT_NEAR(result.density, std::sqrt(20.0), 1e-9);
+  EXPECT_EQ(result.core.s.size(), 4u);
+  EXPECT_EQ(result.core.t.size(), 5u);
+}
+
+TEST(CoreApproxTest, BoundsAreOrdered) {
+  const Digraph g = RmatDigraph(9, 8000, 17);
+  const CoreApproxResult result = CoreApprox(g);
+  ASSERT_FALSE(result.Empty());
+  EXPECT_LE(result.lower_bound, result.density + 1e-9);
+  EXPECT_NEAR(result.upper_bound, 2.0 * result.lower_bound, 1e-12);
+  EXPECT_LE(result.density, result.upper_bound + 1e-9);
+}
+
+TEST(CoreApproxTest, ProductMatchesFullSkylineScan) {
+  // The sqrt(m)-bounded double sweep must find the same max product as a
+  // full skyline scan.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Digraph g = UniformDigraph(50, 400, seed);
+    const CoreApproxResult result = CoreApprox(g);
+    int64_t brute_best = 0;
+    for (const SkylinePoint& p : CoreSkyline(g)) {
+      brute_best = std::max(brute_best, p.x * p.y);
+    }
+    EXPECT_EQ(result.best_x * result.best_y, brute_best) << "seed " << seed;
+  }
+}
+
+// The headline guarantee: density >= rho_opt / 2, and the certified bounds
+// bracket rho_opt. Checked against the exhaustive solver on small random
+// graphs of varying density.
+class CoreApproxGuaranteeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CoreApproxGuaranteeTest, TwoApproximationHolds) {
+  const auto [seed, density_class] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 31 + 7);
+  const uint32_t n = 6 + static_cast<uint32_t>(rng.NextBounded(5));
+  const int64_t max_edges = static_cast<int64_t>(n) * (n - 1);
+  const int64_t m =
+      std::max<int64_t>(1, max_edges * (density_class + 1) / 8);
+  const Digraph g = UniformDigraph(n, m, static_cast<uint64_t>(seed));
+  const DdsSolution exact = NaiveExact(g);
+  const CoreApproxResult approx = CoreApprox(g);
+  ASSERT_FALSE(approx.Empty());
+  EXPECT_GE(approx.density * 2.0 + 1e-9, exact.density)
+      << "n=" << n << " m=" << m;
+  EXPECT_LE(exact.density, approx.upper_bound + 1e-9);
+  EXPECT_GE(exact.density + 1e-9, approx.lower_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDensities, CoreApproxGuaranteeTest,
+    ::testing::Combine(::testing::Range(0, 12), ::testing::Range(0, 4)));
+
+TEST(CoreApproxTest, PlantedBlockIsFound) {
+  const PlantedDigraph planted =
+      PlantedDenseBlock(400, 800, 14, 14, 1.0, 99);
+  const CoreApproxResult result = CoreApprox(planted.graph);
+  ASSERT_FALSE(result.Empty());
+  // The planted 14x14 block has density 14; the approximation must reach
+  // at least half of that, and in practice the exact block.
+  EXPECT_GE(result.density * 2.0 + 1e-9, 14.0);
+}
+
+}  // namespace
+}  // namespace ddsgraph

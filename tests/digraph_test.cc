@@ -1,0 +1,139 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph_builder.h"
+
+namespace ddsgraph {
+namespace {
+
+Digraph Triangle() {
+  // 0 -> 1 -> 2 -> 0
+  return Digraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0);
+}
+
+TEST(DigraphTest, VerticesWithoutEdges) {
+  const Digraph g = Digraph::FromEdges(5, {});
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 0);
+    EXPECT_EQ(g.InDegree(v), 0);
+  }
+}
+
+TEST(DigraphTest, BasicAdjacency) {
+  const Digraph g = Triangle();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3);
+  ASSERT_EQ(g.OutNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1u);
+  ASSERT_EQ(g.InNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.InNeighbors(0)[0], 2u);
+}
+
+TEST(DigraphTest, DuplicateEdgesAreDropped) {
+  const Digraph g = Digraph::FromEdges(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(DigraphTest, SelfLoopsAreDropped) {
+  const Digraph g = Digraph::FromEdges(3, {{0, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(DigraphTest, OppositeEdgesAreDistinct) {
+  const Digraph g = Digraph::FromEdges(2, {{0, 1}, {1, 0}});
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+}
+
+TEST(DigraphTest, AdjacencyIsSorted) {
+  const Digraph g = Digraph::FromEdges(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  const auto nbrs = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  const Digraph h = Digraph::FromEdges(5, {{4, 0}, {2, 0}, {3, 0}});
+  const auto in = h.InNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(DigraphTest, HasEdge) {
+  const Digraph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(DigraphTest, DegreesAreConsistent) {
+  const Digraph g =
+      Digraph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 3}, {2, 3}});
+  EXPECT_EQ(g.OutDegree(0), 3);
+  EXPECT_EQ(g.InDegree(3), 3);
+  EXPECT_EQ(g.MaxOutDegree(), 3);
+  EXPECT_EQ(g.MaxInDegree(), 3);
+  int64_t total_out = 0;
+  int64_t total_in = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    total_out += g.OutDegree(v);
+    total_in += g.InDegree(v);
+  }
+  EXPECT_EQ(total_out, g.NumEdges());
+  EXPECT_EQ(total_in, g.NumEdges());
+}
+
+TEST(DigraphTest, EdgeListRoundTrips) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {2, 1}};
+  const Digraph g = Digraph::FromEdges(3, edges);
+  std::vector<Edge> got = g.EdgeList();
+  std::vector<Edge> want = edges;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(DigraphTest, ReversedSwapsDirections) {
+  const Digraph g = Triangle();
+  const Digraph r = g.Reversed();
+  EXPECT_EQ(r.NumVertices(), g.NumVertices());
+  EXPECT_EQ(r.NumEdges(), g.NumEdges());
+  for (const auto& [u, v] : g.EdgeList()) {
+    EXPECT_TRUE(r.HasEdge(v, u));
+    EXPECT_EQ(r.HasEdge(u, v), g.HasEdge(v, u));
+  }
+  EXPECT_EQ(r.OutDegree(0), g.InDegree(0));
+  EXPECT_EQ(r.InDegree(0), g.OutDegree(0));
+}
+
+TEST(DigraphTest, DoubleReversalIsIdentity) {
+  const Digraph g =
+      Digraph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}, {5, 0}, {3, 1}});
+  const Digraph rr = g.Reversed().Reversed();
+  EXPECT_EQ(rr.EdgeList(), g.EdgeList());
+}
+
+TEST(DigraphBuilderTest, PendingEdgeCount) {
+  DigraphBuilder builder(3);
+  EXPECT_EQ(builder.NumPendingEdges(), 0u);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(1, 1);  // self loop dropped immediately
+  EXPECT_EQ(builder.NumPendingEdges(), 2u);
+}
+
+TEST(DigraphBuilderDeathTest, OutOfRangeEndpointAborts) {
+  DigraphBuilder builder(2);
+  EXPECT_DEATH(builder.AddEdge(0, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,109 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagSet flags("prog", "test");
+  int64_t* n = flags.Int64("n", 42, "count");
+  double* rate = flags.Double("rate", 0.5, "rate");
+  bool* verbose = flags.Bool("verbose", false, "verbosity");
+  std::string* name = flags.String("name", "x", "name");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*rate, 0.5);
+  EXPECT_FALSE(*verbose);
+  EXPECT_EQ(*name, "x");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags("prog", "test");
+  int64_t* n = flags.Int64("n", 0, "count");
+  std::string* s = flags.String("s", "", "str");
+  const char* argv[] = {"prog", "--n=17", "--s=hello"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(*n, 17);
+  EXPECT_EQ(*s, "hello");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags("prog", "test");
+  double* d = flags.Double("d", 0, "val");
+  const char* argv[] = {"prog", "--d", "2.75"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_DOUBLE_EQ(*d, 2.75);
+}
+
+TEST(FlagsTest, BareBoolEnables) {
+  FlagSet flags("prog", "test");
+  bool* quick = flags.Bool("quick", false, "quick mode");
+  const char* argv[] = {"prog", "--quick"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(*quick);
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  FlagSet flags("prog", "test");
+  bool* a = flags.Bool("a", false, "a");
+  bool* b = flags.Bool("b", true, "b");
+  const char* argv[] = {"prog", "--a=true", "--b=false"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_TRUE(*a);
+  EXPECT_FALSE(*b);
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  FlagSet flags("prog", "test");
+  flags.Int64("n", 0, "count");
+  const char* argv[] = {"prog", "input.txt", "--n=3", "output.txt"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagSet flags("prog", "test");
+  const char* argv[] = {"prog", "--nope=1"};
+  const Status st = flags.Parse(2, argv);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadIntIsError) {
+  FlagSet flags("prog", "test");
+  flags.Int64("n", 0, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, BadBoolIsError) {
+  FlagSet flags("prog", "test");
+  flags.Bool("b", false, "b");
+  const char* argv[] = {"prog", "--b=maybe"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  FlagSet flags("prog", "test");
+  flags.Int64("n", 0, "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagSet flags("prog", "test");
+  flags.Int64("n", 5, "count");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.help_requested());
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddsgraph

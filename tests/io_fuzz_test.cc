@@ -1,0 +1,91 @@
+// Robustness ("fuzz-lite") tests for the SNAP loader: arbitrary byte soup
+// must never crash — every input either parses or returns a clean Status.
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+#include "util/random.h"
+
+namespace ddsgraph {
+namespace {
+
+class IoFuzzTest : public ::testing::Test {
+ protected:
+  std::string WriteTemp(const std::string& name, const std::string& body) {
+    const std::string path = testing::TempDir() + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    return path;
+  }
+};
+
+TEST_F(IoFuzzTest, EmptyFileIsAnEmptyGraph) {
+  const auto loaded = LoadSnapEdgeList(WriteTemp("empty.txt", ""));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.NumVertices(), 0u);
+}
+
+TEST_F(IoFuzzTest, OnlyCommentsIsAnEmptyGraph) {
+  const auto loaded = LoadSnapEdgeList(
+      WriteTemp("comments.txt", "# one\n% two\n#\n"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.NumEdges(), 0);
+}
+
+TEST_F(IoFuzzTest, TrailingTokensAreTolerated) {
+  // SNAP files sometimes carry extra columns (timestamps, weights); the
+  // loader reads the first two and ignores the rest of the line.
+  const auto loaded = LoadSnapEdgeList(
+      WriteTemp("extra.txt", "0 1 170000\n1 2 170001\n"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.NumEdges(), 2);
+}
+
+TEST_F(IoFuzzTest, RandomByteSoupNeverCrashes) {
+  Rng rng(271828);
+  const std::string alphabet =
+      "0123456789 \t\n#%-abcxyz.";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string soup;
+    const size_t len = rng.NextBounded(400);
+    for (size_t i = 0; i < len; ++i) {
+      soup += alphabet[rng.NextBounded(alphabet.size())];
+    }
+    const auto loaded = LoadSnapEdgeList(
+        WriteTemp("soup" + std::to_string(trial) + ".txt", soup));
+    // Either outcome is fine; it just must not crash and, on success,
+    // produce a structurally sound graph.
+    if (loaded.ok()) {
+      const Digraph& g = loaded.value().graph;
+      int64_t degree_sum = 0;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        degree_sum += g.OutDegree(v);
+      }
+      EXPECT_EQ(degree_sum, g.NumEdges());
+    } else {
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+  }
+}
+
+TEST_F(IoFuzzTest, BinaryLoaderRejectsRandomBytes) {
+  Rng rng(314159);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string bytes;
+    const size_t len = 8 + rng.NextBounded(200);
+    for (size_t i = 0; i < len; ++i) {
+      bytes += static_cast<char>(rng.NextBounded(256));
+    }
+    const auto loaded = LoadBinary(
+        WriteTemp("bin" + std::to_string(trial) + ".bin", bytes));
+    // A random 8-byte magic matching ours is astronomically unlikely, so
+    // these must all fail cleanly.
+    EXPECT_FALSE(loaded.ok());
+  }
+}
+
+}  // namespace
+}  // namespace ddsgraph

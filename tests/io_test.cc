@@ -1,0 +1,120 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ddsgraph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, LoadsSimpleEdgeList) {
+  const std::string path = TempPath("simple.txt");
+  WriteFile(path,
+            "# a comment\n"
+            "0 1\n"
+            "1\t2\n"
+            "\n"
+            "% another comment\n"
+            "2 0\n");
+  const auto loaded = LoadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.NumVertices(), 3u);
+  EXPECT_EQ(loaded.value().graph.NumEdges(), 3);
+  EXPECT_TRUE(loaded.value().labels.empty());  // ids were already dense
+}
+
+TEST_F(IoTest, RemapsSparseLabels) {
+  const std::string path = TempPath("sparse.txt");
+  WriteFile(path, "100 200\n200 300\n");
+  const auto loaded = LoadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  const LoadedGraph& lg = loaded.value();
+  EXPECT_EQ(lg.graph.NumVertices(), 3u);
+  ASSERT_EQ(lg.labels.size(), 3u);
+  EXPECT_EQ(lg.labels[0], 100u);
+  EXPECT_EQ(lg.labels[1], 200u);
+  EXPECT_EQ(lg.labels[2], 300u);
+  EXPECT_TRUE(lg.graph.HasEdge(0, 1));
+  EXPECT_TRUE(lg.graph.HasEdge(1, 2));
+}
+
+TEST_F(IoTest, DropsSelfLoopsAndDuplicates) {
+  const std::string path = TempPath("dups.txt");
+  WriteFile(path, "0 0\n0 1\n0 1\n");
+  const auto loaded = LoadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.NumEdges(), 1);
+}
+
+TEST_F(IoTest, MissingFileIsNotFound) {
+  const auto loaded = LoadSnapEdgeList(TempPath("does_not_exist.txt"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, MalformedLineIsInvalidArgument) {
+  const std::string path = TempPath("bad.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  const auto loaded = LoadSnapEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, SnapRoundTrip) {
+  const Digraph g = UniformDigraph(40, 150, 5);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveSnapEdgeList(g, path).ok());
+  const auto loaded = LoadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.EdgeList(), g.EdgeList());
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const Digraph g = RmatDigraph(7, 800, 5);
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  const auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().EdgeList(), g.EdgeList());
+  EXPECT_EQ(loaded.value().NumVertices(), g.NumVertices());
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("garbage.bin");
+  WriteFile(path, "this is not a ddsgraph binary file at all");
+  const auto loaded = LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedFile) {
+  const Digraph g = UniformDigraph(10, 20, 1);
+  const std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  WriteFile(path, bytes.substr(0, bytes.size() / 2));
+  const auto loaded = LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  const LogSeverity original = GetLogThreshold();
+  SetLogThreshold(LogSeverity::kError);
+  EXPECT_EQ(GetLogThreshold(), LogSeverity::kError);
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, LogBelowThresholdDoesNotCrash) {
+  SetLogThreshold(LogSeverity::kWarning);
+  LOG(INFO) << "suppressed " << 42;
+  LOG(WARNING) << "visible";
+  SetLogThreshold(LogSeverity::kInfo);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  CHECK(1 + 1 == 2) << "never shown";
+  CHECK_EQ(3, 3);
+  CHECK_NE(3, 4);
+  CHECK_LT(3, 4);
+  CHECK_LE(4, 4);
+  CHECK_GT(5, 4);
+  CHECK_GE(5, 5);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ CHECK(false) << "boom"; }, "Check failed: false boom");
+}
+
+TEST(LoggingDeathTest, CheckOpReportsValues) {
+  const int lhs = 2;
+  const int rhs = 7;
+  EXPECT_DEATH({ CHECK_EQ(lhs, rhs); }, "2 vs. 7");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ LOG(FATAL) << "fatal path"; }, "fatal path");
+}
+
+}  // namespace
+}  // namespace ddsgraph

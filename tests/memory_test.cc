@@ -1,0 +1,29 @@
+#include "util/memory.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(MemoryTest, ReportsPositiveRss) {
+  EXPECT_GT(CurrentRssKib(), 0);
+  EXPECT_GT(PeakRssKib(), 0);
+}
+
+TEST(MemoryTest, PeakIsAtLeastCurrent) {
+  EXPECT_GE(PeakRssKib(), CurrentRssKib());
+}
+
+TEST(MemoryTest, PeakGrowsAfterLargeAllocation) {
+  const int64_t before = PeakRssKib();
+  // Touch ~64 MiB so it is actually resident.
+  std::vector<char> block(64 * 1024 * 1024, 1);
+  for (size_t i = 0; i < block.size(); i += 4096) block[i] = 2;
+  const int64_t after = PeakRssKib();
+  EXPECT_GE(after, before + 32 * 1024);  // at least 32 MiB growth observed
+}
+
+}  // namespace
+}  // namespace ddsgraph

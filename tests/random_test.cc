@@ -1,0 +1,118 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) differing += (a() != b()) ? 1 : 0;
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000003ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBound)];
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / kBound, 500) << "value " << v;
+  }
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomPermutationTest, IsAPermutation) {
+  Rng rng(3);
+  const std::vector<uint32_t> perm = RandomPermutation(100, rng);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(perm.size(), 100u);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(17);
+  for (uint32_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const std::vector<uint32_t> sample = SampleWithoutReplacement(100, k, rng);
+    EXPECT_EQ(sample.size(), k);
+    std::set<uint32_t> seen(sample.begin(), sample.end());
+    EXPECT_EQ(seen.size(), k);
+    for (uint32_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullSampleIsPermutation) {
+  Rng rng(19);
+  const std::vector<uint32_t> sample = SampleWithoutReplacement(64, 64, rng);
+  std::set<uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  uint64_t replay = 0;
+  EXPECT_EQ(SplitMix64(replay), first);
+  EXPECT_EQ(SplitMix64(replay), second);
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,76 @@
+#include "dds/ratio_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dds/density.h"
+
+namespace ddsgraph {
+namespace {
+
+TEST(RatioSpaceTest, MinMaxRatios) {
+  EXPECT_EQ(MinRatio(7), (Fraction{1, 7}));
+  EXPECT_EQ(MaxRatio(7), (Fraction{7, 1}));
+}
+
+TEST(IntervalDensityBoundTest, MatchesManualFormula) {
+  RatioInterval interval{Fraction{1, 2}, Fraction{2, 1}, 3.0, 4.0};
+  // phi(sqrt(4)) = phi(2) = (sqrt 2 + 1/sqrt 2)/2.
+  const double phi = (std::sqrt(2.0) + 1.0 / std::sqrt(2.0)) / 2.0;
+  EXPECT_NEAR(IntervalDensityBound(interval), 4.0 * phi, 1e-12);
+}
+
+TEST(IntervalDensityBoundTest, TightIntervalApproachesEndpointBound) {
+  RatioInterval interval{Fraction{100, 101}, Fraction{101, 100}, 5.0, 5.0};
+  EXPECT_NEAR(IntervalDensityBound(interval), 5.0, 1e-3);
+}
+
+TEST(IntervalDensityBoundTest, SoundForAnyPairInInterval) {
+  // For any (s_size, t_size, edges) with ratio inside the interval, the
+  // bound must dominate h(endpoint) * phi(ratio/endpoint) >= rho. We check
+  // the pure arithmetic: rho <= h_lo * phi(a/lo) for a in the interval
+  // implies rho <= IntervalDensityBound when h bounds are max'ed.
+  RatioInterval interval{Fraction{1, 3}, Fraction{3, 1}, 2.0, 2.5};
+  const double bound = IntervalDensityBound(interval);
+  for (double a : {0.34, 0.5, 1.0, 1.7, 2.9}) {
+    const double lo = interval.lo.ToDouble();
+    const double hi = interval.hi.ToDouble();
+    const double via_lo = interval.h_upper_lo * RatioMismatchPhi(a / lo);
+    const double via_hi = interval.h_upper_hi * RatioMismatchPhi(hi / a);
+    EXPECT_LE(std::min(via_lo, via_hi), bound + 1e-9) << "a = " << a;
+  }
+}
+
+TEST(ProbeRatioForIntervalTest, ReturnsInsideFraction) {
+  RatioInterval interval{Fraction{1, 4}, Fraction{4, 1}, 0, 0};
+  const auto probe = ProbeRatioForInterval(interval, 10);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_TRUE(FractionLess(interval.lo, *probe));
+  EXPECT_TRUE(FractionLess(*probe, interval.hi));
+  EXPECT_LE(probe->num, 10);
+  EXPECT_LE(probe->den, 10);
+  // Geometric midpoint of (1/4, 4) is 1; the probe should be exactly 1.
+  EXPECT_EQ(*probe, (Fraction{1, 1}));
+}
+
+TEST(ProbeRatioForIntervalTest, ExhaustedIntervalReturnsNullopt) {
+  // Between 1/2 and 1 the simplest fraction is 2/3; with n = 2 nothing in
+  // the box lies strictly inside.
+  RatioInterval interval{Fraction{1, 2}, Fraction{1, 1}, 0, 0};
+  EXPECT_FALSE(ProbeRatioForInterval(interval, 2).has_value());
+  EXPECT_TRUE(ProbeRatioForInterval(interval, 3).has_value());
+}
+
+TEST(ProbeRatioForIntervalTest, SkewedIntervalStaysInside) {
+  RatioInterval interval{Fraction{1, 9}, Fraction{1, 7}, 0, 0};
+  const auto probe = ProbeRatioForInterval(interval, 9);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_TRUE(FractionLess(interval.lo, *probe));
+  EXPECT_TRUE(FractionLess(*probe, interval.hi));
+  EXPECT_EQ(*probe, (Fraction{1, 8}));
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,128 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(SimplexTest, TextbookTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> opt 36 at (2, 6).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3, 5};
+  lp.AddConstraint({1, 0}, 4);
+  lp.AddConstraint({0, 2}, 12);
+  lp.AddConstraint({3, 2}, 18);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x with no constraint binding x.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 0};
+  lp.AddConstraint({0, 1}, 5);  // only bounds y
+  const LpSolution sol = SolveLp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= -1 with x >= 0 is infeasible.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.AddConstraint({1}, -1);
+  const LpSolution sol = SolveLp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeRhsFeasible) {
+  // max x s.t. -x <= -2 (i.e. x >= 2), x <= 5 -> opt 5.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.AddConstraint({-1}, -2);
+  lp.AddConstraint({1}, 5);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, MinimizationViaNegatedObjective) {
+  // min x + y s.t. x + y >= 3, encoded as max -(x+y), -(x+y) <= -3.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1, -1};
+  lp.AddConstraint({-1, -1}, -3);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -3.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum (degeneracy) —
+  // Bland's rule must still terminate.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.AddConstraint({1, 0}, 1);
+  lp.AddConstraint({0, 1}, 1);
+  lp.AddConstraint({1, 1}, 2);
+  lp.AddConstraint({2, 2}, 4);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, ZeroObjective) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {0};
+  lp.AddConstraint({1}, 3);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+TEST(SimplexTest, EqualityViaTwoInequalities) {
+  // max 2x + y s.t. x + y == 4 (as <= and >=), x <= 3 -> opt at (3,1) = 7.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2, 1};
+  lp.AddConstraint({1, 1}, 4);
+  lp.AddConstraint({-1, -1}, -4);
+  lp.AddConstraint({1, 0}, 3);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-9);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, ManyVariablesKnapsackRelaxation) {
+  // Fractional knapsack: max sum(v_i x_i), sum(w_i x_i) <= W, x_i <= 1.
+  // Items (v, w): (60,10), (100,20), (120,30); W = 50 -> optimum 240.
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.objective = {60, 100, 120};
+  lp.AddConstraint({10, 20, 30}, 50);
+  lp.AddConstraint({1, 0, 0}, 1);
+  lp.AddConstraint({0, 1, 0}, 1);
+  lp.AddConstraint({0, 0, 1}, 1);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 240.0, 1e-9);
+}
+
+TEST(SimplexDeathTest, ObjectiveArityMismatchAborts) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1};  // wrong length
+  EXPECT_DEATH(SolveLp(lp), "Check failed");
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,48 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, MeanBasic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({1, 100}), 10.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({8}), 8.0);
+  EXPECT_EQ(GeometricMean({2, 0}), 0.0);   // non-positive -> 0
+  EXPECT_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({5}, 0.9), 5.0);
+}
+
+TEST(StatsTest, SummarizeKnownSample) {
+  const Summary s = Summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace ddsgraph

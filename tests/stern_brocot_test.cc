@@ -1,0 +1,174 @@
+#include "util/stern_brocot.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(FractionTest, MakeFractionReduces) {
+  EXPECT_EQ(MakeFraction(6, 4), (Fraction{3, 2}));
+  EXPECT_EQ(MakeFraction(5, 5), (Fraction{1, 1}));
+  EXPECT_EQ(MakeFraction(0, 7), (Fraction{0, 1}));
+  EXPECT_EQ(MakeFraction(7, 1), (Fraction{7, 1}));
+}
+
+TEST(FractionTest, LessIsExact) {
+  EXPECT_TRUE(FractionLess(Fraction{1, 3}, Fraction{1, 2}));
+  EXPECT_FALSE(FractionLess(Fraction{1, 2}, Fraction{1, 3}));
+  EXPECT_FALSE(FractionLess(Fraction{2, 4}, Fraction{1, 2}));
+  // Values whose doubles collide still compare exactly.
+  EXPECT_TRUE(FractionLess(Fraction{333333333, 1000000000},
+                           Fraction{333333334, 1000000000}));
+}
+
+TEST(FractionTest, ToStringFormats) {
+  EXPECT_EQ((Fraction{3, 7}).ToString(), "3/7");
+}
+
+TEST(SimplestFractionTest, EmptyIntervalReturnsNullopt) {
+  EXPECT_FALSE(SimplestFractionBetween(Fraction{1, 2}, Fraction{1, 2})
+                   .has_value());
+  EXPECT_FALSE(SimplestFractionBetween(Fraction{2, 3}, Fraction{1, 2})
+                   .has_value());
+}
+
+TEST(SimplestFractionTest, KnownIntervals) {
+  // (1/3, 1/2) -> 2/5 is the unique fraction with the smallest denominator.
+  auto f = SimplestFractionBetween(Fraction{1, 3}, Fraction{1, 2});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, (Fraction{2, 5}));
+  // (2, 4) contains the integer 3.
+  f = SimplestFractionBetween(Fraction{2, 1}, Fraction{4, 1});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, (Fraction{3, 1}));
+  // (0, 1/10) -> 1/11.
+  f = SimplestFractionBetween(Fraction{0, 1}, Fraction{1, 10});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, (Fraction{1, 11}));
+}
+
+// Brute-force reference: smallest denominator (then numerator) fraction in
+// the open interval, searched up to a denominator bound.
+std::optional<Fraction> BruteSimplest(const Fraction& lo, const Fraction& hi,
+                                      int64_t max_den) {
+  for (int64_t q = 1; q <= max_den; ++q) {
+    for (int64_t p = 1; p <= 4 * max_den; ++p) {
+      const Fraction f = MakeFraction(p, q);
+      if (f.den != q) continue;  // not in lowest terms with this q
+      if (FractionLess(lo, f) && FractionLess(f, hi)) return f;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(SimplestFractionTest, MatchesBruteForceOnRandomIntervals) {
+  uint64_t state = 42;
+  for (int trial = 0; trial < 300; ++trial) {
+    const int64_t p1 = 1 + static_cast<int64_t>(SplitMix64(state) % 40);
+    const int64_t q1 = 1 + static_cast<int64_t>(SplitMix64(state) % 40);
+    const int64_t p2 = 1 + static_cast<int64_t>(SplitMix64(state) % 40);
+    const int64_t q2 = 1 + static_cast<int64_t>(SplitMix64(state) % 40);
+    Fraction lo = MakeFraction(p1, q1);
+    Fraction hi = MakeFraction(p2, q2);
+    if (!FractionLess(lo, hi)) std::swap(lo, hi);
+    if (!FractionLess(lo, hi)) continue;  // equal
+    const auto got = SimplestFractionBetween(lo, hi);
+    const auto want = BruteSimplest(lo, hi, 200);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_TRUE(want.has_value());
+    EXPECT_EQ(*got, *want) << "(" << lo.ToString() << ", " << hi.ToString()
+                           << ")";
+  }
+}
+
+TEST(HasRealizableRatioTest, MatchesBruteForce) {
+  const int64_t n = 7;
+  // All realizable ratios for n = 7.
+  const std::vector<Fraction> all = AllRealizableRatios(n);
+  auto brute_between = [&](const Fraction& lo, const Fraction& hi) {
+    for (const Fraction& f : all) {
+      if (FractionLess(lo, f) && FractionLess(f, hi)) return true;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i; j < all.size(); ++j) {
+      const Fraction& lo = all[i];
+      const Fraction& hi = all[j];
+      EXPECT_EQ(HasRealizableRatioBetween(lo, hi, n), brute_between(lo, hi))
+          << "(" << lo.ToString() << ", " << hi.ToString() << ")";
+    }
+  }
+}
+
+TEST(AllRealizableRatiosTest, SortedUniqueAndComplete) {
+  const std::vector<Fraction> ratios = AllRealizableRatios(5);
+  for (size_t i = 1; i < ratios.size(); ++i) {
+    EXPECT_TRUE(FractionLess(ratios[i - 1], ratios[i]));
+  }
+  // Count distinct values p/q with p,q in [1,5]: sum over reduced pairs.
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (int64_t p = 1; p <= 5; ++p) {
+    for (int64_t q = 1; q <= 5; ++q) {
+      const Fraction f = MakeFraction(p, q);
+      expected.insert({f.num, f.den});
+    }
+  }
+  EXPECT_EQ(ratios.size(), expected.size());
+  EXPECT_EQ(ratios.front(), (Fraction{1, 5}));
+  EXPECT_EQ(ratios.back(), (Fraction{5, 1}));
+}
+
+TEST(BestRationalInBoxTest, RecoversExactFractions) {
+  const Fraction f = BestRationalInBox(0.75, 10, 10);
+  EXPECT_EQ(f, (Fraction{3, 4}));
+  const Fraction g = BestRationalInBox(2.5, 10, 10);
+  EXPECT_EQ(g, (Fraction{5, 2}));
+}
+
+TEST(BestRationalInBoxTest, PiConvergent) {
+  const Fraction f = BestRationalInBox(M_PI, 1000, 1000);
+  // 355/113 is the famous convergent; nothing with num,den <= 1000 beats it.
+  EXPECT_EQ(f, (Fraction{355, 113}));
+}
+
+TEST(BestRationalInBoxTest, RespectsBox) {
+  for (double target : {0.001, 0.37, 1.0, 2.718281828, 57.3, 4000.0}) {
+    for (int64_t box : {1ll, 3ll, 10ll, 50ll}) {
+      const Fraction f = BestRationalInBox(target, box, box);
+      EXPECT_GE(f.num, 1);
+      EXPECT_GE(f.den, 1);
+      EXPECT_LE(f.num, box);
+      EXPECT_LE(f.den, box);
+    }
+  }
+}
+
+TEST(BestRationalInBoxTest, CloseToTarget) {
+  uint64_t state = 7;
+  for (int trial = 0; trial < 200; ++trial) {
+    const double target =
+        0.01 + 20.0 * (SplitMix64(state) % 10000) / 10000.0;
+    const Fraction f = BestRationalInBox(target, 50, 50);
+    // Brute-force nearest fraction in the box.
+    double best = 1e100;
+    for (int64_t p = 1; p <= 50; ++p) {
+      for (int64_t q = 1; q <= 50; ++q) {
+        best = std::min(best,
+                        std::abs(static_cast<double>(p) / q - target));
+      }
+    }
+    // Continued fractions with clamped last coefficient are near-optimal;
+    // accept up to 3x the optimal distance (plus slack for ties).
+    EXPECT_LE(std::abs(f.ToDouble() - target), 3 * best + 1e-9)
+        << "target " << target << " got " << f.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,92 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+Digraph Path5() {
+  // 0 -> 1 -> 2 -> 3 -> 4 plus a chord 0 -> 3.
+  return Digraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 3}});
+}
+
+TEST(InduceTest, KeepsInternalEdgesOnly) {
+  const Digraph g = Path5();
+  const InducedSubgraph sub = Induce(g, {0, 1, 3});
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  // Internal edges: 0->1 and 0->3. (1->2, 2->3, 3->4 leave the set.)
+  EXPECT_EQ(sub.graph.NumEdges(), 2);
+  const VertexId l0 = sub.from_original[0];
+  const VertexId l1 = sub.from_original[1];
+  const VertexId l3 = sub.from_original[3];
+  EXPECT_TRUE(sub.graph.HasEdge(l0, l1));
+  EXPECT_TRUE(sub.graph.HasEdge(l0, l3));
+}
+
+TEST(InduceTest, MappingsAreInverse) {
+  const Digraph g = Path5();
+  const InducedSubgraph sub = Induce(g, {4, 2, 0});
+  for (VertexId local = 0; local < sub.graph.NumVertices(); ++local) {
+    EXPECT_EQ(sub.from_original[sub.to_original[local]], local);
+  }
+  EXPECT_EQ(sub.from_original[1], kNoVertex);
+  EXPECT_EQ(sub.from_original[3], kNoVertex);
+}
+
+TEST(InduceTest, ToOriginalTranslatesVectors) {
+  const Digraph g = Path5();
+  const InducedSubgraph sub = Induce(g, {3, 1});
+  const std::vector<VertexId> local = {0, 1};
+  const std::vector<VertexId> original = sub.ToOriginal(local);
+  EXPECT_EQ(original, (std::vector<VertexId>{3, 1}));
+}
+
+TEST(InduceTest, EmptySelection) {
+  const Digraph g = Path5();
+  const InducedSubgraph sub = Induce(g, {});
+  EXPECT_EQ(sub.graph.NumVertices(), 0u);
+  EXPECT_EQ(sub.graph.NumEdges(), 0);
+}
+
+TEST(InduceDeathTest, DuplicateVertexAborts) {
+  const Digraph g = Path5();
+  EXPECT_DEATH(Induce(g, {1, 1}), "duplicate");
+}
+
+TEST(InducePairTest, KeepsOnlySourceToTargetEdges) {
+  const Digraph g = Path5();
+  std::vector<bool> keep_source(5, false);
+  std::vector<bool> keep_target(5, false);
+  keep_source[0] = true;   // S = {0}
+  keep_target[1] = true;   // T = {1, 3}
+  keep_target[3] = true;
+  const InducedSubgraph sub = InducePair(g, keep_source, keep_target);
+  // Vertices kept: 0, 1, 3; edges kept: 0->1, 0->3 (3->4 has 4 not kept;
+  // 1->2 has source 1 not in S).
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 2);
+}
+
+TEST(InducePairTest, OverlappingSidesKeepBothRoles) {
+  // 0 -> 1, 1 -> 0; vertex present on both sides.
+  const Digraph g = Digraph::FromEdges(2, {{0, 1}, {1, 0}});
+  std::vector<bool> both(2, true);
+  const InducedSubgraph sub = InducePair(g, both, both);
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+  EXPECT_EQ(sub.graph.NumEdges(), 2);
+}
+
+TEST(InducePairTest, VertexOnNeitherSideDropped) {
+  const Digraph g = Path5();
+  std::vector<bool> keep_source(5, false);
+  std::vector<bool> keep_target(5, false);
+  keep_source[0] = true;
+  keep_target[1] = true;
+  const InducedSubgraph sub = InducePair(g, keep_source, keep_target);
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+  EXPECT_EQ(sub.from_original[2], kNoVertex);
+  EXPECT_EQ(sub.from_original[4], kNoVertex);
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(3.14000, 4), "3.14");
+  EXPECT_EQ(FormatDouble(12.0, 4), "12");
+  EXPECT_EQ(FormatDouble(0.002, 4), "0.002");
+  EXPECT_EQ(FormatDouble(-1.5, 2), "-1.5");
+  EXPECT_EQ(FormatDouble(0.0, 4), "0");
+}
+
+TEST(FormatSecondsTest, PicksUnitAdaptively) {
+  EXPECT_EQ(FormatSeconds(12.3456), "12.346 s");
+  EXPECT_EQ(FormatSeconds(0.0451), "45.1 ms");
+  EXPECT_EQ(FormatSeconds(0.00087), "870 us");
+}
+
+TEST(TableTest, MarkdownAlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  std::ostringstream os;
+  t.PrintMarkdown(os);
+  const std::string expected =
+      "| name  | value |\n"
+      "|-------|-------|\n"
+      "| alpha | 1     |\n"
+      "| b     | 12345 |\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1", "2", "3"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TableTest, CountsRowsAndCols) {
+  Table t({"x"});
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.NumCols(), 1u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,46 @@
+#include "graph/wcc.h"
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(WccTest, EmptyGraph) {
+  const WccResult wcc = WeaklyConnectedComponents(Digraph());
+  EXPECT_EQ(wcc.num_components, 0u);
+}
+
+TEST(WccTest, IsolatedVerticesAreSingletons) {
+  const Digraph g = Digraph::FromEdges(3, {});
+  const WccResult wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, 3u);
+}
+
+TEST(WccTest, DirectionIsIgnored) {
+  // 0 -> 1 and 2 -> 1: weakly one component despite no directed path 0..2.
+  const Digraph g = Digraph::FromEdges(3, {{0, 1}, {2, 1}});
+  const WccResult wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, 1u);
+  EXPECT_EQ(wcc.component[0], wcc.component[2]);
+}
+
+TEST(WccTest, TwoComponents) {
+  const Digraph g = Digraph::FromEdges(5, {{0, 1}, {1, 2}, {3, 4}});
+  const WccResult wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, 2u);
+  EXPECT_EQ(wcc.component[0], wcc.component[2]);
+  EXPECT_NE(wcc.component[0], wcc.component[3]);
+}
+
+TEST(WccTest, MembersGroupsAllVertices) {
+  const Digraph g = Digraph::FromEdges(6, {{0, 1}, {2, 3}, {3, 2}});
+  const WccResult wcc = WeaklyConnectedComponents(g);
+  const auto members = wcc.Members();
+  EXPECT_EQ(members.size(), wcc.num_components);
+  size_t total = 0;
+  for (const auto& group : members) total += group.size();
+  EXPECT_EQ(total, g.NumVertices());
+}
+
+}  // namespace
+}  // namespace ddsgraph

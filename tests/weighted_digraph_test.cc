@@ -1,0 +1,80 @@
+#include "graph/weighted_digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ddsgraph {
+namespace {
+
+TEST(WeightedDigraphTest, EmptyGraph) {
+  WeightedDigraph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.TotalWeight(), 0);
+}
+
+TEST(WeightedDigraphTest, BasicAccessors) {
+  const WeightedDigraph g = WeightedDigraph::FromEdges(
+      3, {{0, 1, 2}, {0, 2, 5}, {1, 2, 1}});
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_EQ(g.TotalWeight(), 8);
+  EXPECT_EQ(g.WeightedOutDegree(0), 7);
+  EXPECT_EQ(g.WeightedInDegree(2), 6);
+  EXPECT_EQ(g.MaxWeightedOutDegree(), 7);
+  EXPECT_EQ(g.MaxWeightedInDegree(), 6);
+}
+
+TEST(WeightedDigraphTest, ParallelEdgesMergeBySummingWeights) {
+  const WeightedDigraph g =
+      WeightedDigraph::FromEdges(2, {{0, 1, 2}, {0, 1, 3}, {0, 1, 1}});
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.TotalWeight(), 6);
+  EXPECT_EQ(g.OutWeights(0)[0], 6);
+}
+
+TEST(WeightedDigraphTest, SelfLoopsAndNonPositiveWeightsDropped) {
+  const WeightedDigraph g = WeightedDigraph::FromEdges(
+      3, {{0, 0, 4}, {0, 1, 0}, {1, 2, -2}, {0, 1, 3}});
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.TotalWeight(), 3);
+}
+
+TEST(WeightedDigraphTest, FromDigraphHasUnitWeights) {
+  const Digraph base = UniformDigraph(30, 120, 7);
+  const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
+  EXPECT_EQ(g.NumEdges(), base.NumEdges());
+  EXPECT_EQ(g.TotalWeight(), base.NumEdges());
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    EXPECT_EQ(g.WeightedOutDegree(v), base.OutDegree(v));
+    EXPECT_EQ(g.WeightedInDegree(v), base.InDegree(v));
+  }
+}
+
+TEST(WeightedDigraphTest, ReversedPreservesWeights) {
+  const WeightedDigraph g =
+      WeightedDigraph::FromEdges(3, {{0, 1, 2}, {1, 2, 7}});
+  const WeightedDigraph r = g.Reversed();
+  EXPECT_EQ(r.TotalWeight(), g.TotalWeight());
+  EXPECT_EQ(r.WeightedOutDegree(2), 7);
+  EXPECT_EQ(r.WeightedInDegree(0), 2);
+  // Double reversal round-trips.
+  EXPECT_EQ(r.Reversed().EdgeList(), g.EdgeList());
+}
+
+TEST(WeightedDigraphTest, EdgeListSortedAndMerged) {
+  const WeightedDigraph g = WeightedDigraph::FromEdges(
+      3, {{2, 0, 1}, {0, 2, 4}, {0, 1, 2}});
+  const std::vector<WeightedEdge> edges = g.EdgeList();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (WeightedEdge{0, 1, 2}));
+  EXPECT_EQ(edges[1], (WeightedEdge{0, 2, 4}));
+  EXPECT_EQ(edges[2], (WeightedEdge{2, 0, 1}));
+}
+
+TEST(WeightedDigraphDeathTest, OutOfRangeEndpointAborts) {
+  EXPECT_DEATH(WeightedDigraph::FromEdges(2, {{0, 2, 1}}), "Check failed");
+}
+
+}  // namespace
+}  // namespace ddsgraph

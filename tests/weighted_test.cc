@@ -1,0 +1,187 @@
+#include "dds/weighted_dds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/core_approx.h"
+#include "core/weighted_xy_core.h"
+#include "core/xy_core_decomposition.h"
+#include "dds/core_exact.h"
+#include "dds/naive_exact.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ddsgraph {
+namespace {
+
+// Random weighted graph with weights in [1, max_w].
+WeightedDigraph RandomWeighted(uint32_t n, int64_t arcs, int64_t max_w,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (int64_t i = 0; i < arcs; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    edges.push_back(WeightedEdge{
+        u, v, static_cast<int64_t>(1 + rng.NextBounded(max_w))});
+  }
+  return WeightedDigraph::FromEdges(n, std::move(edges));
+}
+
+TEST(WeightedDensityTest, MatchesManualComputation) {
+  const WeightedDigraph g =
+      WeightedDigraph::FromEdges(3, {{0, 1, 3}, {0, 2, 5}, {1, 2, 2}});
+  EXPECT_EQ(WeightedPairWeight(g, {0}, {1, 2}), 8);
+  EXPECT_NEAR(WeightedDensity(g, {0}, {1, 2}), 8.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(WeightedDensity(g, {}, {1}), 0.0);
+}
+
+TEST(WeightedXyCoreTest, UnitWeightsMatchUnweightedCore) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Digraph base = UniformDigraph(30, 140, seed);
+    const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
+    for (int64_t x = 0; x <= 4; ++x) {
+      for (int64_t y = 0; y <= 4; ++y) {
+        const XyCore weighted = ComputeWeightedXyCore(g, x, y);
+        const XyCore plain = ComputeXyCore(base, x, y);
+        EXPECT_EQ(weighted.s, plain.s) << "x=" << x << " y=" << y;
+        EXPECT_EQ(weighted.t, plain.t) << "x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(WeightedXyCoreTest, WeightsActAsMultiplicities) {
+  // One edge of weight 5: S side has weighted out-degree 5.
+  const WeightedDigraph g = WeightedDigraph::FromEdges(2, {{0, 1, 5}});
+  EXPECT_FALSE(ComputeWeightedXyCore(g, 5, 5).Empty());
+  EXPECT_TRUE(ComputeWeightedXyCore(g, 6, 1).Empty());
+  EXPECT_TRUE(ComputeWeightedXyCore(g, 1, 6).Empty());
+  EXPECT_TRUE(IsValidWeightedXyCore(g, ComputeWeightedXyCore(g, 5, 5), 5, 5));
+}
+
+TEST(WeightedMaxYForXTest, UnitWeightsMatchUnweighted) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Digraph base = UniformDigraph(40, 220, seed);
+    const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
+    for (int64_t x = 1; x <= 6; ++x) {
+      EXPECT_EQ(WeightedMaxYForX(g, x), MaxYForX(base, x))
+          << "seed " << seed << " x " << x;
+    }
+  }
+}
+
+TEST(WeightedMaxYForXTest, MatchesBruteForceWithWeights) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const WeightedDigraph g = RandomWeighted(20, 70, 4, seed);
+    for (int64_t x = 1; x <= 8; ++x) {
+      int64_t brute = 0;
+      for (int64_t y = 1; y <= g.MaxWeightedInDegree(); ++y) {
+        if (ComputeWeightedXyCore(g, x, y).Empty()) break;
+        brute = y;
+      }
+      EXPECT_EQ(WeightedMaxYForX(g, x), brute)
+          << "seed " << seed << " x " << x;
+    }
+  }
+}
+
+TEST(WeightedCoreApproxTest, UnitWeightsMatchUnweighted) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const Digraph base = RmatDigraph(6, 300, seed);
+    const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
+    const WeightedCoreApproxResult weighted = WeightedCoreApprox(g);
+    const CoreApproxResult plain = CoreApprox(base);
+    EXPECT_EQ(weighted.best_x * weighted.best_y,
+              plain.best_x * plain.best_y)
+        << "seed " << seed;
+    EXPECT_NEAR(weighted.density, plain.density, 1e-12);
+  }
+}
+
+TEST(WeightedNaiveExactTest, SimpleWeightedStar) {
+  // 0 -> 1 (w 9), 0 -> 2 (w 1): best is ({0},{1}) with rho 9, beating
+  // ({0},{1,2}) with 10/sqrt(2) ~ 7.07.
+  const WeightedDigraph g =
+      WeightedDigraph::FromEdges(3, {{0, 1, 9}, {0, 2, 1}});
+  const DdsSolution sol = WeightedNaiveExact(g);
+  EXPECT_NEAR(sol.density, 9.0, 1e-12);
+  EXPECT_EQ(sol.pair.t, (std::vector<VertexId>{1}));
+}
+
+TEST(WeightedNaiveExactTest, UnitWeightsMatchUnweighted) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Digraph base = UniformDigraph(7, 20, seed);
+    const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
+    EXPECT_NEAR(WeightedNaiveExact(g).density, NaiveExact(base).density,
+                1e-12)
+        << "seed " << seed;
+  }
+}
+
+// The headline cross-checks for the weighted extension.
+class WeightedExactTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedExactTest, CoreExactMatchesNaive) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const WeightedDigraph g = RandomWeighted(8, 26, 5, seed);
+  if (g.TotalWeight() == 0) return;
+  const DdsSolution naive = WeightedNaiveExact(g);
+  const DdsSolution core = WeightedCoreExact(g);
+  EXPECT_NEAR(core.density, naive.density, 1e-6) << "seed " << seed;
+  EXPECT_NEAR(core.density, WeightedDensity(g, core.pair.s, core.pair.t),
+              1e-12);
+}
+
+TEST_P(WeightedExactTest, ApproxGuaranteeHolds) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const WeightedDigraph g = RandomWeighted(9, 30, 6, seed + 100);
+  if (g.TotalWeight() == 0) return;
+  const DdsSolution naive = WeightedNaiveExact(g);
+  const WeightedCoreApproxResult approx = WeightedCoreApprox(g);
+  ASSERT_FALSE(approx.Empty());
+  EXPECT_GE(approx.density * 2.0 + 1e-9, naive.density) << "seed " << seed;
+  EXPECT_LE(naive.density, approx.upper_bound + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedExactTest, ::testing::Range(0, 20));
+
+TEST(WeightedExactTest, UnitWeightsMatchUnweightedCoreExact) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Digraph base = UniformDigraph(30, 150, seed);
+    const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
+    const DdsSolution weighted = WeightedCoreExact(g);
+    const DdsSolution plain = CoreExact(base);
+    EXPECT_NEAR(weighted.density, plain.density, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(WeightedExactTest, ScalingWeightsScalesDensityLinearly) {
+  const WeightedDigraph g = RandomWeighted(10, 40, 3, 99);
+  std::vector<WeightedEdge> scaled = g.EdgeList();
+  for (WeightedEdge& e : scaled) e.weight *= 7;
+  const WeightedDigraph g7 =
+      WeightedDigraph::FromEdges(g.NumVertices(), std::move(scaled));
+  const DdsSolution a = WeightedCoreExact(g);
+  const DdsSolution b = WeightedCoreExact(g7);
+  EXPECT_NEAR(b.density, 7.0 * a.density, 1e-6);
+}
+
+TEST(WeightedExactTest, HeavyEdgeDominatesManyLightOnes) {
+  // A 3x3 unit block (rho 3) against a single edge of weight 10.
+  std::vector<WeightedEdge> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 3; v < 6; ++v) edges.push_back({u, v, 1});
+  }
+  edges.push_back({6, 7, 10});
+  const WeightedDigraph g = WeightedDigraph::FromEdges(8, edges);
+  const DdsSolution sol = WeightedCoreExact(g);
+  EXPECT_NEAR(sol.density, 10.0, 1e-6);
+  EXPECT_EQ(sol.pair.s, (std::vector<VertexId>{6}));
+  EXPECT_EQ(sol.pair.t, (std::vector<VertexId>{7}));
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,0 +1,139 @@
+#include "core/xy_core_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "core/xy_core.h"
+#include "graph/generators.h"
+
+namespace ddsgraph {
+namespace {
+
+// Reference: largest y with non-empty [x,y]-core by direct peeling per y.
+int64_t BruteMaxYForX(const Digraph& g, int64_t x) {
+  int64_t best = 0;
+  for (int64_t y = 1; y <= g.MaxInDegree(); ++y) {
+    if (ComputeXyCore(g, x, y).Empty()) break;
+    best = y;
+  }
+  return best;
+}
+
+TEST(MaxYForXTest, EmptyGraph) {
+  EXPECT_EQ(MaxYForX(Digraph::FromEdges(5, {}), 1), 0);
+}
+
+TEST(MaxYForXTest, SingleEdge) {
+  const Digraph g = Digraph::FromEdges(2, {{0, 1}});
+  EXPECT_EQ(MaxYForX(g, 1), 1);
+  EXPECT_EQ(MaxYForX(g, 2), 0);
+}
+
+TEST(MaxYForXTest, Biclique) {
+  // 3x4 biclique: [x,y]-core non-empty iff x <= 4 and y <= 3.
+  const Digraph g = BicliqueWithNoise(7, 3, 4, 0, 1);
+  EXPECT_EQ(MaxYForX(g, 1), 3);
+  EXPECT_EQ(MaxYForX(g, 4), 3);
+  EXPECT_EQ(MaxYForX(g, 5), 0);
+}
+
+TEST(MaxYForXTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    const Digraph g = UniformDigraph(40, 250, seed);
+    for (int64_t x = 1; x <= 8; ++x) {
+      EXPECT_EQ(MaxYForX(g, x), BruteMaxYForX(g, x))
+          << "seed " << seed << " x " << x;
+    }
+  }
+}
+
+TEST(MaxYForXTest, MatchesBruteForceOnPowerLawGraphs) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Digraph g = RmatDigraph(7, 1000, seed);
+    for (int64_t x = 1; x <= 6; ++x) {
+      EXPECT_EQ(MaxYForX(g, x), BruteMaxYForX(g, x))
+          << "seed " << seed << " x " << x;
+    }
+  }
+}
+
+TEST(CoreSkylineTest, IsNonIncreasing) {
+  const Digraph g = RmatDigraph(8, 3000, 3);
+  const std::vector<SkylinePoint> skyline = CoreSkyline(g);
+  ASSERT_FALSE(skyline.empty());
+  for (size_t i = 1; i < skyline.size(); ++i) {
+    EXPECT_EQ(skyline[i].x, skyline[i - 1].x + 1);
+    EXPECT_LE(skyline[i].y, skyline[i - 1].y);
+  }
+}
+
+TEST(CoreSkylineTest, PointsAreRealizedAndMaximal) {
+  const Digraph g = UniformDigraph(60, 500, 8);
+  for (const SkylinePoint& p : CoreSkyline(g, 6)) {
+    EXPECT_FALSE(ComputeXyCore(g, p.x, p.y).Empty());
+    EXPECT_TRUE(ComputeXyCore(g, p.x, p.y + 1).Empty());
+  }
+}
+
+TEST(CoreSkylineTest, RespectsLimit) {
+  const Digraph g = UniformDigraph(60, 600, 9);
+  const auto skyline = CoreSkyline(g, 3);
+  EXPECT_LE(skyline.size(), 3u);
+}
+
+TEST(FixedXCoreNumbersTest, MembershipMatchesDirectCores) {
+  // The defining property: {s,t}_number[v] >= y iff v is in the
+  // corresponding side of the [x,y]-core.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Digraph g = UniformDigraph(35, 200, seed);
+    for (int64_t x = 1; x <= 5; ++x) {
+      const FixedXCoreNumbers numbers = ComputeFixedXCoreNumbers(g, x);
+      EXPECT_EQ(numbers.y_max, MaxYForX(g, x));
+      for (int64_t y = 0; y <= numbers.y_max + 1; ++y) {
+        const XyCore core = ComputeXyCore(g, x, y);
+        std::vector<bool> in_s(g.NumVertices(), false);
+        std::vector<bool> in_t(g.NumVertices(), false);
+        for (VertexId u : core.s) in_s[u] = true;
+        for (VertexId v : core.t) in_t[v] = true;
+        for (VertexId v = 0; v < g.NumVertices(); ++v) {
+          EXPECT_EQ(numbers.s_number[v] >= y, in_s[v])
+              << "seed " << seed << " x " << x << " y " << y << " v " << v;
+          EXPECT_EQ(numbers.t_number[v] >= y, in_t[v])
+              << "seed " << seed << " x " << x << " y " << y << " v " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(FixedXCoreNumbersTest, NumbersShrinkAsXGrows) {
+  const Digraph g = RmatDigraph(7, 900, 13);
+  const FixedXCoreNumbers a = ComputeFixedXCoreNumbers(g, 1);
+  const FixedXCoreNumbers b = ComputeFixedXCoreNumbers(g, 3);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LE(b.s_number[v], a.s_number[v]);
+    EXPECT_LE(b.t_number[v], a.t_number[v]);
+  }
+}
+
+TEST(FixedXCoreNumbersTest, BicliqueNumbers) {
+  // 3x4 biclique: S side survives up to y = 3, T side likewise; outside
+  // vertices have s_number -1 (no out-edges) and t_number 0.
+  const Digraph g = BicliqueWithNoise(8, 3, 4, 0, 1);
+  const FixedXCoreNumbers numbers = ComputeFixedXCoreNumbers(g, 2);
+  EXPECT_EQ(numbers.y_max, 3);
+  for (VertexId u = 0; u < 3; ++u) EXPECT_EQ(numbers.s_number[u], 3);
+  for (VertexId v = 3; v < 7; ++v) EXPECT_EQ(numbers.t_number[v], 3);
+  EXPECT_EQ(numbers.s_number[7], -1);
+  EXPECT_EQ(numbers.t_number[7], 0);
+}
+
+TEST(FixedXCoreNumbersTest, EmptyGraph) {
+  const FixedXCoreNumbers numbers =
+      ComputeFixedXCoreNumbers(Digraph::FromEdges(4, {}), 1);
+  EXPECT_EQ(numbers.y_max, 0);
+  for (int64_t s : numbers.s_number) EXPECT_EQ(s, -1);
+  for (int64_t t : numbers.t_number) EXPECT_EQ(t, 0);
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,9 +1,16 @@
 // E10 — microbenchmarks (google-benchmark): substrate throughput.
 //
 // Not a paper figure; engineering data backing the design choices in
-// DESIGN.md: Dinic vs push-relabel on DDS feasibility networks, [x,y]-core
+// DESIGN.md: Dinic vs push-relabel on DDS feasibility networks, the
+// parametric probe engine versus fresh-build-per-guess probing, [x,y]-core
 // peeling throughput, the fixed-x decomposition sweep, and the full
 // CoreApprox pass.
+//
+// Machine-readable output: pass
+//   --benchmark_out=BENCH_e10.json --benchmark_out_format=json
+// and the per-benchmark counters below (networks_built, networks_reused,
+// warm_start_augmentations, binary_search_iters) land in the JSON so the
+// perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +19,7 @@
 #include "core/core_approx.h"
 #include "core/xy_core.h"
 #include "core/xy_core_decomposition.h"
+#include "dds/core_exact.h"
 #include "dds/peel_approx.h"
 #include "flow/dds_network.h"
 #include "flow/dinic.h"
@@ -61,6 +69,81 @@ void BM_PushRelabelOnDdsNetwork(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.NumEdges());
 }
 BENCHMARK(BM_PushRelabelOnDdsNetwork)->Arg(8)->Arg(10)->Arg(12);
+
+// The parametric probe engine (DESIGN.md §7) against fresh-build-per-guess
+// probing: one complete ProbeRatio binary search at ratio 1, either
+// reusing + warm-starting one network per candidate snapshot or rebuilding
+// and re-solving that same snapshot from scratch at every guess. Same
+// trajectories, so the speedup is pure engine win.
+void ProbeRatioBenchmark(benchmark::State& state, bool incremental) {
+  const Digraph g = BenchGraph(state.range(0));
+  const std::vector<VertexId> all = AllVertices(g);
+  const double upper = std::sqrt(static_cast<double>(g.NumEdges()));
+  const double delta = ExactSearchDelta(g);
+  ProbeWorkspace workspace;
+  RatioProbeResult result;
+  for (auto _ : state) {
+    result = ProbeRatio(g, all, all, Fraction{1, 1}, 0.0, upper, delta,
+                        /*refine_cores=*/true, /*record_sizes=*/false,
+                        /*stop_below=*/0.0, &workspace, incremental);
+    benchmark::DoNotOptimize(result.h_upper);
+  }
+  state.counters["networks_built"] =
+      static_cast<double>(result.networks_built);
+  state.counters["networks_reused"] =
+      static_cast<double>(result.networks_reused);
+  state.counters["warm_start_augmentations"] =
+      static_cast<double>(result.warm_start_augmentations);
+  state.counters["binary_search_iters"] =
+      static_cast<double>(result.iterations);
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+
+void BM_ProbeRatioParametric(benchmark::State& state) {
+  ProbeRatioBenchmark(state, /*incremental=*/true);
+}
+BENCHMARK(BM_ProbeRatioParametric)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_ProbeRatioFreshBuild(benchmark::State& state) {
+  ProbeRatioBenchmark(state, /*incremental=*/false);
+}
+BENCHMARK(BM_ProbeRatioFreshBuild)->Arg(8)->Arg(10)->Arg(12);
+
+// Reparameterize + warm re-solve of a single network across a guess
+// swing, against rebuild + cold solve of the same two networks.
+void BM_ReparameterizeSwing(benchmark::State& state) {
+  const Digraph g = BenchGraph(state.range(0));
+  const std::vector<VertexId> all = AllVertices(g);
+  const double upper = std::sqrt(static_cast<double>(g.NumEdges()));
+  DdsNetwork net = BuildDdsNetwork(g, all, all, 1.0, 0.5 * upper);
+  Dinic dinic(&net.net);
+  dinic.Solve(net.source, net.sink);
+  for (auto _ : state) {
+    net.Reparameterize(0.6 * upper);
+    dinic.Resolve(net.source, net.sink);
+    net.Reparameterize(0.5 * upper);
+    dinic.Resolve(net.source, net.sink);
+  }
+  state.SetItemsProcessed(2 * state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_ReparameterizeSwing)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_RebuildSwing(benchmark::State& state) {
+  const Digraph g = BenchGraph(state.range(0));
+  const std::vector<VertexId> all = AllVertices(g);
+  const double upper = std::sqrt(static_cast<double>(g.NumEdges()));
+  DdsBuildScratch scratch;
+  for (auto _ : state) {
+    for (double factor : {0.6, 0.5}) {
+      DdsNetwork net =
+          BuildDdsNetwork(g, all, all, 1.0, factor * upper, &scratch);
+      Dinic dinic(&net.net);
+      benchmark::DoNotOptimize(dinic.Solve(net.source, net.sink));
+    }
+  }
+  state.SetItemsProcessed(2 * state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_RebuildSwing)->Arg(8)->Arg(10)->Arg(12);
 
 void BM_XyCorePeel(benchmark::State& state) {
   const Digraph g = BenchGraph(state.range(0));

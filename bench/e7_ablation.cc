@@ -2,13 +2,17 @@
 //
 // The exact engine's optimizations are toggled one at a time, forming a
 // ladder from the baseline to the full CoreExact:
-//   baseline  : enumerate all ratios, whole-graph flows
-//   +dc       : divide & conquer over ratio intervals
-//   +cores    : locate candidates in [x,y]-cores per interval
-//   +refine   : re-peel cores as the binary search lower bound rises
-//   +warm     : seed the incumbent with CoreApprox (full CoreExact)
-// Every rung reports runtime and total min-cut computations; densities are
-// cross-checked for equality (the flags are pure optimizations).
+//   baseline    : enumerate all ratios, whole-graph flows, rebuild the
+//                 network at every binary-search guess
+//   +parametric : reuse + reparameterize the network across guesses and
+//                 warm-start the flow (DESIGN.md §7)
+//   +dc         : divide & conquer over ratio intervals
+//   +cores      : locate candidates in [x,y]-cores per interval
+//   +refine     : re-peel cores as the binary search lower bound rises
+//   +warm       : seed the incumbent with CoreApprox (full CoreExact)
+// Every rung reports runtime and network builds vs parametric reuses;
+// densities are cross-checked for equality (the flags are pure
+// optimizations).
 
 #include <cmath>
 #include <cstdio>
@@ -35,8 +39,12 @@ std::vector<Rung> Ladder() {
   baseline.core_pruning = false;
   baseline.refine_cores_in_probe = false;
   baseline.approx_warm_start = false;
+  baseline.incremental_probe = false;
   rungs.push_back({"baseline", baseline});
-  ExactOptions dc = baseline;
+  ExactOptions parametric = baseline;
+  parametric.incremental_probe = true;
+  rungs.push_back({"+parametric", parametric});
+  ExactOptions dc = parametric;
   dc.divide_and_conquer = true;
   rungs.push_back({"+dc", dc});
   ExactOptions cores = dc;
@@ -61,7 +69,8 @@ int Main(int argc, const char* const* argv) {
     std::printf("### %s (n=%u, m=%lld)\n", d.name.c_str(),
                 d.graph.NumVertices(),
                 static_cast<long long>(d.graph.NumEdges()));
-    Table t({"variant", "time", "ratios", "cuts", "max-net-nodes", "rho"});
+    Table t({"variant", "time", "ratios", "built", "reused",
+             "max-net-nodes", "rho"});
     double reference = -1;
     for (const Rung& rung : Ladder()) {
       DdsSolution sol;
@@ -76,6 +85,7 @@ int Main(int argc, const char* const* argv) {
       t.AddRow({rung.name, FormatSeconds(secs),
                 std::to_string(sol.stats.ratios_probed),
                 std::to_string(sol.stats.flow_networks_built),
+                std::to_string(sol.stats.flow_networks_reused),
                 std::to_string(sol.stats.max_network_nodes),
                 FormatDouble(sol.density, 4)});
     }

@@ -2,10 +2,13 @@
 // "size of flow network" figure).
 //
 // For one ratio probe at the optimum's neighbourhood, the per-iteration
-// node counts of the constructed flow networks, with and without core
-// refinement. The expected shape: the unrefined probe keeps rebuilding
-// full-size networks while the refined one collapses by orders of
-// magnitude as the lower bound rises.
+// node counts of the solved flow networks, with and without core
+// refinement. The expected shape: the unrefined probe stays at the
+// full-size network while the refined one collapses by orders of
+// magnitude as the lower bound rises. Since the parametric engine
+// (DESIGN.md §7) reuses one network per candidate snapshot, the refined
+// trace steps down at each snapshot rebuild rather than shrinking at
+// every single iteration as the seed's rebuild-per-guess probing did.
 
 #include <algorithm>
 #include <cmath>

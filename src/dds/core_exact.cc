@@ -32,12 +32,17 @@ struct EngineState {
   double upper_global = 0;
   DdsPair incumbent;
   double incumbent_density = 0;
+  /// Build scratch shared by every probe of the solve, so per-network
+  /// construction cost tracks the candidate sets, not O(n) (DESIGN.md §7).
+  ProbeWorkspace workspace;
   SolverStats stats;
 };
 
 void AbsorbProbeStats(const RatioProbeResult& probe, EngineState* state) {
   ++state->stats.ratios_probed;
   state->stats.flow_networks_built += probe.networks_built;
+  state->stats.flow_networks_reused += probe.networks_reused;
+  state->stats.warm_start_augmentations += probe.warm_start_augmentations;
   state->stats.binary_search_iters += probe.iterations;
   state->stats.max_network_nodes =
       std::max(state->stats.max_network_nodes, probe.max_network_nodes);
@@ -102,7 +107,9 @@ ContextProbe ProbeInContext(const Fraction& ratio, const Fraction& lo_ctx,
   result.probe = ProbeRatio(g, s_cand, t_cand, ratio, /*lower_start=*/0.0,
                             state->upper_global, state->delta,
                             state->options.refine_cores_in_probe,
-                            state->options.record_network_sizes, stop_below);
+                            state->options.record_network_sizes, stop_below,
+                            &state->workspace,
+                            state->options.incremental_probe);
   AbsorbProbeStats(result.probe, state);
   MaybeUpdateIncumbent(result.probe, state);
   return result;
@@ -179,8 +186,11 @@ RatioProbeResult ProbeRatio(const Digraph& g,
                             const Fraction& ratio, double lower_start,
                             double upper_start, double delta,
                             bool refine_cores, bool record_sizes,
-                            double stop_below) {
+                            double stop_below, ProbeWorkspace* workspace,
+                            bool incremental) {
   CHECK_GT(delta, 0.0);
+  ProbeWorkspace local_workspace;
+  if (workspace == nullptr) workspace = &local_workspace;
   RatioProbeResult result;
   result.last_feasible = lower_start;
   result.h_upper = upper_start;
@@ -192,19 +202,43 @@ RatioProbeResult ProbeRatio(const Digraph& g,
   std::vector<VertexId> cur_s = s_candidates;
   std::vector<VertexId> cur_t = t_candidates;
 
+  // Parametric probe state (DESIGN.md §7). The network is built on a
+  // snapshot of the candidate sets and stays valid for every guess whose
+  // per-guess core is contained in that snapshot: rising guesses shrink
+  // the core, so they always reuse; a guess falling below every level
+  // built so far can outgrow the snapshot and forces a rebuild.
+  // `network.net` lives at a stable address across rebuild-by-assignment,
+  // so `dinic` wraps it once and its residual state carries over.
+  DdsNetwork network;
+  Dinic dinic(&network.net);
+  bool network_valid = false;
+  std::vector<VertexId> built_s;  // candidate-set snapshot of `network`
+  std::vector<VertexId> built_t;
+
+  const auto contained_in_network = [&](const std::vector<VertexId>& s,
+                                        const std::vector<VertexId>& t) {
+    for (VertexId v : s) {
+      if (!workspace->built_s_marks.Contains(v)) return false;
+    }
+    for (VertexId v : t) {
+      if (!workspace->built_t_marks.Contains(v)) return false;
+    }
+    return true;
+  };
+
   while (u - l >= delta && u > stop_below) {
     const double guess = 0.5 * (l + u);
     if (guess <= l || guess >= u) break;  // double precision exhausted
     ++result.iterations;
 
+    // The maximizer of the linearized objective at value > guess has
+    // S-side degrees > guess/(2 sqrt a) and T-side degrees >
+    // guess*sqrt(a)/2 within the candidates, so feasibility of `guess`
+    // is unchanged when restricting to this core.
     const std::vector<VertexId>* net_s = &cur_s;
     const std::vector<VertexId>* net_t = &cur_t;
     XyCore refined;
     if (refine_cores) {
-      // The maximizer of the linearized objective at value > guess has
-      // S-side degrees > guess/(2 sqrt a) and T-side degrees >
-      // guess*sqrt(a)/2 within the candidates, so feasibility of `guess`
-      // is unchanged when restricting to this core.
       const int64_t x_c = SideThreshold(guess / (2.0 * sqrt_a));
       const int64_t y_c = SideThreshold(guess * sqrt_a / 2.0);
       refined = ComputeXyCoreWithin(g, x_c, y_c, cur_s, cur_t);
@@ -216,18 +250,51 @@ RatioProbeResult ProbeRatio(const Digraph& g,
       net_t = &refined.t;
     }
 
-    DdsNetwork network =
-        BuildDdsNetwork(g, *net_s, *net_t, sqrt_a, guess);
-    ++result.networks_built;
+    // Reuse test: the snapshot the current network was built on must
+    // contain every potential witness for this guess. The snapshot is
+    // refreshed only when the test fails, in both modes, so incremental
+    // and fresh-build-per-guess runs solve min cuts over identical node
+    // sets and follow bit-identical trajectories.
+    const bool network_sufficient =
+        network_valid && contained_in_network(*net_s, *net_t);
+    if (!network_sufficient) {
+      built_s = *net_s;
+      built_t = *net_t;
+      workspace->built_s_marks.Clear(g.NumVertices());
+      workspace->built_t_marks.Clear(g.NumVertices());
+      for (VertexId v : built_s) workspace->built_s_marks.Insert(v);
+      for (VertexId v : built_t) workspace->built_t_marks.Insert(v);
+    }
+    const bool reuse = incremental && network_sufficient;
+    if (reuse) {
+      // Only the two sink-arc capacity families depend on the guess:
+      // retarget them in O(|A|+|B|), keeping the feasible part of the
+      // previous flow, instead of rebuilding O(nodes + arcs).
+      network.Reparameterize(guess);
+      ++result.networks_reused;
+    } else {
+      network = BuildDdsNetwork(g, built_s, built_t, sqrt_a, guess,
+                                &workspace->build_scratch);
+      network_valid = true;
+      ++result.networks_built;
+    }
     result.max_network_nodes =
         std::max<int64_t>(result.max_network_nodes, network.NumNodes());
     if (record_sizes) result.network_sizes.push_back(network.NumNodes());
     if (network.num_pair_edges == 0) {
+      // No candidate pair edge in the network: every positive guess over
+      // these candidates is infeasible.
       u = guess;
       continue;
     }
-    Dinic dinic(&network.net);
-    dinic.Solve(network.source, network.sink);
+    if (reuse) {
+      const int64_t augmentations_before = dinic.num_augmentations();
+      dinic.Resolve(network.source, network.sink);
+      result.warm_start_augmentations +=
+          dinic.num_augmentations() - augmentations_before;
+    } else {
+      dinic.Solve(network.source, network.sink);
+    }
     const std::vector<bool> side =
         SourceSideOfMinCut(network.net, network.source);
     ExtractedPair extracted = ExtractPairFromCut(network, side);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dds/result.h"
+#include "flow/dds_network.h"
 #include "graph/digraph.h"
 #include "util/stern_brocot.h"
 
@@ -49,6 +50,16 @@ struct ExactOptions {
   bool refine_cores_in_probe = true;
   /// Seed the incumbent (and the global upper bound) with CoreApprox.
   bool approx_warm_start = true;
+  /// Run each ratio probe on the parametric engine: build the flow network
+  /// once per candidate set, Reparameterize between binary-search guesses,
+  /// and warm-start the max flow from the previous residual state
+  /// (DESIGN.md §7). Off = rebuild + cold-solve at every guess over the
+  /// same candidate snapshots (so both modes follow bit-identical
+  /// trajectories), kept for equivalence testing and the E7 ablation.
+  /// Note this is *not* byte-for-byte the seed algorithm: the seed built
+  /// each guess's network on the per-guess refined core, which can be
+  /// smaller than the snapshot this engine solves on.
+  bool incremental_probe = true;
   /// Record per-network node counts in SolverStats::network_sizes.
   bool record_network_sizes = false;
   /// Safety limit for the non-D&C exhaustive ratio enumeration, which
@@ -69,9 +80,27 @@ struct RatioProbeResult {
   double best_density = 0;
   int64_t iterations = 0;
   int64_t networks_built = 0;
+  /// Guesses served by reparameterizing the existing network instead of
+  /// rebuilding it (always 0 when the probe runs non-incrementally).
+  int64_t networks_reused = 0;
+  /// Augmenting paths pushed by warm-started re-solves.
+  int64_t warm_start_augmentations = 0;
   int64_t max_network_nodes = 0;
   /// Per-network node counts; filled only when record_sizes is set.
   std::vector<int64_t> network_sizes;
+};
+
+/// Reusable state shared by every probe of a solve: the epoch-stamped
+/// build scratch that keeps per-network construction cost proportional to
+/// the (core-pruned) candidate sets instead of O(n), plus the membership
+/// marks of the candidate sets the current network was built on (the
+/// parametric engine's reuse test). Created once by SolveExactDds and
+/// threaded through each ProbeRatio call; stateless callers may pass
+/// nullptr and a private workspace is used.
+struct ProbeWorkspace {
+  DdsBuildScratch build_scratch;
+  EpochSet built_s_marks;
+  EpochSet built_t_marks;
 };
 
 /// Binary search with min-cut feasibility tests at a fixed `ratio`,
@@ -84,13 +113,28 @@ struct RatioProbeResult {
 /// h_upper = u — the divide-and-conquer engine passes incumbent /
 /// phi(interval), the weakest bound that still lets both adjacent
 /// subintervals be pruned.
+///
+/// With `incremental` set (the default), the probe runs on the parametric
+/// engine: a network is kept across guesses and retargeted to each new
+/// one with Reparameterize, warm-starting the flow from the previous
+/// residual state. When the guess rises the per-guess core shrinks and
+/// the sink capacities only grow, so the network stays valid and the old
+/// max flow stays feasible; when the guess falls below every previously
+/// built level the core can outgrow the network's node set, and only then
+/// is the network rebuilt (DESIGN.md §7). `incremental = false` rebuilds
+/// and re-solves from scratch at every guess over the *same* candidate
+/// sets; both modes follow identical search trajectories (same guesses,
+/// same node sets, same minimal min cuts, hence identical witnesses),
+/// which the equivalence tests assert bit-exactly.
 RatioProbeResult ProbeRatio(const Digraph& g,
                             const std::vector<VertexId>& s_candidates,
                             const std::vector<VertexId>& t_candidates,
                             const Fraction& ratio, double lower_start,
                             double upper_start, double delta,
                             bool refine_cores, bool record_sizes,
-                            double stop_below = 0.0);
+                            double stop_below = 0.0,
+                            ProbeWorkspace* workspace = nullptr,
+                            bool incremental = true);
 
 /// Termination gap for the binary searches: below the minimum spacing of
 /// distinct (linearized) density values, clamped to [1e-12, 1e-4]. For

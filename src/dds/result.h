@@ -16,7 +16,11 @@ namespace ddsgraph {
 /// network-size experiments (E6-E8) are reported from these.
 struct SolverStats {
   int64_t ratios_probed = 0;         ///< ratio values evaluated with flows
-  int64_t flow_networks_built = 0;   ///< one per min-cut computation
+  int64_t flow_networks_built = 0;   ///< networks constructed from scratch
+  int64_t flow_networks_reused = 0;  ///< min-cuts on a reparameterized net
+  /// Augmenting paths pushed by warm-started re-solves — the incremental
+  /// flow work the parametric probe engine does instead of full solves.
+  int64_t warm_start_augmentations = 0;
   int64_t binary_search_iters = 0;   ///< total guesses across all ratios
   int64_t max_network_nodes = 0;     ///< largest flow network constructed
   int64_t intervals_pruned = 0;      ///< D&C intervals discarded by bounds

@@ -18,6 +18,8 @@ namespace ddsgraph {
 std::string SolverStats::ToString() const {
   std::ostringstream os;
   os << "ratios=" << ratios_probed << " flows=" << flow_networks_built
+     << " reused=" << flow_networks_reused
+     << " warm_aug=" << warm_start_augmentations
      << " iters=" << binary_search_iters
      << " max_net=" << max_network_nodes << " pruned=" << intervals_pruned
      << " time=" << FormatSeconds(seconds);

@@ -5,8 +5,10 @@
 #include <cmath>
 
 #include "core/weighted_xy_core.h"
+#include "dds/core_exact.h"
 #include "dds/naive_exact.h"
 #include "dds/ratio_space.h"
+#include "flow/dds_network.h"
 #include "flow/dinic.h"
 #include "flow/flow_network.h"
 #include "flow/min_cut.h"
@@ -30,6 +32,12 @@ struct WeightedDdsNetwork {
   uint32_t sink = 1;
   std::vector<VertexId> a_vertices;
   std::vector<VertexId> b_vertices;
+  /// Guess-dependent sink arcs (parallel to a_vertices / b_vertices) and
+  /// the source arcs — the parametric handles ReparameterizeSinkArcs
+  /// needs.
+  std::vector<uint32_t> a_sink_arcs;
+  std::vector<uint32_t> b_sink_arcs;
+  std::vector<uint32_t> source_arcs;
   int64_t pair_weight = 0;
 
   uint32_t ANode(size_t i) const { return 2 + static_cast<uint32_t>(i); }
@@ -41,29 +49,27 @@ struct WeightedDdsNetwork {
 WeightedDdsNetwork BuildWeightedNetwork(
     const WeightedDigraph& g, const std::vector<VertexId>& s_candidates,
     const std::vector<VertexId>& t_candidates, double sqrt_a,
-    double density_guess) {
-  std::vector<bool> is_t(g.NumVertices(), false);
-  for (VertexId v : t_candidates) is_t[v] = true;
+    double density_guess, DdsBuildScratch* scratch) {
+  scratch->BeginBuild(g.NumVertices());
+  for (VertexId v : t_candidates) scratch->MarkT(v);
 
   WeightedDdsNetwork out;
   std::vector<int64_t> restricted(s_candidates.size(), 0);
-  std::vector<bool> b_used(g.NumVertices(), false);
   for (size_t i = 0; i < s_candidates.size(); ++i) {
     const VertexId u = s_candidates[i];
     const auto nbrs = g.OutNeighbors(u);
     const auto weights = g.OutWeights(u);
     for (size_t k = 0; k < nbrs.size(); ++k) {
-      if (is_t[nbrs[k]]) {
+      if (scratch->IsT(nbrs[k])) {
         restricted[i] += weights[k];
-        b_used[nbrs[k]] = true;
+        scratch->MarkBUsed(nbrs[k]);
       }
     }
     out.pair_weight += restricted[i];
   }
-  std::vector<uint32_t> b_index(g.NumVertices(), static_cast<uint32_t>(-1));
   for (VertexId v : t_candidates) {
-    if (b_used[v]) {
-      b_index[v] = static_cast<uint32_t>(out.b_vertices.size());
+    if (scratch->IsBUsed(v)) {
+      scratch->SetBIndex(v, static_cast<uint32_t>(out.b_vertices.size()));
       out.b_vertices.push_back(v);
     }
   }
@@ -82,23 +88,27 @@ WeightedDdsNetwork BuildWeightedNetwork(
                                 out.b_vertices.size()));
   const double cap_a = density_guess / (2.0 * sqrt_a);
   const double cap_b = density_guess * sqrt_a / 2.0;
+  out.a_sink_arcs.reserve(out.a_vertices.size());
+  out.b_sink_arcs.reserve(out.b_vertices.size());
+  out.source_arcs.reserve(out.a_vertices.size());
   for (size_t i = 0; i < out.a_vertices.size(); ++i) {
     const uint32_t a_node = out.ANode(i);
-    out.net.AddEdge(out.source, a_node,
-                    static_cast<FlowCap>(a_weight[i]));
-    out.net.AddEdge(a_node, out.sink, cap_a);
+    out.source_arcs.push_back(out.net.AddEdge(
+        out.source, a_node, static_cast<FlowCap>(a_weight[i])));
+    out.a_sink_arcs.push_back(out.net.AddEdge(a_node, out.sink, cap_a));
     const VertexId u = out.a_vertices[i];
     const auto nbrs = g.OutNeighbors(u);
     const auto weights = g.OutWeights(u);
     for (size_t k = 0; k < nbrs.size(); ++k) {
-      if (is_t[nbrs[k]]) {
-        out.net.AddEdge(a_node, out.BNode(b_index[nbrs[k]]),
+      if (scratch->IsT(nbrs[k])) {
+        out.net.AddEdge(a_node, out.BNode(scratch->BIndex(nbrs[k])),
                         static_cast<FlowCap>(weights[k]));
       }
     }
   }
   for (size_t j = 0; j < out.b_vertices.size(); ++j) {
-    out.net.AddEdge(out.BNode(j), out.sink, cap_b);
+    out.b_sink_arcs.push_back(out.net.AddEdge(out.BNode(j), out.sink,
+                                              cap_b));
   }
   return out;
 }
@@ -127,15 +137,22 @@ struct WeightedProbeResult {
   DdsPair best_pair;
   double best_density = 0;
   int64_t iterations = 0;
+  int64_t networks_built = 0;
+  int64_t networks_reused = 0;
+  int64_t warm_start_augmentations = 0;
 };
 
 // Weighted twin of ProbeRatio (dds/core_exact.cc), including the
-// witness-based feasibility rule and per-guess core refinement.
+// witness-based feasibility rule, per-guess core refinement, and the
+// parametric network reuse of DESIGN.md §7: when the per-guess core stays
+// inside the snapshot the network was built on, only the sink arcs are
+// retargeted and the flow is warm-started.
 WeightedProbeResult WeightedProbe(const WeightedDigraph& g,
                                   const std::vector<VertexId>& s_candidates,
                                   const std::vector<VertexId>& t_candidates,
                                   const Fraction& ratio, double upper_start,
-                                  double delta, double stop_below) {
+                                  double delta, double stop_below,
+                                  ProbeWorkspace* workspace) {
   WeightedProbeResult result;
   result.h_upper = upper_start;
   const double sqrt_a = std::sqrt(ratio.ToDouble());
@@ -143,6 +160,12 @@ WeightedProbeResult WeightedProbe(const WeightedDigraph& g,
   double u = upper_start;
   std::vector<VertexId> cur_s = s_candidates;
   std::vector<VertexId> cur_t = t_candidates;
+
+  WeightedDdsNetwork network;
+  Dinic dinic(&network.net);
+  bool network_valid = false;
+  std::vector<VertexId> built_s;  // candidate-set snapshot of `network`
+  std::vector<VertexId> built_t;
 
   while (u - l >= delta && u > stop_below) {
     const double guess = 0.5 * (l + u);
@@ -170,14 +193,44 @@ WeightedProbeResult WeightedProbe(const WeightedDigraph& g,
       continue;
     }
 
-    WeightedDdsNetwork network =
-        BuildWeightedNetwork(g, refined.s, refined.t, sqrt_a, guess);
+    const bool network_sufficient =
+        network_valid &&
+        std::all_of(refined.s.begin(), refined.s.end(),
+                    [&](VertexId v) {
+                      return workspace->built_s_marks.Contains(v);
+                    }) &&
+        std::all_of(refined.t.begin(), refined.t.end(), [&](VertexId v) {
+          return workspace->built_t_marks.Contains(v);
+        });
+    if (network_sufficient) {
+      ReparameterizeSinkArcs(&network.net, network.source_arcs,
+                             network.a_sink_arcs, network.b_sink_arcs,
+                             guess / (2.0 * sqrt_a), guess * sqrt_a / 2.0);
+      ++result.networks_reused;
+    } else {
+      built_s = refined.s;
+      built_t = refined.t;
+      workspace->built_s_marks.Clear(g.NumVertices());
+      workspace->built_t_marks.Clear(g.NumVertices());
+      for (VertexId v : built_s) workspace->built_s_marks.Insert(v);
+      for (VertexId v : built_t) workspace->built_t_marks.Insert(v);
+      network = BuildWeightedNetwork(g, built_s, built_t, sqrt_a, guess,
+                                     &workspace->build_scratch);
+      network_valid = true;
+      ++result.networks_built;
+    }
     if (network.pair_weight == 0) {
       u = guess;
       continue;
     }
-    Dinic dinic(&network.net);
-    dinic.Solve(network.source, network.sink);
+    if (network_sufficient) {
+      const int64_t augmentations_before = dinic.num_augmentations();
+      dinic.Resolve(network.source, network.sink);
+      result.warm_start_augmentations +=
+          dinic.num_augmentations() - augmentations_before;
+    } else {
+      dinic.Solve(network.source, network.sink);
+    }
     const std::vector<bool> side =
         SourceSideOfMinCut(network.net, network.source);
     DdsPair pair;
@@ -341,6 +394,9 @@ DdsSolution WeightedCoreExact(const WeightedDigraph& g) {
     upper = std::min(upper, approx.upper_bound);
   }
 
+  // Build scratch and reuse marks shared by every probe of the solve.
+  ProbeWorkspace workspace;
+
   auto probe_in_context = [&](const Fraction& ratio, const Fraction& lo,
                               const Fraction& hi, double stop_below,
                               bool* exhausted) -> double {
@@ -365,10 +421,14 @@ DdsSolution WeightedCoreExact(const WeightedDigraph& g) {
       }
     }
     *exhausted = false;
-    const WeightedProbeResult probe =
-        WeightedProbe(g, s_cand, t_cand, ratio, upper, delta, stop_below);
+    const WeightedProbeResult probe = WeightedProbe(
+        g, s_cand, t_cand, ratio, upper, delta, stop_below, &workspace);
     ++solution.stats.ratios_probed;
     solution.stats.binary_search_iters += probe.iterations;
+    solution.stats.flow_networks_built += probe.networks_built;
+    solution.stats.flow_networks_reused += probe.networks_reused;
+    solution.stats.warm_start_augmentations +=
+        probe.warm_start_augmentations;
     if (!probe.best_pair.Empty() &&
         probe.best_density > incumbent_density) {
       incumbent = probe.best_pair;

@@ -1,6 +1,7 @@
 #include "flow/dds_network.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 
@@ -9,41 +10,44 @@ namespace ddsgraph {
 DdsNetwork BuildDdsNetwork(const Digraph& g,
                            const std::vector<VertexId>& s_candidates,
                            const std::vector<VertexId>& t_candidates,
-                           double sqrt_ratio, double density_guess) {
+                           double sqrt_ratio, double density_guess,
+                           DdsBuildScratch* scratch) {
   CHECK_GT(sqrt_ratio, 0.0);
   CHECK_GE(density_guess, 0.0);
+  CHECK(scratch != nullptr);
 
-  // Membership masks and, for B-side vertices, their local index.
-  std::vector<uint32_t> b_index(g.NumVertices(), static_cast<uint32_t>(-1));
-  std::vector<bool> is_t(g.NumVertices(), false);
+  // Membership marks and, for B-side vertices, their local index, all
+  // epoch-stamped in the scratch so this build does no O(n) work.
+  scratch->BeginBuild(g.NumVertices());
   for (VertexId v : t_candidates) {
     CHECK_LT(v, g.NumVertices());
-    is_t[v] = true;
+    scratch->MarkT(v);
   }
 
   DdsNetwork out;
+  out.sqrt_ratio = sqrt_ratio;
+  out.density_guess = density_guess;
 
   // Pass 1: which candidate vertices actually carry pair edges. Vertices
   // with zero restricted degree can never enter an optimal pair at g > 0
   // and are dropped to keep the network minimal.
   std::vector<int64_t> restricted_out;
   restricted_out.reserve(s_candidates.size());
-  std::vector<bool> b_used(g.NumVertices(), false);
   for (VertexId u : s_candidates) {
     CHECK_LT(u, g.NumVertices());
     int64_t deg = 0;
     for (VertexId v : g.OutNeighbors(u)) {
-      if (is_t[v]) {
+      if (scratch->IsT(v)) {
         ++deg;
-        b_used[v] = true;
+        scratch->MarkBUsed(v);
       }
     }
     restricted_out.push_back(deg);
     out.num_pair_edges += deg;
   }
   for (VertexId v : t_candidates) {
-    if (b_used[v]) {
-      b_index[v] = static_cast<uint32_t>(out.b_vertices.size());
+    if (scratch->IsBUsed(v)) {
+      scratch->SetBIndex(v, static_cast<uint32_t>(out.b_vertices.size()));
       out.b_vertices.push_back(v);
     }
   }
@@ -65,21 +69,88 @@ DdsNetwork BuildDdsNetwork(const Digraph& g,
   const double cap_a_to_sink = density_guess / (2.0 * sqrt_ratio);
   const double cap_b_to_sink = density_guess * sqrt_ratio / 2.0;
 
+  out.a_sink_arcs.reserve(out.a_vertices.size());
+  out.b_sink_arcs.reserve(out.b_vertices.size());
+  out.source_arcs.reserve(out.a_vertices.size());
   for (size_t i = 0; i < out.a_vertices.size(); ++i) {
     const uint32_t a_node = out.ANode(i);
-    out.net.AddEdge(out.source, a_node, static_cast<FlowCap>(a_deg[i]));
-    out.net.AddEdge(a_node, out.sink, cap_a_to_sink);
+    out.source_arcs.push_back(out.net.AddEdge(
+        out.source, a_node, static_cast<FlowCap>(a_deg[i])));
+    out.a_sink_arcs.push_back(out.net.AddEdge(a_node, out.sink,
+                                              cap_a_to_sink));
     for (VertexId v : g.OutNeighbors(out.a_vertices[i])) {
-      if (is_t[v]) {
-        const uint32_t b_node = out.BNode(b_index[v]);
+      if (scratch->IsT(v)) {
+        const uint32_t b_node = out.BNode(scratch->BIndex(v));
         out.net.AddEdge(a_node, b_node, 1.0);
       }
     }
   }
   for (size_t j = 0; j < out.b_vertices.size(); ++j) {
-    out.net.AddEdge(out.BNode(j), out.sink, cap_b_to_sink);
+    out.b_sink_arcs.push_back(out.net.AddEdge(out.BNode(j), out.sink,
+                                              cap_b_to_sink));
   }
   return out;
+}
+
+DdsNetwork BuildDdsNetwork(const Digraph& g,
+                           const std::vector<VertexId>& s_candidates,
+                           const std::vector<VertexId>& t_candidates,
+                           double sqrt_ratio, double density_guess) {
+  DdsBuildScratch scratch;
+  return BuildDdsNetwork(g, s_candidates, t_candidates, sqrt_ratio,
+                         density_guess, &scratch);
+}
+
+void ReparameterizeSinkArcs(FlowNetwork* net,
+                            const std::vector<uint32_t>& source_arcs,
+                            const std::vector<uint32_t>& a_sink_arcs,
+                            const std::vector<uint32_t>& b_sink_arcs,
+                            FlowCap cap_a_to_sink, FlowCap cap_b_to_sink) {
+  CHECK(net != nullptr);
+  CHECK_EQ(source_arcs.size(), a_sink_arcs.size());
+  // A side: the A node's whole inflow arrives over its source arc, so its
+  // surplus drains in O(1) by cancelling that much source-arc flow.
+  for (size_t i = 0; i < a_sink_arcs.size(); ++i) {
+    const FlowCap excess = net->SetArcCapacity(a_sink_arcs[i],
+                                               cap_a_to_sink);
+    if (excess > 0) {
+      DCHECK_GE(net->Residual(source_arcs[i] ^ 1) + kFlowEps, excess);
+      net->Push(source_arcs[i] ^ 1, excess);
+    }
+  }
+  // B side: the B node's inflow arrives over A->B arcs; its surplus walks
+  // back over the flow-carrying ones (their reverses, the odd arcs in its
+  // adjacency) and then over each A node's source arc. Conservation at
+  // the A nodes guarantees the source arcs always carry enough.
+  for (uint32_t arc : b_sink_arcs) {
+    FlowCap excess = net->SetArcCapacity(arc, cap_b_to_sink);
+    if (excess <= 0) continue;
+    const uint32_t b_node = net->To(arc ^ 1);
+    for (uint32_t e = net->Head(b_node);
+         e != FlowNetwork::kNil && excess > kFlowEps; e = net->Next(e)) {
+      if ((e & 1) == 0) continue;  // forward sink arc, not a drain path
+      const FlowCap x = std::min(excess, net->Residual(e));
+      if (x <= 0) continue;
+      const uint32_t a_node = net->To(e);
+      const size_t a_index = a_node - 2;  // DDS layout: ANode(i) = 2 + i
+      DCHECK_LT(a_index, source_arcs.size());
+      net->Push(e, x);
+      DCHECK_GE(net->Residual(source_arcs[a_index] ^ 1) + kFlowEps, x);
+      net->Push(source_arcs[a_index] ^ 1, x);
+      excess -= x;
+    }
+    CHECK_LE(excess, kFlowEps)
+        << "drain failed: conservation cannot be restored";
+  }
+}
+
+void DdsNetwork::Reparameterize(double new_density_guess) {
+  CHECK_GE(new_density_guess, 0.0);
+  CHECK_GT(sqrt_ratio, 0.0);
+  density_guess = new_density_guess;
+  ReparameterizeSinkArcs(&net, source_arcs, a_sink_arcs, b_sink_arcs,
+                         new_density_guess / (2.0 * sqrt_ratio),
+                         new_density_guess * sqrt_ratio / 2.0);
 }
 
 ExtractedPair ExtractPairFromCut(const DdsNetwork& network,

@@ -7,6 +7,7 @@
 
 #include "flow/flow_network.h"
 #include "graph/digraph.h"
+#include "util/epoch_set.h"
 
 /// \file
 /// The DDS feasibility flow network N(G, a, g).
@@ -33,8 +34,44 @@
 /// The candidate sets default to all of V; the core-based solver passes the
 /// S-/T-sides of an [x,y]-core, which is how the networks shrink across
 /// binary-search iterations (experiment E8).
+///
+/// Only the two sink-side capacity families depend on the density guess g,
+/// so a network built once per candidate set can be retargeted to a new
+/// guess in O(|A|+|B|) with Reparameterize instead of being rebuilt — the
+/// parametric probe engine of DESIGN.md §7.
 
 namespace ddsgraph {
+
+/// Reusable scratch space for BuildDdsNetwork. The builder needs three
+/// per-vertex maps (T-membership, B-side usage, B-side index); allocating
+/// and clearing them per call costs O(n) even when the core-pruned
+/// candidate sets are tiny. The scratch epoch-stamps the marks instead:
+/// one shared allocation, O(1) clearing, and per-build cost proportional
+/// to the candidate sets. Owned by the probe workspace and reused across
+/// every network built during a solve.
+class DdsBuildScratch {
+ public:
+  /// Starts a new build over a graph with `num_vertices` vertices,
+  /// invalidating all marks from previous builds in O(1) (amortized: the
+  /// stamp arrays grow to the largest graph seen).
+  void BeginBuild(uint32_t num_vertices) {
+    t_members_.Clear(num_vertices);
+    b_used_.Clear(num_vertices);
+    if (b_index_.size() < num_vertices) b_index_.resize(num_vertices, 0);
+  }
+
+  bool IsT(VertexId v) const { return t_members_.Contains(v); }
+  void MarkT(VertexId v) { t_members_.Insert(v); }
+  bool IsBUsed(VertexId v) const { return b_used_.Contains(v); }
+  void MarkBUsed(VertexId v) { b_used_.Insert(v); }
+  uint32_t BIndex(VertexId v) const { return b_index_[v]; }
+  void SetBIndex(VertexId v, uint32_t index) { b_index_[v] = index; }
+
+ private:
+  EpochSet t_members_;             ///< v is a T-side candidate
+  EpochSet b_used_;                ///< v received a B-side node
+  std::vector<uint32_t> b_index_;  ///< local index, valid iff IsBUsed
+};
 
 /// A DDS network together with the node layout needed to interpret cuts.
 struct DdsNetwork {
@@ -47,6 +84,16 @@ struct DdsNetwork {
   /// Original vertex ids of B-side nodes; vertices with no candidate
   /// in-edge are omitted.
   std::vector<VertexId> b_vertices;
+  /// Arc ids of the guess-dependent sink arcs, parallel to a_vertices /
+  /// b_vertices — the only capacities Reparameterize needs to touch.
+  std::vector<uint32_t> a_sink_arcs;
+  std::vector<uint32_t> b_sink_arcs;
+  /// Arc ids of the source arcs s -> ANode(i), parallel to a_vertices;
+  /// the drain paths of Reparameterize run over their reverses.
+  std::vector<uint32_t> source_arcs;
+  /// The (a, g) parameters the network is currently built for.
+  double sqrt_ratio = 0;
+  double density_guess = 0;
   /// Number of candidate pair edges m' = |E(S_cand, T_cand)|; the
   /// feasibility threshold of the min cut.
   int64_t num_pair_edges = 0;
@@ -60,6 +107,15 @@ struct DdsNetwork {
   uint32_t NumNodes() const {
     return 2 + static_cast<uint32_t>(a_vertices.size() + b_vertices.size());
   }
+
+  /// Retargets the network to a new density guess in O(|A|+|B|), touching
+  /// only the sink-arc capacities and preserving any flow the network
+  /// already carries. When the guess rises the capacities only grow, so
+  /// the existing flow stays feasible and a warm-started Dinic::Resolve
+  /// finds the new max flow incrementally; when it falls, excess flow on
+  /// over-saturated sink arcs is drained back to the source first
+  /// (DESIGN.md §7).
+  void Reparameterize(double new_density_guess);
 };
 
 /// The (S, T) pair read off a feasible min cut, in original vertex ids.
@@ -71,10 +127,35 @@ struct ExtractedPair {
 /// Builds N(G, a, g) restricted to the candidate sides. `s_candidates` /
 /// `t_candidates` are vertex lists in original ids (pass all vertices for
 /// the unpruned baseline). `sqrt_ratio` is sqrt(a); `density_guess` is g.
+/// `scratch` amortizes the per-vertex working maps across builds.
+DdsNetwork BuildDdsNetwork(const Digraph& g,
+                           const std::vector<VertexId>& s_candidates,
+                           const std::vector<VertexId>& t_candidates,
+                           double sqrt_ratio, double density_guess,
+                           DdsBuildScratch* scratch);
+
+/// Convenience overload with a private single-use scratch.
 DdsNetwork BuildDdsNetwork(const Digraph& g,
                            const std::vector<VertexId>& s_candidates,
                            const std::vector<VertexId>& t_candidates,
                            double sqrt_ratio, double density_guess);
+
+/// Retargets the two guess-dependent sink-arc capacity families of a
+/// DDS-layout network (also the weighted variant) to new capacities,
+/// draining flow from over-saturated arcs back to the source so the
+/// network is left carrying a feasible (not necessarily maximum) flow.
+/// Exploits the layout for O(1)-per-arc drains instead of residual-path
+/// searches: an A node's surplus returns over the reverse of its unique
+/// source arc, a B node's surplus walks back over its incoming
+/// flow-carrying A->B arcs. Requires the DDS layout: A nodes are ids
+/// 2..2+|A|, `source_arcs[i]` is the arc source -> ANode(i), and B nodes
+/// have only their sink arc and reverse A->B arcs in their adjacency.
+/// Shared by DdsNetwork::Reparameterize and the weighted probe.
+void ReparameterizeSinkArcs(FlowNetwork* net,
+                            const std::vector<uint32_t>& source_arcs,
+                            const std::vector<uint32_t>& a_sink_arcs,
+                            const std::vector<uint32_t>& b_sink_arcs,
+                            FlowCap cap_a_to_sink, FlowCap cap_b_to_sink);
 
 /// Reads the (S, T) pair off the source side of a min cut of `network`.
 /// `source_side` must come from SourceSideOfMinCut on the solved network.

@@ -18,6 +18,9 @@ bool Dinic::BuildLevels(uint32_t source, uint32_t sink) {
   level_[source] = 0;
   for (size_t qi = 0; qi < queue_.size(); ++qi) {
     const uint32_t v = queue_[qi];
+    // Nodes at or past the sink's level cannot lie on a shortest
+    // augmenting path; stop expanding once the sink has been levelled.
+    if (level_[sink] >= 0 && level_[v] >= level_[sink]) break;
     for (uint32_t e = net_->Head(v); e != FlowNetwork::kNil;
          e = net_->Next(e)) {
       const uint32_t w = net_->To(e);
@@ -30,38 +33,66 @@ bool Dinic::BuildLevels(uint32_t source, uint32_t sink) {
   return level_[sink] >= 0;
 }
 
-FlowCap Dinic::Augment(uint32_t v, uint32_t sink, FlowCap limit) {
-  if (v == sink) return limit;
-  for (uint32_t& e = iter_[v]; e != FlowNetwork::kNil; e = net_->Next(e)) {
-    const uint32_t w = net_->To(e);
-    if (level_[w] != level_[v] + 1 || net_->Residual(e) <= kFlowEps) continue;
-    const FlowCap pushed =
-        Augment(w, sink, std::min(limit, net_->Residual(e)));
-    if (pushed > 0) {
-      net_->Push(e, pushed);
+// Finds one augmenting path in the level graph and pushes its bottleneck.
+// Iterative DFS with an explicit arc stack: parametric networks can have
+// augmenting paths as long as the node count, which would overflow the
+// call stack if this recursed.
+FlowCap Dinic::Augment(uint32_t source, uint32_t sink) {
+  path_.clear();
+  uint32_t v = source;
+  while (true) {
+    if (v == sink) {
+      FlowCap pushed = std::numeric_limits<FlowCap>::max();
+      for (uint32_t arc : path_) {
+        pushed = std::min(pushed, net_->Residual(arc));
+      }
+      for (uint32_t arc : path_) net_->Push(arc, pushed);
       return pushed;
     }
+    uint32_t& e = iter_[v];
+    while (e != FlowNetwork::kNil &&
+           (level_[net_->To(e)] != level_[v] + 1 ||
+            net_->Residual(e) <= kFlowEps)) {
+      e = net_->Next(e);
+    }
+    if (e == FlowNetwork::kNil) {
+      level_[v] = -1;  // dead end; prune for the rest of this phase
+      if (path_.empty()) return 0;
+      path_.pop_back();
+      v = path_.empty() ? source : net_->To(path_.back());
+      iter_[v] = net_->Next(iter_[v]);  // skip the arc into the dead end
+      continue;
+    }
+    path_.push_back(e);
+    v = net_->To(e);
   }
-  level_[v] = -1;  // dead end; prune for the rest of this phase
-  return 0;
 }
 
-FlowCap Dinic::Solve(uint32_t source, uint32_t sink) {
+FlowCap Dinic::AugmentToMax(uint32_t source, uint32_t sink) {
   CHECK_NE(source, sink);
-  num_phases_ = 0;
   FlowCap total = 0;
   while (BuildLevels(source, sink)) {
     ++num_phases_;
     iter_.assign(net_->NumNodes(), 0);
     for (uint32_t v = 0; v < net_->NumNodes(); ++v) iter_[v] = net_->Head(v);
     while (true) {
-      const FlowCap pushed =
-          Augment(source, sink, std::numeric_limits<FlowCap>::max());
+      const FlowCap pushed = Augment(source, sink);
       if (pushed <= 0) break;
       total += pushed;
+      ++num_augmentations_;
     }
   }
   return total;
+}
+
+FlowCap Dinic::Solve(uint32_t source, uint32_t sink) {
+  num_phases_ = 0;
+  num_augmentations_ = 0;
+  return AugmentToMax(source, sink);
+}
+
+FlowCap Dinic::Resolve(uint32_t source, uint32_t sink) {
+  return AugmentToMax(source, sink);
 }
 
 }  // namespace ddsgraph

@@ -11,6 +11,11 @@
 ///
 /// O(V^2 E) in general, O(E sqrt(V)) on unit-capacity networks — the DDS
 /// networks are dominated by unit arcs, so Dinic is the default solver.
+///
+/// The solver is warm-startable: Resolve() augments from whatever flow the
+/// residual network already carries, which is how the parametric probe
+/// engine (DESIGN.md §7) re-solves the same network across binary-search
+/// guesses without starting from zero.
 
 namespace ddsgraph {
 
@@ -19,22 +24,37 @@ class Dinic {
   /// Wraps `network` (not owned); Solve mutates its residual capacities.
   explicit Dinic(FlowNetwork* network);
 
-  /// Computes the maximum s-t flow and returns its value. Residual
-  /// capacities in the wrapped network reflect the final flow.
+  /// Computes the maximum s-t flow and returns its value, assuming the
+  /// wrapped network carries no flow yet (residuals == initial
+  /// capacities). Residual capacities in the network reflect the final
+  /// flow. Resets the phase/augmentation counters.
   FlowCap Solve(uint32_t source, uint32_t sink);
 
-  /// Number of BFS phases used by the last Solve (statistics for E10).
+  /// Warm start: augments from the *current* residual state — which may
+  /// already carry a feasible flow from a previous Solve/Resolve, possibly
+  /// reshaped by FlowNetwork::SetArcCapacity — until the flow is maximum
+  /// again. Returns only the additional flow pushed. Counters accumulate
+  /// so the incremental work stays observable.
+  FlowCap Resolve(uint32_t source, uint32_t sink);
+
+  /// Number of BFS phases used since the last Solve (statistics for E10).
   int64_t num_phases() const { return num_phases_; }
+
+  /// Number of augmenting paths pushed since the last Solve.
+  int64_t num_augmentations() const { return num_augmentations_; }
 
  private:
   bool BuildLevels(uint32_t source, uint32_t sink);
-  FlowCap Augment(uint32_t v, uint32_t sink, FlowCap limit);
+  FlowCap Augment(uint32_t source, uint32_t sink);
+  FlowCap AugmentToMax(uint32_t source, uint32_t sink);
 
   FlowNetwork* net_;
   std::vector<int32_t> level_;
   std::vector<uint32_t> iter_;
   std::vector<uint32_t> queue_;
+  std::vector<uint32_t> path_;  ///< arc stack of the in-progress DFS
   int64_t num_phases_ = 0;
+  int64_t num_augmentations_ = 0;
 };
 
 }  // namespace ddsgraph

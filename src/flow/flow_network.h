@@ -1,6 +1,7 @@
 #ifndef DDSGRAPH_FLOW_FLOW_NETWORK_H_
 #define DDSGRAPH_FLOW_FLOW_NETWORK_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -78,6 +79,44 @@ class FlowNetwork {
   /// Resets all residuals to the initial capacities (removes all flow).
   void ResetFlow() { cap_ = initial_cap_; }
 
+  // --- Parametric capacity updates (see DESIGN.md §7) -------------------
+  //
+  // The DDS binary search re-solves the same network under monotone
+  // changes of a few capacities. These mutators adjust the initial and
+  // residual capacity together so the flow already routed through the arc
+  // is preserved whenever it still fits.
+
+  /// Sets `arc`'s capacity to `new_cap`, preserving the flow currently on
+  /// it when possible. If the current flow exceeds `new_cap`, the arc is
+  /// left saturated at `new_cap` and the excess flow is *removed from the
+  /// arc*; the excess is returned and the caller must restore conservation
+  /// with RouteFlow: the tail is left over-supplied by that amount (route
+  /// it from the tail back to the source), and, unless the arc's head is
+  /// the sink — the only case the DDS engine shrinks — the head is left
+  /// under-supplied symmetrically (route it from the sink back to the
+  /// head). Returns 0 when the update needed no draining.
+  FlowCap SetArcCapacity(uint32_t arc, FlowCap new_cap) {
+    DCHECK_LT(arc, NumArcs());
+    DCHECK_GE(new_cap, 0);
+    const FlowCap flow = FlowOn(arc);
+    initial_cap_[arc] = new_cap;
+    if (flow <= new_cap) {
+      cap_[arc] = new_cap - flow;
+      return 0;
+    }
+    const FlowCap excess = flow - new_cap;
+    cap_[arc] = 0;                // saturated at the new capacity
+    cap_[arc ^ 1] -= excess;      // reverse residual tracks the kept flow
+    return excess;
+  }
+
+  /// Adds `delta` (possibly negative) to `arc`'s capacity, clamping the
+  /// resulting capacity at 0. Same draining contract as SetArcCapacity.
+  FlowCap AddArcCapacity(uint32_t arc, FlowCap delta) {
+    DCHECK_LT(arc, NumArcs());
+    return SetArcCapacity(arc, std::max<FlowCap>(0, initial_cap_[arc] + delta));
+  }
+
   static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
 
  private:
@@ -97,6 +136,15 @@ class FlowNetwork {
   std::vector<FlowCap> cap_;
   std::vector<FlowCap> initial_cap_;
 };
+
+/// Pushes up to `amount` of flow from `from` to `to` along shortest
+/// residual paths (BFS rounds, no level restriction) and returns the
+/// amount actually pushed. Used to restore conservation after
+/// SetArcCapacity drained an over-saturated arc: flow decomposition
+/// guarantees a residual path from the drained arc's tail back to the
+/// source with enough capacity.
+FlowCap RouteFlow(FlowNetwork* net, uint32_t from, uint32_t to,
+                  FlowCap amount);
 
 }  // namespace ddsgraph
 

@@ -1,0 +1,39 @@
+#ifndef DDSGRAPH_UTIL_EPOCH_SET_H_
+#define DDSGRAPH_UTIL_EPOCH_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Epoch-stamped membership set over a dense integer universe.
+///
+/// The DDS solvers repeatedly build small candidate sets over an
+/// n-element vertex universe; a plain std::vector<bool> costs O(n) to
+/// clear between uses. An EpochSet instead bumps an epoch counter:
+/// clearing is O(1), membership writes stamp the current epoch, and reads
+/// compare against it. One allocation amortized over a whole solve.
+
+namespace ddsgraph {
+
+class EpochSet {
+ public:
+  /// Empties the set and (re)sizes the universe in amortized O(1):
+  /// the stamp array only grows, and only to the largest universe seen.
+  void Clear(size_t universe_size) {
+    if (stamp_.size() < universe_size) stamp_.resize(universe_size, 0);
+    ++epoch_;
+  }
+
+  void Insert(uint32_t element) { stamp_[element] = epoch_; }
+  bool Contains(uint32_t element) const {
+    return stamp_[element] == epoch_;
+  }
+
+ private:
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> stamp_;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_EPOCH_SET_H_

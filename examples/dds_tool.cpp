@@ -1,14 +1,19 @@
 // dds_tool: command-line densest-subgraph runner for real data.
 //
 // Reads a SNAP-format edge list (or generates a synthetic graph), runs the
-// chosen algorithm, and prints the solution; optionally writes the found
-// (S,T) vertex lists to a file. This is the entry point for running the
-// library on the paper's public datasets when they are available:
+// chosen algorithm through the DdsEngine facade, and prints the solution;
+// optionally writes the found (S,T) vertex lists to a file. With
+// --weighted the input is read as a `u v [w]` weighted edge list (or the
+// generated graph is lifted to unit weights) and the weighted-capable
+// solvers run; with --json the solution and its solver statistics are
+// printed as one machine-readable JSON object. --deadline_s turns an
+// exact run into an anytime one: on expiry the tool reports the incumbent
+// with its certified [lower, upper] density bracket.
 //
 //   ./build/examples/dds_tool --snap_file wiki-Vote.txt --algo core-exact
 //   ./build/examples/dds_tool --generate rmat --scale 14 --edges 200000
-//   ./build/examples/dds_tool --snap_file data.txt --algo core-approx \
-//       --out_file dds.txt
+//   ./build/examples/dds_tool --snap_file reviews.wtxt --weighted --json
+//   ./build/examples/dds_tool --snap_file big.txt --deadline_s 5
 
 #include <cstdio>
 #include <fstream>
@@ -26,53 +31,102 @@ int main(int argc, char** argv) {
   int64_t* scale = flags.Int64("scale", 12, "rmat scale (n = 2^scale)");
   int64_t* edges = flags.Int64("edges", 100000, "synthetic edge count");
   int64_t* seed = flags.Int64("seed", 1, "synthetic generator seed");
-  std::string* algo_name = flags.String(
-      "algo", "core-exact",
-      "naive-exact | lp-exact | flow-exact | dc-exact | core-exact | "
-      "peel-approx | batch-peel-approx | core-approx");
+  // The one source of truth for this help string is the registry.
+  std::string* algo_name =
+      flags.String("algo", "core-exact", AlgorithmNamesHelp());
+  bool* weighted = flags.Bool(
+      "weighted", false,
+      "treat the input as a `u v [w]` weighted edge list (generated "
+      "graphs are lifted to unit weights) and run the weighted solver; "
+      "weighted-capable: " + AlgorithmNamesHelp(/*weighted_only=*/true));
+  bool* json = flags.Bool("json", false,
+                          "print the solution as one JSON object");
+  double* deadline_s = flags.Double(
+      "deadline_s", 0,
+      "wall-clock budget in seconds; 0 = none. An expired flow-based "
+      "exact solve (flow/dc/core-exact) returns the incumbent with "
+      "certified [lower, upper] bounds; naive/lp-exact run to completion");
   std::string* out_file =
       flags.String("out_file", "", "write S/T vertex lists here");
   flags.ParseOrDie(argc, argv);
 
+  // Load or generate the graph (both flavors share the label mapping).
   Digraph graph;
+  WeightedDigraph weighted_graph;
   std::vector<uint64_t> labels;
   if (!snap_file->empty()) {
-    auto loaded = LoadSnapEdgeList(*snap_file);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "failed to load %s: %s\n", snap_file->c_str(),
-                   loaded.status().ToString().c_str());
+    if (*weighted) {
+      auto loaded = LoadWeightedEdgeList(*snap_file);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "failed to load %s: %s\n", snap_file->c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      weighted_graph = std::move(loaded.value().graph);
+      labels = std::move(loaded.value().labels);
+    } else {
+      auto loaded = LoadSnapEdgeList(*snap_file);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "failed to load %s: %s\n", snap_file->c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      graph = std::move(loaded.value().graph);
+      labels = std::move(loaded.value().labels);
+    }
+    if (!*json) std::printf("loaded %s\n", snap_file->c_str());
+  } else {
+    if (*generate == "rmat") {
+      graph = RmatDigraph(static_cast<uint32_t>(*scale), *edges,
+                          static_cast<uint64_t>(*seed));
+    } else if (*generate == "uniform") {
+      graph = UniformDigraph(1u << static_cast<uint32_t>(*scale), *edges,
+                             static_cast<uint64_t>(*seed));
+    } else {
+      std::fprintf(stderr, "unknown --generate family '%s'\n",
+                   generate->c_str());
       return 1;
     }
-    graph = std::move(loaded.value().graph);
-    labels = std::move(loaded.value().labels);
-    std::printf("loaded %s\n", snap_file->c_str());
-  } else if (*generate == "rmat") {
-    graph = RmatDigraph(static_cast<uint32_t>(*scale), *edges,
-                        static_cast<uint64_t>(*seed));
-    std::printf("generated rmat scale=%lld\n",
-                static_cast<long long>(*scale));
-  } else if (*generate == "uniform") {
-    graph = UniformDigraph(1u << static_cast<uint32_t>(*scale), *edges,
-                           static_cast<uint64_t>(*seed));
-    std::printf("generated uniform n=%u\n", graph.NumVertices());
-  } else {
-    std::fprintf(stderr, "unknown --generate family '%s'\n",
-                 generate->c_str());
-    return 1;
+    if (!*json) {
+      std::printf("generated %s n=%u m=%lld\n", generate->c_str(),
+                  graph.NumVertices(),
+                  static_cast<long long>(graph.NumEdges()));
+    }
+    if (*weighted) weighted_graph = WeightedDigraph::FromDigraph(graph);
   }
 
-  const DegreeStats stats = ComputeDegreeStats(graph);
-  std::printf("graph: %s\n", stats.ToString().c_str());
+  if (!*json && !*weighted) {
+    const DegreeStats stats = ComputeDegreeStats(graph);
+    std::printf("graph: %s\n", stats.ToString().c_str());
+  }
 
   const auto algorithm = ParseAlgorithmName(*algo_name);
   if (!algorithm.has_value()) {
-    std::fprintf(stderr, "unknown --algo '%s'\n", algo_name->c_str());
+    std::fprintf(stderr, "unknown --algo '%s'; known: %s\n",
+                 algo_name->c_str(), AlgorithmNamesHelp().c_str());
     return 1;
   }
 
-  const DdsSolution solution = RunDdsAlgorithm(graph, *algorithm);
-  std::printf("%s: %s\n", algo_name->c_str(),
-              SolutionSummary(solution).c_str());
+  DdsRequest request;
+  request.algorithm = *algorithm;
+  if (*deadline_s > 0) request.deadline_seconds = *deadline_s;
+
+  DdsEngine engine = *weighted ? DdsEngine(weighted_graph)
+                               : DdsEngine(graph);
+  const Result<DdsSolution> result = engine.Solve(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const DdsSolution& solution = result.value();
+  if (*json) {
+    // `labels` maps dense ids back to the input file's ids, so the JSON
+    // names the same vertices as --out_file does.
+    std::printf("%s\n", SolutionJson(solution, labels).c_str());
+  } else {
+    std::printf("%s: %s\n", algo_name->c_str(),
+                SolutionSummary(solution).c_str());
+  }
 
   if (!out_file->empty()) {
     std::ofstream out(*out_file);
@@ -85,7 +139,7 @@ int main(int argc, char** argv) {
     };
     emit("S", solution.pair.s);
     emit("T", solution.pair.t);
-    std::printf("wrote %s\n", out_file->c_str());
+    if (!*json) std::printf("wrote %s\n", out_file->c_str());
   }
   return 0;
 }

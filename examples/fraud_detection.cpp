@@ -63,15 +63,25 @@ int main(int argc, char** argv) {
               platform.planted_s.size(), platform.planted_t.size(),
               *zeal * 100);
 
+  // One engine serves both passes (the serving pattern — construct per
+  // graph, query many times; repeated exact solves would also reuse the
+  // engine's warmed solver scratch).
+  DdsEngine engine(platform.graph);
+  DdsRequest request;
+
   // Cheap triage first: the 2-approximation narrows the graph in
   // O(sqrt(m) (n+m)).
-  const CoreApproxResult triage = CoreApprox(platform.graph);
+  request.algorithm = DdsAlgorithm::kCoreApprox;
+  const DdsSolution triage = engine.Solve(request).value();
   std::printf("\n[triage]  CoreApprox flags %zu accounts / %zu products "
               "(density %.2f, certified >= rho_opt/2)\n",
-              triage.core.s.size(), triage.core.t.size(), triage.density);
+              triage.pair.s.size(), triage.pair.t.size(), triage.density);
 
-  // Then the exact solver confirms.
-  const DdsSolution verdict = CoreExact(platform.graph);
+  // Then the exact solver confirms. A production deployment would add
+  // request.deadline_seconds here: an expired solve still returns the
+  // incumbent suspects with a certified density bracket.
+  request.algorithm = DdsAlgorithm::kCoreExact;
+  const DdsSolution verdict = engine.Solve(request).value();
   std::printf("[verdict] CoreExact: %s\n",
               SolutionSummary(verdict).c_str());
 

@@ -4,9 +4,11 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 //
-// The public API in three steps: build a Digraph, run a solver from
-// dds/solver.h (or call CoreExact / CoreApprox directly), inspect the
-// returned (S, T) pair.
+// The public API in three steps: build a Digraph, solve through a
+// DdsEngine (construct it once per graph, then issue DdsRequests — the
+// engine keeps its solver scratch warm across queries), inspect the
+// returned (S, T) pair. One-shot free functions like CoreExact(g) remain
+// available when a single query is all you need.
 
 #include <cstdio>
 
@@ -31,8 +33,16 @@ int main() {
   std::printf("graph: n=%u m=%lld\n", graph.NumVertices(),
               static_cast<long long>(graph.NumEdges()));
 
-  // Exact solver (the paper's CoreExact).
-  const DdsSolution exact = CoreExact(graph);
+  // An engine is bound to one graph and serves any number of queries.
+  DdsEngine engine(graph);
+
+  // Exact solve (the paper's CoreExact — the default request). A request
+  // can also carry ExactOptions, a wall-clock deadline_seconds, and a
+  // progress/cancellation callback; errors come back as a Status instead
+  // of aborting.
+  DdsRequest request;
+  request.algorithm = DdsAlgorithm::kCoreExact;
+  const DdsSolution exact = engine.Solve(request).value();
   std::printf("\nCoreExact: %s\n", SolutionSummary(exact).c_str());
   std::printf("  S (sources): ");
   for (VertexId u : exact.pair.s) std::printf("%u ", u);
@@ -40,15 +50,16 @@ int main() {
   for (VertexId v : exact.pair.t) std::printf("%u ", v);
   std::printf("\n");
 
-  // The 2-approximation: the max-x*y [x,y]-core. On this graph it happens
-  // to coincide with the optimum.
-  const CoreApproxResult approx = CoreApprox(graph);
+  // The 2-approximation through the same engine: only the request
+  // changes, and the certified [lower, upper] bracket of the optimum is
+  // in the solution. On this graph it happens to find the optimum.
+  request.algorithm = DdsAlgorithm::kCoreApprox;
+  const DdsSolution approx = engine.Solve(request).value();
   std::printf(
-      "\nCoreApprox: density=%.4f via the [%lld,%lld]-core "
-      "(certified within [%.4f, %.4f])\n",
-      approx.density, static_cast<long long>(approx.best_x),
-      static_cast<long long>(approx.best_y), approx.lower_bound,
-      approx.upper_bound);
+      "\nCoreApprox: density=%.4f (certified within [%.4f, %.4f]); "
+      "this was engine solve #%lld\n",
+      approx.density, approx.lower_bound, approx.upper_bound,
+      static_cast<long long>(approx.stats.prior_engine_solves + 1));
 
   // The density of any pair can be evaluated directly.
   const double fans_to_celebs = DirectedDensity(graph, {0, 1, 2}, {3, 4});

@@ -59,8 +59,21 @@ int main() {
 
   // The exact solver picks the winner of the two-peaked landscape: the
   // mutual clique (density 20/5 = 4) edges out the hub (15/sqrt(15) ~
-  // 3.873).
-  const DdsSolution exact = CoreExact(graph);
+  // 3.873). Solved through the engine facade with a progress callback —
+  // the same hook a server would use to stream bound convergence or to
+  // cancel a runaway query.
+  DdsEngine engine(graph);
+  DdsRequest request;
+  request.algorithm = DdsAlgorithm::kCoreExact;
+  int64_t progress_checks = 0;
+  request.progress = [&progress_checks](const DdsProgress&) {
+    ++progress_checks;
+    return true;  // keep going; returning false cancels the solve
+  };
+  const DdsSolution exact = engine.Solve(request).value();
   std::printf("\nCoreExact verdict: %s\n", SolutionSummary(exact).c_str());
+  std::printf("(progress callback invoked %lld times — one chance to "
+              "cancel per min-cut)\n",
+              static_cast<long long>(progress_checks));
   return 0;
 }

@@ -1,0 +1,97 @@
+#ifndef DDSGRAPH_DDS_CONTROL_H_
+#define DDSGRAPH_DDS_CONTROL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <utility>
+
+/// \file
+/// Deadline and cancellation plumbing for the anytime solvers.
+///
+/// A `SolveControl` is threaded from `DdsEngine::Solve` through
+/// `SolveExactDds` down into every `ProbeRatio` binary-search iteration —
+/// the granularity at which an exact solve can be interrupted without
+/// losing its certificates. When the deadline passes (or the progress
+/// callback vetoes), the solver unwinds, and because every lower bound is
+/// anchored to a witnessed pair and every upper bound only ever tightens
+/// under certified infeasibility, the interrupted solve still returns a
+/// valid `[lower_bound, upper_bound]` bracket of the optimum (anytime
+/// semantics, DESIGN.md §8).
+
+namespace ddsgraph {
+
+/// Snapshot handed to the progress callback. Engine-level checks report
+/// the global incumbent and certified upper bound; checks inside a ratio
+/// probe report probe-local values (the best density witnessed by this
+/// probe and the current binary-search upper bound), so treat the fields
+/// as best-effort telemetry, not as the final certificate.
+struct DdsProgress {
+  double lower_bound = 0;           ///< best certified density so far
+  double upper_bound = 0;           ///< current certified upper bound
+  int64_t ratios_probed = 0;        ///< completed ratio probes
+  int64_t binary_search_iters = 0;  ///< guesses evaluated
+  double elapsed_seconds = 0;       ///< wall time since the solve began
+};
+
+/// Return false to cancel the solve. Called between binary-search guesses
+/// and between ratio probes — i.e. at least once per min-cut computation.
+using DdsProgressCallback = std::function<bool(const DdsProgress&)>;
+
+/// Wall-clock deadline plus optional cancellation callback for one solve.
+/// Once `ShouldStop` has returned true it keeps returning true (sticky),
+/// so a cancelled solve unwinds promptly without re-invoking the callback.
+class SolveControl {
+ public:
+  /// No deadline, no callback: never stops.
+  SolveControl() = default;
+
+  /// `deadline_seconds` is a wall-clock budget from construction time;
+  /// pass infinity for no deadline. `progress` may be empty. Budgets too
+  /// large for the clock's representation (~centuries) are treated as no
+  /// deadline rather than overflowing the duration cast.
+  SolveControl(double deadline_seconds, DdsProgressCallback progress)
+      : progress_(std::move(progress)) {
+    const double max_representable =
+        std::chrono::duration<double>(Clock::duration::max()).count() * 0.5;
+    if (deadline_seconds < max_representable) {
+      deadline_ = start_ + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   std::max(0.0, deadline_seconds)));
+    }
+  }
+
+  /// True when the solve should unwind: the deadline passed or the
+  /// callback returned false (now or on any earlier check).
+  bool ShouldStop(const DdsProgress& progress) {
+    if (stopped_) return true;
+    if (deadline_.has_value() && Clock::now() >= *deadline_) {
+      stopped_ = true;
+    } else if (progress_ && !progress_(progress)) {
+      stopped_ = true;
+    }
+    return stopped_;
+  }
+
+  /// Whether a previous ShouldStop already fired (does not re-check the
+  /// clock or the callback).
+  bool stopped() const { return stopped_; }
+
+  /// Seconds since this control was created (= since the solve began).
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+  std::optional<Clock::time_point> deadline_;
+  DdsProgressCallback progress_;
+  bool stopped_ = false;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_CONTROL_H_

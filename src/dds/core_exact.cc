@@ -7,6 +7,7 @@
 #include "core/core_approx.h"
 #include "core/xy_core.h"
 #include "dds/ratio_space.h"
+#include "dds/solver.h"
 #include "flow/dds_network.h"
 #include "flow/dinic.h"
 #include "flow/min_cut.h"
@@ -34,9 +35,46 @@ struct EngineState {
   double incumbent_density = 0;
   /// Build scratch shared by every probe of the solve, so per-network
   /// construction cost tracks the candidate sets, not O(n) (DESIGN.md §7).
-  ProbeWorkspace workspace;
+  /// Points at the caller's workspace (DdsEngine reuse) or at `owned`.
+  ProbeWorkspace* workspace = nullptr;
+  ProbeWorkspace owned_workspace;
+  /// Deadline/cancellation hook; may be null. When it fires, the solve
+  /// unwinds with `interrupted` set and `anytime_upper` a certified upper
+  /// bound covering every ratio not yet exactly resolved.
+  SolveControl* control = nullptr;
+  bool interrupted = false;
+  double anytime_upper = 0;
   SolverStats stats;
 };
+
+// Engine-level stop check: reports global incumbent/bound progress to the
+// callback and latches the deadline. Cheap enough to call per interval.
+bool StopRequested(EngineState* state) {
+  if (state->control == nullptr) return false;
+  DdsProgress progress;
+  progress.lower_bound = state->incumbent_density;
+  progress.upper_bound = state->upper_global;
+  progress.ratios_probed = state->stats.ratios_probed;
+  progress.binary_search_iters = state->stats.binary_search_iters;
+  progress.elapsed_seconds = state->control->ElapsedSeconds();
+  return state->control->ShouldStop(progress);
+}
+
+// Marks the solve interrupted and derives the anytime upper bound via
+// AnytimeUpperBound (dds/ratio_space.h). Pass nullptr when interrupted
+// before the interval bookkeeping exists (endpoint probes, exhaustive
+// sweep); the global bound is the only certificate then.
+void FinishInterrupted(EngineState* state,
+                       const std::vector<RatioInterval>* work) {
+  state->interrupted = true;
+  if (work == nullptr) {
+    state->anytime_upper = state->upper_global;
+    return;
+  }
+  state->anytime_upper =
+      AnytimeUpperBound(state->incumbent_density, state->delta, *work,
+                        state->upper_global);
+}
 
 void AbsorbProbeStats(const RatioProbeResult& probe, EngineState* state) {
   ++state->stats.ratios_probed;
@@ -108,8 +146,9 @@ ContextProbe ProbeInContext(const Fraction& ratio, const Fraction& lo_ctx,
                             state->upper_global, state->delta,
                             state->options.refine_cores_in_probe,
                             state->options.record_network_sizes, stop_below,
-                            &state->workspace,
-                            state->options.incremental_probe);
+                            state->workspace,
+                            state->options.incremental_probe,
+                            state->control);
   AbsorbProbeStats(result.probe, state);
   MaybeUpdateIncumbent(result.probe, state);
   return result;
@@ -120,13 +159,28 @@ void RunDivideAndConquer(EngineState* state) {
   const Fraction lo = MinRatio(n);
   const Fraction hi = MaxRatio(n);
   const ContextProbe probe_lo = ProbeInContext(lo, lo, lo, 0.0, state);
+  if (state->control != nullptr && state->control->stopped()) {
+    FinishInterrupted(state, nullptr);
+    return;
+  }
   if (lo == hi) return;
   const ContextProbe probe_hi = ProbeInContext(hi, hi, hi, 0.0, state);
+  if (state->control != nullptr && state->control->stopped()) {
+    FinishInterrupted(state, nullptr);
+    return;
+  }
 
   std::vector<RatioInterval> work;
   work.push_back(RatioInterval{lo, hi, probe_lo.probe.h_upper,
                                probe_hi.probe.h_upper});
   while (!work.empty()) {
+    // A probe truncated by the control still returns a certified (looser)
+    // h_upper, so the subintervals pushed below keep the invariant and
+    // this check can account for them on the next pass.
+    if (StopRequested(state)) {
+      FinishInterrupted(state, &work);
+      return;
+    }
     RatioInterval interval = work.back();
     work.pop_back();
     if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) continue;
@@ -165,9 +219,19 @@ void RunExhaustive(EngineState* state) {
       << "exhaustive ratio enumeration is O(n^2); enable "
          "divide_and_conquer for graphs this large";
   for (const Fraction& ratio : AllRealizableRatios(n)) {
+    if (StopRequested(state)) {
+      FinishInterrupted(state, nullptr);
+      return;
+    }
     // At a single ratio, any pair denser than the incumbent has linearized
     // value > incumbent, so the descent may stop there.
     ProbeInContext(ratio, ratio, ratio, state->incumbent_density, state);
+  }
+  // The control can also fire inside the *last* ratio's probe, truncating
+  // its descent with no further loop iteration to notice; without this
+  // check the solve would claim proven optimality it doesn't have.
+  if (state->control != nullptr && state->control->stopped()) {
+    FinishInterrupted(state, nullptr);
   }
 }
 
@@ -187,7 +251,7 @@ RatioProbeResult ProbeRatio(const Digraph& g,
                             double upper_start, double delta,
                             bool refine_cores, bool record_sizes,
                             double stop_below, ProbeWorkspace* workspace,
-                            bool incremental) {
+                            bool incremental, SolveControl* control) {
   CHECK_GT(delta, 0.0);
   ProbeWorkspace local_workspace;
   if (workspace == nullptr) workspace = &local_workspace;
@@ -227,6 +291,15 @@ RatioProbeResult ProbeRatio(const Digraph& g,
   };
 
   while (u - l >= delta && u > stop_below) {
+    if (control != nullptr) {
+      DdsProgress progress;
+      progress.lower_bound = result.best_density;  // probe-local witness
+      progress.upper_bound = u;
+      progress.binary_search_iters = result.iterations;
+      progress.elapsed_seconds = control->ElapsedSeconds();
+      // Exit before the next min cut; u and l stay certified (see header).
+      if (control->ShouldStop(progress)) break;
+    }
     const double guess = 0.5 * (l + u);
     if (guess <= l || guess >= u) break;  // double precision exhausted
     ++result.iterations;
@@ -327,7 +400,8 @@ RatioProbeResult ProbeRatio(const Digraph& g,
   return result;
 }
 
-DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options) {
+DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options,
+                          SolveControl* control, ProbeWorkspace* workspace) {
   WallTimer timer;
   DdsSolution solution;
   if (g.NumEdges() == 0) return solution;
@@ -335,6 +409,9 @@ DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options) {
   EngineState state;
   state.g = &g;
   state.options = options;
+  state.control = control;
+  state.workspace =
+      workspace != nullptr ? workspace : &state.owned_workspace;
   state.delta = ExactSearchDelta(g);
   // rho <= sqrt(E(S,T)) <= sqrt(m) for every pair, since E <= |S||T|.
   state.upper_global =
@@ -359,7 +436,12 @@ DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options) {
   solution.density = DirectedDensity(g, solution.pair);
   solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
   solution.lower_bound = solution.density;
-  solution.upper_bound = solution.density;
+  if (state.interrupted) {
+    solution.interrupted = true;
+    solution.upper_bound = std::max(state.anytime_upper, solution.density);
+  } else {
+    solution.upper_bound = solution.density;
+  }
   solution.stats = std::move(state.stats);
   solution.stats.seconds = timer.Seconds();
   return solution;
@@ -370,11 +452,8 @@ DdsSolution CoreExact(const Digraph& g) {
 }
 
 DdsSolution DcExact(const Digraph& g) {
-  ExactOptions options;
-  options.core_pruning = false;
-  options.refine_cores_in_probe = false;
-  options.approx_warm_start = false;
-  return SolveExactDds(g, options);
+  return SolveExactDds(
+      g, ExactPresetFor(DdsAlgorithm::kDcExact, ExactOptions{}));
 }
 
 }  // namespace ddsgraph

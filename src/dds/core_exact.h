@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dds/control.h"
 #include "dds/result.h"
 #include "flow/dds_network.h"
 #include "graph/digraph.h"
@@ -126,6 +127,12 @@ struct ProbeWorkspace {
 /// sets; both modes follow identical search trajectories (same guesses,
 /// same node sets, same minimal min cuts, hence identical witnesses),
 /// which the equivalence tests assert bit-exactly.
+///
+/// `control`, when non-null, is checked before every guess; once it fires
+/// the probe exits immediately. The returned h_upper (the current `u`) is
+/// still a certified upper bound — u only ever decreased under certified
+/// infeasibility — and last_feasible / best_pair are still witnessed, so a
+/// truncated probe degrades gracefully to a looser but valid certificate.
 RatioProbeResult ProbeRatio(const Digraph& g,
                             const std::vector<VertexId>& s_candidates,
                             const std::vector<VertexId>& t_candidates,
@@ -134,7 +141,8 @@ RatioProbeResult ProbeRatio(const Digraph& g,
                             bool refine_cores, bool record_sizes,
                             double stop_below = 0.0,
                             ProbeWorkspace* workspace = nullptr,
-                            bool incremental = true);
+                            bool incremental = true,
+                            SolveControl* control = nullptr);
 
 /// Termination gap for the binary searches: below the minimum spacing of
 /// distinct (linearized) density values, clamped to [1e-12, 1e-4]. For
@@ -144,7 +152,19 @@ RatioProbeResult ProbeRatio(const Digraph& g,
 double ExactSearchDelta(const Digraph& g);
 
 /// Runs the exact engine with the given options.
-DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options);
+///
+/// `control` adds anytime semantics: if the deadline passes or the
+/// cancellation callback fires mid-solve, the engine unwinds and returns
+/// the incumbent with `interrupted = true` and a certified
+/// `[lower_bound, upper_bound]` bracket of the optimum — the lower bound
+/// is the incumbent's exactly evaluated density, the upper bound is the
+/// max of the interval bounds still outstanding (capped by the global
+/// bound). `workspace`, when non-null, supplies long-lived scratch reused
+/// across solves (DdsEngine owns one per graph); solves are bit-identical
+/// with or without a pre-used workspace.
+DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options,
+                          SolveControl* control = nullptr,
+                          ProbeWorkspace* workspace = nullptr);
 
 /// The paper's exact algorithm: all optimizations enabled.
 DdsSolution CoreExact(const Digraph& g);

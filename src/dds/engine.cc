@@ -1,0 +1,252 @@
+#include "dds/engine.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/core_approx.h"
+#include "dds/density.h"
+#include "dds/flow_exact.h"
+#include "dds/lp_exact.h"
+#include "dds/naive_exact.h"
+#include "dds/weighted_dds.h"
+#include "util/timer.h"
+
+namespace ddsgraph {
+namespace {
+
+// ------------------------------------------------------------- runners
+// Each runner is one registry row's implementation. The engine wrapper
+// fills stats.seconds and stats.prior_engine_solves afterwards, so every
+// algorithm reports those uniformly.
+
+DdsSolution RunNaive(DdsEngine& engine, const DdsRequest&, SolveControl*) {
+  return NaiveExact(*engine.graph());
+}
+
+DdsSolution RunNaiveWeighted(DdsEngine& engine, const DdsRequest&,
+                             SolveControl*) {
+  return WeightedNaiveExact(*engine.weighted_graph());
+}
+
+DdsSolution RunLp(DdsEngine& engine, const DdsRequest&, SolveControl*) {
+  return LpExact(*engine.graph());
+}
+
+// Shared by kFlowExact / kDcExact / kCoreExact: the algorithm's defining
+// flags overlay the request's ExactOptions, then the one exact engine
+// runs with the engine-owned workspace and the solve's control.
+DdsSolution RunExactEngine(DdsEngine& engine, const DdsRequest& request,
+                           SolveControl* control) {
+  return SolveExactDds(*engine.graph(),
+                       ExactPresetFor(request.algorithm, request.exact),
+                       control, engine.workspace());
+}
+
+DdsSolution RunCoreExactWeighted(DdsEngine& engine, const DdsRequest&,
+                                 SolveControl* control) {
+  return WeightedCoreExact(*engine.weighted_graph(), control,
+                           engine.workspace());
+}
+
+DdsSolution RunPeel(DdsEngine& engine, const DdsRequest& request,
+                    SolveControl*) {
+  return PeelApprox(*engine.graph(), request.peel);
+}
+
+DdsSolution RunBatchPeel(DdsEngine& engine, const DdsRequest& request,
+                         SolveControl*) {
+  return BatchPeelApprox(*engine.graph(), request.batch_peel);
+}
+
+// The registry adapter for the core 2-approximations: convert the
+// CoreApprox result shape into a DdsSolution with the certified
+// [density, 2 sqrt(x y)] bracket, reporting skyline sweeps through the
+// same ratios_probed counter every other solver uses.
+DdsSolution RunCoreApprox(DdsEngine& engine, const DdsRequest&,
+                          SolveControl*) {
+  const Digraph& g = *engine.graph();
+  const CoreApproxResult approx = CoreApprox(g);
+  DdsSolution solution;
+  solution.pair = DdsPair{approx.core.s, approx.core.t};
+  solution.density = approx.density;
+  solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
+  solution.lower_bound = approx.density;
+  solution.upper_bound = approx.upper_bound;
+  solution.stats.ratios_probed = approx.sweeps;
+  return solution;
+}
+
+DdsSolution RunCoreApproxWeighted(DdsEngine& engine, const DdsRequest&,
+                                  SolveControl*) {
+  const WeightedDigraph& g = *engine.weighted_graph();
+  const WeightedCoreApproxResult approx = WeightedCoreApprox(g);
+  DdsSolution solution;
+  solution.pair = DdsPair{approx.core.s, approx.core.t};
+  solution.density = approx.density;
+  solution.pair_edges =
+      WeightedPairWeight(g, solution.pair.s, solution.pair.t);
+  solution.lower_bound = approx.density;
+  solution.upper_bound = approx.upper_bound;
+  solution.stats.ratios_probed = approx.sweeps;
+  return solution;
+}
+
+// ------------------------------------------------------------ registry
+// One row per algorithm; everything the facade knows about an algorithm
+// lives here. Register a new solver by adding a row (and an enum value).
+constexpr AlgorithmInfo kRegistry[] = {
+    {DdsAlgorithm::kNaiveExact, "naive-exact", /*exact=*/true,
+     /*weighted_capable=*/true, /*uses_workspace=*/false, RunNaive,
+     RunNaiveWeighted},
+    {DdsAlgorithm::kLpExact, "lp-exact", true, false, false, RunLp,
+     nullptr},
+    {DdsAlgorithm::kFlowExact, "flow-exact", true, false, true,
+     RunExactEngine, nullptr},
+    {DdsAlgorithm::kDcExact, "dc-exact", true, false, true, RunExactEngine,
+     nullptr},
+    {DdsAlgorithm::kCoreExact, "core-exact", true, true, true,
+     RunExactEngine, RunCoreExactWeighted},
+    {DdsAlgorithm::kPeelApprox, "peel-approx", false, false, false, RunPeel,
+     nullptr},
+    {DdsAlgorithm::kBatchPeelApprox, "batch-peel-approx", false, false,
+     false, RunBatchPeel, nullptr},
+    {DdsAlgorithm::kCoreApprox, "core-approx", false, true, false,
+     RunCoreApprox, RunCoreApproxWeighted},
+};
+
+}  // namespace
+
+std::span<const AlgorithmInfo> AlgorithmRegistry() { return kRegistry; }
+
+const AlgorithmInfo* FindAlgorithm(DdsAlgorithm algorithm) {
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (info.algorithm == algorithm) return &info;
+  }
+  return nullptr;
+}
+
+const AlgorithmInfo* FindAlgorithm(std::string_view name) {
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+std::string AlgorithmNamesHelp(bool weighted_only) {
+  std::string out;
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (weighted_only && !info.weighted_capable) continue;
+    if (!out.empty()) out += " | ";
+    out += info.name;
+  }
+  return out;
+}
+
+Status ValidateRequest(const DdsRequest& request) {
+  const AlgorithmInfo* info = FindAlgorithm(request.algorithm);
+  if (info == nullptr) {
+    return Status::InvalidArgument(
+        "unknown DdsAlgorithm value " +
+        std::to_string(static_cast<int>(request.algorithm)) +
+        "; known: " + AlgorithmNamesHelp());
+  }
+  if (std::isnan(request.deadline_seconds) ||
+      request.deadline_seconds <= 0) {
+    return Status::InvalidArgument(
+        "deadline_seconds must be positive (infinity = no deadline), got " +
+        std::to_string(request.deadline_seconds));
+  }
+  // Only the options the chosen algorithm consumes are validated, so a
+  // request object can be reused across algorithms without tripping on
+  // knobs the run would ignore.
+  switch (request.algorithm) {
+    case DdsAlgorithm::kFlowExact:
+    case DdsAlgorithm::kDcExact:
+    case DdsAlgorithm::kCoreExact:
+      if (request.exact.max_exhaustive_n < 1) {
+        return Status::InvalidArgument(
+            "ExactOptions::max_exhaustive_n must be >= 1, got " +
+            std::to_string(request.exact.max_exhaustive_n));
+      }
+      break;
+    case DdsAlgorithm::kPeelApprox:
+      if (!(request.peel.epsilon > 0) ||
+          !std::isfinite(request.peel.epsilon)) {
+        return Status::InvalidArgument(
+            "PeelApproxOptions::epsilon must be positive and finite");
+      }
+      break;
+    case DdsAlgorithm::kBatchPeelApprox:
+      if (!(request.batch_peel.ladder_epsilon > 0) ||
+          !std::isfinite(request.batch_peel.ladder_epsilon) ||
+          !(request.batch_peel.batch_epsilon > 0) ||
+          !std::isfinite(request.batch_peel.batch_epsilon)) {
+        return Status::InvalidArgument(
+            "BatchPeelOptions epsilons must be positive and finite");
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::Ok();
+}
+
+Result<DdsSolution> DdsEngine::Solve(const DdsRequest& request) {
+  Status status = ValidateRequest(request);
+  if (!status.ok()) return status;
+  const AlgorithmInfo* info = FindAlgorithm(request.algorithm);
+  if (weighted() && !info->weighted_capable) {
+    return Status::Unimplemented(
+        std::string(info->name) +
+        " has no weighted implementation; weighted-capable algorithms: " +
+        AlgorithmNamesHelp(/*weighted_only=*/true));
+  }
+  // Graph-aware validation: the size-guarded algorithms CHECK-abort when
+  // called directly; through the facade an oversized graph is a Status.
+  const int64_t n = weighted() ? weighted_graph_->NumVertices()
+                               : graph_->NumVertices();
+  if (request.algorithm == DdsAlgorithm::kNaiveExact &&
+      n > kNaiveExactMaxVertices) {
+    return Status::InvalidArgument(
+        "naive-exact enumerates 4^n pairs; n=" + std::to_string(n) +
+        " exceeds the limit of " + std::to_string(kNaiveExactMaxVertices));
+  }
+  if (request.algorithm == DdsAlgorithm::kLpExact &&
+      n > kLpExactMaxVertices) {
+    return Status::InvalidArgument(
+        "lp-exact solves a dense LP per ratio; n=" + std::to_string(n) +
+        " exceeds the limit of " + std::to_string(kLpExactMaxVertices));
+  }
+  if (!weighted() &&
+      (request.algorithm == DdsAlgorithm::kFlowExact ||
+       request.algorithm == DdsAlgorithm::kDcExact ||
+       request.algorithm == DdsAlgorithm::kCoreExact)) {
+    const ExactOptions preset =
+        ExactPresetFor(request.algorithm, request.exact);
+    if (!preset.divide_and_conquer && n > preset.max_exhaustive_n) {
+      return Status::InvalidArgument(
+          AlgorithmName(request.algorithm) +
+          std::string(" enumerates O(n^2) ratios; n=") + std::to_string(n) +
+          " exceeds max_exhaustive_n=" +
+          std::to_string(preset.max_exhaustive_n) +
+          " (raise ExactOptions::max_exhaustive_n or use a "
+          "divide-and-conquer algorithm)");
+    }
+  }
+  WallTimer timer;
+  SolveControl control(request.deadline_seconds, request.progress);
+  DdsSolution solution = weighted()
+                             ? info->run_weighted(*this, request, &control)
+                             : info->run(*this, request, &control);
+  // Facade-level uniformity: every algorithm reports wall time and the
+  // engine-reuse provenance the same way. Only workspace-using solves
+  // count as scratch inheritance — a core-approx query between two exact
+  // solves must not inflate the reuse signal.
+  solution.stats.seconds = timer.Seconds();
+  solution.stats.prior_engine_solves = workspace_solves_;
+  if (info->uses_workspace) ++workspace_solves_;
+  ++num_solves_;
+  return solution;
+}
+
+}  // namespace ddsgraph

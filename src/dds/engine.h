@@ -1,0 +1,149 @@
+#ifndef DDSGRAPH_DDS_ENGINE_H_
+#define DDSGRAPH_DDS_ENGINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "dds/batch_peel_approx.h"
+#include "dds/control.h"
+#include "dds/core_exact.h"
+#include "dds/peel_approx.h"
+#include "dds/result.h"
+#include "dds/solver.h"
+#include "graph/digraph.h"
+#include "graph/weighted_digraph.h"
+#include "util/status.h"
+
+/// \file
+/// The unified query API over all DDS solvers (DESIGN.md §8).
+///
+/// A `DdsRequest` names an algorithm and carries every knob a solve can
+/// take — the exact engine's `ExactOptions`, the approximation options, a
+/// wall-clock deadline and a progress/cancellation callback. A `DdsEngine`
+/// is constructed once over a `Digraph` or a `WeightedDigraph` and owns
+/// the long-lived scratch (`ProbeWorkspace`: build scratch + epoch sets),
+/// so repeated queries on the same graph amortize setup — the serving
+/// scenario. Dispatch is table-driven: `AlgorithmRegistry()` is the single
+/// source of truth for every algorithm's name, exactness, weighted
+/// capability and runner; `AlgorithmName` / `ParseAlgorithmName` /
+/// `IsExactAlgorithm` and the CLI `--algo` help string all derive from it,
+/// and a new solver registers by adding one row.
+///
+/// Exact solves are *anytime*: when the deadline passes or the callback
+/// cancels, the solve unwinds and returns the incumbent pair with
+/// `DdsSolution::interrupted` set and a still-certified
+/// `[lower_bound, upper_bound]` bracket of the optimum.
+
+namespace ddsgraph {
+
+/// One DDS query: the algorithm plus every option it may consume.
+/// Options irrelevant to the chosen algorithm are ignored and left
+/// unvalidated (e.g. `peel` for kCoreExact), so one request object can
+/// be reused across algorithms; `exact` is consumed verbatim by
+/// kCoreExact, while kFlowExact / kDcExact overlay their defining
+/// ablation flags on it via ExactPresetFor (dds/solver.h). On a
+/// *weighted* engine the exact solver currently exposes no feature
+/// flags — `exact` is ignored there and only the deadline and progress
+/// hook apply (WeightedCoreExact always runs the full configuration).
+struct DdsRequest {
+  DdsAlgorithm algorithm = DdsAlgorithm::kCoreExact;
+  ExactOptions exact;           ///< exact-engine feature flags
+  PeelApproxOptions peel;       ///< knobs for kPeelApprox
+  BatchPeelOptions batch_peel;  ///< knobs for kBatchPeelApprox
+  /// Wall-clock budget in seconds for this solve; infinity (the default)
+  /// means none. The flow-based exact solvers (flow-exact, dc-exact,
+  /// core-exact, including weighted core-exact) honor it with anytime
+  /// semantics; naive-exact and lp-exact run to completion regardless
+  /// (they are small-graph certifiers with no incremental certificate to
+  /// return), and the single-pass approximations ignore it (they are
+  /// already the fast path). Must be positive and not NaN.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Optional progress hook, also the cancellation path: return false to
+  /// stop the solve (see dds/control.h for cadence and field semantics).
+  DdsProgressCallback progress;
+};
+
+/// Request-time validation: known algorithm, positive non-NaN deadline,
+/// and — for the options the chosen algorithm actually consumes —
+/// `max_exhaustive_n >= 1` and positive finite approximation epsilons.
+/// Solve() runs this first, so callers only need it to fail fast earlier.
+Status ValidateRequest(const DdsRequest& request);
+
+/// A reusable solver facade bound to one graph. Not thread-safe: one
+/// engine serves one query at a time (give each thread its own engine
+/// over the same graph). The graph must outlive the engine.
+class DdsEngine {
+ public:
+  explicit DdsEngine(const Digraph& graph) : graph_(&graph) {}
+  explicit DdsEngine(const WeightedDigraph& graph)
+      : weighted_graph_(&graph) {}
+
+  /// True when this engine was constructed over a WeightedDigraph; such
+  /// an engine serves only the weighted-capable algorithms.
+  bool weighted() const { return weighted_graph_ != nullptr; }
+  const Digraph* graph() const { return graph_; }
+  const WeightedDigraph* weighted_graph() const { return weighted_graph_; }
+
+  /// Validates and dispatches `request` through the registry. Errors
+  /// (invalid options, weighted engine asked for an unweighted-only
+  /// algorithm) come back as a Status instead of aborting. The returned
+  /// solution is bit-identical to the corresponding one-shot free-function
+  /// call; `stats.prior_engine_solves` records how many earlier solves the
+  /// engine's workspace already served, and `stats.seconds` is always the
+  /// facade-level wall time.
+  Result<DdsSolution> Solve(const DdsRequest& request);
+
+  /// Number of successful solves served so far.
+  int64_t num_solves() const { return num_solves_; }
+
+  /// The engine-owned long-lived scratch, threaded into the exact solvers
+  /// by the registry runners. Exposed for those runners; not part of the
+  /// user-facing surface.
+  ProbeWorkspace* workspace() { return &workspace_; }
+
+ private:
+  const Digraph* graph_ = nullptr;
+  const WeightedDigraph* weighted_graph_ = nullptr;
+  ProbeWorkspace workspace_;
+  int64_t num_solves_ = 0;
+  /// Solves that ran through `workspace_` (feeds prior_engine_solves).
+  int64_t workspace_solves_ = 0;
+};
+
+/// One registry row. `run` solves on an unweighted engine; `run_weighted`
+/// is non-null exactly when `weighted_capable`, and solves on a weighted
+/// engine. Runners receive the engine (graph + workspace), the request,
+/// and the solve's SolveControl.
+struct AlgorithmInfo {
+  DdsAlgorithm algorithm;
+  const char* name;       ///< canonical lower-case CLI name
+  bool exact;             ///< returns the optimum when uninterrupted
+  bool weighted_capable;  ///< has a WeightedDigraph implementation
+  /// True when the runners solve through the engine-owned ProbeWorkspace
+  /// (the flow-based exact solvers); drives the prior_engine_solves
+  /// provenance counter and implies the anytime deadline is honored.
+  bool uses_workspace;
+  DdsSolution (*run)(DdsEngine& engine, const DdsRequest& request,
+                     SolveControl* control);
+  DdsSolution (*run_weighted)(DdsEngine& engine, const DdsRequest& request,
+                              SolveControl* control);
+};
+
+/// The algorithm table, in enum order — the one source of truth for
+/// names, exactness, weighted capability and dispatch.
+std::span<const AlgorithmInfo> AlgorithmRegistry();
+
+/// Registry lookup by enum / by canonical name; nullptr when unknown.
+const AlgorithmInfo* FindAlgorithm(DdsAlgorithm algorithm);
+const AlgorithmInfo* FindAlgorithm(std::string_view name);
+
+/// All registered names joined with " | " — the CLI --algo help string.
+/// `weighted_only` restricts to the weighted-capable rows.
+std::string AlgorithmNamesHelp(bool weighted_only = false);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_DDS_ENGINE_H_

@@ -1,16 +1,12 @@
 #include "dds/flow_exact.h"
 
-#include "dds/core_exact.h"
+#include "dds/solver.h"
 
 namespace ddsgraph {
 
 DdsSolution FlowExact(const Digraph& g) {
-  ExactOptions options;
-  options.divide_and_conquer = false;
-  options.core_pruning = false;
-  options.refine_cores_in_probe = false;
-  options.approx_warm_start = false;
-  return SolveExactDds(g, options);
+  return SolveExactDds(
+      g, ExactPresetFor(DdsAlgorithm::kFlowExact, ExactOptions{}));
 }
 
 }  // namespace ddsgraph

@@ -19,6 +19,19 @@ double IntervalDensityBound(const RatioInterval& interval) {
   return std::max(interval.h_upper_lo, interval.h_upper_hi) * phi;
 }
 
+double AnytimeUpperBound(double incumbent, double delta,
+                         const std::vector<RatioInterval>& work,
+                         double global_bound) {
+  // The slack must match the looser of the search gap and the prune
+  // tolerance used by the D&C loops (incumbent + 1e-9 * max(1, inc)).
+  double upper =
+      incumbent + std::max(delta, 1e-9 * std::max(1.0, incumbent));
+  for (const RatioInterval& interval : work) {
+    upper = std::max(upper, IntervalDensityBound(interval));
+  }
+  return std::min(upper, global_bound);
+}
+
 std::optional<Fraction> ProbeRatioForInterval(const RatioInterval& interval,
                                               int64_t n) {
   if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) {

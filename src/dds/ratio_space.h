@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "util/stern_brocot.h"
 
@@ -32,6 +33,21 @@ struct RatioInterval {
 /// in the lower half are bounded through the lo endpoint and the upper half
 /// through hi, each with mismatch at most phi(sqrt(hi/lo)).
 double IntervalDensityBound(const RatioInterval& interval);
+
+/// Certified upper bound for a divide-and-conquer solve interrupted
+/// between intervals (anytime semantics, DESIGN.md §8): every ratio is
+/// covered either by work already resolved — bounded by the incumbent
+/// plus the larger of the binary-search gap `delta` and the
+/// interval-prune tolerance (an interval may be discarded with its bound
+/// that far above the incumbent) — or by an interval still on the work
+/// stack, bounded by its IntervalDensityBound (which also dominates the
+/// truncated h_upper of the probe that produced its endpoints).
+/// `global_bound` (sqrt(m)-style or the warm start's certificate) caps
+/// the result. Shared by the unweighted and weighted exact engines so the
+/// certificate logic, including the slack formula, exists once.
+double AnytimeUpperBound(double incumbent, double delta,
+                         const std::vector<RatioInterval>& work,
+                         double global_bound);
 
 /// Picks the probe ratio for an interval: the realizable fraction (p, q <=
 /// n) nearest the geometric midpoint sqrt(lo*hi), falling back to the

@@ -24,6 +24,13 @@ struct SolverStats {
   int64_t binary_search_iters = 0;   ///< total guesses across all ratios
   int64_t max_network_nodes = 0;     ///< largest flow network constructed
   int64_t intervals_pruned = 0;      ///< D&C intervals discarded by bounds
+  /// Number of earlier workspace-using solves whose long-lived scratch
+  /// (ProbeWorkspace, epoch sets) this solve inherited: 0 for a one-shot
+  /// call or an engine's first flow-based exact solve, k after k such
+  /// solves on the same engine. Queries that never touch the workspace
+  /// (approximations, naive/lp) do not advance it. This is how
+  /// engine-level workspace amortization is observable.
+  int64_t prior_engine_solves = 0;
   /// Node count of each flow network in construction order (E8 traces).
   std::vector<int64_t> network_sizes;
   double seconds = 0;                ///< wall time of the solve
@@ -36,11 +43,17 @@ struct DdsSolution {
   DdsPair pair;            ///< the reported (S, T)
   double density = 0;      ///< rho(S, T), exact recomputation
   int64_t pair_edges = 0;  ///< |E(S,T)|
-  /// Certified bounds on rho_opt: for exact solvers lower == upper ==
-  /// density (up to numerical tolerance); for approximations
-  /// [density, upper_bound] brackets the optimum.
+  /// Certified bounds on rho_opt: for exact solvers that run to completion
+  /// lower == upper == density (up to numerical tolerance); for
+  /// approximations and interrupted exact solves [density, upper_bound]
+  /// brackets the optimum.
   double lower_bound = 0;
   double upper_bound = 0;
+  /// True when an exact solve was stopped by a deadline or cancellation
+  /// callback before proving optimality. The solution then carries the
+  /// incumbent pair and a still-certified [lower_bound, upper_bound]
+  /// bracket (anytime semantics, DESIGN.md §8).
+  bool interrupted = false;
   SolverStats stats;
 };
 

@@ -1,17 +1,11 @@
 #include "dds/solver.h"
 
 #include <sstream>
+#include <utility>
 
-#include "core/core_approx.h"
-#include "dds/core_exact.h"
-#include "dds/flow_exact.h"
-#include "dds/lp_exact.h"
-#include "dds/naive_exact.h"
-#include "dds/batch_peel_approx.h"
-#include "dds/peel_approx.h"
+#include "dds/engine.h"
 #include "util/logging.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 namespace ddsgraph {
 
@@ -21,93 +15,62 @@ std::string SolverStats::ToString() const {
      << " reused=" << flow_networks_reused
      << " warm_aug=" << warm_start_augmentations
      << " iters=" << binary_search_iters
-     << " max_net=" << max_network_nodes << " pruned=" << intervals_pruned
-     << " time=" << FormatSeconds(seconds);
+     << " max_net=" << max_network_nodes << " pruned=" << intervals_pruned;
+  if (prior_engine_solves > 0) {
+    os << " engine_solves=" << prior_engine_solves;
+  }
+  os << " time=" << FormatSeconds(seconds);
   return os.str();
 }
 
 const char* AlgorithmName(DdsAlgorithm algorithm) {
-  switch (algorithm) {
-    case DdsAlgorithm::kNaiveExact:
-      return "naive-exact";
-    case DdsAlgorithm::kLpExact:
-      return "lp-exact";
-    case DdsAlgorithm::kFlowExact:
-      return "flow-exact";
-    case DdsAlgorithm::kDcExact:
-      return "dc-exact";
-    case DdsAlgorithm::kCoreExact:
-      return "core-exact";
-    case DdsAlgorithm::kPeelApprox:
-      return "peel-approx";
-    case DdsAlgorithm::kBatchPeelApprox:
-      return "batch-peel-approx";
-    case DdsAlgorithm::kCoreApprox:
-      return "core-approx";
-  }
-  return "unknown";
+  const AlgorithmInfo* info = FindAlgorithm(algorithm);
+  return info != nullptr ? info->name : "unknown";
 }
 
 std::optional<DdsAlgorithm> ParseAlgorithmName(const std::string& name) {
-  for (DdsAlgorithm algorithm :
-       {DdsAlgorithm::kNaiveExact, DdsAlgorithm::kLpExact,
-        DdsAlgorithm::kFlowExact, DdsAlgorithm::kDcExact,
-        DdsAlgorithm::kCoreExact, DdsAlgorithm::kPeelApprox,
-        DdsAlgorithm::kBatchPeelApprox, DdsAlgorithm::kCoreApprox}) {
-    if (name == AlgorithmName(algorithm)) return algorithm;
-  }
-  return std::nullopt;
+  const AlgorithmInfo* info = FindAlgorithm(std::string_view(name));
+  if (info == nullptr) return std::nullopt;
+  return info->algorithm;
 }
 
 bool IsExactAlgorithm(DdsAlgorithm algorithm) {
+  const AlgorithmInfo* info = FindAlgorithm(algorithm);
+  return info != nullptr && info->exact;
+}
+
+bool IsWeightedCapableAlgorithm(DdsAlgorithm algorithm) {
+  const AlgorithmInfo* info = FindAlgorithm(algorithm);
+  return info != nullptr && info->weighted_capable;
+}
+
+ExactOptions ExactPresetFor(DdsAlgorithm algorithm, ExactOptions base) {
   switch (algorithm) {
-    case DdsAlgorithm::kNaiveExact:
-    case DdsAlgorithm::kLpExact:
     case DdsAlgorithm::kFlowExact:
+      base.divide_and_conquer = false;
+      base.core_pruning = false;
+      base.refine_cores_in_probe = false;
+      base.approx_warm_start = false;
+      break;
     case DdsAlgorithm::kDcExact:
-    case DdsAlgorithm::kCoreExact:
-      return true;
-    case DdsAlgorithm::kPeelApprox:
-    case DdsAlgorithm::kBatchPeelApprox:
-    case DdsAlgorithm::kCoreApprox:
-      return false;
+      base.divide_and_conquer = true;
+      base.core_pruning = false;
+      base.refine_cores_in_probe = false;
+      base.approx_warm_start = false;
+      break;
+    default:
+      break;
   }
-  return false;
+  return base;
 }
 
 DdsSolution RunDdsAlgorithm(const Digraph& g, DdsAlgorithm algorithm) {
-  switch (algorithm) {
-    case DdsAlgorithm::kNaiveExact:
-      return NaiveExact(g);
-    case DdsAlgorithm::kLpExact:
-      return LpExact(g);
-    case DdsAlgorithm::kFlowExact:
-      return FlowExact(g);
-    case DdsAlgorithm::kDcExact:
-      return DcExact(g);
-    case DdsAlgorithm::kCoreExact:
-      return CoreExact(g);
-    case DdsAlgorithm::kPeelApprox:
-      return PeelApprox(g);
-    case DdsAlgorithm::kBatchPeelApprox:
-      return BatchPeelApprox(g);
-    case DdsAlgorithm::kCoreApprox: {
-      WallTimer timer;
-      const CoreApproxResult approx = CoreApprox(g);
-      DdsSolution solution;
-      solution.pair = DdsPair{approx.core.s, approx.core.t};
-      solution.density = approx.density;
-      solution.pair_edges =
-          CountPairEdges(g, solution.pair.s, solution.pair.t);
-      solution.lower_bound = approx.density;
-      solution.upper_bound = approx.upper_bound;
-      solution.stats.ratios_probed = approx.sweeps;
-      solution.stats.seconds = timer.Seconds();
-      return solution;
-    }
-  }
-  LOG(FATAL) << "unknown algorithm";
-  return DdsSolution{};
+  DdsEngine engine(g);
+  DdsRequest request;
+  request.algorithm = algorithm;
+  Result<DdsSolution> result = engine.Solve(request);
+  CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 std::string SolutionSummary(const DdsSolution& solution) {
@@ -118,7 +81,44 @@ std::string SolutionSummary(const DdsSolution& solution) {
      << " edges=" << solution.pair_edges << " ["
      << FormatDouble(solution.lower_bound, 4) << ", "
      << FormatDouble(solution.upper_bound, 4) << "] "
+     << (solution.interrupted ? "(interrupted) " : "")
      << solution.stats.ToString();
+  return os.str();
+}
+
+std::string SolutionJson(const DdsSolution& solution,
+                         const std::vector<uint64_t>& labels) {
+  std::ostringstream os;
+  auto vertex_list = [&os, &labels](const std::vector<VertexId>& vs) {
+    os << "[";
+    for (size_t i = 0; i < vs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << (labels.empty() ? vs[i] : labels[vs[i]]);
+    }
+    os << "]";
+  };
+  os << "{\"density\": " << FormatDouble(solution.density, 12)
+     << ", \"pair_edges\": " << solution.pair_edges
+     << ", \"s_size\": " << solution.pair.s.size()
+     << ", \"t_size\": " << solution.pair.t.size() << ", \"s\": ";
+  vertex_list(solution.pair.s);
+  os << ", \"t\": ";
+  vertex_list(solution.pair.t);
+  os << ", \"lower_bound\": " << FormatDouble(solution.lower_bound, 12)
+     << ", \"upper_bound\": " << FormatDouble(solution.upper_bound, 12)
+     << ", \"interrupted\": " << (solution.interrupted ? "true" : "false")
+     << ", \"stats\": {\"ratios_probed\": " << solution.stats.ratios_probed
+     << ", \"flow_networks_built\": " << solution.stats.flow_networks_built
+     << ", \"flow_networks_reused\": "
+     << solution.stats.flow_networks_reused
+     << ", \"warm_start_augmentations\": "
+     << solution.stats.warm_start_augmentations
+     << ", \"binary_search_iters\": " << solution.stats.binary_search_iters
+     << ", \"max_network_nodes\": " << solution.stats.max_network_nodes
+     << ", \"intervals_pruned\": " << solution.stats.intervals_pruned
+     << ", \"prior_engine_solves\": " << solution.stats.prior_engine_solves
+     << ", \"seconds\": " << FormatDouble(solution.stats.seconds, 6)
+     << "}}";
   return os.str();
 }
 

@@ -4,12 +4,17 @@
 #include <optional>
 #include <string>
 
+#include "dds/core_exact.h"
 #include "dds/result.h"
 #include "graph/digraph.h"
 
 /// \file
-/// Facade over all DDS algorithms, keyed by an enum — the entry point used
-/// by the examples, the CLI tool, and the benchmark harness.
+/// Enum-keyed convenience facade over all DDS algorithms.
+///
+/// The names, exactness flags and dispatch below are all derived from the
+/// algorithm registry in dds/engine.h — this header stays the terse
+/// entry point for one-shot calls, while DdsEngine is the configurable,
+/// reusable one (options, weighted graphs, deadlines, cancellation).
 
 namespace ddsgraph {
 
@@ -33,11 +38,37 @@ std::optional<DdsAlgorithm> ParseAlgorithmName(const std::string& name);
 /// True for the algorithms that return the optimum (not an approximation).
 bool IsExactAlgorithm(DdsAlgorithm algorithm);
 
-/// Runs the selected algorithm on `g`. stats.seconds is always filled.
+/// True for the algorithms with a WeightedDigraph implementation — the
+/// ones a weighted DdsEngine can serve.
+bool IsWeightedCapableAlgorithm(DdsAlgorithm algorithm);
+
+/// The ExactOptions an exact algorithm actually runs with, given the
+/// caller's `base`: kCoreExact keeps base verbatim; kDcExact and
+/// kFlowExact force the ablation flags that define them (divide &
+/// conquer on/off, no core pruning, no per-guess refinement, no warm
+/// start) while preserving the engine knobs (incremental_probe,
+/// record_network_sizes, max_exhaustive_n). Identity for the other
+/// algorithms. The single source of preset truth for both the registry
+/// runners and the FlowExact / DcExact free functions.
+ExactOptions ExactPresetFor(DdsAlgorithm algorithm, ExactOptions base);
+
+/// Runs the selected algorithm on `g` with default options — a thin
+/// wrapper over DdsEngine (one-shot engine, no deadline). stats.seconds
+/// is always filled. Invalid requests are fatal here; use
+/// DdsEngine::Solve for the Status-returning path.
 DdsSolution RunDdsAlgorithm(const Digraph& g, DdsAlgorithm algorithm);
 
 /// One-line human-readable summary of a solution.
 std::string SolutionSummary(const DdsSolution& solution);
+
+/// Machine-readable one-line JSON object for a solution: density, edges,
+/// the S/T vertex lists, certified bounds, the interrupted flag and the
+/// SolverStats counters (network_sizes traces omitted). Non-empty
+/// `labels` translate the dense internal vertex ids back to the input
+/// file's ids (the LoadedGraph::labels contract), matching what the
+/// --out_file path of dds_tool writes.
+std::string SolutionJson(const DdsSolution& solution,
+                         const std::vector<uint64_t>& labels = {});
 
 }  // namespace ddsgraph
 

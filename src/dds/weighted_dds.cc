@@ -152,7 +152,8 @@ WeightedProbeResult WeightedProbe(const WeightedDigraph& g,
                                   const std::vector<VertexId>& t_candidates,
                                   const Fraction& ratio, double upper_start,
                                   double delta, double stop_below,
-                                  ProbeWorkspace* workspace) {
+                                  ProbeWorkspace* workspace,
+                                  SolveControl* control) {
   WeightedProbeResult result;
   result.h_upper = upper_start;
   const double sqrt_a = std::sqrt(ratio.ToDouble());
@@ -168,6 +169,15 @@ WeightedProbeResult WeightedProbe(const WeightedDigraph& g,
   std::vector<VertexId> built_t;
 
   while (u - l >= delta && u > stop_below) {
+    if (control != nullptr) {
+      DdsProgress progress;
+      progress.lower_bound = result.best_density;  // probe-local witness
+      progress.upper_bound = u;
+      progress.binary_search_iters = result.iterations;
+      progress.elapsed_seconds = control->ElapsedSeconds();
+      // Exit before the next min cut; u and l stay certified.
+      if (control->ShouldStop(progress)) break;
+    }
     const double guess = 0.5 * (l + u);
     if (guess <= l || guess >= u) break;
     ++result.iterations;
@@ -374,7 +384,9 @@ DdsSolution WeightedNaiveExact(const WeightedDigraph& g) {
   return solution;
 }
 
-DdsSolution WeightedCoreExact(const WeightedDigraph& g) {
+DdsSolution WeightedCoreExact(const WeightedDigraph& g,
+                              SolveControl* control,
+                              ProbeWorkspace* workspace) {
   WallTimer timer;
   DdsSolution solution;
   if (g.TotalWeight() == 0) return solution;
@@ -394,8 +406,24 @@ DdsSolution WeightedCoreExact(const WeightedDigraph& g) {
     upper = std::min(upper, approx.upper_bound);
   }
 
-  // Build scratch and reuse marks shared by every probe of the solve.
-  ProbeWorkspace workspace;
+  // Build scratch and reuse marks shared by every probe of the solve;
+  // a caller-owned workspace (DdsEngine) also amortizes across solves.
+  ProbeWorkspace owned_workspace;
+  if (workspace == nullptr) workspace = &owned_workspace;
+
+  // Anytime bookkeeping (mirrors dds/core_exact.cc).
+  bool interrupted = false;
+  double anytime_upper = 0;
+  auto stop_requested = [&]() {
+    if (control == nullptr) return false;
+    DdsProgress progress;
+    progress.lower_bound = incumbent_density;
+    progress.upper_bound = upper;
+    progress.ratios_probed = solution.stats.ratios_probed;
+    progress.binary_search_iters = solution.stats.binary_search_iters;
+    progress.elapsed_seconds = control->ElapsedSeconds();
+    return control->ShouldStop(progress);
+  };
 
   auto probe_in_context = [&](const Fraction& ratio, const Fraction& lo,
                               const Fraction& hi, double stop_below,
@@ -421,8 +449,9 @@ DdsSolution WeightedCoreExact(const WeightedDigraph& g) {
       }
     }
     *exhausted = false;
-    const WeightedProbeResult probe = WeightedProbe(
-        g, s_cand, t_cand, ratio, upper, delta, stop_below, &workspace);
+    const WeightedProbeResult probe =
+        WeightedProbe(g, s_cand, t_cand, ratio, upper, delta, stop_below,
+                      workspace, control);
     ++solution.stats.ratios_probed;
     solution.stats.binary_search_iters += probe.iterations;
     solution.stats.flow_networks_built += probe.networks_built;
@@ -437,15 +466,35 @@ DdsSolution WeightedCoreExact(const WeightedDigraph& g) {
     return probe.h_upper;
   };
 
+  // Certified anytime upper bound when a solve is cut short, via
+  // AnytimeUpperBound (dds/ratio_space.h). An empty work list (endpoint
+  // probes truncated) certifies nothing beyond the global bound.
+  auto finish_interrupted = [&](const std::vector<RatioInterval>* work) {
+    interrupted = true;
+    anytime_upper =
+        work == nullptr
+            ? upper
+            : AnytimeUpperBound(incumbent_density, delta, *work, upper);
+  };
+
   const Fraction lo = MinRatio(n);
   const Fraction hi = MaxRatio(n);
   bool exhausted = false;
   const double h_lo = probe_in_context(lo, lo, lo, 0.0, &exhausted);
   double h_hi = h_lo;
-  if (!(lo == hi)) {
+  if (control != nullptr && control->stopped()) {
+    finish_interrupted(nullptr);
+  } else if (!(lo == hi)) {
     h_hi = probe_in_context(hi, hi, hi, 0.0, &exhausted);
+    if (control != nullptr && control->stopped()) {
+      finish_interrupted(nullptr);
+    }
     std::vector<RatioInterval> work{RatioInterval{lo, hi, h_lo, h_hi}};
-    while (!work.empty()) {
+    while (!interrupted && !work.empty()) {
+      if (stop_requested()) {
+        finish_interrupted(&work);
+        break;
+      }
       RatioInterval interval = work.back();
       work.pop_back();
       if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) continue;
@@ -477,7 +526,12 @@ DdsSolution WeightedCoreExact(const WeightedDigraph& g) {
   solution.pair_edges =
       WeightedPairWeight(g, solution.pair.s, solution.pair.t);
   solution.lower_bound = solution.density;
-  solution.upper_bound = solution.density;
+  if (interrupted) {
+    solution.interrupted = true;
+    solution.upper_bound = std::max(anytime_upper, solution.density);
+  } else {
+    solution.upper_bound = solution.density;
+  }
   solution.stats.seconds = timer.Seconds();
   return solution;
 }

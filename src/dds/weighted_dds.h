@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "core/xy_core.h"
+#include "dds/control.h"
+#include "dds/core_exact.h"
 #include "dds/result.h"
 #include "graph/weighted_digraph.h"
 
@@ -62,7 +64,15 @@ DdsSolution WeightedNaiveExact(const WeightedDigraph& g);
 /// Exact weighted DDS: divide & conquer over the ratio space with
 /// weighted-core candidate location, weighted flow networks and
 /// approximation warm start (the weighted CoreExact).
-DdsSolution WeightedCoreExact(const WeightedDigraph& g);
+///
+/// `control` and `workspace` mirror SolveExactDds (dds/core_exact.h):
+/// an interrupted solve returns the incumbent with `interrupted` set and
+/// a certified [lower_bound, upper_bound] bracket; a caller-owned
+/// workspace (DdsEngine) amortizes scratch across repeated solves without
+/// changing the result.
+DdsSolution WeightedCoreExact(const WeightedDigraph& g,
+                              SolveControl* control = nullptr,
+                              ProbeWorkspace* workspace = nullptr);
 
 }  // namespace ddsgraph
 

@@ -14,8 +14,10 @@
 #include "core/weighted_xy_core.h"        // IWYU pragma: export
 #include "core/xy_core.h"                 // IWYU pragma: export
 #include "core/xy_core_decomposition.h"   // IWYU pragma: export
+#include "dds/control.h"                  // IWYU pragma: export
 #include "dds/core_exact.h"               // IWYU pragma: export
 #include "dds/density.h"                  // IWYU pragma: export
+#include "dds/engine.h"                   // IWYU pragma: export
 #include "dds/flow_exact.h"               // IWYU pragma: export
 #include "dds/lp_exact.h"                 // IWYU pragma: export
 #include "dds/naive_exact.h"              // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -14,15 +15,29 @@ namespace {
 
 constexpr uint64_t kBinaryMagic = 0x44445347'42494e31ull;  // "DDSG" "BIN1"
 
-}  // namespace
+// The parse-and-intern core shared by the unweighted and weighted text
+// loaders. Edges carry weight 1 unless `weighted` allows an optional
+// third column. `identity` reports whether the file's label set was
+// exactly {0..n-1} (keep the file's own ids — a file we wrote ourselves
+// round-trips verbatim); otherwise ids are densified in encounter order
+// and `labels` holds the mapping.
+struct ParsedEdgeFile {
+  std::vector<WeightedEdge> edges;  // interned endpoints
+  std::vector<uint64_t> labels;
+  bool identity = false;
+};
 
-Result<LoadedGraph> LoadSnapEdgeList(const std::string& path) {
+Result<ParsedEdgeFile> ParseEdgeFile(const std::string& path,
+                                     bool weighted) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
 
-  std::vector<std::pair<uint64_t, uint64_t>> raw_edges;
-  std::unordered_map<uint64_t, VertexId> remap;
-  std::vector<uint64_t> labels;
+  struct RawEdge {
+    uint64_t a;
+    uint64_t b;
+    int64_t w;
+  };
+  std::vector<RawEdge> raw_edges;
 
   std::string line;
   size_t line_no = 0;
@@ -33,52 +48,99 @@ Result<LoadedGraph> LoadSnapEdgeList(const std::string& path) {
     uint64_t a = 0;
     uint64_t b = 0;
     if (!(ls >> a >> b)) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": expected 'u v', got '" + line + "'");
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": expected '" +
+          (weighted ? "u v [w]" : "u v") + "', got '" + line + "'");
     }
-    raw_edges.emplace_back(a, b);
+    // The weight column is optional; bare SNAP lines mean w=1. A column
+    // that is present must be a whole positive integer — parse the token
+    // strictly so "2.5" or "abc" fail instead of being coerced — and
+    // nothing may follow it (a 4-column file like `u v w timestamp` is a
+    // different format and should fail loudly, not load misread).
+    int64_t w = 1;
+    std::string token;
+    if (weighted && ls >> token) {
+      int64_t parsed = 0;
+      const auto [end, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), parsed);
+      if (ec != std::errc() || end != token.data() + token.size() ||
+          parsed < 1) {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_no) +
+            ": weight must be an integer >= 1, got '" + token + "'");
+      }
+      w = parsed;
+      std::string trailing;
+      if (ls >> trailing) {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_no) +
+            ": unexpected trailing column '" + trailing +
+            "' after the weight");
+      }
+    }
+    raw_edges.push_back(RawEdge{a, b, w});
   }
 
+  ParsedEdgeFile out;
+  std::unordered_map<uint64_t, VertexId> remap;
   auto intern = [&](uint64_t label) -> VertexId {
     auto [it, inserted] =
-        remap.emplace(label, static_cast<VertexId>(labels.size()));
-    if (inserted) labels.push_back(label);
+        remap.emplace(label, static_cast<VertexId>(out.labels.size()));
+    if (inserted) out.labels.push_back(label);
     return it->second;
   };
 
-  std::vector<Edge> edges;
-  edges.reserve(raw_edges.size());
-  for (const auto& [a, b] : raw_edges) {
+  out.edges.reserve(raw_edges.size());
+  for (const RawEdge& raw : raw_edges) {
     // Intern in reading order (function-argument evaluation order is
-    // unspecified, so do not inline these calls into emplace_back).
-    const VertexId ua = intern(a);
-    const VertexId ub = intern(b);
-    edges.emplace_back(ua, ub);
+    // unspecified, so do not inline these calls into the push).
+    const VertexId ua = intern(raw.a);
+    const VertexId ub = intern(raw.b);
+    out.edges.push_back(WeightedEdge{ua, ub, raw.w});
   }
 
-  // If the label set is exactly {0..n-1}, keep the file's own ids (a file
-  // we wrote ourselves round-trips verbatim); otherwise densify in
-  // encounter order and report the mapping.
-  const bool identity = [&] {
-    for (uint64_t label : labels) {
-      if (label >= labels.size()) return false;
+  out.identity = [&] {
+    for (uint64_t label : out.labels) {
+      if (label >= out.labels.size()) return false;
     }
     return true;
   }();
+  if (out.identity) {
+    for (WeightedEdge& e : out.edges) {
+      e.from = static_cast<VertexId>(out.labels[e.from]);
+      e.to = static_cast<VertexId>(out.labels[e.to]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<LoadedGraph> LoadSnapEdgeList(const std::string& path) {
+  Result<ParsedEdgeFile> parsed = ParseEdgeFile(path, /*weighted=*/false);
+  if (!parsed.ok()) return parsed.status();
+  ParsedEdgeFile& file = parsed.value();
+
+  std::vector<Edge> edges;
+  edges.reserve(file.edges.size());
+  for (const WeightedEdge& e : file.edges) edges.emplace_back(e.from, e.to);
 
   LoadedGraph out;
-  if (identity) {
-    for (auto& [u, v] : edges) {
-      u = static_cast<VertexId>(labels[u]);
-      v = static_cast<VertexId>(labels[v]);
-    }
-    out.graph = Digraph::FromEdges(static_cast<uint32_t>(labels.size()),
-                                   std::move(edges));
-  } else {
-    out.graph = Digraph::FromEdges(static_cast<uint32_t>(labels.size()),
-                                   std::move(edges));
-    out.labels = std::move(labels);
-  }
+  out.graph = Digraph::FromEdges(static_cast<uint32_t>(file.labels.size()),
+                                 std::move(edges));
+  if (!file.identity) out.labels = std::move(file.labels);
+  return out;
+}
+
+Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path) {
+  Result<ParsedEdgeFile> parsed = ParseEdgeFile(path, /*weighted=*/true);
+  if (!parsed.ok()) return parsed.status();
+  ParsedEdgeFile& file = parsed.value();
+
+  LoadedWeightedGraph out;
+  out.graph = WeightedDigraph::FromEdges(
+      static_cast<uint32_t>(file.labels.size()), std::move(file.edges));
+  if (!file.identity) out.labels = std::move(file.labels);
   return out;
 }
 

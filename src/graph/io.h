@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/weighted_digraph.h"
 #include "util/status.h"
 
 /// \file
@@ -30,6 +31,19 @@ struct LoadedGraph {
 /// Parses a SNAP-style edge list. Lines starting with '#' or '%' are
 /// comments; blank lines are skipped. Self-loops and duplicates are dropped.
 Result<LoadedGraph> LoadSnapEdgeList(const std::string& path);
+
+struct LoadedWeightedGraph {
+  WeightedDigraph graph;
+  /// Same densification contract as LoadedGraph::labels.
+  std::vector<uint64_t> labels;
+};
+
+/// Parses a weighted edge list: one `u<ws>v[<ws>w]` per line with integer
+/// weight w >= 1 (default 1 when omitted, so plain SNAP files load as
+/// unit-weight graphs). Comments and labels as in LoadSnapEdgeList;
+/// parallel (u,v) entries merge by summing weights, self-loops are
+/// dropped, and a weight below 1 fails the load with InvalidArgument.
+Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path);
 
 /// Writes `g` as a SNAP-style edge list with a small header comment.
 Status SaveSnapEdgeList(const Digraph& g, const std::string& path);

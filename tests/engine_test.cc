@@ -1,0 +1,398 @@
+#include "dds/engine.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "dds/naive_exact.h"
+#include "dds/solver.h"
+#include "dds/weighted_dds.h"
+#include "graph/generators.h"
+#include "graph/weighted_digraph.h"
+#include "util/random.h"
+
+namespace ddsgraph {
+namespace {
+
+// Random weighted graph with weights in [1, max_w].
+WeightedDigraph RandomWeighted(uint32_t n, int64_t arcs, int64_t max_w,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (int64_t i = 0; i < arcs; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    edges.push_back(WeightedEdge{
+        u, v, static_cast<int64_t>(1 + rng.NextBounded(max_w))});
+  }
+  return WeightedDigraph::FromEdges(n, std::move(edges));
+}
+
+void ExpectSameSolution(const DdsSolution& a, const DdsSolution& b) {
+  EXPECT_EQ(a.pair.s, b.pair.s);
+  EXPECT_EQ(a.pair.t, b.pair.t);
+  EXPECT_EQ(a.density, b.density);  // bit-identical, not just near
+  EXPECT_EQ(a.pair_edges, b.pair_edges);
+  EXPECT_EQ(a.lower_bound, b.lower_bound);
+  EXPECT_EQ(a.upper_bound, b.upper_bound);
+  EXPECT_EQ(a.interrupted, b.interrupted);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(RegistryTest, CoversEveryAlgorithmExactlyOnce) {
+  const auto registry = AlgorithmRegistry();
+  EXPECT_EQ(registry.size(), 8u);
+  for (const AlgorithmInfo& info : registry) {
+    // Enum -> row and name -> row agree with the row itself.
+    EXPECT_EQ(FindAlgorithm(info.algorithm), &info);
+    EXPECT_EQ(FindAlgorithm(std::string_view(info.name)), &info);
+    // The registry is the source of truth for the name helpers.
+    EXPECT_STREQ(AlgorithmName(info.algorithm), info.name);
+    const auto parsed = ParseAlgorithmName(info.name);
+    ASSERT_TRUE(parsed.has_value()) << info.name;
+    EXPECT_EQ(*parsed, info.algorithm);
+    EXPECT_EQ(IsExactAlgorithm(info.algorithm), info.exact);
+    EXPECT_EQ(IsWeightedCapableAlgorithm(info.algorithm),
+              info.weighted_capable);
+    // Runner invariants: always an unweighted runner; a weighted one
+    // exactly when the row claims the capability; workspace-using
+    // (anytime-capable) rows are exact solvers.
+    EXPECT_NE(info.run, nullptr) << info.name;
+    EXPECT_EQ(info.run_weighted != nullptr, info.weighted_capable)
+        << info.name;
+    if (info.uses_workspace) EXPECT_TRUE(info.exact) << info.name;
+  }
+  EXPECT_EQ(FindAlgorithm(std::string_view("bogus")), nullptr);
+  EXPECT_EQ(FindAlgorithm(static_cast<DdsAlgorithm>(999)), nullptr);
+}
+
+TEST(RegistryTest, HelpStringListsEveryName) {
+  const std::string help = AlgorithmNamesHelp();
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    EXPECT_NE(help.find(info.name), std::string::npos) << info.name;
+  }
+  const std::string weighted_help =
+      AlgorithmNamesHelp(/*weighted_only=*/true);
+  EXPECT_NE(weighted_help.find("core-exact"), std::string::npos);
+  EXPECT_EQ(weighted_help.find("lp-exact"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(DdsEngineTest, AllAlgorithmsReachableAndAgreeWithFreeFunctions) {
+  const Digraph g = UniformDigraph(8, 25, 3);
+  DdsEngine engine(g);
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    DdsRequest request;
+    request.algorithm = info.algorithm;
+    const Result<DdsSolution> via_engine = engine.Solve(request);
+    ASSERT_TRUE(via_engine.ok()) << info.name;
+    const DdsSolution direct = RunDdsAlgorithm(g, info.algorithm);
+    EXPECT_EQ(via_engine.value().density, direct.density) << info.name;
+    EXPECT_EQ(via_engine.value().pair.s, direct.pair.s) << info.name;
+    EXPECT_EQ(via_engine.value().pair.t, direct.pair.t) << info.name;
+  }
+  EXPECT_EQ(engine.num_solves(),
+            static_cast<int64_t>(AlgorithmRegistry().size()));
+}
+
+TEST(DdsEngineTest, RepeatSolveReusesWorkspaceAndIsBitIdentical) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const Digraph g = UniformDigraph(24, 110, seed);
+    const DdsSolution one_shot = CoreExact(g);
+    DdsEngine engine(g);
+    DdsRequest request;
+    request.algorithm = DdsAlgorithm::kCoreExact;
+    const DdsSolution first = engine.Solve(request).value();
+    const DdsSolution second = engine.Solve(request).value();
+    ExpectSameSolution(first, one_shot);
+    ExpectSameSolution(second, one_shot);
+    ExpectSameSolution(second, first);
+    // Workspace amortization is observable: the second solve records the
+    // solve it inherited scratch from.
+    EXPECT_EQ(first.stats.prior_engine_solves, 0);
+    EXPECT_EQ(second.stats.prior_engine_solves, 1);
+    EXPECT_EQ(one_shot.stats.prior_engine_solves, 0);
+    // Queries that never touch the workspace don't inflate the signal.
+    DdsRequest approx;
+    approx.algorithm = DdsAlgorithm::kCoreApprox;
+    EXPECT_EQ(engine.Solve(approx).value().stats.prior_engine_solves, 2);
+    DdsRequest third;
+    third.algorithm = DdsAlgorithm::kCoreExact;
+    EXPECT_EQ(engine.Solve(third).value().stats.prior_engine_solves, 2);
+    // Identical trajectory, identical work counters.
+    EXPECT_EQ(second.stats.flow_networks_built,
+              first.stats.flow_networks_built);
+    EXPECT_EQ(second.stats.binary_search_iters,
+              first.stats.binary_search_iters);
+  }
+}
+
+TEST(DdsEngineTest, WeightedFacadeMatchesDirectSolvers) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const WeightedDigraph g = RandomWeighted(12, 40, 5, seed);
+    DdsEngine engine(g);
+    DdsRequest request;
+    request.algorithm = DdsAlgorithm::kCoreExact;
+    const DdsSolution via_engine = engine.Solve(request).value();
+    const DdsSolution direct = WeightedCoreExact(g);
+    ExpectSameSolution(via_engine, direct);
+
+    request.algorithm = DdsAlgorithm::kNaiveExact;
+    const DdsSolution naive = engine.Solve(request).value();
+    EXPECT_NEAR(via_engine.density, naive.density, 1e-9);
+
+    request.algorithm = DdsAlgorithm::kCoreApprox;
+    const DdsSolution approx = engine.Solve(request).value();
+    EXPECT_GE(approx.density * 2.0 + 1e-9, naive.density);
+    EXPECT_LE(naive.density, approx.upper_bound + 1e-9);
+  }
+}
+
+TEST(DdsEngineTest, WeightedEngineRejectsUnweightedOnlyAlgorithms) {
+  const WeightedDigraph g = RandomWeighted(8, 20, 3, 1);
+  DdsEngine engine(g);
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    DdsRequest request;
+    request.algorithm = info.algorithm;
+    const Result<DdsSolution> result = engine.Solve(request);
+    if (info.weighted_capable) {
+      EXPECT_TRUE(result.ok()) << info.name;
+    } else {
+      ASSERT_FALSE(result.ok()) << info.name;
+      EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented)
+          << info.name;
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(DdsEngineTest, OversizedGraphsFailAsStatusNotAbort) {
+  // 80 vertices: beyond naive-exact (14) and lp-exact (64) limits.
+  const Digraph big = UniformDigraph(80, 300, 1);
+  DdsEngine engine(big);
+  for (DdsAlgorithm algorithm :
+       {DdsAlgorithm::kNaiveExact, DdsAlgorithm::kLpExact}) {
+    DdsRequest request;
+    request.algorithm = algorithm;
+    const Result<DdsSolution> result = engine.Solve(request);
+    ASSERT_FALSE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  // flow-exact's exhaustive enumeration guard is max_exhaustive_n.
+  DdsRequest flow;
+  flow.algorithm = DdsAlgorithm::kFlowExact;
+  flow.exact.max_exhaustive_n = 50;
+  const Result<DdsSolution> rejected = engine.Solve(flow);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  flow.exact.max_exhaustive_n = 100;  // now n=80 fits
+  EXPECT_TRUE(engine.Solve(flow).ok());
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(ValidateRequestTest, RejectsBadOptions) {
+  const Digraph g = UniformDigraph(8, 20, 1);
+  DdsEngine engine(g);
+
+  DdsRequest bad_exhaustive;
+  bad_exhaustive.exact.max_exhaustive_n = 0;
+  EXPECT_EQ(ValidateRequest(bad_exhaustive).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(engine.Solve(bad_exhaustive).ok());
+
+  DdsRequest nan_deadline;
+  nan_deadline.deadline_seconds =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ValidateRequest(nan_deadline).code(),
+            StatusCode::kInvalidArgument);
+
+  DdsRequest negative_deadline;
+  negative_deadline.deadline_seconds = -1.0;
+  EXPECT_EQ(ValidateRequest(negative_deadline).code(),
+            StatusCode::kInvalidArgument);
+
+  DdsRequest bad_epsilon;
+  bad_epsilon.algorithm = DdsAlgorithm::kPeelApprox;
+  bad_epsilon.peel.epsilon = 0.0;
+  EXPECT_EQ(ValidateRequest(bad_epsilon).code(),
+            StatusCode::kInvalidArgument);
+  // The same broken knob is ignored by an algorithm that never reads it,
+  // so a request object can be reused across algorithms.
+  bad_epsilon.algorithm = DdsAlgorithm::kCoreApprox;
+  EXPECT_TRUE(ValidateRequest(bad_epsilon).ok());
+
+  DdsRequest bad_algorithm;
+  bad_algorithm.algorithm = static_cast<DdsAlgorithm>(123);
+  EXPECT_EQ(ValidateRequest(bad_algorithm).code(),
+            StatusCode::kInvalidArgument);
+  // The engine surfaces the same error as a Status, not a crash.
+  EXPECT_FALSE(engine.Solve(bad_algorithm).ok());
+
+  DdsRequest fine;  // defaults validate
+  EXPECT_TRUE(ValidateRequest(fine).ok());
+  // Failed solves do not count as served.
+  EXPECT_EQ(engine.num_solves(), 0);
+}
+
+// ---------------------------------------------------------------- anytime
+
+TEST(AnytimeTest, DeadlineTruncatedSolveBracketsOptimum) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const Digraph g = UniformDigraph(11, 45, seed);
+    const double optimum = NaiveExact(g).density;
+    DdsEngine engine(g);
+    DdsRequest request;
+    request.algorithm = DdsAlgorithm::kCoreExact;
+    request.deadline_seconds = 1e-9;  // expires before the first min cut
+    const DdsSolution sol = engine.Solve(request).value();
+    ASSERT_TRUE(sol.interrupted) << "seed " << seed;
+    // The certified interval must bracket the true optimum, and the
+    // incumbent (the approx warm start at this budget) must witness the
+    // lower bound exactly.
+    EXPECT_LE(sol.lower_bound, optimum + 1e-9) << "seed " << seed;
+    EXPECT_GE(sol.upper_bound + 1e-9, optimum) << "seed " << seed;
+    EXPECT_EQ(sol.lower_bound, sol.density);
+    EXPECT_GT(sol.density, 0.0);  // warm start ran before the deadline
+    EXPECT_LE(sol.lower_bound, sol.upper_bound + 1e-12);
+  }
+}
+
+TEST(AnytimeTest, CancellationViaCallbackBracketsOptimum) {
+  for (int64_t budget : {1, 3, 7, 20}) {
+    const Digraph g = UniformDigraph(12, 50, 7);
+    const double optimum = NaiveExact(g).density;
+    DdsEngine engine(g);
+    DdsRequest request;
+    request.algorithm = DdsAlgorithm::kCoreExact;
+    int64_t calls = 0;
+    request.progress = [&calls, budget](const DdsProgress& progress) {
+      // Fields are best-effort telemetry (probe-local inside a probe);
+      // only sanity-check, don't assume cross-field invariants.
+      EXPECT_GE(progress.elapsed_seconds, 0.0);
+      EXPECT_GE(progress.upper_bound, 0.0);
+      return ++calls < budget;
+    };
+    const DdsSolution sol = engine.Solve(request).value();
+    EXPECT_GE(calls, 1);
+    EXPECT_LE(sol.lower_bound, optimum + 1e-9) << "budget " << budget;
+    EXPECT_GE(sol.upper_bound + 1e-9, optimum) << "budget " << budget;
+    if (!sol.interrupted) {
+      // Ran to completion before the budget: must be exact.
+      EXPECT_NEAR(sol.density, optimum, 1e-6);
+    }
+  }
+}
+
+// The exhaustive path (flow-exact) must notice a cancellation that fires
+// inside the *last* ratio's probe — the spot a loop-top check alone would
+// miss — and report interruption with certified bounds.
+TEST(AnytimeTest, ExhaustiveLateCancellationStillReportsInterruption) {
+  const Digraph g = UniformDigraph(10, 40, 3);
+  const double optimum = NaiveExact(g).density;
+  DdsRequest request;
+  request.algorithm = DdsAlgorithm::kFlowExact;
+  int64_t total = 0;
+  request.progress = [&total](const DdsProgress&) {
+    ++total;
+    return true;
+  };
+  DdsEngine engine(g);
+  const DdsSolution full = engine.Solve(request).value();
+  ASSERT_FALSE(full.interrupted);
+  EXPECT_NEAR(full.density, optimum, 1e-6);
+  ASSERT_GT(total, 2);
+  for (const int64_t cancel_at : {total, total - 1}) {
+    DdsEngine fresh(g);
+    int64_t calls = 0;
+    request.progress = [&calls, cancel_at](const DdsProgress&) {
+      return ++calls < cancel_at;
+    };
+    const DdsSolution sol = fresh.Solve(request).value();
+    EXPECT_EQ(calls, cancel_at);  // deterministic trajectory up to the cut
+    EXPECT_TRUE(sol.interrupted) << "cancel_at " << cancel_at;
+    EXPECT_LE(sol.lower_bound, optimum + 1e-9);
+    EXPECT_GE(sol.upper_bound + 1e-9, optimum);
+  }
+}
+
+TEST(AnytimeTest, GenerousDeadlineStillProvesOptimality) {
+  const Digraph g = UniformDigraph(10, 35, 2);
+  const double optimum = NaiveExact(g).density;
+  DdsEngine engine(g);
+  DdsRequest request;
+  request.algorithm = DdsAlgorithm::kCoreExact;
+  request.deadline_seconds = 300.0;
+  const DdsSolution sol = engine.Solve(request).value();
+  EXPECT_FALSE(sol.interrupted);
+  EXPECT_NEAR(sol.density, optimum, 1e-6);
+  EXPECT_EQ(sol.lower_bound, sol.upper_bound);
+}
+
+TEST(AnytimeTest, WeightedDeadlineTruncationIsCertified) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const WeightedDigraph g = RandomWeighted(11, 40, 4, seed);
+    if (g.TotalWeight() == 0) continue;
+    const double optimum = WeightedNaiveExact(g).density;
+    DdsEngine engine(g);
+    DdsRequest request;
+    request.algorithm = DdsAlgorithm::kCoreExact;
+    request.deadline_seconds = 1e-9;
+    const DdsSolution sol = engine.Solve(request).value();
+    ASSERT_TRUE(sol.interrupted) << "seed " << seed;
+    EXPECT_LE(sol.lower_bound, optimum + 1e-9) << "seed " << seed;
+    EXPECT_GE(sol.upper_bound + 1e-9, optimum) << "seed " << seed;
+  }
+}
+
+// Engine solves after an interrupted one must not inherit stale state:
+// the next full solve still returns the exact answer.
+TEST(AnytimeTest, EngineRecoversAfterInterruptedSolve) {
+  const Digraph g = UniformDigraph(12, 50, 9);
+  const DdsSolution one_shot = CoreExact(g);
+  DdsEngine engine(g);
+  DdsRequest truncated;
+  truncated.algorithm = DdsAlgorithm::kCoreExact;
+  truncated.deadline_seconds = 1e-9;
+  (void)engine.Solve(truncated).value();
+  DdsRequest full;
+  full.algorithm = DdsAlgorithm::kCoreExact;
+  const DdsSolution after = engine.Solve(full).value();
+  EXPECT_EQ(after.density, one_shot.density);
+  EXPECT_EQ(after.pair.s, one_shot.pair.s);
+  EXPECT_EQ(after.pair.t, one_shot.pair.t);
+  EXPECT_FALSE(after.interrupted);
+}
+
+// --------------------------------------------------------------- summary
+
+TEST(SolutionJsonTest, ContainsKeyFieldsAndFlags) {
+  const Digraph g = UniformDigraph(10, 30, 4);
+  DdsEngine engine(g);
+  DdsRequest request;
+  request.algorithm = DdsAlgorithm::kCoreApprox;
+  const DdsSolution sol = engine.Solve(request).value();
+  const std::string json = SolutionJson(sol);
+  EXPECT_NE(json.find("\"density\": "), std::string::npos);
+  EXPECT_NE(json.find("\"s\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"t\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"interrupted\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"ratios_probed\": "), std::string::npos);
+  EXPECT_NE(json.find("\"prior_engine_solves\": 0"), std::string::npos);
+}
+
+TEST(SolutionJsonTest, TranslatesLabelsWhenProvided) {
+  DdsSolution sol;
+  sol.pair.s = {0, 2};
+  sol.pair.t = {1};
+  const std::string json = SolutionJson(sol, {100, 200, 300});
+  EXPECT_NE(json.find("\"s\": [100,300]"), std::string::npos);
+  EXPECT_NE(json.find("\"t\": [200]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -94,6 +94,46 @@ TEST_F(IoTest, BinaryRoundTrip) {
   EXPECT_EQ(loaded.value().NumVertices(), g.NumVertices());
 }
 
+TEST_F(IoTest, LoadsWeightedEdgeList) {
+  const std::string path = TempPath("weighted.txt");
+  WriteFile(path,
+            "# u v w\n"
+            "0 1 3\n"
+            "1 2\n"       // missing weight column defaults to 1
+            "0 1 2\n"     // parallel entry merges by summing
+            "2 2 9\n");   // self-loop dropped
+  const auto loaded = LoadWeightedEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  const WeightedDigraph& g = loaded.value().graph;
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_EQ(g.TotalWeight(), 6);  // (0,1):5 + (1,2):1
+  EXPECT_EQ(g.WeightedOutDegree(0), 5);
+  EXPECT_TRUE(loaded.value().labels.empty());
+}
+
+TEST_F(IoTest, WeightedLoaderRemapsLabelsAndRejectsBadWeights) {
+  const std::string sparse = TempPath("weighted_sparse.txt");
+  WriteFile(sparse, "100 200 4\n200 300 2\n");
+  const auto loaded = LoadWeightedEdgeList(sparse);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().labels.size(), 3u);
+  EXPECT_EQ(loaded.value().labels[0], 100u);
+  EXPECT_EQ(loaded.value().graph.TotalWeight(), 6);
+
+  // Present-but-malformed weight columns fail strictly instead of being
+  // coerced (0 and negatives rejected; "2.5" not truncated; "abc" not 1).
+  for (const char* bad_line : {"0 1 0\n", "0 1 -3\n", "0 1 2.5\n",
+                               "0 1 abc\n", "0 1 3 17\n"}) {
+    const std::string bad = TempPath("weighted_bad.txt");
+    WriteFile(bad, bad_line);
+    const auto rejected = LoadWeightedEdgeList(bad);
+    ASSERT_FALSE(rejected.ok()) << bad_line;
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument)
+        << bad_line;
+  }
+}
+
 TEST_F(IoTest, BinaryRejectsBadMagic) {
   const std::string path = TempPath("garbage.bin");
   WriteFile(path, "this is not a ddsgraph binary file at all");

@@ -22,14 +22,17 @@ void AddRows(const std::vector<Dataset>& sets, const char* tier, Table* t) {
   for (const Dataset& d : sets) {
     const DegreeStats stats = ComputeDegreeStats(d.graph);
     const CoreApproxResult core = CoreApprox(d.graph);
+    std::string best_core = "[";
+    best_core += std::to_string(core.best_x);
+    best_core += ",";
+    best_core += std::to_string(core.best_y);
+    best_core += "]";
     t->AddRow({d.name, tier, d.family, std::to_string(stats.num_vertices),
                std::to_string(stats.num_edges),
                std::to_string(stats.max_out_degree),
                std::to_string(stats.max_in_degree),
                FormatDouble(stats.out_degree_gini, 3),
-               std::to_string(stats.num_weak_components),
-               "[" + std::to_string(core.best_x) + "," +
-                   std::to_string(core.best_y) + "]",
+               std::to_string(stats.num_weak_components), best_core,
                FormatDouble(core.density, 3)});
   }
 }

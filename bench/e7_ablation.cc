@@ -59,9 +59,42 @@ std::vector<Rung> Ladder() {
   return rungs;
 }
 
+// Runs the whole ladder on one graph (either weight policy — the engine
+// is the same template either way) and prints the markdown table.
+// Returns false when a rung changed the answer.
+template <typename G>
+bool RunLadder(const G& g) {
+  Table t({"variant", "time", "ratios", "built", "reused",
+           "max-net-nodes", "rho"});
+  double reference = -1;
+  for (const Rung& rung : Ladder()) {
+    DdsSolution sol;
+    const double secs =
+        TimeOnce([&] { sol = SolveExactDds(g, rung.options); });
+    if (reference < 0) reference = sol.density;
+    if (std::abs(sol.density - reference) > 1e-5) {
+      std::fprintf(stderr, "ERROR: ablation rung %s changed the answer\n",
+                   rung.name);
+      return false;
+    }
+    t.AddRow({rung.name, FormatSeconds(secs),
+              std::to_string(sol.stats.ratios_probed),
+              std::to_string(sol.stats.flow_networks_built),
+              std::to_string(sol.stats.flow_networks_reused),
+              std::to_string(sol.stats.max_network_nodes),
+              FormatDouble(sol.density, 4)});
+  }
+  t.PrintMarkdown(std::cout);
+  std::printf("\n");
+  return true;
+}
+
 int Main(int argc, const char* const* argv) {
   FlagSet flags("e7_ablation", "E7: exact-engine optimization ladder");
   bool* quick = flags.Bool("quick", false, "drop the largest datasets");
+  bool* weighted = flags.Bool(
+      "weighted", true,
+      "also run each ladder on a weight-lifted copy of the dataset");
   flags.ParseOrDie(argc, argv);
 
   PrintBanner("E7", "pruning ablation");
@@ -69,28 +102,20 @@ int Main(int argc, const char* const* argv) {
     std::printf("### %s (n=%u, m=%lld)\n", d.name.c_str(),
                 d.graph.NumVertices(),
                 static_cast<long long>(d.graph.NumEdges()));
-    Table t({"variant", "time", "ratios", "built", "reused",
-             "max-net-nodes", "rho"});
-    double reference = -1;
-    for (const Rung& rung : Ladder()) {
-      DdsSolution sol;
-      const double secs =
-          TimeOnce([&] { sol = SolveExactDds(d.graph, rung.options); });
-      if (reference < 0) reference = sol.density;
-      if (std::abs(sol.density - reference) > 1e-5) {
-        std::fprintf(stderr, "ERROR: ablation rung %s changed the answer\n",
-                     rung.name);
-        return 1;
-      }
-      t.AddRow({rung.name, FormatSeconds(secs),
-                std::to_string(sol.stats.ratios_probed),
-                std::to_string(sol.stats.flow_networks_built),
-                std::to_string(sol.stats.flow_networks_reused),
-                std::to_string(sol.stats.max_network_nodes),
-                FormatDouble(sol.density, 4)});
+    if (!RunLadder(d.graph)) return 1;
+    if (*weighted) {
+      // The weighted rungs: same topology, geometric weights, same
+      // ladder — every flag applies to the weighted instantiation since
+      // the engines merged.
+      WeightOptions weight_options;
+      weight_options.dist = WeightOptions::Dist::kGeometric;
+      weight_options.max_weight = 12;
+      const WeightedDigraph wg =
+          AttachRandomWeights(d.graph, /*seed=*/11, weight_options);
+      std::printf("### %s (weighted, W=%lld)\n", d.name.c_str(),
+                  static_cast<long long>(wg.TotalWeight()));
+      if (!RunLadder(wg)) return 1;
     }
-    t.PrintMarkdown(std::cout);
-    std::printf("\n");
   }
   return 0;
 }

@@ -46,6 +46,11 @@ int main(int argc, char** argv) {
       "wall-clock budget in seconds; 0 = none. An expired flow-based "
       "exact solve (flow/dc/core-exact) returns the incumbent with "
       "certified [lower, upper] bounds; naive/lp-exact run to completion");
+  bool* fresh_probes = flags.Bool(
+      "fresh_probes", false,
+      "disable the parametric probe engine (rebuild + cold-solve the flow "
+      "network at every guess) — the ablation baseline; applies to the "
+      "exact solvers, weighted or not, and never changes the answer");
   std::string* out_file =
       flags.String("out_file", "", "write S/T vertex lists here");
   flags.ParseOrDie(argc, argv);
@@ -109,6 +114,7 @@ int main(int argc, char** argv) {
 
   DdsRequest request;
   request.algorithm = *algorithm;
+  request.exact.incremental_probe = !*fresh_probes;
   if (*deadline_s > 0) request.deadline_seconds = *deadline_s;
 
   DdsEngine engine = *weighted ? DdsEngine(weighted_graph)

@@ -9,10 +9,10 @@
 
 namespace ddsgraph {
 
-CoreApproxResult CoreApprox(const Digraph& g) {
+template <typename G>
+CoreApproxResult CoreApprox(const G& g) {
   CoreApproxResult result;
-  const int64_t m = g.NumEdges();
-  if (m == 0) return result;
+  if (g.TotalWeight() == 0) return result;
 
   int64_t best_product = 0;
 
@@ -22,10 +22,10 @@ CoreApproxResult CoreApprox(const Digraph& g) {
   // [x,y]-core of G == swapped [y,x]-core of G^T). The corner (x', y)
   // dominates every product on the level, so all levels are covered with
   // two peels each. Corners have strictly increasing x and strictly
-  // decreasing y, so their count K satisfies (K/2)^2 <= max product <= m,
-  // i.e. K <= 2 sqrt(m) — the O(sqrt(m) (n+m)) bound — while real graphs
+  // decreasing y, so their count K satisfies (K/2)^2 <= max product <= W,
+  // i.e. K <= 2 sqrt(W) — the O(sqrt(W) (n+m)) bound — while real graphs
   // have far fewer levels.
-  const Digraph reversed = g.Reversed();
+  const G reversed = g.Reversed();
   int64_t x = 1;
   while (true) {
     ++result.sweeps;
@@ -46,12 +46,15 @@ CoreApproxResult CoreApprox(const Digraph& g) {
 
   result.core = ComputeXyCore(g, result.best_x, result.best_y);
   CHECK(!result.core.Empty());
-  result.density = DirectedDensity(g, result.core.s, result.core.t);
+  result.density = PairDensity(g, result.core.s, result.core.t);
   result.lower_bound = std::sqrt(static_cast<double>(best_product));
   result.upper_bound = 2.0 * result.lower_bound;
   // The theory guarantees density >= sqrt(x y); keep that as a live audit.
   CHECK_GE(result.density + 1e-9, result.lower_bound);
   return result;
 }
+
+template CoreApproxResult CoreApprox<Digraph>(const Digraph&);
+template CoreApproxResult CoreApprox<WeightedDigraph>(const WeightedDigraph&);
 
 }  // namespace ddsgraph

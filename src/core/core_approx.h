@@ -19,8 +19,14 @@
 /// distinct y-level, one fixed-x peel finds the level and one transposed
 /// fixed-y peel finds its right end), so every level is covered with two
 /// O(n+m) peels. Corner x's strictly increase while y's strictly
-/// decrease and x*y <= m, so there are at most 2 sqrt(m) corners:
-/// O(sqrt(m) (n + m)) total, typically far less.
+/// decrease and x*y <= W (the total edge weight, = m unweighted), so there
+/// are at most 2 sqrt(W) corners: O(sqrt(W) (n + m)) total, typically far
+/// less.
+///
+/// The sweep is a template over `DigraphT<WeightPolicy>`: the weighted
+/// instantiation is the weighted 2-approximation (dds/weighted_dds.h keeps
+/// the `WeightedCoreApprox` name), with identical guarantees under
+/// w(E(S,T)).
 
 namespace ddsgraph {
 
@@ -40,7 +46,12 @@ struct CoreApproxResult {
 
 /// Runs the 2-approximation. For an edgeless graph returns an empty result
 /// with density 0.
-CoreApproxResult CoreApprox(const Digraph& g);
+template <typename G>
+CoreApproxResult CoreApprox(const G& g);
+
+extern template CoreApproxResult CoreApprox<Digraph>(const Digraph&);
+extern template CoreApproxResult CoreApprox<WeightedDigraph>(
+    const WeightedDigraph&);
 
 }  // namespace ddsgraph
 

@@ -4,16 +4,20 @@
 #include <cstdint>
 
 #include "core/xy_core.h"
+#include "core/xy_core_decomposition.h"
 #include "graph/weighted_digraph.h"
 
 /// \file
-/// [x,y]-cores over weighted degrees.
+/// [x,y]-cores over weighted degrees — named entry points.
 ///
 /// The weighted [x,y]-core is the maximal pair (S, T) with every u in S
 /// having weighted out-degree into T at least x and every v in T weighted
-/// in-degree from S at least y. With integer weights all unweighted
-/// properties transfer: unique fixpoint, nestedness, reversal duality,
-/// and the density bounds with w(E(S,T)) in place of |E(S,T)|:
+/// in-degree from S at least y. Since the weight-policy redesign
+/// (DESIGN.md §9) the computation is the same peel as the unweighted one:
+/// core/xy_core.h and core/xy_core_decomposition.h are templates over
+/// `DigraphT<WeightPolicy>`, and the wrappers below are the weighted
+/// instantiations kept under their historical names. Density bounds carry
+/// over with w(E(S,T)) in place of |E(S,T)|:
 ///   * a non-empty weighted [x,y]-core has weighted density >= sqrt(x*y);
 ///   * the weighted DDS is inside the core with x > rho_w/(2 sqrt a*),
 ///     y > rho_w sqrt(a*)/2.
@@ -21,16 +25,23 @@
 namespace ddsgraph {
 
 /// Computes the weighted [x,y]-core (x = 0 / y = 0 disable a side).
-XyCore ComputeWeightedXyCore(const WeightedDigraph& g, int64_t x, int64_t y);
+inline XyCore ComputeWeightedXyCore(const WeightedDigraph& g, int64_t x,
+                                    int64_t y) {
+  return ComputeXyCore(g, x, y);
+}
 
 /// Largest y with a non-empty weighted [x,y]-core (0 if none). x >= 1.
 /// Incremental y-sweep with a bucket queue over weighted in-degrees,
 /// O(n + m + W_in_max) per call.
-int64_t WeightedMaxYForX(const WeightedDigraph& g, int64_t x);
+inline int64_t WeightedMaxYForX(const WeightedDigraph& g, int64_t x) {
+  return MaxYForX(g, x);
+}
 
 /// Checks the defining property (test/audit helper).
-bool IsValidWeightedXyCore(const WeightedDigraph& g, const XyCore& core,
-                           int64_t x, int64_t y);
+inline bool IsValidWeightedXyCore(const WeightedDigraph& g,
+                                  const XyCore& core, int64_t x, int64_t y) {
+  return IsValidXyCore(g, core, x, y);
+}
 
 }  // namespace ddsgraph
 

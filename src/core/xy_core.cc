@@ -7,20 +7,25 @@
 namespace ddsgraph {
 namespace {
 
-// Shared peeling engine. `in_s` / `in_t` mark the candidate memberships on
-// entry and the fixpoint memberships on exit.
-void PeelToFixpoint(const Digraph& g, int64_t x, int64_t y,
-                    std::vector<bool>& in_s, std::vector<bool>& in_t) {
+// Shared weight-generic peeling engine. `in_s` / `in_t` mark the candidate
+// memberships on entry and the fixpoint memberships on exit. For the
+// unweighted instantiation OutWeight/InWeight fold to 1 and this is
+// exactly the original unit peel.
+template <typename G>
+void PeelToFixpoint(const G& g, int64_t x, int64_t y, std::vector<bool>& in_s,
+                    std::vector<bool>& in_t) {
   const uint32_t n = g.NumVertices();
-  std::vector<int64_t> dout(n, 0);  // |out(u) ∩ T| for u in S
-  std::vector<int64_t> din(n, 0);   // |in(v) ∩ S| for v in T
+  std::vector<int64_t> dout(n, 0);  // w(out(u) ∩ T) for u in S
+  std::vector<int64_t> din(n, 0);   // w(in(v) ∩ S) for v in T
 
   for (VertexId u = 0; u < n; ++u) {
     if (!in_s[u]) continue;
-    for (VertexId v : g.OutNeighbors(u)) {
-      if (in_t[v]) {
-        ++dout[u];
-        ++din[v];
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_t[nbrs[i]]) {
+        const int64_t w = g.OutWeight(u, i);
+        dout[u] += w;
+        din[nbrs[i]] += w;
       }
     }
   }
@@ -38,14 +43,24 @@ void PeelToFixpoint(const Digraph& g, int64_t x, int64_t y,
     if (side == 0) {
       if (!in_s[v]) continue;
       in_s[v] = false;
-      for (VertexId w : g.OutNeighbors(v)) {
-        if (in_t[w] && --din[w] < y && y > 0) stack.emplace_back(w, 1);
+      const auto nbrs = g.OutNeighbors(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId w = nbrs[i];
+        if (in_t[w]) {
+          din[w] -= g.OutWeight(v, i);
+          if (y > 0 && din[w] < y) stack.emplace_back(w, 1);
+        }
       }
     } else {
       if (!in_t[v]) continue;
       in_t[v] = false;
-      for (VertexId w : g.InNeighbors(v)) {
-        if (in_s[w] && --dout[w] < x && x > 0) stack.emplace_back(w, 0);
+      const auto nbrs = g.InNeighbors(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId w = nbrs[i];
+        if (in_s[w]) {
+          dout[w] -= g.InWeight(v, i);
+          if (x > 0 && dout[w] < x) stack.emplace_back(w, 0);
+        }
       }
     }
   }
@@ -63,7 +78,8 @@ XyCore CollectCore(const std::vector<bool>& in_s,
 
 }  // namespace
 
-XyCore ComputeXyCore(const Digraph& g, int64_t x, int64_t y) {
+template <typename G>
+XyCore ComputeXyCore(const G& g, int64_t x, int64_t y) {
   CHECK_GE(x, 0);
   CHECK_GE(y, 0);
   std::vector<bool> in_s(g.NumVertices(), true);
@@ -72,7 +88,8 @@ XyCore ComputeXyCore(const Digraph& g, int64_t x, int64_t y) {
   return CollectCore(in_s, in_t);
 }
 
-XyCore ComputeXyCoreWithin(const Digraph& g, int64_t x, int64_t y,
+template <typename G>
+XyCore ComputeXyCoreWithin(const G& g, int64_t x, int64_t y,
                            const std::vector<VertexId>& s_init,
                            const std::vector<VertexId>& t_init) {
   CHECK_GE(x, 0);
@@ -91,23 +108,45 @@ XyCore ComputeXyCoreWithin(const Digraph& g, int64_t x, int64_t y,
   return CollectCore(in_s, in_t);
 }
 
-bool IsValidXyCore(const Digraph& g, const XyCore& core, int64_t x,
-                   int64_t y) {
+template <typename G>
+bool IsValidXyCore(const G& g, const XyCore& core, int64_t x, int64_t y) {
   std::vector<bool> in_s(g.NumVertices(), false);
   std::vector<bool> in_t(g.NumVertices(), false);
   for (VertexId u : core.s) in_s[u] = true;
   for (VertexId v : core.t) in_t[v] = true;
   for (VertexId u : core.s) {
     int64_t deg = 0;
-    for (VertexId v : g.OutNeighbors(u)) deg += in_t[v] ? 1 : 0;
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_t[nbrs[i]]) deg += g.OutWeight(u, i);
+    }
     if (deg < x) return false;
   }
   for (VertexId v : core.t) {
     int64_t deg = 0;
-    for (VertexId u : g.InNeighbors(v)) deg += in_s[u] ? 1 : 0;
+    const auto nbrs = g.InNeighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_s[nbrs[i]]) deg += g.InWeight(v, i);
+    }
     if (deg < y) return false;
   }
   return true;
 }
+
+template XyCore ComputeXyCore<Digraph>(const Digraph&, int64_t, int64_t);
+template XyCore ComputeXyCore<WeightedDigraph>(const WeightedDigraph&,
+                                               int64_t, int64_t);
+template XyCore ComputeXyCoreWithin<Digraph>(const Digraph&, int64_t,
+                                             int64_t,
+                                             const std::vector<VertexId>&,
+                                             const std::vector<VertexId>&);
+template XyCore ComputeXyCoreWithin<WeightedDigraph>(
+    const WeightedDigraph&, int64_t, int64_t, const std::vector<VertexId>&,
+    const std::vector<VertexId>&);
+template bool IsValidXyCore<Digraph>(const Digraph&, const XyCore&, int64_t,
+                                     int64_t);
+template bool IsValidXyCore<WeightedDigraph>(const WeightedDigraph&,
+                                             const XyCore&, int64_t,
+                                             int64_t);
 
 }  // namespace ddsgraph

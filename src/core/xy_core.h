@@ -7,21 +7,31 @@
 #include "graph/digraph.h"
 
 /// \file
-/// The [x,y]-core of a directed graph.
+/// The [x,y]-core of a directed graph, weighted or not.
 ///
 /// Definition (DESIGN.md §2): the [x,y]-core of G is the unique maximal
 /// pair (S, T), S, T ⊆ V (possibly overlapping), such that
-///   * every u ∈ S has at least x out-neighbors inside T, and
-///   * every v ∈ T has at least y in-neighbors inside S.
+///   * every u ∈ S has weighted out-degree into T at least x, and
+///   * every v ∈ T has weighted in-degree from S at least y.
+/// On the unweighted instantiation the weighted degrees are plain degrees,
+/// giving the paper's original definition.
 ///
 /// It generalizes the undirected k-core to the two-sided directed setting
 /// and is the object that both the approximation algorithm (via the
 /// max-x·y core) and the exact algorithm (via DDS containment) build on.
+/// With integer weights every unweighted property transfers: unique
+/// fixpoint, nestedness, reversal duality, and the density bounds with
+/// w(E(S,T)) in place of |E(S,T)| (a non-empty weighted [x,y]-core has
+/// weighted density >= sqrt(x*y)).
 ///
 /// Computation is a peeling fixpoint: repeatedly delete S-side vertices
 /// whose restricted out-degree drops below x and T-side vertices whose
 /// restricted in-degree drops below y, in any order; the fixpoint is
 /// order-independent (tested) and reached in O(n + m).
+///
+/// All entry points are templates over `DigraphT<WeightPolicy>` — one peel
+/// serves both problems — explicitly instantiated in xy_core.cc for the
+/// two policies.
 
 namespace ddsgraph {
 
@@ -36,7 +46,8 @@ struct XyCore {
 
 /// Computes the [x,y]-core of `g`. x = 0 (resp. y = 0) disables the S-side
 /// (resp. T-side) constraint, so e.g. the [0,0]-core is (V, V).
-XyCore ComputeXyCore(const Digraph& g, int64_t x, int64_t y);
+template <typename G>
+XyCore ComputeXyCore(const G& g, int64_t x, int64_t y);
 
 /// Computes the [x,y]-core of the pair-restricted graph: only vertices in
 /// `s_init` may enter S and only vertices in `t_init` may enter T, and only
@@ -44,15 +55,32 @@ XyCore ComputeXyCore(const Digraph& g, int64_t x, int64_t y);
 /// this with the S/T sides of a weaker core gives the same result as
 /// ComputeXyCore on the full graph (tested), but in time proportional to
 /// the smaller object.
-XyCore ComputeXyCoreWithin(const Digraph& g, int64_t x, int64_t y,
+template <typename G>
+XyCore ComputeXyCoreWithin(const G& g, int64_t x, int64_t y,
                            const std::vector<VertexId>& s_init,
                            const std::vector<VertexId>& t_init);
 
-/// Validates the defining property: every u in core.s has >= x out-neighbors
-/// in core.t and every v in core.t has >= y in-neighbors in core.s.
-/// Used by tests and DCHECK-style audits.
-bool IsValidXyCore(const Digraph& g, const XyCore& core, int64_t x,
-                   int64_t y);
+/// Validates the defining property: every u in core.s has weighted
+/// out-degree >= x into core.t and every v in core.t weighted in-degree
+/// >= y from core.s. Used by tests and DCHECK-style audits.
+template <typename G>
+bool IsValidXyCore(const G& g, const XyCore& core, int64_t x, int64_t y);
+
+extern template XyCore ComputeXyCore<Digraph>(const Digraph&, int64_t,
+                                              int64_t);
+extern template XyCore ComputeXyCore<WeightedDigraph>(const WeightedDigraph&,
+                                                      int64_t, int64_t);
+extern template XyCore ComputeXyCoreWithin<Digraph>(
+    const Digraph&, int64_t, int64_t, const std::vector<VertexId>&,
+    const std::vector<VertexId>&);
+extern template XyCore ComputeXyCoreWithin<WeightedDigraph>(
+    const WeightedDigraph&, int64_t, int64_t, const std::vector<VertexId>&,
+    const std::vector<VertexId>&);
+extern template bool IsValidXyCore<Digraph>(const Digraph&, const XyCore&,
+                                            int64_t, int64_t);
+extern template bool IsValidXyCore<WeightedDigraph>(const WeightedDigraph&,
+                                                    const XyCore&, int64_t,
+                                                    int64_t);
 
 }  // namespace ddsgraph
 

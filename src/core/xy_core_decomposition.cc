@@ -7,18 +7,19 @@
 
 namespace ddsgraph {
 
-int64_t MaxYForX(const Digraph& g, int64_t x) {
+template <typename G>
+int64_t MaxYForX(const G& g, int64_t x) {
   CHECK_GE(x, 1);
   const uint32_t n = g.NumVertices();
-  if (n == 0 || g.NumEdges() == 0) return 0;
+  if (n == 0 || g.TotalWeight() == 0) return 0;
 
   std::vector<bool> in_s(n, true);
   std::vector<bool> in_t(n, true);
-  std::vector<int64_t> dout(n);  // |out(u) ∩ T|
-  std::vector<int64_t> din(n);   // |in(v) ∩ S|
+  std::vector<int64_t> dout(n);  // w(out(u) ∩ T)
+  std::vector<int64_t> din(n);   // w(in(v) ∩ S)
   for (VertexId v = 0; v < n; ++v) {
-    dout[v] = g.OutDegree(v);
-    din[v] = g.InDegree(v);
+    dout[v] = g.WeightedOutDegree(v);
+    din[v] = g.WeightedInDegree(v);
   }
 
   // S-side violations cascade through this stack; T-side removals are
@@ -26,14 +27,16 @@ int64_t MaxYForX(const Digraph& g, int64_t x) {
   std::vector<VertexId> s_stack;
   uint32_t t_remaining = n;
 
-  BucketQueue t_queue(n, g.MaxInDegree());
+  BucketQueue t_queue(n, g.MaxWeightedInDegree());
 
   auto remove_from_s = [&](VertexId u) {
     // pre: in_s[u], dout[u] < x
     in_s[u] = false;
-    for (VertexId v : g.OutNeighbors(u)) {
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
       if (in_t[v]) {
-        --din[v];
+        din[v] -= g.OutWeight(u, i);
         if (t_queue.Contains(v)) t_queue.DecreaseKey(v, din[v]);
       }
     }
@@ -42,9 +45,12 @@ int64_t MaxYForX(const Digraph& g, int64_t x) {
     // pre: in_t[v] (queue entry already popped/stale-proofed by caller)
     in_t[v] = false;
     --t_remaining;
-    for (VertexId u : g.InNeighbors(v)) {
+    const auto nbrs = g.InNeighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
       if (in_s[u]) {
-        if (--dout[u] < x) s_stack.push_back(u);
+        dout[u] -= g.InWeight(v, i);
+        if (dout[u] < x) s_stack.push_back(u);
       }
     }
   };
@@ -60,21 +66,22 @@ int64_t MaxYForX(const Digraph& g, int64_t x) {
     s_stack.pop_back();
     if (!in_s[u]) continue;
     in_s[u] = false;
-    for (VertexId v : g.OutNeighbors(u)) {
-      if (in_t[v]) --din[v];
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_t[nbrs[i]]) din[nbrs[i]] -= g.OutWeight(u, i);
     }
   }
-  for (VertexId v = 0; v < n; ++v) t_queue.Insert(v, din[v]);
+  for (VertexId v = 0; v < n; ++v) {
+    t_queue.Insert(v, std::max<int64_t>(din[v], 0));
+  }
 
-  // Phase 2: raise y. At each step remove every T vertex with din < y and
-  // cascade; the largest y for which T (equivalently S∩edges) survives is
-  // the answer.
+  // Phase 2: raise y; pop T vertices below it and cascade through S.
   int64_t best_y = 0;
-  for (int64_t y = 1;; ++y) {
+  int64_t y = 1;
+  while (true) {
     while (true) {
       const auto min_key = t_queue.PeekMinKey();
-      if (!min_key.has_value()) break;
-      if (*min_key >= y) break;
+      if (!min_key.has_value() || *min_key >= y) break;
       const auto popped = t_queue.PopMin();
       const VertexId v = popped->first;
       if (!in_t[v]) continue;
@@ -87,10 +94,20 @@ int64_t MaxYForX(const Digraph& g, int64_t x) {
       }
     }
     if (t_remaining == 0 || t_queue.Empty()) break;
-    best_y = y;
+    // The surviving set has all (weighted) in-degrees >= the current min
+    // key K >= y, so it *is* the non-empty [x, y']-core for every y' <= K:
+    // record K and jump straight past it. Weighted degrees are large and
+    // sparse — stepping by one would be O(W) rounds.
+    const auto min_key = t_queue.PeekMinKey();
+    if (!min_key.has_value()) break;
+    best_y = *min_key;
+    y = *min_key + 1;
   }
   return best_y;
 }
+
+template int64_t MaxYForX<Digraph>(const Digraph&, int64_t);
+template int64_t MaxYForX<WeightedDigraph>(const WeightedDigraph&, int64_t);
 
 FixedXCoreNumbers ComputeFixedXCoreNumbers(const Digraph& g, int64_t x) {
   CHECK_GE(x, 1);

@@ -18,9 +18,13 @@
 /// the reversed graph covers it (core_approx.cc).
 ///
 /// `MaxYForX` runs a single incremental peel per fixed x: enforce the
-/// x-constraint once, then raise y step by step with a monotone bucket
-/// queue, for O(n + m) amortized per x (the directed analogue of
-/// Batagelj-Zaversnik k-core decomposition).
+/// x-constraint once, then raise y with a monotone bucket queue over
+/// (weighted) in-degrees, jumping past empty levels, for
+/// O(n + m + max_weighted_in_degree) per x (the directed analogue of
+/// Batagelj-Zaversnik k-core decomposition). It is a template over
+/// `DigraphT<WeightPolicy>` — the same sweep drives the unweighted and the
+/// weighted core approximation (core/core_approx.h) — explicitly
+/// instantiated here for the two policies.
 
 namespace ddsgraph {
 
@@ -30,12 +34,21 @@ struct SkylinePoint {
   int64_t y = 0;  ///< y_max(x)
 };
 
-/// Returns the largest y such that the [x,y]-core of `g` is non-empty, or
-/// 0 when even the [x,1]-core is empty. Requires x >= 1.
-int64_t MaxYForX(const Digraph& g, int64_t x);
+/// Returns the largest y such that the (weighted) [x,y]-core of `g` is
+/// non-empty, or 0 when even the [x,1]-core is empty. Requires x >= 1.
+template <typename G>
+int64_t MaxYForX(const G& g, int64_t x);
+
+extern template int64_t MaxYForX<Digraph>(const Digraph&, int64_t);
+extern template int64_t MaxYForX<WeightedDigraph>(const WeightedDigraph&,
+                                                  int64_t);
 
 /// Full staircase y_max(x) for x = 1, 2, ... until the core vanishes (or
-/// until `x_limit` if x_limit >= 1). O(x_range * (n + m)).
+/// until `x_limit` if x_limit >= 1). O(x_range * (n + m)). Unweighted
+/// only: enumerating every integer x is O(W) peels under weighted
+/// degrees — walk the staircase corner to corner with MaxYForX on the
+/// graph and its transpose instead (the CoreApprox sweep,
+/// core/core_approx.cc).
 std::vector<SkylinePoint> CoreSkyline(const Digraph& g, int64_t x_limit = -1);
 
 /// Per-vertex decomposition at fixed x (the directed analogue of core

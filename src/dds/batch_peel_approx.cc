@@ -10,10 +10,10 @@
 namespace ddsgraph {
 namespace {
 
-// One fixed-ratio batch-peel. Returns the best intermediate pair density
-// and, through the out-parameters, the best pair itself.
-double BatchPass(const Digraph& g, double sqrt_a, double beta,
-                 int64_t* passes, DdsPair* best_pair) {
+// One batch-peel pass. Returns the best intermediate pair density and,
+// through the out-parameters, the best pair itself.
+double BatchPass(const Digraph& g, double beta, int64_t* passes,
+                 DdsPair* best_pair) {
   const uint32_t n = g.NumVertices();
   std::vector<bool> in_s(n, true);
   std::vector<bool> in_t(n, true);
@@ -122,27 +122,17 @@ DdsSolution BatchPeelApprox(const Digraph& g,
   WallTimer timer;
   DdsSolution solution;
   if (g.NumEdges() == 0) return solution;
-  const uint32_t n = g.NumVertices();
   const double beta = 1.0 + options.batch_epsilon;
 
-  std::vector<double> ladder;
-  const double lo = 1.0 / static_cast<double>(n);
-  const double hi = static_cast<double>(n);
-  for (double a = lo; a < hi; a *= 1.0 + options.ladder_epsilon) {
-    ladder.push_back(a);
-  }
-  ladder.push_back(hi);
-
+  // The directed batch pass thresholds on per-side averages
+  // (beta * edges / n_side), not on a ratio-linearized objective, so one
+  // pass covers every ratio at once — a geometric ratio ladder would
+  // repeat the identical computation at every rung.
   int64_t passes = 0;
-  for (double a : ladder) {
-    ++solution.stats.ratios_probed;
-    DdsPair pair;
-    const double density = BatchPass(g, std::sqrt(a), beta, &passes, &pair);
-    if (density > solution.density) {
-      solution.density = density;
-      solution.pair = std::move(pair);
-    }
-  }
+  DdsPair pair;
+  (void)BatchPass(g, beta, &passes, &pair);
+  solution.pair = std::move(pair);
+  solution.stats.ratios_probed = 1;
   solution.stats.binary_search_iters = passes;
   solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
   // Recompute exactly (the scan used incremental counters).

@@ -9,15 +9,15 @@
 /// (Bahmani–Kumar–Vassilvitskii, adapted to the directed objective).
 ///
 /// Where PeelApprox removes one vertex at a time, the batch variant
-/// removes, in each pass over a fixed-ratio instance, *every* S-vertex
-/// whose restricted out-degree is below beta * (average out-contribution)
-/// and every T-vertex below the analogous in-threshold (beta = 1 + eps).
-/// Each pass shrinks the candidate pair geometrically, so a fixed ratio
-/// costs O(log(n) / eps) passes of O(n + m) — the MapReduce/streaming
-/// trade-off: more total work than bucket peeling on one machine, but
-/// only O(log n) sequential rounds. Guarantee per ratio: density >=
-/// h(a) / (2 (1+eps)^2)-ish; over the geometric ratio ladder the overall
-/// certificate is upper_bound = 2 (1+eps)^2 phi(1+eps) * density.
+/// removes, in each pass, *every* S-vertex whose restricted out-degree is
+/// below beta * (average out-contribution) and every T-vertex below the
+/// analogous in-threshold (beta = 1 + eps). The thresholds are per-side
+/// averages rather than a ratio-linearized objective, so a single peel
+/// covers all ratios at once. Each pass shrinks the candidate pair
+/// geometrically, so the whole run costs O(log(n) / eps) passes of
+/// O(n + m) — the MapReduce/streaming trade-off: more total work than
+/// bucket peeling on one machine, but only O(log n) sequential rounds.
+/// Certificate: upper_bound = 2 (1+eps)^2 phi(1+ladder_eps) * density.
 ///
 /// Included as the second approximation baseline of the evaluation (the
 /// paper's comparison set includes a streaming/batch peeler); also a
@@ -27,15 +27,15 @@
 namespace ddsgraph {
 
 struct BatchPeelOptions {
-  /// Ladder step for the ratio sweep (same role as PeelApprox).
+  /// Ratio-coverage slack of the certificate (the phi factor above).
   double ladder_epsilon = 0.1;
   /// Batch threshold slack beta = 1 + batch_epsilon.
   double batch_epsilon = 0.25;
 };
 
-/// Runs the batch-peeling baseline. stats.ratios_probed counts ladder
-/// points; stats.binary_search_iters counts total passes (the quantity a
-/// streaming system would pay).
+/// Runs the batch-peeling baseline. stats.ratios_probed is 1 (the single
+/// ratio-free peel); stats.binary_search_iters counts passes (the
+/// quantity a streaming system would pay).
 DdsSolution BatchPeelApprox(
     const Digraph& g, const BatchPeelOptions& options = BatchPeelOptions());
 

@@ -21,13 +21,15 @@ namespace {
 // sqrt_hi]: any pair strictly denser than rho with ratio a in the interval
 // has S-side out-degrees > rho/(2 sqrt(a)) >= rho/(2 sqrt_hi) and T-side
 // in-degrees > rho*sqrt(a)/2 >= rho*sqrt_lo/2 (DESIGN.md §2, containment).
-// Degrees are integers, so they are >= floor(bound)+1.
+// Degrees are integers, so they are >= floor(bound)+1. The same containment
+// holds verbatim for weighted degrees (integer weights).
 int64_t SideThreshold(double bound) {
   return static_cast<int64_t>(std::floor(bound)) + 1;
 }
 
+template <typename G>
 struct EngineState {
-  const Digraph* g = nullptr;
+  const G* g = nullptr;
   ExactOptions options;
   double delta = 0;
   double upper_global = 0;
@@ -49,7 +51,8 @@ struct EngineState {
 
 // Engine-level stop check: reports global incumbent/bound progress to the
 // callback and latches the deadline. Cheap enough to call per interval.
-bool StopRequested(EngineState* state) {
+template <typename G>
+bool StopRequested(EngineState<G>* state) {
   if (state->control == nullptr) return false;
   DdsProgress progress;
   progress.lower_bound = state->incumbent_density;
@@ -64,7 +67,8 @@ bool StopRequested(EngineState* state) {
 // AnytimeUpperBound (dds/ratio_space.h). Pass nullptr when interrupted
 // before the interval bookkeeping exists (endpoint probes, exhaustive
 // sweep); the global bound is the only certificate then.
-void FinishInterrupted(EngineState* state,
+template <typename G>
+void FinishInterrupted(EngineState<G>* state,
                        const std::vector<RatioInterval>* work) {
   state->interrupted = true;
   if (work == nullptr) {
@@ -76,7 +80,8 @@ void FinishInterrupted(EngineState* state,
                         state->upper_global);
 }
 
-void AbsorbProbeStats(const RatioProbeResult& probe, EngineState* state) {
+template <typename G>
+void AbsorbProbeStats(const RatioProbeResult& probe, EngineState<G>* state) {
   ++state->stats.ratios_probed;
   state->stats.flow_networks_built += probe.networks_built;
   state->stats.flow_networks_reused += probe.networks_reused;
@@ -91,7 +96,9 @@ void AbsorbProbeStats(const RatioProbeResult& probe, EngineState* state) {
   }
 }
 
-void MaybeUpdateIncumbent(const RatioProbeResult& probe, EngineState* state) {
+template <typename G>
+void MaybeUpdateIncumbent(const RatioProbeResult& probe,
+                          EngineState<G>* state) {
   if (!probe.best_pair.Empty() &&
       probe.best_density > state->incumbent_density) {
     state->incumbent = probe.best_pair;
@@ -112,10 +119,11 @@ struct ContextProbe {
 // core pruning is on). The binary search starts from 0 so that the
 // returned h_upper genuinely tracks h(ratio) — that is what powers the
 // interval pruning — but is truncated at `stop_below` (see header).
+template <typename G>
 ContextProbe ProbeInContext(const Fraction& ratio, const Fraction& lo_ctx,
                             const Fraction& hi_ctx, double stop_below,
-                            EngineState* state) {
-  const Digraph& g = *state->g;
+                            EngineState<G>* state) {
+  const G& g = *state->g;
   ContextProbe result;
   std::vector<VertexId> s_cand;
   std::vector<VertexId> t_cand;
@@ -154,7 +162,8 @@ ContextProbe ProbeInContext(const Fraction& ratio, const Fraction& lo_ctx,
   return result;
 }
 
-void RunDivideAndConquer(EngineState* state) {
+template <typename G>
+void RunDivideAndConquer(EngineState<G>* state) {
   const int64_t n = state->g->NumVertices();
   const Fraction lo = MinRatio(n);
   const Fraction hi = MaxRatio(n);
@@ -213,7 +222,8 @@ void RunDivideAndConquer(EngineState* state) {
   }
 }
 
-void RunExhaustive(EngineState* state) {
+template <typename G>
+void RunExhaustive(EngineState<G>* state) {
   const int64_t n = state->g->NumVertices();
   CHECK_LE(n, state->options.max_exhaustive_n)
       << "exhaustive ratio enumeration is O(n^2); enable "
@@ -237,14 +247,17 @@ void RunExhaustive(EngineState* state) {
 
 }  // namespace
 
-double ExactSearchDelta(const Digraph& g) {
+template <typename G>
+double ExactSearchDelta(const G& g) {
   const double n = std::max<double>(2.0, g.NumVertices());
-  const double m = std::max<double>(1.0, static_cast<double>(g.NumEdges()));
-  const double spacing = 1.0 / (2.0 * m * n * n * n);
+  const double w =
+      std::max<double>(1.0, static_cast<double>(g.TotalWeight()));
+  const double spacing = 1.0 / (2.0 * w * n * n * n);
   return std::clamp(spacing, 1e-12, 1e-4);
 }
 
-RatioProbeResult ProbeRatio(const Digraph& g,
+template <typename G>
+RatioProbeResult ProbeRatio(const G& g,
                             const std::vector<VertexId>& s_candidates,
                             const std::vector<VertexId>& t_candidates,
                             const Fraction& ratio, double lower_start,
@@ -305,7 +318,7 @@ RatioProbeResult ProbeRatio(const Digraph& g,
     ++result.iterations;
 
     // The maximizer of the linearized objective at value > guess has
-    // S-side degrees > guess/(2 sqrt a) and T-side degrees >
+    // S-side (weighted) degrees > guess/(2 sqrt a) and T-side degrees >
     // guess*sqrt(a)/2 within the candidates, so feasibility of `guess`
     // is unchanged when restricting to this core.
     const std::vector<VertexId>* net_s = &cur_s;
@@ -377,10 +390,10 @@ RatioProbeResult ProbeRatio(const Digraph& g,
     // regardless of floating-point flow values.
     DdsPair pair{std::move(extracted.s), std::move(extracted.t)};
     double lin = 0;
-    if (!pair.Empty()) lin = LinearizedDensity(g, pair, sqrt_a);
+    if (!pair.Empty()) lin = PairLinearizedDensity(g, pair, sqrt_a);
     if (lin > guess) {
       l = std::max(guess, lin - 1e-15 * std::max(1.0, lin));
-      const double true_density = DirectedDensity(g, pair);
+      const double true_density = PairDensity(g, pair);
       if (true_density > result.best_density) {
         result.best_density = true_density;
         result.best_pair = std::move(pair);
@@ -400,22 +413,26 @@ RatioProbeResult ProbeRatio(const Digraph& g,
   return result;
 }
 
-DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options,
+template <typename G>
+DdsSolution SolveExactDds(const G& g, const ExactOptions& options,
                           SolveControl* control, ProbeWorkspace* workspace) {
   WallTimer timer;
   DdsSolution solution;
-  if (g.NumEdges() == 0) return solution;
+  if (g.TotalWeight() == 0) return solution;
 
-  EngineState state;
+  EngineState<G> state;
   state.g = &g;
   state.options = options;
   state.control = control;
   state.workspace =
       workspace != nullptr ? workspace : &state.owned_workspace;
   state.delta = ExactSearchDelta(g);
-  // rho <= sqrt(E(S,T)) <= sqrt(m) for every pair, since E <= |S||T|.
+  // rho <= sqrt(W * w_max) for every pair: w(E(S,T)) <= W and
+  // w(E(S,T)) <= |S||T| w_max, so rho^2 = w^2/(|S||T|) <= W * w_max.
+  // Unweighted this is the familiar sqrt(m).
   state.upper_global =
-      std::sqrt(static_cast<double>(g.NumEdges()));
+      std::sqrt(static_cast<double>(g.TotalWeight()) *
+                static_cast<double>(g.MaxEdgeWeight()));
 
   if (options.approx_warm_start) {
     const CoreApproxResult approx = CoreApprox(g);
@@ -433,8 +450,8 @@ DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options,
   }
 
   solution.pair = std::move(state.incumbent);
-  solution.density = DirectedDensity(g, solution.pair);
-  solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
+  solution.density = PairDensity(g, solution.pair);
+  solution.pair_edges = PairWeight(g, solution.pair.s, solution.pair.t);
   solution.lower_bound = solution.density;
   if (state.interrupted) {
     solution.interrupted = true;
@@ -446,6 +463,24 @@ DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options,
   solution.stats.seconds = timer.Seconds();
   return solution;
 }
+
+template double ExactSearchDelta<Digraph>(const Digraph&);
+template double ExactSearchDelta<WeightedDigraph>(const WeightedDigraph&);
+template RatioProbeResult ProbeRatio<Digraph>(
+    const Digraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, const Fraction&, double, double, double,
+    bool, bool, double, ProbeWorkspace*, bool, SolveControl*);
+template RatioProbeResult ProbeRatio<WeightedDigraph>(
+    const WeightedDigraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, const Fraction&, double, double, double,
+    bool, bool, double, ProbeWorkspace*, bool, SolveControl*);
+template DdsSolution SolveExactDds<Digraph>(const Digraph&,
+                                            const ExactOptions&,
+                                            SolveControl*, ProbeWorkspace*);
+template DdsSolution SolveExactDds<WeightedDigraph>(const WeightedDigraph&,
+                                                    const ExactOptions&,
+                                                    SolveControl*,
+                                                    ProbeWorkspace*);
 
 DdsSolution CoreExact(const Digraph& g) {
   return SolveExactDds(g, ExactOptions{});

@@ -11,7 +11,16 @@
 #include "util/stern_brocot.h"
 
 /// \file
-/// The exact DDS solver engine.
+/// The exact DDS solver engine, weight-generic.
+///
+/// Every entry point is a template over `DigraphT<WeightPolicy>`
+/// (graph/digraph.h), explicitly instantiated for the unweighted and the
+/// weighted graph: the paper's CoreExact development carries over to
+/// weighted graphs verbatim with |E| -> w(E) (DESIGN.md §9), so one
+/// divide-and-conquer loop, one probe and one anytime-bookkeeping path
+/// serve both problems, and every `ExactOptions` flag below applies to
+/// weighted solves too (`WeightedCoreExact` in dds/weighted_dds.h is a
+/// thin preset over the weighted instantiation).
 ///
 /// One engine implements three published algorithms via feature flags
 /// (DESIGN.md §3), which is also how the ablation experiment E7 is run:
@@ -133,7 +142,8 @@ struct ProbeWorkspace {
 /// still a certified upper bound — u only ever decreased under certified
 /// infeasibility — and last_feasible / best_pair are still witnessed, so a
 /// truncated probe degrades gracefully to a looser but valid certificate.
-RatioProbeResult ProbeRatio(const Digraph& g,
+template <typename G>
+RatioProbeResult ProbeRatio(const G& g,
                             const std::vector<VertexId>& s_candidates,
                             const std::vector<VertexId>& t_candidates,
                             const Fraction& ratio, double lower_start,
@@ -144,12 +154,27 @@ RatioProbeResult ProbeRatio(const Digraph& g,
                             bool incremental = true,
                             SolveControl* control = nullptr);
 
+extern template RatioProbeResult ProbeRatio<Digraph>(
+    const Digraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, const Fraction&, double, double, double,
+    bool, bool, double, ProbeWorkspace*, bool, SolveControl*);
+extern template RatioProbeResult ProbeRatio<WeightedDigraph>(
+    const WeightedDigraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, const Fraction&, double, double, double,
+    bool, bool, double, ProbeWorkspace*, bool, SolveControl*);
+
 /// Termination gap for the binary searches: below the minimum spacing of
 /// distinct (linearized) density values, clamped to [1e-12, 1e-4]. For
-/// graphs small enough that the exact spacing bound 1/(2 m n^3) exceeds
-/// 1e-12 the search is provably exact; beyond that it is exact up to the
-/// clamp (validated by cross-checks in tests).
-double ExactSearchDelta(const Digraph& g);
+/// graphs small enough that the exact spacing bound 1/(2 W n^3) exceeds
+/// 1e-12 (W = total edge weight, = m unweighted) the search is provably
+/// exact; beyond that it is exact up to the clamp (validated by
+/// cross-checks in tests).
+template <typename G>
+double ExactSearchDelta(const G& g);
+
+extern template double ExactSearchDelta<Digraph>(const Digraph&);
+extern template double ExactSearchDelta<WeightedDigraph>(
+    const WeightedDigraph&);
 
 /// Runs the exact engine with the given options.
 ///
@@ -162,9 +187,22 @@ double ExactSearchDelta(const Digraph& g);
 /// bound). `workspace`, when non-null, supplies long-lived scratch reused
 /// across solves (DdsEngine owns one per graph); solves are bit-identical
 /// with or without a pre-used workspace.
-DdsSolution SolveExactDds(const Digraph& g, const ExactOptions& options,
+///
+/// On the weighted instantiation all densities are weighted densities and
+/// `pair_edges` carries w(E(S,T)); on an all-weights-1 graph the solve is
+/// bit-identical to the unweighted instantiation (tested).
+template <typename G>
+DdsSolution SolveExactDds(const G& g, const ExactOptions& options,
                           SolveControl* control = nullptr,
                           ProbeWorkspace* workspace = nullptr);
+
+extern template DdsSolution SolveExactDds<Digraph>(const Digraph&,
+                                                   const ExactOptions&,
+                                                   SolveControl*,
+                                                   ProbeWorkspace*);
+extern template DdsSolution SolveExactDds<WeightedDigraph>(
+    const WeightedDigraph&, const ExactOptions&, SolveControl*,
+    ProbeWorkspace*);
 
 /// The paper's exact algorithm: all optimizations enabled.
 DdsSolution CoreExact(const Digraph& g);

@@ -7,44 +7,63 @@
 
 namespace ddsgraph {
 
-int64_t CountPairEdges(const Digraph& g, const std::vector<VertexId>& s,
-                       const std::vector<VertexId>& t) {
+template <typename G>
+int64_t PairWeight(const G& g, const std::vector<VertexId>& s,
+                   const std::vector<VertexId>& t) {
   if (s.empty() || t.empty()) return 0;
   std::vector<bool> in_t(g.NumVertices(), false);
   for (VertexId v : t) {
     DCHECK_LT(v, g.NumVertices());
     in_t[v] = true;
   }
-  int64_t count = 0;
+  int64_t total = 0;
   for (VertexId u : s) {
     DCHECK_LT(u, g.NumVertices());
-    for (VertexId v : g.OutNeighbors(u)) count += in_t[v] ? 1 : 0;
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_t[nbrs[i]]) total += g.OutWeight(u, i);
+    }
   }
-  return count;
+  return total;
 }
 
-double DirectedDensity(const Digraph& g, const std::vector<VertexId>& s,
-                       const std::vector<VertexId>& t) {
+template <typename G>
+double PairDensity(const G& g, const std::vector<VertexId>& s,
+                   const std::vector<VertexId>& t) {
   if (s.empty() || t.empty()) return 0.0;
-  const int64_t edges = CountPairEdges(g, s, t);
-  return static_cast<double>(edges) /
+  const int64_t weight = PairWeight(g, s, t);
+  return static_cast<double>(weight) /
          std::sqrt(static_cast<double>(s.size()) *
                    static_cast<double>(t.size()));
 }
 
-double DirectedDensity(const Digraph& g, const DdsPair& pair) {
-  return DirectedDensity(g, pair.s, pair.t);
-}
-
-double LinearizedDensity(const Digraph& g, const DdsPair& pair,
-                         double sqrt_ratio) {
+template <typename G>
+double PairLinearizedDensity(const G& g, const DdsPair& pair,
+                             double sqrt_ratio) {
   CHECK_GT(sqrt_ratio, 0.0);
   if (pair.Empty()) return 0.0;
-  const int64_t edges = CountPairEdges(g, pair.s, pair.t);
+  const int64_t weight = PairWeight(g, pair.s, pair.t);
   const double denom = static_cast<double>(pair.s.size()) / sqrt_ratio +
                        sqrt_ratio * static_cast<double>(pair.t.size());
-  return 2.0 * static_cast<double>(edges) / denom;
+  return 2.0 * static_cast<double>(weight) / denom;
 }
+
+template int64_t PairWeight<Digraph>(const Digraph&,
+                                     const std::vector<VertexId>&,
+                                     const std::vector<VertexId>&);
+template int64_t PairWeight<WeightedDigraph>(const WeightedDigraph&,
+                                             const std::vector<VertexId>&,
+                                             const std::vector<VertexId>&);
+template double PairDensity<Digraph>(const Digraph&,
+                                     const std::vector<VertexId>&,
+                                     const std::vector<VertexId>&);
+template double PairDensity<WeightedDigraph>(const WeightedDigraph&,
+                                             const std::vector<VertexId>&,
+                                             const std::vector<VertexId>&);
+template double PairLinearizedDensity<Digraph>(const Digraph&,
+                                               const DdsPair&, double);
+template double PairLinearizedDensity<WeightedDigraph>(
+    const WeightedDigraph&, const DdsPair&, double);
 
 double RatioMismatchPhi(double r) {
   CHECK_GT(r, 0.0);

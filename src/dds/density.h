@@ -7,11 +7,15 @@
 #include "graph/digraph.h"
 
 /// \file
-/// Directed density evaluation.
+/// Directed density evaluation, weight-generic.
 ///
 /// The quantity being maximized throughout the library is the Kannan-Vinay
-/// directed density rho(S,T) = |E(S,T)| / sqrt(|S| |T|), where
-/// E(S,T) = {(u,v) in E : u in S, v in T} and S, T may overlap.
+/// directed density rho(S,T) = w(E(S,T)) / sqrt(|S| |T|), where
+/// E(S,T) = {(u,v) in E : u in S, v in T}, w sums edge weights (the edge
+/// count on the unweighted instantiation) and S, T may overlap. The
+/// templates below serve both weight policies; the historical unweighted
+/// names (CountPairEdges, DirectedDensity, LinearizedDensity) remain as
+/// thin wrappers.
 
 namespace ddsgraph {
 
@@ -23,22 +27,72 @@ struct DdsPair {
   bool Empty() const { return s.empty() || t.empty(); }
 };
 
-/// |E(S,T)|: edges leaving `s` and landing in `t`. O(sum of out-degrees
-/// over the smaller iteration side).
-int64_t CountPairEdges(const Digraph& g, const std::vector<VertexId>& s,
-                       const std::vector<VertexId>& t);
+/// w(E(S,T)): total weight of edges leaving `s` and landing in `t` — the
+/// plain edge count for the unweighted instantiation. O(sum of s-side
+/// out-degrees).
+template <typename G>
+int64_t PairWeight(const G& g, const std::vector<VertexId>& s,
+                   const std::vector<VertexId>& t);
 
-/// rho(S,T) = |E(S,T)| / sqrt(|S||T|); 0 if either side is empty.
-double DirectedDensity(const Digraph& g, const std::vector<VertexId>& s,
-                       const std::vector<VertexId>& t);
+/// rho(S,T) = w(E(S,T)) / sqrt(|S||T|); 0 if either side is empty.
+template <typename G>
+double PairDensity(const G& g, const std::vector<VertexId>& s,
+                   const std::vector<VertexId>& t);
 
 /// Convenience overload.
-double DirectedDensity(const Digraph& g, const DdsPair& pair);
+template <typename G>
+double PairDensity(const G& g, const DdsPair& pair) {
+  return PairDensity(g, pair.s, pair.t);
+}
+
+/// Linearized density at ratio a: 2 w(E(S,T)) / (|S|/sqrt(a) + sqrt(a)|T|).
+/// By AM-GM this is <= rho(S,T), with equality iff |S|/|T| = a.
+template <typename G>
+double PairLinearizedDensity(const G& g, const DdsPair& pair,
+                             double sqrt_ratio);
+
+extern template int64_t PairWeight<Digraph>(const Digraph&,
+                                            const std::vector<VertexId>&,
+                                            const std::vector<VertexId>&);
+extern template int64_t PairWeight<WeightedDigraph>(
+    const WeightedDigraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&);
+extern template double PairDensity<Digraph>(const Digraph&,
+                                            const std::vector<VertexId>&,
+                                            const std::vector<VertexId>&);
+extern template double PairDensity<WeightedDigraph>(
+    const WeightedDigraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&);
+extern template double PairLinearizedDensity<Digraph>(const Digraph&,
+                                                      const DdsPair&,
+                                                      double);
+extern template double PairLinearizedDensity<WeightedDigraph>(
+    const WeightedDigraph&, const DdsPair&, double);
+
+/// |E(S,T)|: edges leaving `s` and landing in `t`.
+inline int64_t CountPairEdges(const Digraph& g,
+                              const std::vector<VertexId>& s,
+                              const std::vector<VertexId>& t) {
+  return PairWeight(g, s, t);
+}
+
+/// rho(S,T) = |E(S,T)| / sqrt(|S||T|); 0 if either side is empty.
+inline double DirectedDensity(const Digraph& g,
+                              const std::vector<VertexId>& s,
+                              const std::vector<VertexId>& t) {
+  return PairDensity(g, s, t);
+}
+
+/// Convenience overload.
+inline double DirectedDensity(const Digraph& g, const DdsPair& pair) {
+  return PairDensity(g, pair);
+}
 
 /// Linearized density at ratio a: 2|E(S,T)| / (|S|/sqrt(a) + sqrt(a)|T|).
-/// By AM-GM this is <= rho(S,T), with equality iff |S|/|T| = a.
-double LinearizedDensity(const Digraph& g, const DdsPair& pair,
-                         double sqrt_ratio);
+inline double LinearizedDensity(const Digraph& g, const DdsPair& pair,
+                                double sqrt_ratio) {
+  return PairLinearizedDensity(g, pair, sqrt_ratio);
+}
 
 /// The AM/GM mismatch factor phi(r) = (sqrt(r) + 1/sqrt(r)) / 2 >= 1 used by
 /// the ratio-interval pruning bound: rho(S,T) <= h(c) * phi(a/c) whenever

@@ -15,37 +15,34 @@ namespace ddsgraph {
 namespace {
 
 // ------------------------------------------------------------- runners
-// Each runner is one registry row's implementation. The engine wrapper
-// fills stats.seconds and stats.prior_engine_solves afterwards, so every
-// algorithm reports those uniformly.
+// Each runner is one registry row's implementation, dispatching on
+// engine.weighted() where the algorithm is a weight-generic template. The
+// engine wrapper fills stats.seconds and stats.prior_engine_solves
+// afterwards, so every algorithm reports those uniformly.
 
 DdsSolution RunNaive(DdsEngine& engine, const DdsRequest&, SolveControl*) {
+  if (engine.weighted()) return WeightedNaiveExact(*engine.weighted_graph());
   return NaiveExact(*engine.graph());
-}
-
-DdsSolution RunNaiveWeighted(DdsEngine& engine, const DdsRequest&,
-                             SolveControl*) {
-  return WeightedNaiveExact(*engine.weighted_graph());
 }
 
 DdsSolution RunLp(DdsEngine& engine, const DdsRequest&, SolveControl*) {
   return LpExact(*engine.graph());
 }
 
-// Shared by kFlowExact / kDcExact / kCoreExact: the algorithm's defining
-// flags overlay the request's ExactOptions, then the one exact engine
-// runs with the engine-owned workspace and the solve's control.
+// Shared by kFlowExact / kDcExact / kCoreExact, weighted or not: the
+// algorithm's defining flags overlay the request's ExactOptions, then the
+// one exact engine runs with the engine-owned workspace and the solve's
+// control — so weighted solves honor every ExactOptions flag and preset.
 DdsSolution RunExactEngine(DdsEngine& engine, const DdsRequest& request,
                            SolveControl* control) {
-  return SolveExactDds(*engine.graph(),
-                       ExactPresetFor(request.algorithm, request.exact),
-                       control, engine.workspace());
-}
-
-DdsSolution RunCoreExactWeighted(DdsEngine& engine, const DdsRequest&,
-                                 SolveControl* control) {
-  return WeightedCoreExact(*engine.weighted_graph(), control,
-                           engine.workspace());
+  const ExactOptions options =
+      ExactPresetFor(request.algorithm, request.exact);
+  if (engine.weighted()) {
+    return SolveExactDds(*engine.weighted_graph(), options, control,
+                         engine.workspace());
+  }
+  return SolveExactDds(*engine.graph(), options, control,
+                       engine.workspace());
 }
 
 DdsSolution RunPeel(DdsEngine& engine, const DdsRequest& request,
@@ -58,60 +55,48 @@ DdsSolution RunBatchPeel(DdsEngine& engine, const DdsRequest& request,
   return BatchPeelApprox(*engine.graph(), request.batch_peel);
 }
 
-// The registry adapter for the core 2-approximations: convert the
+// The registry adapter for the core 2-approximation: convert the
 // CoreApprox result shape into a DdsSolution with the certified
 // [density, 2 sqrt(x y)] bracket, reporting skyline sweeps through the
 // same ratios_probed counter every other solver uses.
-DdsSolution RunCoreApprox(DdsEngine& engine, const DdsRequest&,
-                          SolveControl*) {
-  const Digraph& g = *engine.graph();
+template <typename G>
+DdsSolution CoreApproxSolution(const G& g) {
   const CoreApproxResult approx = CoreApprox(g);
   DdsSolution solution;
   solution.pair = DdsPair{approx.core.s, approx.core.t};
   solution.density = approx.density;
-  solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
+  solution.pair_edges = PairWeight(g, solution.pair.s, solution.pair.t);
   solution.lower_bound = approx.density;
   solution.upper_bound = approx.upper_bound;
   solution.stats.ratios_probed = approx.sweeps;
   return solution;
 }
 
-DdsSolution RunCoreApproxWeighted(DdsEngine& engine, const DdsRequest&,
-                                  SolveControl*) {
-  const WeightedDigraph& g = *engine.weighted_graph();
-  const WeightedCoreApproxResult approx = WeightedCoreApprox(g);
-  DdsSolution solution;
-  solution.pair = DdsPair{approx.core.s, approx.core.t};
-  solution.density = approx.density;
-  solution.pair_edges =
-      WeightedPairWeight(g, solution.pair.s, solution.pair.t);
-  solution.lower_bound = approx.density;
-  solution.upper_bound = approx.upper_bound;
-  solution.stats.ratios_probed = approx.sweeps;
-  return solution;
+DdsSolution RunCoreApprox(DdsEngine& engine, const DdsRequest&,
+                          SolveControl*) {
+  if (engine.weighted()) return CoreApproxSolution(*engine.weighted_graph());
+  return CoreApproxSolution(*engine.graph());
 }
 
 // ------------------------------------------------------------ registry
 // One row per algorithm; everything the facade knows about an algorithm
-// lives here. Register a new solver by adding a row (and an enum value).
+// lives here. Register a new solver by adding a row (and an enum value);
+// a new weight variant is one capability bit, not a third engine.
 constexpr AlgorithmInfo kRegistry[] = {
     {DdsAlgorithm::kNaiveExact, "naive-exact", /*exact=*/true,
-     /*weighted_capable=*/true, /*uses_workspace=*/false, RunNaive,
-     RunNaiveWeighted},
-    {DdsAlgorithm::kLpExact, "lp-exact", true, false, false, RunLp,
-     nullptr},
-    {DdsAlgorithm::kFlowExact, "flow-exact", true, false, true,
-     RunExactEngine, nullptr},
-    {DdsAlgorithm::kDcExact, "dc-exact", true, false, true, RunExactEngine,
-     nullptr},
+     /*weighted_capable=*/true, /*uses_workspace=*/false, RunNaive},
+    {DdsAlgorithm::kLpExact, "lp-exact", true, false, false, RunLp},
+    {DdsAlgorithm::kFlowExact, "flow-exact", true, true, true,
+     RunExactEngine},
+    {DdsAlgorithm::kDcExact, "dc-exact", true, true, true, RunExactEngine},
     {DdsAlgorithm::kCoreExact, "core-exact", true, true, true,
-     RunExactEngine, RunCoreExactWeighted},
-    {DdsAlgorithm::kPeelApprox, "peel-approx", false, false, false, RunPeel,
-     nullptr},
+     RunExactEngine},
+    {DdsAlgorithm::kPeelApprox, "peel-approx", false, false, false,
+     RunPeel},
     {DdsAlgorithm::kBatchPeelApprox, "batch-peel-approx", false, false,
-     false, RunBatchPeel, nullptr},
+     false, RunBatchPeel},
     {DdsAlgorithm::kCoreApprox, "core-approx", false, true, false,
-     RunCoreApprox, RunCoreApproxWeighted},
+     RunCoreApprox},
 };
 
 }  // namespace
@@ -217,10 +202,11 @@ Result<DdsSolution> DdsEngine::Solve(const DdsRequest& request) {
         "lp-exact solves a dense LP per ratio; n=" + std::to_string(n) +
         " exceeds the limit of " + std::to_string(kLpExactMaxVertices));
   }
-  if (!weighted() &&
-      (request.algorithm == DdsAlgorithm::kFlowExact ||
-       request.algorithm == DdsAlgorithm::kDcExact ||
-       request.algorithm == DdsAlgorithm::kCoreExact)) {
+  // The exhaustive-enumeration guard applies to weighted engines too now
+  // that they run the same exact engine with the same ExactOptions.
+  if (request.algorithm == DdsAlgorithm::kFlowExact ||
+      request.algorithm == DdsAlgorithm::kDcExact ||
+      request.algorithm == DdsAlgorithm::kCoreExact) {
     const ExactOptions preset =
         ExactPresetFor(request.algorithm, request.exact);
     if (!preset.divide_and_conquer && n > preset.max_exhaustive_n) {
@@ -235,9 +221,7 @@ Result<DdsSolution> DdsEngine::Solve(const DdsRequest& request) {
   }
   WallTimer timer;
   SolveControl control(request.deadline_seconds, request.progress);
-  DdsSolution solution = weighted()
-                             ? info->run_weighted(*this, request, &control)
-                             : info->run(*this, request, &control);
+  DdsSolution solution = info->run(*this, request, &control);
   // Facade-level uniformity: every algorithm reports wall time and the
   // engine-reuse provenance the same way. Only workspace-using solves
   // count as scratch inheritance — a core-approx query between two exact

@@ -44,10 +44,10 @@ namespace ddsgraph {
 /// unvalidated (e.g. `peel` for kCoreExact), so one request object can
 /// be reused across algorithms; `exact` is consumed verbatim by
 /// kCoreExact, while kFlowExact / kDcExact overlay their defining
-/// ablation flags on it via ExactPresetFor (dds/solver.h). On a
-/// *weighted* engine the exact solver currently exposes no feature
-/// flags — `exact` is ignored there and only the deadline and progress
-/// hook apply (WeightedCoreExact always runs the full configuration).
+/// ablation flags on it via ExactPresetFor (dds/solver.h). The exact
+/// engine is one weight-generic template (dds/core_exact.h), so `exact`
+/// is honored identically on weighted engines — every flag, ablation
+/// preset and the anytime semantics apply to weighted solves too.
 struct DdsRequest {
   DdsAlgorithm algorithm = DdsAlgorithm::kCoreExact;
   ExactOptions exact;           ///< exact-engine feature flags
@@ -55,8 +55,8 @@ struct DdsRequest {
   BatchPeelOptions batch_peel;  ///< knobs for kBatchPeelApprox
   /// Wall-clock budget in seconds for this solve; infinity (the default)
   /// means none. The flow-based exact solvers (flow-exact, dc-exact,
-  /// core-exact, including weighted core-exact) honor it with anytime
-  /// semantics; naive-exact and lp-exact run to completion regardless
+  /// core-exact, weighted or not) honor it with anytime semantics;
+  /// naive-exact and lp-exact run to completion regardless
   /// (they are small-graph certifiers with no incremental certificate to
   /// return), and the single-pass approximations ignore it (they are
   /// already the fast path). Must be positive and not NaN.
@@ -69,6 +69,8 @@ struct DdsRequest {
 /// Request-time validation: known algorithm, positive non-NaN deadline,
 /// and — for the options the chosen algorithm actually consumes —
 /// `max_exhaustive_n >= 1` and positive finite approximation epsilons.
+/// `exact` is validated for the exact algorithms regardless of graph
+/// weighting, since weighted engines honor every ExactOptions flag.
 /// Solve() runs this first, so callers only need it to fail fast earlier.
 Status ValidateRequest(const DdsRequest& request);
 
@@ -113,23 +115,23 @@ class DdsEngine {
   int64_t workspace_solves_ = 0;
 };
 
-/// One registry row. `run` solves on an unweighted engine; `run_weighted`
-/// is non-null exactly when `weighted_capable`, and solves on a weighted
-/// engine. Runners receive the engine (graph + workspace), the request,
-/// and the solve's SolveControl.
+/// One registry row with a single weight-dispatched runner: `run` solves
+/// on the engine's graph, branching on DdsEngine::weighted() where the
+/// algorithm is a weight-generic template and never invoked weighted
+/// otherwise (Solve() rejects weighted requests for rows with
+/// `weighted_capable == false` before dispatch). Runners receive the
+/// engine (graph + workspace), the request, and the solve's SolveControl.
 struct AlgorithmInfo {
   DdsAlgorithm algorithm;
   const char* name;       ///< canonical lower-case CLI name
   bool exact;             ///< returns the optimum when uninterrupted
-  bool weighted_capable;  ///< has a WeightedDigraph implementation
+  bool weighted_capable;  ///< serves a WeightedDigraph engine
   /// True when the runners solve through the engine-owned ProbeWorkspace
   /// (the flow-based exact solvers); drives the prior_engine_solves
   /// provenance counter and implies the anytime deadline is honored.
   bool uses_workspace;
   DdsSolution (*run)(DdsEngine& engine, const DdsRequest& request,
                      SolveControl* control);
-  DdsSolution (*run_weighted)(DdsEngine& engine, const DdsRequest& request,
-                              SolveControl* control);
 };
 
 /// The algorithm table, in enum order — the one source of truth for

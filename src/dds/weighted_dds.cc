@@ -1,335 +1,17 @@
 #include "dds/weighted_dds.h"
 
-#include <algorithm>
 #include <bit>
 #include <cmath>
 
-#include "core/weighted_xy_core.h"
-#include "dds/core_exact.h"
 #include "dds/naive_exact.h"
-#include "dds/ratio_space.h"
-#include "flow/dds_network.h"
-#include "flow/dinic.h"
-#include "flow/flow_network.h"
-#include "flow/min_cut.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace ddsgraph {
-namespace {
 
-// ---------------------------------------------------------------------
-// Weighted feasibility network: nodes {s,t} ∪ A ∪ B; capacities
-//   s -> u_A : weighted out-degree into the T candidates
-//   u_A -> v_B : w(u, v)
-//   u_A -> t : g / (2 sqrt a),     v_B -> t : g sqrt(a) / 2
-// mincut < W' (candidate pair weight) <=> some (S,T) has weighted
-// linearized density > g. Mirrors flow/dds_network.cc with |E| -> w(E).
-// ---------------------------------------------------------------------
-struct WeightedDdsNetwork {
-  FlowNetwork net;
-  uint32_t source = 0;
-  uint32_t sink = 1;
-  std::vector<VertexId> a_vertices;
-  std::vector<VertexId> b_vertices;
-  /// Guess-dependent sink arcs (parallel to a_vertices / b_vertices) and
-  /// the source arcs — the parametric handles ReparameterizeSinkArcs
-  /// needs.
-  std::vector<uint32_t> a_sink_arcs;
-  std::vector<uint32_t> b_sink_arcs;
-  std::vector<uint32_t> source_arcs;
-  int64_t pair_weight = 0;
-
-  uint32_t ANode(size_t i) const { return 2 + static_cast<uint32_t>(i); }
-  uint32_t BNode(size_t i) const {
-    return 2 + static_cast<uint32_t>(a_vertices.size() + i);
-  }
-};
-
-WeightedDdsNetwork BuildWeightedNetwork(
-    const WeightedDigraph& g, const std::vector<VertexId>& s_candidates,
-    const std::vector<VertexId>& t_candidates, double sqrt_a,
-    double density_guess, DdsBuildScratch* scratch) {
-  scratch->BeginBuild(g.NumVertices());
-  for (VertexId v : t_candidates) scratch->MarkT(v);
-
-  WeightedDdsNetwork out;
-  std::vector<int64_t> restricted(s_candidates.size(), 0);
-  for (size_t i = 0; i < s_candidates.size(); ++i) {
-    const VertexId u = s_candidates[i];
-    const auto nbrs = g.OutNeighbors(u);
-    const auto weights = g.OutWeights(u);
-    for (size_t k = 0; k < nbrs.size(); ++k) {
-      if (scratch->IsT(nbrs[k])) {
-        restricted[i] += weights[k];
-        scratch->MarkBUsed(nbrs[k]);
-      }
-    }
-    out.pair_weight += restricted[i];
-  }
-  for (VertexId v : t_candidates) {
-    if (scratch->IsBUsed(v)) {
-      scratch->SetBIndex(v, static_cast<uint32_t>(out.b_vertices.size()));
-      out.b_vertices.push_back(v);
-    }
-  }
-  std::vector<VertexId> a_kept;
-  std::vector<int64_t> a_weight;
-  for (size_t i = 0; i < s_candidates.size(); ++i) {
-    if (restricted[i] > 0) {
-      a_kept.push_back(s_candidates[i]);
-      a_weight.push_back(restricted[i]);
-    }
-  }
-  out.a_vertices = std::move(a_kept);
-
-  out.net = FlowNetwork(
-      2 + static_cast<uint32_t>(out.a_vertices.size() +
-                                out.b_vertices.size()));
-  const double cap_a = density_guess / (2.0 * sqrt_a);
-  const double cap_b = density_guess * sqrt_a / 2.0;
-  out.a_sink_arcs.reserve(out.a_vertices.size());
-  out.b_sink_arcs.reserve(out.b_vertices.size());
-  out.source_arcs.reserve(out.a_vertices.size());
-  for (size_t i = 0; i < out.a_vertices.size(); ++i) {
-    const uint32_t a_node = out.ANode(i);
-    out.source_arcs.push_back(out.net.AddEdge(
-        out.source, a_node, static_cast<FlowCap>(a_weight[i])));
-    out.a_sink_arcs.push_back(out.net.AddEdge(a_node, out.sink, cap_a));
-    const VertexId u = out.a_vertices[i];
-    const auto nbrs = g.OutNeighbors(u);
-    const auto weights = g.OutWeights(u);
-    for (size_t k = 0; k < nbrs.size(); ++k) {
-      if (scratch->IsT(nbrs[k])) {
-        out.net.AddEdge(a_node, out.BNode(scratch->BIndex(nbrs[k])),
-                        static_cast<FlowCap>(weights[k]));
-      }
-    }
-  }
-  for (size_t j = 0; j < out.b_vertices.size(); ++j) {
-    out.b_sink_arcs.push_back(out.net.AddEdge(out.BNode(j), out.sink,
-                                              cap_b));
-  }
-  return out;
-}
-
-double WeightedLinearized(const WeightedDigraph& g, const DdsPair& pair,
-                          double sqrt_a) {
-  if (pair.Empty()) return 0;
-  const int64_t w = WeightedPairWeight(g, pair.s, pair.t);
-  const double denom = static_cast<double>(pair.s.size()) / sqrt_a +
-                       sqrt_a * static_cast<double>(pair.t.size());
-  return 2.0 * static_cast<double>(w) / denom;
-}
-
-double WeightedSearchDelta(const WeightedDigraph& g) {
-  const double n = std::max<double>(2.0, g.NumVertices());
-  const double w = std::max<double>(1.0, static_cast<double>(g.TotalWeight()));
-  return std::clamp(1.0 / (2.0 * w * n * n * n), 1e-12, 1e-4);
-}
-
-int64_t SideThreshold(double bound) {
-  return static_cast<int64_t>(std::floor(bound)) + 1;
-}
-
-struct WeightedProbeResult {
-  double h_upper = 0;
-  DdsPair best_pair;
-  double best_density = 0;
-  int64_t iterations = 0;
-  int64_t networks_built = 0;
-  int64_t networks_reused = 0;
-  int64_t warm_start_augmentations = 0;
-};
-
-// Weighted twin of ProbeRatio (dds/core_exact.cc), including the
-// witness-based feasibility rule, per-guess core refinement, and the
-// parametric network reuse of DESIGN.md §7: when the per-guess core stays
-// inside the snapshot the network was built on, only the sink arcs are
-// retargeted and the flow is warm-started.
-WeightedProbeResult WeightedProbe(const WeightedDigraph& g,
-                                  const std::vector<VertexId>& s_candidates,
-                                  const std::vector<VertexId>& t_candidates,
-                                  const Fraction& ratio, double upper_start,
-                                  double delta, double stop_below,
-                                  ProbeWorkspace* workspace,
-                                  SolveControl* control) {
-  WeightedProbeResult result;
-  result.h_upper = upper_start;
-  const double sqrt_a = std::sqrt(ratio.ToDouble());
-  double l = 0;
-  double u = upper_start;
-  std::vector<VertexId> cur_s = s_candidates;
-  std::vector<VertexId> cur_t = t_candidates;
-
-  WeightedDdsNetwork network;
-  Dinic dinic(&network.net);
-  bool network_valid = false;
-  std::vector<VertexId> built_s;  // candidate-set snapshot of `network`
-  std::vector<VertexId> built_t;
-
-  while (u - l >= delta && u > stop_below) {
-    if (control != nullptr) {
-      DdsProgress progress;
-      progress.lower_bound = result.best_density;  // probe-local witness
-      progress.upper_bound = u;
-      progress.binary_search_iters = result.iterations;
-      progress.elapsed_seconds = control->ElapsedSeconds();
-      // Exit before the next min cut; u and l stay certified.
-      if (control->ShouldStop(progress)) break;
-    }
-    const double guess = 0.5 * (l + u);
-    if (guess <= l || guess >= u) break;
-    ++result.iterations;
-
-    const int64_t x_c = SideThreshold(guess / (2.0 * sqrt_a));
-    const int64_t y_c = SideThreshold(guess * sqrt_a / 2.0);
-    // Weighted cores are global; restrict to current candidates by
-    // intersecting (the candidates shrink monotonically, and the weighted
-    // core of the full graph intersected with candidates contains every
-    // maximizer within them — recompute within for exactness).
-    XyCore refined = ComputeWeightedXyCore(g, x_c, y_c);
-    auto intersect = [](std::vector<VertexId>& lhs,
-                        const std::vector<VertexId>& rhs) {
-      std::vector<VertexId> out;
-      std::set_intersection(lhs.begin(), lhs.end(), rhs.begin(), rhs.end(),
-                            std::back_inserter(out));
-      lhs = std::move(out);
-    };
-    intersect(refined.s, cur_s);
-    intersect(refined.t, cur_t);
-    if (refined.s.empty() || refined.t.empty()) {
-      u = guess;
-      continue;
-    }
-
-    const bool network_sufficient =
-        network_valid &&
-        std::all_of(refined.s.begin(), refined.s.end(),
-                    [&](VertexId v) {
-                      return workspace->built_s_marks.Contains(v);
-                    }) &&
-        std::all_of(refined.t.begin(), refined.t.end(), [&](VertexId v) {
-          return workspace->built_t_marks.Contains(v);
-        });
-    if (network_sufficient) {
-      ReparameterizeSinkArcs(&network.net, network.source_arcs,
-                             network.a_sink_arcs, network.b_sink_arcs,
-                             guess / (2.0 * sqrt_a), guess * sqrt_a / 2.0);
-      ++result.networks_reused;
-    } else {
-      built_s = refined.s;
-      built_t = refined.t;
-      workspace->built_s_marks.Clear(g.NumVertices());
-      workspace->built_t_marks.Clear(g.NumVertices());
-      for (VertexId v : built_s) workspace->built_s_marks.Insert(v);
-      for (VertexId v : built_t) workspace->built_t_marks.Insert(v);
-      network = BuildWeightedNetwork(g, built_s, built_t, sqrt_a, guess,
-                                     &workspace->build_scratch);
-      network_valid = true;
-      ++result.networks_built;
-    }
-    if (network.pair_weight == 0) {
-      u = guess;
-      continue;
-    }
-    if (network_sufficient) {
-      const int64_t augmentations_before = dinic.num_augmentations();
-      dinic.Resolve(network.source, network.sink);
-      result.warm_start_augmentations +=
-          dinic.num_augmentations() - augmentations_before;
-    } else {
-      dinic.Solve(network.source, network.sink);
-    }
-    const std::vector<bool> side =
-        SourceSideOfMinCut(network.net, network.source);
-    DdsPair pair;
-    for (size_t i = 0; i < network.a_vertices.size(); ++i) {
-      if (side[network.ANode(i)]) pair.s.push_back(network.a_vertices[i]);
-    }
-    for (size_t j = 0; j < network.b_vertices.size(); ++j) {
-      if (side[network.BNode(j)]) pair.t.push_back(network.b_vertices[j]);
-    }
-    std::sort(pair.s.begin(), pair.s.end());
-    std::sort(pair.t.begin(), pair.t.end());
-
-    const double lin = WeightedLinearized(g, pair, sqrt_a);
-    if (lin > guess) {
-      l = std::max(guess, lin - 1e-15 * std::max(1.0, lin));
-      const double density = WeightedDensity(g, pair.s, pair.t);
-      if (density > result.best_density) {
-        result.best_density = density;
-        result.best_pair = std::move(pair);
-      }
-      cur_s = std::move(refined.s);
-      cur_t = std::move(refined.t);
-    } else {
-      u = guess;
-    }
-  }
-  result.h_upper = u;
-  return result;
-}
-
-}  // namespace
-
-int64_t WeightedPairWeight(const WeightedDigraph& g,
-                           const std::vector<VertexId>& s,
-                           const std::vector<VertexId>& t) {
-  if (s.empty() || t.empty()) return 0;
-  std::vector<bool> in_t(g.NumVertices(), false);
-  for (VertexId v : t) in_t[v] = true;
-  int64_t total = 0;
-  for (VertexId u : s) {
-    const auto nbrs = g.OutNeighbors(u);
-    const auto weights = g.OutWeights(u);
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      if (in_t[nbrs[i]]) total += weights[i];
-    }
-  }
-  return total;
-}
-
-double WeightedDensity(const WeightedDigraph& g,
-                       const std::vector<VertexId>& s,
-                       const std::vector<VertexId>& t) {
-  if (s.empty() || t.empty()) return 0;
-  return static_cast<double>(WeightedPairWeight(g, s, t)) /
-         std::sqrt(static_cast<double>(s.size()) *
-                   static_cast<double>(t.size()));
-}
-
-WeightedCoreApproxResult WeightedCoreApprox(const WeightedDigraph& g) {
-  WeightedCoreApproxResult result;
-  if (g.TotalWeight() == 0) return result;
-  const WeightedDigraph reversed = g.Reversed();
-  int64_t best_product = 0;
-  int64_t x = 1;
-  // Corner-jumping over the weighted skyline; see core/core_approx.cc.
-  while (true) {
-    ++result.sweeps;
-    const int64_t y = WeightedMaxYForX(g, x);
-    if (y == 0) break;
-    ++result.sweeps;
-    const int64_t x_right = WeightedMaxYForX(reversed, y);
-    CHECK_GE(x_right, x);
-    if (x_right * y > best_product) {
-      best_product = x_right * y;
-      result.best_x = x_right;
-      result.best_y = y;
-    }
-    x = x_right + 1;
-  }
-  if (best_product == 0) return result;
-  result.core = ComputeWeightedXyCore(g, result.best_x, result.best_y);
-  CHECK(!result.core.Empty());
-  result.density = WeightedDensity(g, result.core.s, result.core.t);
-  result.lower_bound = std::sqrt(static_cast<double>(best_product));
-  result.upper_bound = 2.0 * result.lower_bound;
-  CHECK_GE(result.density + 1e-9, result.lower_bound);
-  return result;
-}
-
+// The one weighted solver that is not an instantiation of shared engine
+// code: the O(4^n) certifier the equivalence tests measure everything
+// against.
 DdsSolution WeightedNaiveExact(const WeightedDigraph& g) {
   WallTimer timer;
   const uint32_t n = g.NumVertices();
@@ -380,158 +62,6 @@ DdsSolution WeightedNaiveExact(const WeightedDigraph& g) {
   solution.pair_edges = best_weight;
   solution.lower_bound = best;
   solution.upper_bound = best;
-  solution.stats.seconds = timer.Seconds();
-  return solution;
-}
-
-DdsSolution WeightedCoreExact(const WeightedDigraph& g,
-                              SolveControl* control,
-                              ProbeWorkspace* workspace) {
-  WallTimer timer;
-  DdsSolution solution;
-  if (g.TotalWeight() == 0) return solution;
-  const int64_t n = g.NumVertices();
-  const double delta = WeightedSearchDelta(g);
-
-  // Warm start and certified upper bound.
-  DdsPair incumbent;
-  double incumbent_density = 0;
-  double upper = std::sqrt(static_cast<double>(g.TotalWeight()) *
-                           static_cast<double>(std::max<int64_t>(
-                               1, g.MaxWeightedOutDegree())));
-  const WeightedCoreApproxResult approx = WeightedCoreApprox(g);
-  if (!approx.Empty()) {
-    incumbent = DdsPair{approx.core.s, approx.core.t};
-    incumbent_density = approx.density;
-    upper = std::min(upper, approx.upper_bound);
-  }
-
-  // Build scratch and reuse marks shared by every probe of the solve;
-  // a caller-owned workspace (DdsEngine) also amortizes across solves.
-  ProbeWorkspace owned_workspace;
-  if (workspace == nullptr) workspace = &owned_workspace;
-
-  // Anytime bookkeeping (mirrors dds/core_exact.cc).
-  bool interrupted = false;
-  double anytime_upper = 0;
-  auto stop_requested = [&]() {
-    if (control == nullptr) return false;
-    DdsProgress progress;
-    progress.lower_bound = incumbent_density;
-    progress.upper_bound = upper;
-    progress.ratios_probed = solution.stats.ratios_probed;
-    progress.binary_search_iters = solution.stats.binary_search_iters;
-    progress.elapsed_seconds = control->ElapsedSeconds();
-    return control->ShouldStop(progress);
-  };
-
-  auto probe_in_context = [&](const Fraction& ratio, const Fraction& lo,
-                              const Fraction& hi, double stop_below,
-                              bool* exhausted) -> double {
-    const double sqrt_lo = std::sqrt(lo.ToDouble());
-    const double sqrt_hi = std::sqrt(hi.ToDouble());
-    std::vector<VertexId> s_cand;
-    std::vector<VertexId> t_cand;
-    if (incumbent_density > 0) {
-      const XyCore core = ComputeWeightedXyCore(
-          g, SideThreshold(incumbent_density / (2.0 * sqrt_hi)),
-          SideThreshold(incumbent_density * sqrt_lo / 2.0));
-      if (core.Empty()) {
-        *exhausted = true;
-        return incumbent_density;
-      }
-      s_cand = core.s;
-      t_cand = core.t;
-    } else {
-      for (VertexId v = 0; v < g.NumVertices(); ++v) {
-        s_cand.push_back(v);
-        t_cand.push_back(v);
-      }
-    }
-    *exhausted = false;
-    const WeightedProbeResult probe =
-        WeightedProbe(g, s_cand, t_cand, ratio, upper, delta, stop_below,
-                      workspace, control);
-    ++solution.stats.ratios_probed;
-    solution.stats.binary_search_iters += probe.iterations;
-    solution.stats.flow_networks_built += probe.networks_built;
-    solution.stats.flow_networks_reused += probe.networks_reused;
-    solution.stats.warm_start_augmentations +=
-        probe.warm_start_augmentations;
-    if (!probe.best_pair.Empty() &&
-        probe.best_density > incumbent_density) {
-      incumbent = probe.best_pair;
-      incumbent_density = probe.best_density;
-    }
-    return probe.h_upper;
-  };
-
-  // Certified anytime upper bound when a solve is cut short, via
-  // AnytimeUpperBound (dds/ratio_space.h). An empty work list (endpoint
-  // probes truncated) certifies nothing beyond the global bound.
-  auto finish_interrupted = [&](const std::vector<RatioInterval>* work) {
-    interrupted = true;
-    anytime_upper =
-        work == nullptr
-            ? upper
-            : AnytimeUpperBound(incumbent_density, delta, *work, upper);
-  };
-
-  const Fraction lo = MinRatio(n);
-  const Fraction hi = MaxRatio(n);
-  bool exhausted = false;
-  const double h_lo = probe_in_context(lo, lo, lo, 0.0, &exhausted);
-  double h_hi = h_lo;
-  if (control != nullptr && control->stopped()) {
-    finish_interrupted(nullptr);
-  } else if (!(lo == hi)) {
-    h_hi = probe_in_context(hi, hi, hi, 0.0, &exhausted);
-    if (control != nullptr && control->stopped()) {
-      finish_interrupted(nullptr);
-    }
-    std::vector<RatioInterval> work{RatioInterval{lo, hi, h_lo, h_hi}};
-    while (!interrupted && !work.empty()) {
-      if (stop_requested()) {
-        finish_interrupted(&work);
-        break;
-      }
-      RatioInterval interval = work.back();
-      work.pop_back();
-      if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) continue;
-      if (IntervalDensityBound(interval) <=
-          incumbent_density + 1e-9 * std::max(1.0, incumbent_density)) {
-        ++solution.stats.intervals_pruned;
-        continue;
-      }
-      const std::optional<Fraction> mid = ProbeRatioForInterval(interval, n);
-      CHECK(mid.has_value());
-      const double phi = RatioMismatchPhi(
-          std::sqrt(interval.hi.ToDouble() / interval.lo.ToDouble()));
-      const double h_mid = probe_in_context(
-          *mid, interval.lo, interval.hi, incumbent_density / phi,
-          &exhausted);
-      if (exhausted) {
-        solution.stats.intervals_pruned += 2;
-        continue;
-      }
-      work.push_back(RatioInterval{interval.lo, *mid, interval.h_upper_lo,
-                                   h_mid});
-      work.push_back(RatioInterval{*mid, interval.hi, h_mid,
-                                   interval.h_upper_hi});
-    }
-  }
-
-  solution.pair = std::move(incumbent);
-  solution.density = WeightedDensity(g, solution.pair.s, solution.pair.t);
-  solution.pair_edges =
-      WeightedPairWeight(g, solution.pair.s, solution.pair.t);
-  solution.lower_bound = solution.density;
-  if (interrupted) {
-    solution.interrupted = true;
-    solution.upper_bound = std::max(anytime_upper, solution.density);
-  } else {
-    solution.upper_bound = solution.density;
-  }
   solution.stats.seconds = timer.Seconds();
   return solution;
 }

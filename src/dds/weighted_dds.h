@@ -3,76 +3,84 @@
 
 #include <cstdint>
 
+#include "core/core_approx.h"
 #include "core/xy_core.h"
 #include "dds/control.h"
 #include "dds/core_exact.h"
+#include "dds/density.h"
 #include "dds/result.h"
 #include "graph/weighted_digraph.h"
 
 /// \file
-/// Weighted directed densest subgraph discovery — the natural extension of
-/// the paper to integer edge multiplicities.
+/// Weighted directed densest subgraph discovery — named entry points.
 ///
 /// Objective: rho_w(S,T) = w(E(S,T)) / sqrt(|S| |T|), with w(E(S,T)) the
 /// sum of weights of edges from S to T. The whole unweighted development
-/// carries over with |E| -> w(E):
-///   * linearization/flow test: capacities become weights;
-///   * weighted [x,y]-core density bound: rho_w >= sqrt(x*y);
-///   * DDS containment: the weighted optimum sits in the weighted
-///     [⌊rho_w/(2√a*)⌋+1, ⌊rho_w √a*/2⌋+1]-core;
-///   * 2-approximation via the max-x*y weighted core, corner-jumping in
-///     O(sqrt(W)) peels (W = total weight);
-///   * divide-and-conquer ratio search with the same phi-bound pruning
-///     (the ratio space is identical — it only involves |S|, |T|).
+/// carries over with |E| -> w(E), and since the weight-policy redesign
+/// (DESIGN.md §9) it is served by the *same code*: the [x,y]-core peel,
+/// the flow-network builder, `ProbeRatio` and `SolveExactDds` are
+/// templates over `DigraphT<WeightPolicy>`, instantiated for
+/// `WeightedDigraph` exactly as for `Digraph`. The functions below are the
+/// weighted instantiations kept under their historical names plus the
+/// exhaustive ground-truth certifier; the formerly hand-mirrored weighted
+/// divide-and-conquer engine is gone, which is what gives weighted solves
+/// the full `ExactOptions` surface (ablation flags, incremental probes,
+/// anytime presets) for free.
 ///
-/// Cross-checks in tests/weighted_test.cc: all-weights-1 agrees exactly
-/// with the unweighted solvers; scaling all weights by c scales densities
-/// by c; WeightedNaiveExact certifies both on small graphs.
+/// Cross-checks in tests/weighted_test.cc: all-weights-1 solves are
+/// bit-identical to the unweighted engine; scaling all weights by c scales
+/// densities by c; WeightedNaiveExact certifies every ExactOptions
+/// combination on small graphs.
 
 namespace ddsgraph {
 
 /// Sum of weights of edges from `s` to `t`.
-int64_t WeightedPairWeight(const WeightedDigraph& g,
-                           const std::vector<VertexId>& s,
-                           const std::vector<VertexId>& t);
+inline int64_t WeightedPairWeight(const WeightedDigraph& g,
+                                  const std::vector<VertexId>& s,
+                                  const std::vector<VertexId>& t) {
+  return PairWeight(g, s, t);
+}
 
 /// rho_w(S,T); 0 if either side is empty.
-double WeightedDensity(const WeightedDigraph& g,
-                       const std::vector<VertexId>& s,
-                       const std::vector<VertexId>& t);
+inline double WeightedDensity(const WeightedDigraph& g,
+                              const std::vector<VertexId>& s,
+                              const std::vector<VertexId>& t) {
+  return PairDensity(g, s, t);
+}
 
-/// Result of the weighted 2-approximation.
-struct WeightedCoreApproxResult {
-  XyCore core;
-  int64_t best_x = 0;
-  int64_t best_y = 0;
-  double density = 0;
-  double lower_bound = 0;  ///< sqrt(best_x * best_y)
-  double upper_bound = 0;  ///< 2 sqrt(best_x * best_y) >= rho_opt
-  int64_t sweeps = 0;
-
-  bool Empty() const { return core.Empty(); }
-};
+/// Result of the weighted 2-approximation — the shared CoreApproxResult
+/// (core/core_approx.h): lower_bound = sqrt(best_x * best_y) and
+/// upper_bound = 2 sqrt(best_x * best_y) >= rho_opt hold verbatim with
+/// weighted degrees.
+using WeightedCoreApproxResult = CoreApproxResult;
 
 /// The max-x*y weighted [x,y]-core: a deterministic 1/2-approximation of
 /// the weighted DDS in O(sqrt(W) (n + m)) worst case.
-WeightedCoreApproxResult WeightedCoreApprox(const WeightedDigraph& g);
+inline WeightedCoreApproxResult WeightedCoreApprox(const WeightedDigraph& g) {
+  return CoreApprox(g);
+}
 
 /// Exhaustive ground truth (n <= kNaiveExactMaxVertices).
 DdsSolution WeightedNaiveExact(const WeightedDigraph& g);
 
-/// Exact weighted DDS: divide & conquer over the ratio space with
-/// weighted-core candidate location, weighted flow networks and
-/// approximation warm start (the weighted CoreExact).
+/// Exact weighted DDS — a thin preset over the unified exact engine: the
+/// weighted `SolveExactDds` instantiation with default `ExactOptions`
+/// (divide & conquer, weighted-core candidate location, per-guess core
+/// refinement, approximation warm start, parametric probes). Callers
+/// needing other flag combinations — ablations, fresh-build probes,
+/// exhaustive enumeration — call `SolveExactDds(g, options, ...)` directly
+/// or go through `DdsEngine`, exactly as for unweighted graphs.
 ///
-/// `control` and `workspace` mirror SolveExactDds (dds/core_exact.h):
-/// an interrupted solve returns the incumbent with `interrupted` set and
-/// a certified [lower_bound, upper_bound] bracket; a caller-owned
-/// workspace (DdsEngine) amortizes scratch across repeated solves without
-/// changing the result.
-DdsSolution WeightedCoreExact(const WeightedDigraph& g,
-                              SolveControl* control = nullptr,
-                              ProbeWorkspace* workspace = nullptr);
+/// `control` and `workspace` are forwarded to SolveExactDds
+/// (dds/core_exact.h): an interrupted solve returns the incumbent with
+/// `interrupted` set and a certified [lower_bound, upper_bound] bracket; a
+/// caller-owned workspace (DdsEngine) amortizes scratch across repeated
+/// solves without changing the result.
+inline DdsSolution WeightedCoreExact(const WeightedDigraph& g,
+                                     SolveControl* control = nullptr,
+                                     ProbeWorkspace* workspace = nullptr) {
+  return SolveExactDds(g, ExactOptions{}, control, workspace);
+}
 
 }  // namespace ddsgraph
 

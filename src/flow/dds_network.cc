@@ -7,7 +7,8 @@
 
 namespace ddsgraph {
 
-DdsNetwork BuildDdsNetwork(const Digraph& g,
+template <typename G>
+DdsNetwork BuildDdsNetwork(const G& g,
                            const std::vector<VertexId>& s_candidates,
                            const std::vector<VertexId>& t_candidates,
                            double sqrt_ratio, double density_guess,
@@ -29,17 +30,18 @@ DdsNetwork BuildDdsNetwork(const Digraph& g,
   out.density_guess = density_guess;
 
   // Pass 1: which candidate vertices actually carry pair edges. Vertices
-  // with zero restricted degree can never enter an optimal pair at g > 0
-  // and are dropped to keep the network minimal.
+  // with zero restricted (weighted) degree can never enter an optimal pair
+  // at g > 0 and are dropped to keep the network minimal.
   std::vector<int64_t> restricted_out;
   restricted_out.reserve(s_candidates.size());
   for (VertexId u : s_candidates) {
     CHECK_LT(u, g.NumVertices());
     int64_t deg = 0;
-    for (VertexId v : g.OutNeighbors(u)) {
-      if (scratch->IsT(v)) {
-        ++deg;
-        scratch->MarkBUsed(v);
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      if (scratch->IsT(nbrs[k])) {
+        deg += g.OutWeight(u, k);
+        scratch->MarkBUsed(nbrs[k]);
       }
     }
     restricted_out.push_back(deg);
@@ -78,10 +80,13 @@ DdsNetwork BuildDdsNetwork(const Digraph& g,
         out.source, a_node, static_cast<FlowCap>(a_deg[i])));
     out.a_sink_arcs.push_back(out.net.AddEdge(a_node, out.sink,
                                               cap_a_to_sink));
-    for (VertexId v : g.OutNeighbors(out.a_vertices[i])) {
-      if (scratch->IsT(v)) {
-        const uint32_t b_node = out.BNode(scratch->BIndex(v));
-        out.net.AddEdge(a_node, b_node, 1.0);
+    const VertexId u = out.a_vertices[i];
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      if (scratch->IsT(nbrs[k])) {
+        const uint32_t b_node = out.BNode(scratch->BIndex(nbrs[k]));
+        out.net.AddEdge(a_node, b_node,
+                        static_cast<FlowCap>(g.OutWeight(u, k)));
       }
     }
   }
@@ -92,14 +97,14 @@ DdsNetwork BuildDdsNetwork(const Digraph& g,
   return out;
 }
 
-DdsNetwork BuildDdsNetwork(const Digraph& g,
-                           const std::vector<VertexId>& s_candidates,
-                           const std::vector<VertexId>& t_candidates,
-                           double sqrt_ratio, double density_guess) {
-  DdsBuildScratch scratch;
-  return BuildDdsNetwork(g, s_candidates, t_candidates, sqrt_ratio,
-                         density_guess, &scratch);
-}
+template DdsNetwork BuildDdsNetwork<Digraph>(const Digraph&,
+                                             const std::vector<VertexId>&,
+                                             const std::vector<VertexId>&,
+                                             double, double,
+                                             DdsBuildScratch*);
+template DdsNetwork BuildDdsNetwork<WeightedDigraph>(
+    const WeightedDigraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, double, double, DdsBuildScratch*);
 
 void ReparameterizeSinkArcs(FlowNetwork* net,
                             const std::vector<uint32_t>& source_arcs,

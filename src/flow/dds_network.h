@@ -10,26 +10,27 @@
 #include "util/epoch_set.h"
 
 /// \file
-/// The DDS feasibility flow network N(G, a, g).
+/// The DDS feasibility flow network N(G, a, g), weight-generic.
 ///
 /// For a ratio guess `a` and density guess `g`, the exact solvers must
 /// decide whether some pair (S, T) has *linearized* density
 ///
-///   2 |E(S,T)| / (|S|/sqrt(a) + sqrt(a) |T|)  >  g.
+///   2 w(E(S,T)) / (|S|/sqrt(a) + sqrt(a) |T|)  >  g,
 ///
-/// Construction (DESIGN.md §5): nodes {s, t} ∪ A ∪ B with A a node per
-/// candidate source-side vertex and B per candidate target-side vertex;
-/// arcs
-///   s  -> u_A  cap d_out(u)            (out-degree restricted to B-side)
-///   u_A-> v_B  cap 1                   for each graph edge (u, v)
+/// where w sums edge weights (the edge count on the unweighted
+/// instantiation). Construction (DESIGN.md §5): nodes {s, t} ∪ A ∪ B with
+/// A a node per candidate source-side vertex and B per candidate
+/// target-side vertex; arcs
+///   s  -> u_A  cap w_out(u)            (weighted out-degree into B-side)
+///   u_A-> v_B  cap w(u, v)             for each graph edge (u, v)
 ///   u_A-> t    cap g / (2 sqrt(a))
 ///   v_B-> t    cap g * sqrt(a) / 2
 ///
 /// A cut keeping {s} ∪ S_A ∪ T_B on the source side has capacity
-/// m' − |E(S,T)| + (g/2)(|S|/√a + √a|T|) where m' is the number of
-/// candidate pair edges, so  mincut < m'  ⇔  a feasible (S,T) exists, and
-/// the source side of the min cut is a maximizer of
-/// |E(S,T)| − (g/2)(|S|/√a + √a|T|).
+/// W' − w(E(S,T)) + (g/2)(|S|/√a + √a|T|) where W' is the total candidate
+/// pair weight, so  mincut < W'  ⇔  a feasible (S,T) exists, and the
+/// source side of the min cut is a maximizer of
+/// w(E(S,T)) − (g/2)(|S|/√a + √a|T|).
 ///
 /// The candidate sets default to all of V; the core-based solver passes the
 /// S-/T-sides of an [x,y]-core, which is how the networks shrink across
@@ -94,8 +95,9 @@ struct DdsNetwork {
   /// The (a, g) parameters the network is currently built for.
   double sqrt_ratio = 0;
   double density_guess = 0;
-  /// Number of candidate pair edges m' = |E(S_cand, T_cand)|; the
-  /// feasibility threshold of the min cut.
+  /// Total candidate pair weight W' = w(E(S_cand, T_cand)) — the plain
+  /// count m' on the unweighted instantiation; the feasibility threshold
+  /// of the min cut.
   int64_t num_pair_edges = 0;
 
   uint32_t ANode(size_t i) const { return 2 + static_cast<uint32_t>(i); }
@@ -127,18 +129,34 @@ struct ExtractedPair {
 /// Builds N(G, a, g) restricted to the candidate sides. `s_candidates` /
 /// `t_candidates` are vertex lists in original ids (pass all vertices for
 /// the unpruned baseline). `sqrt_ratio` is sqrt(a); `density_guess` is g.
-/// `scratch` amortizes the per-vertex working maps across builds.
-DdsNetwork BuildDdsNetwork(const Digraph& g,
+/// `scratch` amortizes the per-vertex working maps across builds. A
+/// template over `DigraphT<WeightPolicy>`: edge weights become the A->B
+/// arc capacities, so the same layout (and the same Reparameterize)
+/// serves both problems.
+template <typename G>
+DdsNetwork BuildDdsNetwork(const G& g,
                            const std::vector<VertexId>& s_candidates,
                            const std::vector<VertexId>& t_candidates,
                            double sqrt_ratio, double density_guess,
                            DdsBuildScratch* scratch);
 
+extern template DdsNetwork BuildDdsNetwork<Digraph>(
+    const Digraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, double, double, DdsBuildScratch*);
+extern template DdsNetwork BuildDdsNetwork<WeightedDigraph>(
+    const WeightedDigraph&, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, double, double, DdsBuildScratch*);
+
 /// Convenience overload with a private single-use scratch.
-DdsNetwork BuildDdsNetwork(const Digraph& g,
+template <typename G>
+DdsNetwork BuildDdsNetwork(const G& g,
                            const std::vector<VertexId>& s_candidates,
                            const std::vector<VertexId>& t_candidates,
-                           double sqrt_ratio, double density_guess);
+                           double sqrt_ratio, double density_guess) {
+  DdsBuildScratch scratch;
+  return BuildDdsNetwork(g, s_candidates, t_candidates, sqrt_ratio,
+                         density_guess, &scratch);
+}
 
 /// Retargets the two guess-dependent sink-arc capacity families of a
 /// DDS-layout network (also the weighted variant) to new capacities,

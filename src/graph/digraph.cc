@@ -1,59 +1,29 @@
 #include "graph/digraph.h"
 
-#include <algorithm>
-
-#include "graph/digraph_builder.h"
-#include "util/logging.h"
-
 namespace ddsgraph {
 
-Digraph Digraph::FromEdges(uint32_t num_vertices, std::vector<Edge> edges) {
-  DigraphBuilder builder(num_vertices);
-  for (const Edge& e : edges) builder.AddEdge(e.first, e.second);
-  return std::move(builder).Build();
-}
+// The library's closed set of weight policies; every weight-generic
+// algorithm instantiates against exactly these two.
+template class DigraphT<UnitWeight>;
+template class DigraphT<Int64Weight>;
 
-bool Digraph::HasEdge(VertexId u, VertexId v) const {
-  DCHECK_LT(u, num_vertices_);
-  DCHECK_LT(v, num_vertices_);
-  const auto nbrs = OutNeighbors(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
-}
+namespace {
 
-std::vector<Edge> Digraph::EdgeList() const {
-  std::vector<Edge> edges;
-  edges.reserve(out_targets_.size());
-  for (VertexId u = 0; u < num_vertices_; ++u) {
-    for (VertexId v : OutNeighbors(u)) edges.emplace_back(u, v);
-  }
-  return edges;
-}
+// Zero-overhead audit for the unweighted instantiation: the empty
+// WeightStorage<false> member must vanish ([[no_unique_address]]), leaving
+// exactly the layout the pre-template Digraph had — one vertex count and
+// the four CSR arrays, no per-edge weight storage.
+struct UnweightedLayoutReference {
+  uint32_t num_vertices;
+  std::vector<int64_t> out_offsets;
+  std::vector<VertexId> out_targets;
+  std::vector<int64_t> in_offsets;
+  std::vector<VertexId> in_sources;
+};
+static_assert(sizeof(Digraph) == sizeof(UnweightedLayoutReference),
+              "DigraphT<UnitWeight> must not pay for weight storage");
+static_assert(sizeof(WeightedDigraph) > sizeof(Digraph));
 
-Digraph Digraph::Reversed() const {
-  Digraph rev;
-  rev.num_vertices_ = num_vertices_;
-  // The CSR transpose is exactly the swap of the two adjacency arrays.
-  rev.out_offsets_ = in_offsets_;
-  rev.out_targets_ = in_sources_;
-  rev.in_offsets_ = out_offsets_;
-  rev.in_sources_ = out_targets_;
-  return rev;
-}
-
-int64_t Digraph::MaxOutDegree() const {
-  int64_t best = 0;
-  for (VertexId u = 0; u < num_vertices_; ++u) {
-    best = std::max(best, OutDegree(u));
-  }
-  return best;
-}
-
-int64_t Digraph::MaxInDegree() const {
-  int64_t best = 0;
-  for (VertexId v = 0; v < num_vertices_; ++v) {
-    best = std::max(best, InDegree(v));
-  }
-  return best;
-}
+}  // namespace
 
 }  // namespace ddsgraph

@@ -1,22 +1,44 @@
 #ifndef DDSGRAPH_GRAPH_DIGRAPH_H_
 #define DDSGRAPH_GRAPH_DIGRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <tuple>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "util/logging.h"
+
 /// \file
-/// Immutable directed graph in compressed sparse row (CSR) form.
+/// Weight-generic immutable directed graph in compressed sparse row form.
 ///
-/// `Digraph` is the central data structure of the library: simple (no
-/// parallel edges), loop-free (no self-loops), unweighted, with vertices
+/// `DigraphT<WeightPolicy>` is the central data structure of the library:
+/// simple (no parallel edges), loop-free (no self-loops), with vertices
 /// labelled 0..n-1. Both out- and in-adjacency are materialized so that
 /// peeling algorithms can decrement both endpoints of an edge in O(1), and
 /// adjacency lists are sorted to allow O(log d) edge queries.
 ///
-/// Construction goes through `DigraphBuilder` (graph/digraph_builder.h) or
-/// `Digraph::FromEdges`, which sort, deduplicate and drop self-loops.
+/// The weight policy decides whether arcs carry an integer weight
+/// (multiplicity):
+///
+///   * `Digraph = DigraphT<UnitWeight>` stores no per-edge weight arrays at
+///     all — the empty `WeightStorage<false>` member occupies no space
+///     ([[no_unique_address]], asserted in digraph.cc) and every weight
+///     accessor constant-folds to 1 — so unweighted code pays nothing for
+///     the generality.
+///   * `WeightedDigraph = DigraphT<Int64Weight>` adds parallel weight
+///     arrays to both CSR halves plus cached weighted degrees, total weight
+///     and max edge weight.
+///
+/// Algorithms written against the uniform surface (`TotalWeight`,
+/// `OutWeight(u, k)`, `WeightedOutDegree`, ...) instantiate for both
+/// policies — this is how one [x,y]-core peel, one flow-network builder and
+/// one exact engine serve the unweighted and the weighted DDS problem
+/// (DESIGN.md §9). Construction goes through `FromEdges` (which sorts,
+/// merges/deduplicates and drops self-loops) or, for unweighted streams,
+/// `DigraphBuilder` (graph/digraph_builder.h).
 
 namespace ddsgraph {
 
@@ -25,19 +47,94 @@ using VertexId = uint32_t;
 /// An edge (u, v) means u -> v.
 using Edge = std::pair<VertexId, VertexId>;
 
-class Digraph {
+/// An edge u -> v with multiplicity w (w >= 1).
+struct WeightedEdge {
+  VertexId from = 0;
+  VertexId to = 0;
+  int64_t weight = 1;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// Weight policy of the unweighted instantiation: no storage, weight 1.
+struct UnitWeight {
+  static constexpr bool kStoresWeights = false;
+};
+
+/// Weight policy of the weighted instantiation: int64 multiplicities.
+/// Integer weights keep bucket-queue peeling and the flow reductions exact.
+struct Int64Weight {
+  static constexpr bool kStoresWeights = true;
+};
+
+namespace internal {
+
+/// Per-edge weight side-arrays; the primary template (unweighted) is empty
+/// so the unweighted graph object carries no weight fields at all.
+template <bool kStore>
+struct WeightStorage {};
+
+template <>
+struct WeightStorage<true> {
+  int64_t total_weight = 0;
+  int64_t max_edge_weight = 0;
+  std::vector<int64_t> out_weight;  ///< parallel to out-CSR targets
+  std::vector<int64_t> in_weight;   ///< parallel to in-CSR sources
+  std::vector<int64_t> weighted_out_degree;
+  std::vector<int64_t> weighted_in_degree;
+};
+
+}  // namespace internal
+
+template <typename WeightPolicy>
+class DigraphT {
  public:
+  static constexpr bool kWeighted = WeightPolicy::kStoresWeights;
+  /// The edge-list element type `FromEdges` / `EdgeList` trade in.
+  using EdgeType = std::conditional_t<kWeighted, WeightedEdge, Edge>;
+
   /// Creates an empty graph with no vertices.
-  Digraph() = default;
+  DigraphT() = default;
 
   /// Builds a graph with `num_vertices` vertices from an edge list.
-  /// Self-loops and duplicate edges are discarded. Edges whose endpoints are
-  /// >= num_vertices are a fatal error (CHECK).
-  static Digraph FromEdges(uint32_t num_vertices, std::vector<Edge> edges);
+  /// Self-loops are discarded; duplicate edges are dropped (unweighted) or
+  /// merged by summing weights (weighted, where non-positive weights are
+  /// also dropped). Edges whose endpoints are >= num_vertices are a fatal
+  /// error (CHECK).
+  static DigraphT FromEdges(uint32_t num_vertices,
+                            std::vector<EdgeType> edges);
+
+  /// Lifts an unweighted graph (all weights 1). The weighted solvers then
+  /// agree exactly with the unweighted ones — the key cross-check in
+  /// tests/weighted_test.cc.
+  static DigraphT FromDigraph(const DigraphT<UnitWeight>& g)
+    requires kWeighted;
 
   uint32_t NumVertices() const { return num_vertices_; }
+  /// Number of distinct arcs.
   int64_t NumEdges() const {
     return static_cast<int64_t>(out_targets_.size());
+  }
+
+  /// Sum of all edge weights — the weighted analogue of m; equals
+  /// NumEdges() for the unweighted instantiation.
+  int64_t TotalWeight() const {
+    if constexpr (kWeighted) {
+      return w_.total_weight;
+    } else {
+      return NumEdges();
+    }
+  }
+
+  /// Largest single edge weight (1 for a non-empty unweighted graph, 0 when
+  /// there are no edges). Feeds the generic density upper bound
+  /// rho <= sqrt(TotalWeight * MaxEdgeWeight) of the exact engine.
+  int64_t MaxEdgeWeight() const {
+    if constexpr (kWeighted) {
+      return w_.max_edge_weight;
+    } else {
+      return NumEdges() > 0 ? 1 : 0;
+    }
   }
 
   /// Out-neighbors of u, sorted ascending.
@@ -59,29 +156,295 @@ class Digraph {
     return in_offsets_[v + 1] - in_offsets_[v];
   }
 
+  /// Weight of the k-th out-arc of u (parallel to OutNeighbors(u)[k]);
+  /// constant 1 for the unweighted instantiation. The uniform accessor the
+  /// weight-generic algorithms iterate with.
+  int64_t OutWeight(VertexId u, size_t k) const {
+    if constexpr (kWeighted) {
+      return w_.out_weight[out_offsets_[u] + static_cast<int64_t>(k)];
+    } else {
+      (void)u;
+      (void)k;
+      return 1;
+    }
+  }
+  /// Weight of the k-th in-arc of v (parallel to InNeighbors(v)[k]).
+  int64_t InWeight(VertexId v, size_t k) const {
+    if constexpr (kWeighted) {
+      return w_.in_weight[in_offsets_[v] + static_cast<int64_t>(k)];
+    } else {
+      (void)v;
+      (void)k;
+      return 1;
+    }
+  }
+
+  /// Weight spans parallel to the adjacency spans (weighted only — the
+  /// unweighted instantiation has no arrays to view).
+  std::span<const int64_t> OutWeights(VertexId u) const
+    requires kWeighted
+  {
+    return {w_.out_weight.data() + out_offsets_[u],
+            w_.out_weight.data() + out_offsets_[u + 1]};
+  }
+  std::span<const int64_t> InWeights(VertexId v) const
+    requires kWeighted
+  {
+    return {w_.in_weight.data() + in_offsets_[v],
+            w_.in_weight.data() + in_offsets_[v + 1]};
+  }
+
+  /// Sum of weights of outgoing / incoming arcs; plain degrees for the
+  /// unweighted instantiation.
+  int64_t WeightedOutDegree(VertexId u) const {
+    if constexpr (kWeighted) {
+      return w_.weighted_out_degree[u];
+    } else {
+      return OutDegree(u);
+    }
+  }
+  int64_t WeightedInDegree(VertexId v) const {
+    if constexpr (kWeighted) {
+      return w_.weighted_in_degree[v];
+    } else {
+      return InDegree(v);
+    }
+  }
+
   /// True iff the edge u -> v exists. O(log OutDegree(u)).
-  bool HasEdge(VertexId u, VertexId v) const;
+  bool HasEdge(VertexId u, VertexId v) const {
+    DCHECK_LT(u, num_vertices_);
+    DCHECK_LT(v, num_vertices_);
+    const auto nbrs = OutNeighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  }
 
-  /// Materializes the edge list in (u, v) lexicographic order.
-  std::vector<Edge> EdgeList() const;
+  /// Materializes the edge list in (u, v) lexicographic order — `Edge`
+  /// pairs for the unweighted instantiation, `WeightedEdge` triples for the
+  /// weighted one.
+  std::vector<EdgeType> EdgeList() const;
 
-  /// Returns the transpose graph (every edge reversed).
-  Digraph Reversed() const;
+  /// Returns the transpose graph (every edge reversed, weights preserved).
+  DigraphT Reversed() const;
 
   /// Maximum out-degree over all vertices (0 for the empty graph).
   int64_t MaxOutDegree() const;
   /// Maximum in-degree over all vertices (0 for the empty graph).
   int64_t MaxInDegree() const;
+  /// Maximum weighted out-/in-degree (plain max degrees when unweighted).
+  int64_t MaxWeightedOutDegree() const;
+  int64_t MaxWeightedInDegree() const;
 
  private:
-  friend class DigraphBuilder;
+  static constexpr VertexId EdgeFrom(const EdgeType& e) {
+    if constexpr (kWeighted) {
+      return e.from;
+    } else {
+      return e.first;
+    }
+  }
+  static constexpr VertexId EdgeTo(const EdgeType& e) {
+    if constexpr (kWeighted) {
+      return e.to;
+    } else {
+      return e.second;
+    }
+  }
 
   uint32_t num_vertices_ = 0;
   std::vector<int64_t> out_offsets_{0};
   std::vector<VertexId> out_targets_;
   std::vector<int64_t> in_offsets_{0};
   std::vector<VertexId> in_sources_;
+  [[no_unique_address]] internal::WeightStorage<kWeighted> w_;
 };
+
+using Digraph = DigraphT<UnitWeight>;
+using WeightedDigraph = DigraphT<Int64Weight>;
+
+// ------------------------------------------------------------------------
+// Member definitions. The class is explicitly instantiated for exactly the
+// two policies in digraph.cc; these extern declarations keep every other
+// translation unit from re-instantiating it.
+
+template <typename WeightPolicy>
+DigraphT<WeightPolicy> DigraphT<WeightPolicy>::FromEdges(
+    uint32_t num_vertices, std::vector<EdgeType> edges) {
+  // Normalize in place — construction is the peak-memory moment of the
+  // loading path, so no extra edge-list copies: bounds-check, drop
+  // self-loops (and non-positive weights), sort by (from, to), then
+  // dedup (unweighted) or merge-sum (weighted).
+  for (const EdgeType& e : edges) {
+    CHECK_LT(EdgeFrom(e), num_vertices);
+    CHECK_LT(EdgeTo(e), num_vertices);
+  }
+  std::erase_if(edges, [](const EdgeType& e) {
+    if constexpr (kWeighted) {
+      return e.from == e.to || e.weight <= 0;
+    } else {
+      return e.first == e.second;
+    }
+  });
+  std::sort(edges.begin(), edges.end(),
+            [](const EdgeType& a, const EdgeType& b) {
+              return std::make_pair(EdgeFrom(a), EdgeTo(a)) <
+                     std::make_pair(EdgeFrom(b), EdgeTo(b));
+            });
+  if constexpr (kWeighted) {
+    size_t kept = 0;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (kept > 0 && edges[kept - 1].from == edges[i].from &&
+          edges[kept - 1].to == edges[i].to) {
+        edges[kept - 1].weight += edges[i].weight;
+      } else {
+        edges[kept++] = edges[i];
+      }
+    }
+    edges.resize(kept);
+  } else {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  const std::vector<EdgeType>& merged = edges;
+
+  DigraphT g;
+  g.num_vertices_ = num_vertices;
+  const size_t m = merged.size();
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  g.out_targets_.resize(m);
+  g.in_sources_.resize(m);
+  if constexpr (kWeighted) {
+    g.w_.out_weight.resize(m);
+    g.w_.in_weight.resize(m);
+    g.w_.weighted_out_degree.assign(num_vertices, 0);
+    g.w_.weighted_in_degree.assign(num_vertices, 0);
+  }
+
+  for (const EdgeType& e : merged) {
+    ++g.out_offsets_[EdgeFrom(e) + 1];
+    ++g.in_offsets_[EdgeTo(e) + 1];
+    if constexpr (kWeighted) {
+      g.w_.weighted_out_degree[e.from] += e.weight;
+      g.w_.weighted_in_degree[e.to] += e.weight;
+      g.w_.total_weight += e.weight;
+      g.w_.max_edge_weight = std::max(g.w_.max_edge_weight, e.weight);
+    }
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  // merged is sorted by (from, to): the out-CSR fills sequentially; the
+  // in-CSR via cursors (stable, so sources stay sorted per target).
+  std::vector<int64_t> in_cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+  for (size_t i = 0; i < m; ++i) {
+    const EdgeType& e = merged[i];
+    g.out_targets_[i] = EdgeTo(e);
+    const int64_t ii = in_cursor[EdgeTo(e)]++;
+    g.in_sources_[ii] = EdgeFrom(e);
+    if constexpr (kWeighted) {
+      g.w_.out_weight[i] = e.weight;
+      g.w_.in_weight[ii] = e.weight;
+    }
+  }
+  return g;
+}
+
+template <typename WeightPolicy>
+DigraphT<WeightPolicy> DigraphT<WeightPolicy>::FromDigraph(
+    const DigraphT<UnitWeight>& g)
+  requires kWeighted
+{
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(g.NumEdges()));
+  for (const auto& [u, v] : g.EdgeList()) {
+    edges.push_back(WeightedEdge{u, v, 1});
+  }
+  return FromEdges(g.NumVertices(), std::move(edges));
+}
+
+template <typename WeightPolicy>
+std::vector<typename DigraphT<WeightPolicy>::EdgeType>
+DigraphT<WeightPolicy>::EdgeList() const {
+  std::vector<EdgeType> edges;
+  edges.reserve(out_targets_.size());
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    const auto nbrs = OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if constexpr (kWeighted) {
+        edges.push_back(WeightedEdge{u, nbrs[i], OutWeight(u, i)});
+      } else {
+        edges.emplace_back(u, nbrs[i]);
+      }
+    }
+  }
+  return edges;
+}
+
+template <typename WeightPolicy>
+DigraphT<WeightPolicy> DigraphT<WeightPolicy>::Reversed() const {
+  DigraphT rev;
+  rev.num_vertices_ = num_vertices_;
+  // The CSR transpose is exactly the swap of the two adjacency halves —
+  // including the parallel weight arrays and cached degrees.
+  rev.out_offsets_ = in_offsets_;
+  rev.out_targets_ = in_sources_;
+  rev.in_offsets_ = out_offsets_;
+  rev.in_sources_ = out_targets_;
+  if constexpr (kWeighted) {
+    rev.w_.total_weight = w_.total_weight;
+    rev.w_.max_edge_weight = w_.max_edge_weight;
+    rev.w_.out_weight = w_.in_weight;
+    rev.w_.in_weight = w_.out_weight;
+    rev.w_.weighted_out_degree = w_.weighted_in_degree;
+    rev.w_.weighted_in_degree = w_.weighted_out_degree;
+  }
+  return rev;
+}
+
+template <typename WeightPolicy>
+int64_t DigraphT<WeightPolicy>::MaxOutDegree() const {
+  int64_t best = 0;
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    best = std::max(best, OutDegree(u));
+  }
+  return best;
+}
+
+template <typename WeightPolicy>
+int64_t DigraphT<WeightPolicy>::MaxInDegree() const {
+  int64_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, InDegree(v));
+  }
+  return best;
+}
+
+template <typename WeightPolicy>
+int64_t DigraphT<WeightPolicy>::MaxWeightedOutDegree() const {
+  if constexpr (kWeighted) {
+    int64_t best = 0;
+    for (int64_t d : w_.weighted_out_degree) best = std::max(best, d);
+    return best;
+  } else {
+    return MaxOutDegree();
+  }
+}
+
+template <typename WeightPolicy>
+int64_t DigraphT<WeightPolicy>::MaxWeightedInDegree() const {
+  if constexpr (kWeighted) {
+    int64_t best = 0;
+    for (int64_t d : w_.weighted_in_degree) best = std::max(best, d);
+    return best;
+  } else {
+    return MaxInDegree();
+  }
+}
+
+extern template class DigraphT<UnitWeight>;
+extern template class DigraphT<Int64Weight>;
 
 }  // namespace ddsgraph
 

@@ -14,39 +14,10 @@ void DigraphBuilder::AddEdge(VertexId u, VertexId v) {
 }
 
 Digraph DigraphBuilder::Build() && {
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-
-  Digraph g;
-  g.num_vertices_ = num_vertices_;
-  const size_t m = edges_.size();
-
-  // Out-CSR: edges_ is sorted by (u, v), so targets are already grouped by
-  // source and sorted within each group.
-  g.out_offsets_.assign(num_vertices_ + 1, 0);
-  g.out_targets_.resize(m);
-  for (const Edge& e : edges_) ++g.out_offsets_[e.first + 1];
-  for (uint32_t u = 0; u < num_vertices_; ++u) {
-    g.out_offsets_[u + 1] += g.out_offsets_[u];
-  }
-  for (size_t i = 0; i < m; ++i) g.out_targets_[i] = edges_[i].second;
-
-  // In-CSR via counting sort by target; sources come out sorted within each
-  // target because edges_ is sorted by (u, v) and the scan is stable.
-  g.in_offsets_.assign(num_vertices_ + 1, 0);
-  g.in_sources_.resize(m);
-  for (const Edge& e : edges_) ++g.in_offsets_[e.second + 1];
-  for (uint32_t v = 0; v < num_vertices_; ++v) {
-    g.in_offsets_[v + 1] += g.in_offsets_[v];
-  }
-  std::vector<int64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
-  for (const Edge& e : edges_) {
-    g.in_sources_[cursor[e.second]++] = e.first;
-  }
-
-  edges_.clear();
-  edges_.shrink_to_fit();
-  return g;
+  // FromEdges owns the whole normalize-and-pack pipeline (sort, dedup,
+  // CSR fill) for both weight policies; the builder is just the streaming
+  // accumulator in front of it.
+  return Digraph::FromEdges(num_vertices_, std::move(edges_));
 }
 
 }  // namespace ddsgraph

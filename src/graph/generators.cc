@@ -150,4 +150,53 @@ Digraph GnpDigraph(uint32_t n, double p, uint64_t seed) {
   return std::move(builder).Build();
 }
 
+namespace {
+
+int64_t DrawWeight(const WeightOptions& options, Rng& rng) {
+  CHECK_GE(options.min_weight, 1);
+  CHECK_GE(options.max_weight, options.min_weight);
+  switch (options.dist) {
+    case WeightOptions::Dist::kUniform:
+      return rng.NextInRange(options.min_weight, options.max_weight);
+    case WeightOptions::Dist::kGeometric: {
+      CHECK_GT(options.decay, 0.0);
+      CHECK_LT(options.decay, 1.0);
+      int64_t w = options.min_weight;
+      while (w < options.max_weight && rng.NextBool(options.decay)) ++w;
+      return w;
+    }
+  }
+  LOG(FATAL) << "unknown weight distribution";
+  return 1;
+}
+
+}  // namespace
+
+WeightedDigraph UniformWeightedDigraph(uint32_t n, int64_t num_arcs,
+                                       uint64_t seed,
+                                       const WeightOptions& weights) {
+  CHECK_GE(n, 1u);
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(num_arcs));
+  for (int64_t i = 0; i < num_arcs; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;  // keep draw count deterministic, drop loops
+    edges.push_back(WeightedEdge{u, v, DrawWeight(weights, rng)});
+  }
+  return WeightedDigraph::FromEdges(n, std::move(edges));
+}
+
+WeightedDigraph AttachRandomWeights(const Digraph& g, uint64_t seed,
+                                    const WeightOptions& weights) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(g.NumEdges()));
+  for (const auto& [u, v] : g.EdgeList()) {
+    edges.push_back(WeightedEdge{u, v, DrawWeight(weights, rng)});
+  }
+  return WeightedDigraph::FromEdges(g.NumVertices(), std::move(edges));
+}
+
 }  // namespace ddsgraph

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/weighted_digraph.h"
 #include "util/random.h"
 
 /// \file
@@ -69,6 +70,39 @@ Digraph BicliqueWithNoise(uint32_t n, uint32_t s, uint32_t t,
 /// pairs is an edge independently with probability p. Intended for small
 /// property-test graphs.
 Digraph GnpDigraph(uint32_t n, double p, uint64_t seed);
+
+// ------------------------------------------------------------- weighted
+
+/// Edge-weight distribution for the weighted generators. All draws are
+/// integers in [min_weight, max_weight], deterministic given the seed.
+struct WeightOptions {
+  enum class Dist {
+    kUniform,    ///< uniform over [min_weight, max_weight]
+    kGeometric,  ///< heavy tail: P(w) ∝ decay^(w - min_weight), clamped
+  };
+  Dist dist = Dist::kUniform;
+  int64_t min_weight = 1;
+  int64_t max_weight = 8;
+  /// Per-step survival probability of the geometric tail (0 < decay < 1);
+  /// smaller = lighter tail. Ignored by kUniform.
+  double decay = 0.5;
+};
+
+/// Uniform random weighted digraph: `num_arcs` arc draws (self-loops
+/// dropped, parallel draws merged by summing weights — so the realized
+/// distinct-arc count can be lower) with weights from `weights`. The
+/// weighted counterpart of UniformDigraph for tests and benches that
+/// previously hand-rolled edge lists.
+WeightedDigraph UniformWeightedDigraph(uint32_t n, int64_t num_arcs,
+                                       uint64_t seed,
+                                       const WeightOptions& weights = {});
+
+/// Lifts any unweighted graph by assigning each existing edge a random
+/// weight from `weights` — same topology, weighted objective. Pairs with
+/// the shape-class generators above (R-MAT, planted, biclique) to produce
+/// weighted instances with known structure.
+WeightedDigraph AttachRandomWeights(const Digraph& g, uint64_t seed,
+                                    const WeightOptions& weights = {});
 
 }  // namespace ddsgraph
 

@@ -1,102 +1,22 @@
 #ifndef DDSGRAPH_GRAPH_WEIGHTED_DIGRAPH_H_
 #define DDSGRAPH_GRAPH_WEIGHTED_DIGRAPH_H_
 
-#include <cstdint>
-#include <span>
-#include <tuple>
-#include <vector>
-
-#include "graph/digraph.h"
+#include "graph/digraph.h"  // IWYU pragma: export
 
 /// \file
 /// Directed graph with positive integer edge weights (multiplicities).
 ///
-/// The weighted DDS problem maximizes w(E(S,T)) / sqrt(|S||T|) where
-/// w(E(S,T)) sums edge weights — the natural model when edges carry
+/// `WeightedDigraph` is the `Int64Weight` instantiation of the CSR graph
+/// template in graph/digraph.h — see that file for the weight-policy
+/// design. The weighted DDS problem maximizes w(E(S,T)) / sqrt(|S||T|)
+/// where w(E(S,T)) sums edge weights — the natural model when edges carry
 /// counts (repeated reviews, message volumes, retweet totals). Every
 /// theorem of the unweighted development carries over verbatim with
 /// degree := weighted degree (see core/weighted_xy_core.h and
 /// dds/weighted_dds.h); integer weights keep bucket-queue peeling and the
 /// flow reductions exact.
-
-namespace ddsgraph {
-
-/// An edge u -> v with multiplicity w (w >= 1).
-struct WeightedEdge {
-  VertexId from = 0;
-  VertexId to = 0;
-  int64_t weight = 1;
-
-  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
-};
-
-class WeightedDigraph {
- public:
-  WeightedDigraph() = default;
-
-  /// Builds from an edge list; parallel (u,v) entries are merged by
-  /// summing weights, self-loops and non-positive weights are dropped.
-  static WeightedDigraph FromEdges(uint32_t num_vertices,
-                                   std::vector<WeightedEdge> edges);
-
-  /// Lifts an unweighted graph (all weights 1). The weighted solvers then
-  /// agree exactly with the unweighted ones — the key cross-check in
-  /// tests/weighted_test.cc.
-  static WeightedDigraph FromDigraph(const Digraph& g);
-
-  uint32_t NumVertices() const { return num_vertices_; }
-  /// Number of distinct arcs.
-  int64_t NumEdges() const { return static_cast<int64_t>(out_to_.size()); }
-  /// Sum of all edge weights (the weighted analogue of m).
-  int64_t TotalWeight() const { return total_weight_; }
-
-  std::span<const VertexId> OutNeighbors(VertexId u) const {
-    return {out_to_.data() + out_offsets_[u],
-            out_to_.data() + out_offsets_[u + 1]};
-  }
-  std::span<const int64_t> OutWeights(VertexId u) const {
-    return {out_weight_.data() + out_offsets_[u],
-            out_weight_.data() + out_offsets_[u + 1]};
-  }
-  std::span<const VertexId> InNeighbors(VertexId v) const {
-    return {in_from_.data() + in_offsets_[v],
-            in_from_.data() + in_offsets_[v + 1]};
-  }
-  std::span<const int64_t> InWeights(VertexId v) const {
-    return {in_weight_.data() + in_offsets_[v],
-            in_weight_.data() + in_offsets_[v + 1]};
-  }
-
-  /// Sum of weights of outgoing / incoming arcs.
-  int64_t WeightedOutDegree(VertexId u) const {
-    return weighted_out_degree_[u];
-  }
-  int64_t WeightedInDegree(VertexId v) const {
-    return weighted_in_degree_[v];
-  }
-
-  int64_t MaxWeightedOutDegree() const;
-  int64_t MaxWeightedInDegree() const;
-
-  /// The transpose (all arcs reversed, weights preserved).
-  WeightedDigraph Reversed() const;
-
-  /// Materializes (from, to, weight) triples in lexicographic order.
-  std::vector<WeightedEdge> EdgeList() const;
-
- private:
-  uint32_t num_vertices_ = 0;
-  int64_t total_weight_ = 0;
-  std::vector<int64_t> out_offsets_{0};
-  std::vector<VertexId> out_to_;
-  std::vector<int64_t> out_weight_;
-  std::vector<int64_t> in_offsets_{0};
-  std::vector<VertexId> in_from_;
-  std::vector<int64_t> in_weight_;
-  std::vector<int64_t> weighted_out_degree_;
-  std::vector<int64_t> weighted_in_degree_;
-};
-
-}  // namespace ddsgraph
+///
+/// This header exists for include compatibility; `WeightedDigraph` and
+/// `WeightedEdge` live in graph/digraph.h.
 
 #endif  // DDSGRAPH_GRAPH_WEIGHTED_DIGRAPH_H_

@@ -15,19 +15,13 @@
 namespace ddsgraph {
 namespace {
 
-// Random weighted graph with weights in [1, max_w].
+// Random weighted graph with weights in [1, max_w], via the seeded
+// weighted generator (graph/generators.h).
 WeightedDigraph RandomWeighted(uint32_t n, int64_t arcs, int64_t max_w,
                                uint64_t seed) {
-  Rng rng(seed);
-  std::vector<WeightedEdge> edges;
-  for (int64_t i = 0; i < arcs; ++i) {
-    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
-    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
-    if (u == v) continue;
-    edges.push_back(WeightedEdge{
-        u, v, static_cast<int64_t>(1 + rng.NextBounded(max_w))});
-  }
-  return WeightedDigraph::FromEdges(n, std::move(edges));
+  WeightOptions options;
+  options.max_weight = max_w;
+  return UniformWeightedDigraph(n, arcs, seed, options);
 }
 
 void ExpectSameSolution(const DdsSolution& a, const DdsSolution& b) {
@@ -57,13 +51,12 @@ TEST(RegistryTest, CoversEveryAlgorithmExactlyOnce) {
     EXPECT_EQ(IsExactAlgorithm(info.algorithm), info.exact);
     EXPECT_EQ(IsWeightedCapableAlgorithm(info.algorithm),
               info.weighted_capable);
-    // Runner invariants: always an unweighted runner; a weighted one
-    // exactly when the row claims the capability; workspace-using
-    // (anytime-capable) rows are exact solvers.
+    // Runner invariants: one weight-dispatched runner per row;
+    // workspace-using (anytime-capable) rows are exact solvers.
     EXPECT_NE(info.run, nullptr) << info.name;
-    EXPECT_EQ(info.run_weighted != nullptr, info.weighted_capable)
-        << info.name;
-    if (info.uses_workspace) EXPECT_TRUE(info.exact) << info.name;
+    if (info.uses_workspace) {
+      EXPECT_TRUE(info.exact) << info.name;
+    }
   }
   EXPECT_EQ(FindAlgorithm(std::string_view("bogus")), nullptr);
   EXPECT_EQ(FindAlgorithm(static_cast<DdsAlgorithm>(999)), nullptr);
@@ -77,6 +70,9 @@ TEST(RegistryTest, HelpStringListsEveryName) {
   const std::string weighted_help =
       AlgorithmNamesHelp(/*weighted_only=*/true);
   EXPECT_NE(weighted_help.find("core-exact"), std::string::npos);
+  // The whole exact engine is weight-generic now.
+  EXPECT_NE(weighted_help.find("flow-exact"), std::string::npos);
+  EXPECT_NE(weighted_help.find("dc-exact"), std::string::npos);
   EXPECT_EQ(weighted_help.find("lp-exact"), std::string::npos);
 }
 
@@ -237,6 +233,54 @@ TEST(ValidateRequestTest, RejectsBadOptions) {
   EXPECT_TRUE(ValidateRequest(fine).ok());
   // Failed solves do not count as served.
   EXPECT_EQ(engine.num_solves(), 0);
+}
+
+// `exact` is honored on weighted engines since the weight-policy
+// redesign, so it is validated there too — both the request-level check
+// and the graph-aware exhaustive-enumeration guard.
+TEST(ValidateRequestTest, WeightedEngineValidatesExactOptions) {
+  const WeightedDigraph g = RandomWeighted(8, 20, 3, 2);
+  DdsEngine engine(g);
+  DdsRequest bad;
+  bad.algorithm = DdsAlgorithm::kCoreExact;
+  bad.exact.max_exhaustive_n = 0;
+  EXPECT_EQ(ValidateRequest(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(engine.Solve(bad).ok());
+
+  const WeightedDigraph big = RandomWeighted(30, 90, 4, 3);
+  DdsEngine big_engine(big);
+  DdsRequest flow;
+  flow.algorithm = DdsAlgorithm::kFlowExact;
+  flow.exact.max_exhaustive_n = 20;
+  const Result<DdsSolution> rejected = big_engine.Solve(flow);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  flow.exact.max_exhaustive_n = 30;  // now n=30 fits
+  EXPECT_TRUE(big_engine.Solve(flow).ok());
+}
+
+// The redesign's payoff at the facade: every ExactOptions knob reaches a
+// weighted solve, observably (parametric reuse toggles, size traces) and
+// bit-identically across the ablation of the probe engine.
+TEST(DdsEngineTest, WeightedSolvesHonorExactOptions) {
+  const WeightedDigraph g = RandomWeighted(24, 110, 5, 11);
+  DdsEngine engine(g);
+  DdsRequest request;
+  request.algorithm = DdsAlgorithm::kCoreExact;
+  request.exact.record_network_sizes = true;
+  const DdsSolution incremental = engine.Solve(request).value();
+  EXPECT_GT(incremental.stats.flow_networks_reused, 0);
+  EXPECT_FALSE(incremental.stats.network_sizes.empty());
+
+  request.exact.incremental_probe = false;
+  const DdsSolution fresh = engine.Solve(request).value();
+  EXPECT_EQ(fresh.stats.flow_networks_reused, 0);
+  ExpectSameSolution(fresh, incremental);
+  EXPECT_EQ(fresh.stats.binary_search_iters,
+            incremental.stats.binary_search_iters);
+  EXPECT_EQ(fresh.stats.flow_networks_built,
+            incremental.stats.flow_networks_built +
+                incremental.stats.flow_networks_reused);
 }
 
 // ---------------------------------------------------------------- anytime

@@ -115,5 +115,55 @@ TEST(GnpDigraphTest, ExtremeProbabilities) {
   EXPECT_EQ(GnpDigraph(10, 1.0, 1).NumEdges(), 90);
 }
 
+TEST(UniformWeightedDigraphTest, DeterministicAndWithinWeightBounds) {
+  WeightOptions options;
+  options.min_weight = 2;
+  options.max_weight = 6;
+  const WeightedDigraph a = UniformWeightedDigraph(40, 200, 5, options);
+  const WeightedDigraph b = UniformWeightedDigraph(40, 200, 5, options);
+  EXPECT_EQ(a.EdgeList(), b.EdgeList());  // fully seeded
+  EXPECT_GT(a.NumEdges(), 0);
+  for (const WeightedEdge& e : a.EdgeList()) {
+    EXPECT_GE(e.weight, options.min_weight);
+    // Parallel draws merge by summing, so a multi-drawn arc may exceed
+    // max_weight; a single draw never does. Just check positivity plus a
+    // generous merged cap.
+    EXPECT_LE(e.weight, options.max_weight * 200);
+  }
+  EXPECT_NE(UniformWeightedDigraph(40, 200, 6, options).EdgeList(),
+            a.EdgeList());
+}
+
+TEST(UniformWeightedDigraphTest, GeometricTailStaysClamped) {
+  WeightOptions options;
+  options.dist = WeightOptions::Dist::kGeometric;
+  options.min_weight = 1;
+  options.max_weight = 10;
+  options.decay = 0.7;
+  const WeightedDigraph g = UniformWeightedDigraph(60, 150, 9, options);
+  int64_t at_min = 0;
+  for (const WeightedEdge& e : g.EdgeList()) {
+    EXPECT_GE(e.weight, 1);
+    at_min += e.weight == 1 ? 1 : 0;
+  }
+  // P(w = min) = 1 - decay = 0.3; with ~150 arcs some must sit at the
+  // minimum and some above it.
+  EXPECT_GT(at_min, 0);
+  EXPECT_LT(at_min, g.NumEdges());
+}
+
+TEST(AttachRandomWeightsTest, PreservesTopology) {
+  const Digraph base = RmatDigraph(5, 200, 21);
+  WeightOptions options;
+  options.max_weight = 5;
+  const WeightedDigraph g = AttachRandomWeights(base, 3, options);
+  EXPECT_EQ(g.NumVertices(), base.NumVertices());
+  EXPECT_EQ(g.NumEdges(), base.NumEdges());
+  for (const auto& [u, v] : base.EdgeList()) {
+    EXPECT_TRUE(g.HasEdge(u, v));
+  }
+  EXPECT_GE(g.TotalWeight(), base.NumEdges());
+}
+
 }  // namespace
 }  // namespace ddsgraph

@@ -50,7 +50,8 @@ FlowCap TotalSourceOutflow(const FlowNetwork& net, uint32_t source) {
   return total;
 }
 
-std::vector<VertexId> AllVertices(const Digraph& g) {
+template <typename G>
+std::vector<VertexId> AllVertices(const G& g) {
   std::vector<VertexId> all(g.NumVertices());
   for (VertexId v = 0; v < g.NumVertices(); ++v) all[v] = v;
   return all;
@@ -207,9 +208,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ReparameterizeTest, ::testing::Range(0, 10));
 // results versus fresh-build-per-guess mode across generator families.
 // --------------------------------------------------------------------
 
-void ExpectProbesIdentical(const Digraph& g, const Fraction& ratio,
+template <typename G>
+void ExpectProbesIdentical(const G& g, const Fraction& ratio,
                            bool refine_cores) {
-  const double upper = std::sqrt(static_cast<double>(g.NumEdges()));
+  const double upper = std::sqrt(static_cast<double>(g.TotalWeight()) *
+                                 static_cast<double>(g.MaxEdgeWeight()));
   const double delta = ExactSearchDelta(g);
   ProbeWorkspace incremental_ws;
   const RatioProbeResult incremental = ProbeRatio(
@@ -287,6 +290,61 @@ TEST(IncrementalProbeEquivalenceTest, PlantedFamily) {
 TEST(IncrementalProbeEquivalenceTest, SolverEndToEnd) {
   for (uint64_t seed : {21ull, 22ull}) {
     const Digraph g = RmatDigraph(6, 350, seed);
+    ExactOptions incremental_options;
+    ExactOptions fresh_options;
+    fresh_options.incremental_probe = false;
+    const DdsSolution incremental = SolveExactDds(g, incremental_options);
+    const DdsSolution fresh = SolveExactDds(g, fresh_options);
+    EXPECT_EQ(incremental.density, fresh.density);
+    EXPECT_EQ(incremental.pair.s, fresh.pair.s);
+    EXPECT_EQ(incremental.pair.t, fresh.pair.t);
+    EXPECT_EQ(incremental.stats.binary_search_iters,
+              fresh.stats.binary_search_iters);
+    EXPECT_EQ(fresh.stats.flow_networks_reused, 0);
+    EXPECT_EQ(incremental.stats.flow_networks_built +
+                  incremental.stats.flow_networks_reused,
+              fresh.stats.flow_networks_built);
+    EXPECT_GT(incremental.stats.flow_networks_reused, 0);
+  }
+}
+
+// --------------------------------------------------------------------
+// Weighted instantiation: the probe template must keep the same
+// incremental-vs-fresh bit-identity when arc capacities are weights.
+// --------------------------------------------------------------------
+
+TEST(IncrementalProbeEquivalenceTest, WeightedUniformFamily) {
+  WeightOptions heavy;
+  heavy.max_weight = 9;
+  for (uint64_t seed : {31ull, 32ull, 33ull}) {
+    const WeightedDigraph g = UniformWeightedDigraph(40, 300, seed, heavy);
+    for (const Fraction ratio :
+         {Fraction{1, 2}, Fraction{1, 1}, Fraction{2, 1}}) {
+      ExpectProbesIdentical(g, ratio, /*refine_cores=*/false);
+      ExpectProbesIdentical(g, ratio, /*refine_cores=*/true);
+    }
+  }
+}
+
+TEST(IncrementalProbeEquivalenceTest, WeightedLiftedRmatFamily) {
+  WeightOptions tail;
+  tail.dist = WeightOptions::Dist::kGeometric;
+  tail.max_weight = 16;
+  for (uint64_t seed : {34ull, 35ull}) {
+    const WeightedDigraph g =
+        AttachRandomWeights(RmatDigraph(6, 400, seed), seed + 1, tail);
+    for (const Fraction ratio : {Fraction{1, 1}, Fraction{3, 2}}) {
+      ExpectProbesIdentical(g, ratio, /*refine_cores=*/false);
+      ExpectProbesIdentical(g, ratio, /*refine_cores=*/true);
+    }
+  }
+}
+
+TEST(IncrementalProbeEquivalenceTest, WeightedSolverEndToEnd) {
+  WeightOptions heavy;
+  heavy.max_weight = 7;
+  for (uint64_t seed : {41ull, 42ull}) {
+    const WeightedDigraph g = UniformWeightedDigraph(32, 200, seed, heavy);
     ExactOptions incremental_options;
     ExactOptions fresh_options;
     fresh_options.incremental_probe = false;

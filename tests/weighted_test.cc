@@ -15,19 +15,13 @@
 namespace ddsgraph {
 namespace {
 
-// Random weighted graph with weights in [1, max_w].
+// Random weighted graph with weights in [1, max_w], via the seeded
+// weighted generator (graph/generators.h).
 WeightedDigraph RandomWeighted(uint32_t n, int64_t arcs, int64_t max_w,
                                uint64_t seed) {
-  Rng rng(seed);
-  std::vector<WeightedEdge> edges;
-  for (int64_t i = 0; i < arcs; ++i) {
-    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
-    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
-    if (u == v) continue;
-    edges.push_back(WeightedEdge{
-        u, v, static_cast<int64_t>(1 + rng.NextBounded(max_w))});
-  }
-  return WeightedDigraph::FromEdges(n, std::move(edges));
+  WeightOptions options;
+  options.max_weight = max_w;
+  return UniformWeightedDigraph(n, arcs, seed, options);
 }
 
 TEST(WeightedDensityTest, MatchesManualComputation) {
@@ -148,13 +142,72 @@ TEST_P(WeightedExactTest, ApproxGuaranteeHolds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WeightedExactTest, ::testing::Range(0, 20));
 
-TEST(WeightedExactTest, UnitWeightsMatchUnweightedCoreExact) {
+// The acceptance bar of the weight-policy redesign: on an all-weights-1
+// graph the weighted instantiation of the exact engine runs the *same
+// code* on the same numbers, so the whole solve — pair, density, bounds
+// and every trajectory counter — is bit-identical to the unweighted
+// instantiation, across option presets.
+TEST(WeightedExactTest, UnitWeightsBitIdenticalToUnweightedEngine) {
+  std::vector<ExactOptions> presets;
+  presets.push_back(ExactOptions{});  // CoreExact
+  ExactOptions dc;
+  dc.core_pruning = false;
+  dc.refine_cores_in_probe = false;
+  dc.approx_warm_start = false;
+  presets.push_back(dc);  // DcExact
+  ExactOptions fresh;
+  fresh.incremental_probe = false;
+  fresh.record_network_sizes = true;
+  presets.push_back(fresh);
   for (uint64_t seed = 0; seed < 5; ++seed) {
     const Digraph base = UniformDigraph(30, 150, seed);
     const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
-    const DdsSolution weighted = WeightedCoreExact(g);
-    const DdsSolution plain = CoreExact(base);
-    EXPECT_NEAR(weighted.density, plain.density, 1e-6) << "seed " << seed;
+    for (size_t p = 0; p < presets.size(); ++p) {
+      const DdsSolution weighted = SolveExactDds(g, presets[p]);
+      const DdsSolution plain = SolveExactDds(base, presets[p]);
+      EXPECT_EQ(weighted.density, plain.density)
+          << "seed " << seed << " preset " << p;
+      EXPECT_EQ(weighted.pair.s, plain.pair.s);
+      EXPECT_EQ(weighted.pair.t, plain.pair.t);
+      EXPECT_EQ(weighted.pair_edges, plain.pair_edges);
+      EXPECT_EQ(weighted.lower_bound, plain.lower_bound);
+      EXPECT_EQ(weighted.upper_bound, plain.upper_bound);
+      EXPECT_EQ(weighted.stats.ratios_probed, plain.stats.ratios_probed);
+      EXPECT_EQ(weighted.stats.binary_search_iters,
+                plain.stats.binary_search_iters);
+      EXPECT_EQ(weighted.stats.flow_networks_built,
+                plain.stats.flow_networks_built);
+      EXPECT_EQ(weighted.stats.flow_networks_reused,
+                plain.stats.flow_networks_reused);
+      EXPECT_EQ(weighted.stats.intervals_pruned,
+                plain.stats.intervals_pruned);
+      EXPECT_EQ(weighted.stats.network_sizes, plain.stats.network_sizes);
+    }
+  }
+}
+
+// Weighted solves honor every ExactOptions flag now; all 32 combinations
+// of the five booleans must agree with the exhaustive certifier. (The
+// non-D&C combinations enumerate all O(n^2) ratios — n is kept tiny.)
+TEST(WeightedExactTest, AllExactOptionCombinationsAgreeWithNaive) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const WeightedDigraph g = RandomWeighted(8, 26, 5, seed + 500);
+    if (g.TotalWeight() == 0) continue;
+    const DdsSolution naive = WeightedNaiveExact(g);
+    for (int mask = 0; mask < 32; ++mask) {
+      ExactOptions options;
+      options.divide_and_conquer = (mask & 1) != 0;
+      options.core_pruning = (mask & 2) != 0;
+      options.refine_cores_in_probe = (mask & 4) != 0;
+      options.approx_warm_start = (mask & 8) != 0;
+      options.incremental_probe = (mask & 16) != 0;
+      const DdsSolution sol = SolveExactDds(g, options);
+      EXPECT_NEAR(sol.density, naive.density, 1e-6)
+          << "seed " << seed << " mask " << mask;
+      EXPECT_NEAR(sol.density, WeightedDensity(g, sol.pair.s, sol.pair.t),
+                  1e-12)
+          << "seed " << seed << " mask " << mask;
+    }
   }
 }
 

@@ -1,10 +1,11 @@
 // Core decomposition: the [x,y]-core landscape of a directed graph.
 //
-// Prints (1) the skyline staircase y_max(x) — the boundary of the
-// non-empty core region, whose max-x*y corner is the CoreApprox answer —
-// and (2) the fixed-x per-vertex core numbers, the directed analogue of
-// classical core numbers, useful for ranking vertices by how deep they
-// sit in dense structure (influence/robustness analyses).
+// Prints (1) the skyline staircase y_max(x) as its corner points — one
+// (x_max(y), y) per distinct y-level, the lossless description of the
+// boundary of the non-empty core region, whose max-x*y corner is the
+// CoreApprox answer — and (2) the fixed-x per-vertex core numbers, the
+// directed analogue of classical core numbers, useful for ranking
+// vertices by how deep they sit in dense structure.
 //
 // Run: ./build/examples/core_decomposition [--scale 9] [--edges 4000]
 
@@ -30,9 +31,10 @@ int main(int argc, char** argv) {
   std::printf("R-MAT graph: n=%u m=%lld\n\n", g.NumVertices(),
               static_cast<long long>(g.NumEdges()));
 
-  // 1. The skyline staircase.
+  // 1. The skyline staircase, corner to corner: each row is a y-level's
+  // right end, so y_max(x') = y for every x' in (previous x, x].
   const std::vector<SkylinePoint> skyline = CoreSkyline(g);
-  Table stairs({"x", "y_max(x)", "x*y", "sqrt(x*y) (density cert.)"});
+  Table stairs({"x_max(y)", "y", "x*y", "sqrt(x*y) (density cert.)"});
   int64_t best_product = 0;
   for (const SkylinePoint& p : skyline) {
     best_product = std::max(best_product, p.x * p.y);

@@ -4,15 +4,21 @@
 // chosen algorithm through the DdsEngine facade, and prints the solution;
 // optionally writes the found (S,T) vertex lists to a file. With
 // --weighted the input is read as a `u v [w]` weighted edge list (or the
-// generated graph is lifted to unit weights) and the weighted-capable
-// solvers run; with --json the solution and its solver statistics are
-// printed as one machine-readable JSON object. --deadline_s turns an
-// exact run into an anytime one: on expiry the tool reports the incumbent
-// with its certified [lower, upper] density bracket.
+// generated graph is lifted to unit weights) and the solve maximizes
+// w(E(S,T))/sqrt(|S||T|) — every registered algorithm is weight-generic,
+// approximations included, so any --algo value combines with --weighted;
+// with --json the solution and its solver statistics are printed as one
+// machine-readable JSON object. --deadline_s turns an exact run into an
+// anytime one: on expiry the tool reports the incumbent with its
+// certified [lower, upper] density bracket.
 //
 //   ./build/examples/dds_tool --snap_file wiki-Vote.txt --algo core-exact
 //   ./build/examples/dds_tool --generate rmat --scale 14 --edges 200000
 //   ./build/examples/dds_tool --snap_file reviews.wtxt --weighted --json
+//   ./build/examples/dds_tool --snap_file reviews.wtxt --weighted
+//       --algo peel-approx          # weighted greedy peel, certified bound
+//   ./build/examples/dds_tool --generate rmat --weighted
+//       --algo batch-peel-approx    # weighted streaming-style batch peel
 //   ./build/examples/dds_tool --snap_file big.txt --deadline_s 5
 
 #include <cstdio>
@@ -37,8 +43,9 @@ int main(int argc, char** argv) {
   bool* weighted = flags.Bool(
       "weighted", false,
       "treat the input as a `u v [w]` weighted edge list (generated "
-      "graphs are lifted to unit weights) and run the weighted solver; "
-      "weighted-capable: " + AlgorithmNamesHelp(/*weighted_only=*/true));
+      "graphs are lifted to unit weights) and maximize the weighted "
+      "density; combines with any --algo: " +
+          AlgorithmNamesHelp(/*weighted_only=*/true));
   bool* json = flags.Bool("json", false,
                           "print the solution as one JSON object");
   double* deadline_s = flags.Double(

@@ -27,7 +27,11 @@
 /// Computation is a peeling fixpoint: repeatedly delete S-side vertices
 /// whose restricted out-degree drops below x and T-side vertices whose
 /// restricted in-degree drops below y, in any order; the fixpoint is
-/// order-independent (tested) and reached in O(n + m).
+/// order-independent (tested) and reached in O(n + m). Because any order
+/// works, this peel needs only a violation work-stack — no min-key
+/// extraction — so unlike the decomposition sweeps and the greedy peels
+/// it takes no PeelQueue (util/peel_queue.h) and is already optimal for
+/// both weight policies.
 ///
 /// All entry points are templates over `DigraphT<WeightPolicy>` — one peel
 /// serves both problems — explicitly instantiated in xy_core.cc for the

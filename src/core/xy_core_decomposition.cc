@@ -1,11 +1,17 @@
 #include "core/xy_core_decomposition.h"
 
 #include <algorithm>
+#include <limits>
 
-#include "util/bucket_queue.h"
 #include "util/logging.h"
+#include "util/peel_queue.h"
 
 namespace ddsgraph {
+
+// The policy split of DESIGN.md §10: unit-weight peels keep the bucket
+// array, weighted peels get the range-independent heap.
+static_assert(std::is_same_v<PeelQueue<Digraph>, BucketQueue>);
+static_assert(std::is_same_v<PeelQueue<WeightedDigraph>, LazyHeapQueue>);
 
 template <typename G>
 int64_t MaxYForX(const G& g, int64_t x) {
@@ -27,7 +33,10 @@ int64_t MaxYForX(const G& g, int64_t x) {
   std::vector<VertexId> s_stack;
   uint32_t t_remaining = n;
 
-  BucketQueue t_queue(n, g.MaxWeightedInDegree());
+  // Policy-selected: a bucket array over plain in-degrees for Digraph, a
+  // lazy heap for WeightedDigraph (a bucket array of MaxWeightedInDegree
+  // slots would be an O(W) allocation per call).
+  PeelQueue<G> t_queue(n, g.MaxWeightedInDegree());
 
   auto remove_from_s = [&](VertexId u) {
     // pre: in_s[u], dout[u] < x
@@ -127,7 +136,7 @@ FixedXCoreNumbers ComputeFixedXCoreNumbers(const Digraph& g, int64_t x) {
   }
   std::vector<VertexId> s_stack;
   uint32_t t_remaining = n;
-  BucketQueue t_queue(n, g.MaxInDegree());
+  PeelQueue<Digraph> t_queue(n, g.MaxInDegree());
 
   // Phase 1: enforce the x-constraint at y = 0. Vertices surviving it are
   // in the [x,0]-core's S side (number >= 0).
@@ -188,16 +197,38 @@ FixedXCoreNumbers ComputeFixedXCoreNumbers(const Digraph& g, int64_t x) {
   return result;
 }
 
-std::vector<SkylinePoint> CoreSkyline(const Digraph& g, int64_t x_limit) {
+template <typename G>
+std::vector<SkylinePoint> CoreSkyline(const G& g, int64_t x_limit) {
   std::vector<SkylinePoint> skyline;
   const int64_t bound =
-      x_limit >= 1 ? x_limit : std::max<int64_t>(g.MaxOutDegree(), 1);
-  for (int64_t x = 1; x <= bound; ++x) {
+      x_limit >= 1 ? x_limit : std::numeric_limits<int64_t>::max();
+  if (g.NumVertices() == 0 || g.TotalWeight() == 0) return skyline;
+
+  // Corner walk (the CoreApprox sweep, core/core_approx.cc): for the
+  // current x compute the level y = y_max(x), then jump to the level's
+  // right end x_max(y) via one fixed-y sweep on the transpose. Each
+  // distinct y-level costs two peels no matter how wide it is in x — the
+  // property that makes the decomposition weight-generic, since weighted
+  // levels span Theta(W) consecutive x values.
+  const G reversed = g.Reversed();
+  int64_t x = 1;
+  while (x <= bound) {
     const int64_t y = MaxYForX(g, x);
     if (y == 0) break;
-    skyline.push_back(SkylinePoint{x, y});
+    int64_t x_right = MaxYForX(reversed, y);  // x_max(y) >= x
+    CHECK_GE(x_right, x);
+    // A level reaching past the cap is reported truncated at the cap (the
+    // point is still realized and y-maximal there, just not x-maximal).
+    x_right = std::min(x_right, bound);
+    skyline.push_back(SkylinePoint{x_right, y});
+    x = x_right + 1;
   }
   return skyline;
 }
+
+template std::vector<SkylinePoint> CoreSkyline<Digraph>(const Digraph&,
+                                                        int64_t);
+template std::vector<SkylinePoint> CoreSkyline<WeightedDigraph>(
+    const WeightedDigraph&, int64_t);
 
 }  // namespace ddsgraph

@@ -18,13 +18,16 @@
 /// the reversed graph covers it (core_approx.cc).
 ///
 /// `MaxYForX` runs a single incremental peel per fixed x: enforce the
-/// x-constraint once, then raise y with a monotone bucket queue over
-/// (weighted) in-degrees, jumping past empty levels, for
-/// O(n + m + max_weighted_in_degree) per x (the directed analogue of
-/// Batagelj-Zaversnik k-core decomposition). It is a template over
-/// `DigraphT<WeightPolicy>` — the same sweep drives the unweighted and the
-/// weighted core approximation (core/core_approx.h) — explicitly
-/// instantiated here for the two policies.
+/// x-constraint once, then raise y with a policy-selected peel queue
+/// (util/peel_queue.h) over (weighted) in-degrees, jumping past empty
+/// levels — a monotone bucket queue at unit weights (the directed
+/// analogue of Batagelj-Zaversnik k-core decomposition, O(n + m +
+/// max_in_degree) per x) and a lazy-deletion heap at integer weights
+/// (O((n + m) log n) per x, independent of the weighted degree range).
+/// It is a template over `DigraphT<WeightPolicy>` — the same sweep drives
+/// the unweighted and the weighted core approximation
+/// (core/core_approx.h) — explicitly instantiated here for the two
+/// policies.
 
 namespace ddsgraph {
 
@@ -43,13 +46,24 @@ extern template int64_t MaxYForX<Digraph>(const Digraph&, int64_t);
 extern template int64_t MaxYForX<WeightedDigraph>(const WeightedDigraph&,
                                                   int64_t);
 
-/// Full staircase y_max(x) for x = 1, 2, ... until the core vanishes (or
-/// until `x_limit` if x_limit >= 1). O(x_range * (n + m)). Unweighted
-/// only: enumerating every integer x is O(W) peels under weighted
-/// degrees — walk the staircase corner to corner with MaxYForX on the
-/// graph and its transpose instead (the CoreApprox sweep,
-/// core/core_approx.cc).
-std::vector<SkylinePoint> CoreSkyline(const Digraph& g, int64_t x_limit = -1);
+/// The staircase y_max(x), one point per distinct y-level: each returned
+/// point is the level's right-end corner (x_max(y), y), so x strictly
+/// increases and y strictly decreases across the result and every point
+/// is both y-maximal at its x and x-maximal at its y. The walk steps
+/// corner to corner with MaxYForX on the graph and its transpose (the
+/// CoreApprox sweep) — one pair of peels per distinct weighted-degree
+/// threshold rather than per integer x, which is what keeps the weighted
+/// instantiation O(#levels * (n + m)) instead of O(W) peels. With
+/// x_limit >= 1 the walk stops at x = x_limit; a level reaching past the
+/// cap is reported truncated at (x_limit, y), still realized and
+/// y-maximal but not x-maximal.
+template <typename G>
+std::vector<SkylinePoint> CoreSkyline(const G& g, int64_t x_limit = -1);
+
+extern template std::vector<SkylinePoint> CoreSkyline<Digraph>(const Digraph&,
+                                                               int64_t);
+extern template std::vector<SkylinePoint> CoreSkyline<WeightedDigraph>(
+    const WeightedDigraph&, int64_t);
 
 /// Per-vertex decomposition at fixed x (the directed analogue of core
 /// numbers): s_number[u] is the largest y such that u belongs to the S

@@ -12,7 +12,8 @@ namespace {
 
 // One batch-peel pass. Returns the best intermediate pair density and,
 // through the out-parameters, the best pair itself.
-double BatchPass(const Digraph& g, double beta, int64_t* passes,
+template <typename G>
+double BatchPass(const G& g, double beta, int64_t* passes,
                  DdsPair* best_pair) {
   const uint32_t n = g.NumVertices();
   std::vector<bool> in_s(n, true);
@@ -20,18 +21,18 @@ double BatchPass(const Digraph& g, double beta, int64_t* passes,
   std::vector<int64_t> dout(n);
   std::vector<int64_t> din(n);
   for (VertexId v = 0; v < n; ++v) {
-    dout[v] = g.OutDegree(v);
-    din[v] = g.InDegree(v);
+    dout[v] = g.WeightedOutDegree(v);
+    din[v] = g.WeightedInDegree(v);
   }
-  int64_t edges = g.NumEdges();
+  int64_t weight = g.TotalWeight();  // w(E(S,T)) of the surviving pair
   int64_t n_s = n;
   int64_t n_t = n;
 
   double best = 0;
   auto consider = [&] {
-    if (n_s == 0 || n_t == 0 || edges == 0) return;
+    if (n_s == 0 || n_t == 0 || weight == 0) return;
     const double density =
-        static_cast<double>(edges) /
+        static_cast<double>(weight) /
         std::sqrt(static_cast<double>(n_s) * static_cast<double>(n_t));
     if (density > best) {
       best = density;
@@ -45,14 +46,14 @@ double BatchPass(const Digraph& g, double beta, int64_t* passes,
   };
 
   consider();
-  while (n_s > 0 && n_t > 0 && edges > 0) {
+  while (n_s > 0 && n_t > 0 && weight > 0) {
     ++*passes;
     // Thresholds: a vertex survives the pass iff it carries at least
-    // 1/beta of its side's average edge load.
+    // 1/beta of its side's average edge-weight load.
     const double s_threshold =
-        beta * static_cast<double>(edges) / static_cast<double>(n_s);
+        beta * static_cast<double>(weight) / static_cast<double>(n_s);
     const double t_threshold =
-        beta * static_cast<double>(edges) / static_cast<double>(n_t);
+        beta * static_cast<double>(weight) / static_cast<double>(n_t);
     std::vector<VertexId> drop_s;
     std::vector<VertexId> drop_t;
     for (VertexId v = 0; v < n; ++v) {
@@ -64,8 +65,9 @@ double BatchPass(const Digraph& g, double beta, int64_t* passes,
       }
     }
     // Every vertex passing both thresholds would certify a dense pair; at
-    // least one side always loses a constant fraction (averaging), so the
-    // loop takes O(log n / log beta) passes.
+    // least one side always loses a constant fraction (averaging over
+    // vertex counts, so weights don't change the pass bound), giving
+    // O(log n / log beta) passes.
     if (drop_s.empty() && drop_t.empty()) {
       // Numerically possible when thresholds round badly; fall back to
       // dropping the global minimum to guarantee progress.
@@ -89,10 +91,13 @@ double BatchPass(const Digraph& g, double beta, int64_t* passes,
     for (VertexId u : drop_s) {
       in_s[u] = false;
       --n_s;
-      for (VertexId v : g.OutNeighbors(u)) {
+      const auto nbrs = g.OutNeighbors(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId v = nbrs[i];
         if (in_t[v]) {
-          --edges;
-          --din[v];
+          const int64_t w = g.OutWeight(u, i);
+          weight -= w;
+          din[v] -= w;
         }
       }
     }
@@ -100,10 +105,13 @@ double BatchPass(const Digraph& g, double beta, int64_t* passes,
       if (in_t[v]) {
         in_t[v] = false;
         --n_t;
-        for (VertexId u : g.InNeighbors(v)) {
+        const auto nbrs = g.InNeighbors(v);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          const VertexId u = nbrs[i];
           if (in_s[u]) {
-            --edges;
-            --dout[u];
+            const int64_t w = g.InWeight(v, i);
+            weight -= w;
+            dout[u] -= w;
           }
         }
       }
@@ -115,8 +123,8 @@ double BatchPass(const Digraph& g, double beta, int64_t* passes,
 
 }  // namespace
 
-DdsSolution BatchPeelApprox(const Digraph& g,
-                            const BatchPeelOptions& options) {
+template <typename G>
+DdsSolution BatchPeelApprox(const G& g, const BatchPeelOptions& options) {
   CHECK_GT(options.ladder_epsilon, 0.0);
   CHECK_GT(options.batch_epsilon, 0.0);
   WallTimer timer;
@@ -125,7 +133,7 @@ DdsSolution BatchPeelApprox(const Digraph& g,
   const double beta = 1.0 + options.batch_epsilon;
 
   // The directed batch pass thresholds on per-side averages
-  // (beta * edges / n_side), not on a ratio-linearized objective, so one
+  // (beta * w(E) / n_side), not on a ratio-linearized objective, so one
   // pass covers every ratio at once — a geometric ratio ladder would
   // repeat the identical computation at every rung.
   int64_t passes = 0;
@@ -134,9 +142,9 @@ DdsSolution BatchPeelApprox(const Digraph& g,
   solution.pair = std::move(pair);
   solution.stats.ratios_probed = 1;
   solution.stats.binary_search_iters = passes;
-  solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
+  solution.pair_edges = PairWeight(g, solution.pair.s, solution.pair.t);
   // Recompute exactly (the scan used incremental counters).
-  solution.density = DirectedDensity(g, solution.pair);
+  solution.density = PairDensity(g, solution.pair);
   solution.lower_bound = solution.density;
   solution.upper_bound = 2.0 * beta * beta *
                          RatioMismatchPhi(1.0 + options.ladder_epsilon) *
@@ -144,5 +152,10 @@ DdsSolution BatchPeelApprox(const Digraph& g,
   solution.stats.seconds = timer.Seconds();
   return solution;
 }
+
+template DdsSolution BatchPeelApprox<Digraph>(const Digraph&,
+                                              const BatchPeelOptions&);
+template DdsSolution BatchPeelApprox<WeightedDigraph>(
+    const WeightedDigraph&, const BatchPeelOptions&);
 
 }  // namespace ddsgraph

@@ -97,6 +97,9 @@ inline double LinearizedDensity(const Digraph& g, const DdsPair& pair,
 /// The AM/GM mismatch factor phi(r) = (sqrt(r) + 1/sqrt(r)) / 2 >= 1 used by
 /// the ratio-interval pruning bound: rho(S,T) <= h(c) * phi(a/c) whenever
 /// |S|/|T| = a and h(c) is the max linearized density at probe ratio c.
+/// Weight-generic like everything in this header: the inequality divides
+/// the shared numerator w(E(S,T)) out, so approximation certificates built
+/// from it (the 2*phi(1+eps) peel ladder bound) hold for both objectives.
 double RatioMismatchPhi(double r);
 
 /// Removes duplicate ids and sorts both sides in place; returns false if

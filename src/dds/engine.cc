@@ -26,6 +26,7 @@ DdsSolution RunNaive(DdsEngine& engine, const DdsRequest&, SolveControl*) {
 }
 
 DdsSolution RunLp(DdsEngine& engine, const DdsRequest&, SolveControl*) {
+  if (engine.weighted()) return LpExact(*engine.weighted_graph());
   return LpExact(*engine.graph());
 }
 
@@ -47,11 +48,17 @@ DdsSolution RunExactEngine(DdsEngine& engine, const DdsRequest& request,
 
 DdsSolution RunPeel(DdsEngine& engine, const DdsRequest& request,
                     SolveControl*) {
+  if (engine.weighted()) {
+    return PeelApprox(*engine.weighted_graph(), request.peel);
+  }
   return PeelApprox(*engine.graph(), request.peel);
 }
 
 DdsSolution RunBatchPeel(DdsEngine& engine, const DdsRequest& request,
                          SolveControl*) {
+  if (engine.weighted()) {
+    return BatchPeelApprox(*engine.weighted_graph(), request.batch_peel);
+  }
   return BatchPeelApprox(*engine.graph(), request.batch_peel);
 }
 
@@ -80,20 +87,22 @@ DdsSolution RunCoreApprox(DdsEngine& engine, const DdsRequest&,
 
 // ------------------------------------------------------------ registry
 // One row per algorithm; everything the facade knows about an algorithm
-// lives here. Register a new solver by adding a row (and an enum value);
-// a new weight variant is one capability bit, not a third engine.
+// lives here. Register a new solver by adding a row (and an enum value).
+// Every solver is a weight-generic template now, so every row carries
+// weighted_capable=true — the bit stays in the schema for future solvers
+// that genuinely cannot serve a weighted engine.
 constexpr AlgorithmInfo kRegistry[] = {
     {DdsAlgorithm::kNaiveExact, "naive-exact", /*exact=*/true,
      /*weighted_capable=*/true, /*uses_workspace=*/false, RunNaive},
-    {DdsAlgorithm::kLpExact, "lp-exact", true, false, false, RunLp},
+    {DdsAlgorithm::kLpExact, "lp-exact", true, true, false, RunLp},
     {DdsAlgorithm::kFlowExact, "flow-exact", true, true, true,
      RunExactEngine},
     {DdsAlgorithm::kDcExact, "dc-exact", true, true, true, RunExactEngine},
     {DdsAlgorithm::kCoreExact, "core-exact", true, true, true,
      RunExactEngine},
-    {DdsAlgorithm::kPeelApprox, "peel-approx", false, false, false,
+    {DdsAlgorithm::kPeelApprox, "peel-approx", false, true, false,
      RunPeel},
-    {DdsAlgorithm::kBatchPeelApprox, "batch-peel-approx", false, false,
+    {DdsAlgorithm::kBatchPeelApprox, "batch-peel-approx", false, true,
      false, RunBatchPeel},
     {DdsAlgorithm::kCoreApprox, "core-approx", false, true, false,
      RunCoreApprox},

@@ -14,7 +14,6 @@
 #include "dds/result.h"
 #include "dds/solver.h"
 #include "graph/digraph.h"
-#include "graph/weighted_digraph.h"
 #include "util/status.h"
 
 /// \file
@@ -83,15 +82,16 @@ class DdsEngine {
   explicit DdsEngine(const WeightedDigraph& graph)
       : weighted_graph_(&graph) {}
 
-  /// True when this engine was constructed over a WeightedDigraph; such
-  /// an engine serves only the weighted-capable algorithms.
+  /// True when this engine was constructed over a WeightedDigraph. Every
+  /// registered algorithm is weight-generic, so such an engine serves the
+  /// full registry under the weighted objective w(E(S,T))/sqrt(|S||T|).
   bool weighted() const { return weighted_graph_ != nullptr; }
   const Digraph* graph() const { return graph_; }
   const WeightedDigraph* weighted_graph() const { return weighted_graph_; }
 
   /// Validates and dispatches `request` through the registry. Errors
-  /// (invalid options, weighted engine asked for an unweighted-only
-  /// algorithm) come back as a Status instead of aborting. The returned
+  /// (invalid options, oversized graphs for the guarded algorithms) come
+  /// back as a Status instead of aborting. The returned
   /// solution is bit-identical to the corresponding one-shot free-function
   /// call; `stats.prior_engine_solves` records how many earlier solves the
   /// engine's workspace already served, and `stats.seconds` is always the
@@ -116,11 +116,12 @@ class DdsEngine {
 };
 
 /// One registry row with a single weight-dispatched runner: `run` solves
-/// on the engine's graph, branching on DdsEngine::weighted() where the
-/// algorithm is a weight-generic template and never invoked weighted
-/// otherwise (Solve() rejects weighted requests for rows with
-/// `weighted_capable == false` before dispatch). Runners receive the
-/// engine (graph + workspace), the request, and the solve's SolveControl.
+/// on the engine's graph, branching on DdsEngine::weighted() — every
+/// registered algorithm is a weight-generic template, so every current
+/// row is weighted-capable (Solve() still rejects weighted requests for
+/// any future `weighted_capable == false` row before dispatch). Runners
+/// receive the engine (graph + workspace), the request, and the solve's
+/// SolveControl.
 struct AlgorithmInfo {
   DdsAlgorithm algorithm;
   const char* name;       ///< canonical lower-case CLI name

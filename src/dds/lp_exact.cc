@@ -9,7 +9,8 @@
 
 namespace ddsgraph {
 
-DdsSolution LpExact(const Digraph& g) {
+template <typename G>
+DdsSolution LpExact(const G& g) {
   WallTimer timer;
   const uint32_t n = g.NumVertices();
   CHECK_LE(n, kLpExactMaxVertices)
@@ -31,7 +32,7 @@ DdsSolution LpExact(const Digraph& g) {
     }
   }
 
-  solution.pair_edges = CountPairEdges(g, solution.pair.s, solution.pair.t);
+  solution.pair_edges = PairWeight(g, solution.pair.s, solution.pair.t);
   solution.lower_bound = solution.density;
   // The LP value at the best ratio upper-bounds rho_opt; report it so tests
   // can verify LP duality: rounded density == max LP value (within tol).
@@ -39,5 +40,8 @@ DdsSolution LpExact(const Digraph& g) {
   solution.stats.seconds = timer.Seconds();
   return solution;
 }
+
+template DdsSolution LpExact<Digraph>(const Digraph&);
+template DdsSolution LpExact<WeightedDigraph>(const WeightedDigraph&);
 
 }  // namespace ddsgraph

@@ -11,7 +11,9 @@
 /// motivating anecdote: days on a three-thousand-edge graph); the
 /// benchmark harness accordingly restricts it to the tiniest inputs, and
 /// the test suite uses it as an independent certifier of the flow-based
-/// solvers.
+/// solvers. A template over `DigraphT<WeightPolicy>`: edge weights are LP
+/// objective coefficients (lp/charikar_lp.h), so the weighted
+/// instantiation certifies the weighted solvers the same way.
 
 namespace ddsgraph {
 
@@ -19,7 +21,11 @@ namespace ddsgraph {
 inline constexpr uint32_t kLpExactMaxVertices = 64;
 
 /// Runs the LP baseline (fatal error if n > kLpExactMaxVertices).
-DdsSolution LpExact(const Digraph& g);
+template <typename G>
+DdsSolution LpExact(const G& g);
+
+extern template DdsSolution LpExact<Digraph>(const Digraph&);
+extern template DdsSolution LpExact<WeightedDigraph>(const WeightedDigraph&);
 
 }  // namespace ddsgraph
 

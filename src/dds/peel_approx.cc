@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/bucket_queue.h"
 #include "util/logging.h"
+#include "util/peel_queue.h"
 #include "util/timer.h"
 
 namespace ddsgraph {
@@ -18,30 +18,31 @@ struct PassResult {
   int64_t best_step = -1;  ///< number of removals before the best pair
 };
 
-PassResult PeelPass(const Digraph& g, double sqrt_a,
+template <typename G>
+PassResult PeelPass(const G& g, double sqrt_a,
                     std::vector<std::pair<VertexId, int>>* record_removals) {
   const uint32_t n = g.NumVertices();
   std::vector<bool> in_s(n, true);
   std::vector<bool> in_t(n, true);
   std::vector<int64_t> dout(n);
   std::vector<int64_t> din(n);
-  BucketQueue s_queue(n, g.MaxOutDegree());
-  BucketQueue t_queue(n, g.MaxInDegree());
+  PeelQueue<G> s_queue(n, g.MaxWeightedOutDegree());
+  PeelQueue<G> t_queue(n, g.MaxWeightedInDegree());
   for (VertexId v = 0; v < n; ++v) {
-    dout[v] = g.OutDegree(v);
-    din[v] = g.InDegree(v);
+    dout[v] = g.WeightedOutDegree(v);
+    din[v] = g.WeightedInDegree(v);
     s_queue.Insert(v, dout[v]);
     t_queue.Insert(v, din[v]);
   }
-  int64_t edges = g.NumEdges();
+  int64_t weight = g.TotalWeight();  // w(E(S,T)) of the surviving pair
   int64_t n_s = n;
   int64_t n_t = n;
 
   PassResult result;
   auto consider = [&](int64_t step) {
-    if (n_s == 0 || n_t == 0 || edges == 0) return;
+    if (n_s == 0 || n_t == 0 || weight == 0) return;
     const double density =
-        static_cast<double>(edges) /
+        static_cast<double>(weight) /
         std::sqrt(static_cast<double>(n_s) * static_cast<double>(n_t));
     if (density > result.best_density) {
       result.best_density = density;
@@ -54,8 +55,8 @@ PassResult PeelPass(const Digraph& g, double sqrt_a,
   while (n_s > 0 && n_t > 0) {
     const auto s_min = s_queue.PeekMinKey();
     const auto t_min = t_queue.PeekMinKey();
-    // Weighted comparison: removing the S vertex costs s_min edges per
-    // weight 1/sqrt(a); the T vertex t_min edges per weight sqrt(a).
+    // Weighted comparison: removing the S vertex costs s_min edge weight
+    // per weight 1/sqrt(a); the T vertex t_min edge weight per sqrt(a).
     bool take_s;
     if (!s_min.has_value()) {
       take_s = false;
@@ -71,10 +72,13 @@ PassResult PeelPass(const Digraph& g, double sqrt_a,
       const VertexId u = popped->first;
       in_s[u] = false;
       --n_s;
-      for (VertexId v : g.OutNeighbors(u)) {
+      const auto nbrs = g.OutNeighbors(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId v = nbrs[i];
         if (in_t[v]) {
-          --edges;
-          --din[v];
+          const int64_t w = g.OutWeight(u, i);
+          weight -= w;
+          din[v] -= w;
           t_queue.DecreaseKey(v, din[v]);
         }
       }
@@ -85,10 +89,13 @@ PassResult PeelPass(const Digraph& g, double sqrt_a,
       const VertexId v = popped->first;
       in_t[v] = false;
       --n_t;
-      for (VertexId u : g.InNeighbors(v)) {
+      const auto nbrs = g.InNeighbors(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId u = nbrs[i];
         if (in_s[u]) {
-          --edges;
-          --dout[u];
+          const int64_t w = g.InWeight(v, i);
+          weight -= w;
+          dout[u] -= w;
           s_queue.DecreaseKey(u, dout[u]);
         }
       }
@@ -102,14 +109,17 @@ PassResult PeelPass(const Digraph& g, double sqrt_a,
 
 }  // namespace
 
-DdsSolution PeelApprox(const Digraph& g, const PeelApproxOptions& options) {
+template <typename G>
+DdsSolution PeelApprox(const G& g, const PeelApproxOptions& options) {
   CHECK_GT(options.epsilon, 0.0);
   WallTimer timer;
   DdsSolution solution;
   if (g.NumEdges() == 0) return solution;
   const uint32_t n = g.NumVertices();
 
-  // Geometric ladder over [1/n, n], inclusive of both endpoints.
+  // Geometric ladder over [1/n, n], inclusive of both endpoints. The
+  // ladder covers the |S|/|T| ratio space, which does not depend on the
+  // weights — only the per-pass objective does.
   std::vector<double> ladder;
   const double lo = 1.0 / static_cast<double>(n);
   const double hi = static_cast<double>(n);
@@ -142,9 +152,8 @@ DdsSolution PeelApprox(const Digraph& g, const PeelApproxOptions& options) {
       if (in_s[v]) solution.pair.s.push_back(v);
       if (in_t[v]) solution.pair.t.push_back(v);
     }
-    solution.density = DirectedDensity(g, solution.pair);
-    solution.pair_edges =
-        CountPairEdges(g, solution.pair.s, solution.pair.t);
+    solution.density = PairDensity(g, solution.pair);
+    solution.pair_edges = PairWeight(g, solution.pair.s, solution.pair.t);
     // Replay determinism: the recomputed density must match the scan.
     CHECK_GE(solution.density + 1e-9, pass.best_density);
   }
@@ -154,5 +163,10 @@ DdsSolution PeelApprox(const Digraph& g, const PeelApproxOptions& options) {
   solution.stats.seconds = timer.Seconds();
   return solution;
 }
+
+template DdsSolution PeelApprox<Digraph>(const Digraph&,
+                                         const PeelApproxOptions&);
+template DdsSolution PeelApprox<WeightedDigraph>(const WeightedDigraph&,
+                                                 const PeelApproxOptions&);
 
 }  // namespace ddsgraph

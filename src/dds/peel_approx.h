@@ -11,13 +11,22 @@
 ///
 /// For a fixed ratio a, the S-side weight is 1/sqrt(a) and the T-side
 /// weight sqrt(a); the greedy repeatedly removes the vertex with minimum
-/// degree-to-weight ratio and remembers the densest intermediate pair.
-/// That achieves half the maximum linearized density at ratio a; running
-/// it for ratios a_k = (1/n) * (1+eps)^k covering [1/n, n] loses a further
-/// phi(1+eps) ratio-mismatch factor, giving a 2*phi(1+eps) approximation
-/// overall: rho_opt <= 2 * phi(1+eps) * density(returned).
+/// weighted-degree-to-weight ratio and remembers the densest intermediate
+/// pair. That achieves half the maximum linearized density at ratio a;
+/// running it for ratios a_k = (1/n) * (1+eps)^k covering [1/n, n] loses a
+/// further phi(1+eps) ratio-mismatch factor, giving a 2*phi(1+eps)
+/// approximation overall: rho_opt <= 2 * phi(1+eps) * density(returned).
 ///
-/// Complexity: O((n + m) * log(n) / eps) using monotone bucket queues.
+/// The whole pipeline is a template over `DigraphT<WeightPolicy>`: the
+/// weighted instantiation peels by weighted degrees and maximizes
+/// w(E(S,T)) / sqrt(|S||T|), and both the per-ratio charging argument and
+/// the ladder (the |S|/|T| ratio space is weight-independent) carry the
+/// 2*phi(1+eps) certificate over verbatim with w(E) in place of |E|.
+///
+/// Complexity: O((n + m) * log(n) / eps) at unit weights using monotone
+/// bucket queues; the weighted instantiation swaps in a lazy-deletion
+/// heap (util/peel_queue.h) for an extra log n on the queue operations —
+/// never O(W) anywhere.
 
 namespace ddsgraph {
 
@@ -28,8 +37,14 @@ struct PeelApproxOptions {
 
 /// Runs the peeling baseline. stats.ratios_probed reports the number of
 /// ladder points; upper_bound carries the certified 2*phi(1+eps) bound.
-DdsSolution PeelApprox(const Digraph& g,
+template <typename G>
+DdsSolution PeelApprox(const G& g,
                        const PeelApproxOptions& options = PeelApproxOptions());
+
+extern template DdsSolution PeelApprox<Digraph>(const Digraph&,
+                                                const PeelApproxOptions&);
+extern template DdsSolution PeelApprox<WeightedDigraph>(
+    const WeightedDigraph&, const PeelApproxOptions&);
 
 }  // namespace ddsgraph
 

@@ -10,12 +10,20 @@
 /// \file
 /// The ratio search space of the exact DDS solvers.
 ///
-/// Every candidate pair has ratio |S|/|T| in {p/q : 1 <= p,q <= n}. The
-/// baseline exact algorithm probes every such value; the divide-and-conquer
-/// solver explores intervals of this space and prunes them with the phi
-/// bound (DESIGN.md §2): for a probed ratio c with max linearized density
-/// h(c), every pair with ratio a satisfies rho <= h(c) * phi(a/c),
-/// phi(r) = (sqrt(r) + 1/sqrt(r))/2.
+/// Every candidate pair has ratio |S|/|T| in {p/q : 1 <= p,q <= n} — a
+/// statement about set sizes only, so the space (and everything in this
+/// header) is identical for the weighted objective. The baseline exact
+/// algorithm probes every such value; the divide-and-conquer solver
+/// explores intervals of this space and prunes them with the phi bound
+/// (DESIGN.md §2): for a probed ratio c with max linearized density h(c),
+/// every pair with ratio a satisfies rho <= h(c) * phi(a/c),
+/// phi(r) = (sqrt(r) + 1/sqrt(r))/2. The bound is an AM-GM statement
+/// about the denominators |S|, |T| alone, so it holds verbatim with
+/// rho = w(E(S,T))/sqrt(|S||T|) and h the weighted linearized maximum —
+/// which is why the peeling approximations' 2*phi(1+eps) ladder
+/// certificates (dds/peel_approx.h, dds/batch_peel_approx.h) carry over
+/// to weighted graphs with w(E) in place of |E| and no change to the
+/// ladder itself.
 
 namespace ddsgraph {
 

@@ -5,11 +5,13 @@
 
 #include "core/core_approx.h"
 #include "core/xy_core.h"
+#include "dds/batch_peel_approx.h"
 #include "dds/control.h"
 #include "dds/core_exact.h"
 #include "dds/density.h"
+#include "dds/peel_approx.h"
 #include "dds/result.h"
-#include "graph/weighted_digraph.h"
+#include "graph/digraph.h"
 
 /// \file
 /// Weighted directed densest subgraph discovery — named entry points.
@@ -17,15 +19,16 @@
 /// Objective: rho_w(S,T) = w(E(S,T)) / sqrt(|S| |T|), with w(E(S,T)) the
 /// sum of weights of edges from S to T. The whole unweighted development
 /// carries over with |E| -> w(E), and since the weight-policy redesign
-/// (DESIGN.md §9) it is served by the *same code*: the [x,y]-core peel,
-/// the flow-network builder, `ProbeRatio` and `SolveExactDds` are
-/// templates over `DigraphT<WeightPolicy>`, instantiated for
-/// `WeightedDigraph` exactly as for `Digraph`. The functions below are the
-/// weighted instantiations kept under their historical names plus the
-/// exhaustive ground-truth certifier; the formerly hand-mirrored weighted
-/// divide-and-conquer engine is gone, which is what gives weighted solves
-/// the full `ExactOptions` surface (ablation flags, incremental probes,
-/// anytime presets) for free.
+/// (DESIGN.md §9-§10) it is served by the *same code*: the [x,y]-core
+/// peel, the decomposition sweeps, both peeling approximations, the
+/// Charikar LP, the flow-network builder, `ProbeRatio` and
+/// `SolveExactDds` are templates over `DigraphT<WeightPolicy>`,
+/// instantiated for `WeightedDigraph` exactly as for `Digraph`. The
+/// functions below are the weighted instantiations kept under their
+/// historical names plus the exhaustive ground-truth certifier; the
+/// formerly hand-mirrored weighted divide-and-conquer engine is gone,
+/// which is what gives weighted solves the full `ExactOptions` surface
+/// (ablation flags, incremental probes, anytime presets) for free.
 ///
 /// Cross-checks in tests/weighted_test.cc: all-weights-1 solves are
 /// bit-identical to the unweighted engine; scaling all weights by c scales
@@ -58,6 +61,26 @@ using WeightedCoreApproxResult = CoreApproxResult;
 /// the weighted DDS in O(sqrt(W) (n + m)) worst case.
 inline WeightedCoreApproxResult WeightedCoreApprox(const WeightedDigraph& g) {
   return CoreApprox(g);
+}
+
+/// The weighted greedy peeling baseline — the `PeelApprox` instantiation
+/// for `WeightedDigraph` (dds/peel_approx.h): ratio-ladder Charikar peel
+/// by weighted degrees on the policy-selected lazy-heap peel queue
+/// (DESIGN.md §10), certifying rho_opt <= 2 phi(1+eps) * density with
+/// w(E) in place of |E|.
+inline DdsSolution WeightedPeelApprox(
+    const WeightedDigraph& g,
+    const PeelApproxOptions& options = PeelApproxOptions()) {
+  return PeelApprox(g, options);
+}
+
+/// The weighted streaming-style batch peel — the `BatchPeelApprox`
+/// instantiation for `WeightedDigraph` (dds/batch_peel_approx.h), same
+/// O(log n / eps) pass bound and certificate under w(E).
+inline DdsSolution WeightedBatchPeelApprox(
+    const WeightedDigraph& g,
+    const BatchPeelOptions& options = BatchPeelOptions()) {
+  return BatchPeelApprox(g, options);
 }
 
 /// Exhaustive ground truth (n <= kNaiveExactMaxVertices).

@@ -11,7 +11,6 @@
 /// the architecture.
 
 #include "core/core_approx.h"             // IWYU pragma: export
-#include "core/weighted_xy_core.h"        // IWYU pragma: export
 #include "core/xy_core.h"                 // IWYU pragma: export
 #include "core/xy_core_decomposition.h"   // IWYU pragma: export
 #include "dds/control.h"                  // IWYU pragma: export
@@ -32,6 +31,5 @@
 #include "graph/io.h"                     // IWYU pragma: export
 #include "graph/subgraph.h"               // IWYU pragma: export
 #include "graph/wcc.h"                    // IWYU pragma: export
-#include "graph/weighted_digraph.h"       // IWYU pragma: export
 
 #endif  // DDSGRAPH_DDSGRAPH_H_

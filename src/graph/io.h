@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "graph/digraph.h"
-#include "graph/weighted_digraph.h"
 #include "util/status.h"
 
 /// \file

@@ -7,7 +7,8 @@
 
 namespace ddsgraph {
 
-CharikarLpResult SolveCharikarLp(const Digraph& g, const Fraction& ratio) {
+template <typename G>
+CharikarLpResult SolveCharikarLp(const G& g, const Fraction& ratio) {
   CharikarLpResult result;
   const uint32_t n = g.NumVertices();
   const int64_t m = g.NumEdges();
@@ -17,26 +18,30 @@ CharikarLpResult SolveCharikarLp(const Digraph& g, const Fraction& ratio) {
   }
   const double sqrt_a = std::sqrt(ratio.ToDouble());
 
-  // Variable layout: x_e (m) | s_u (n) | t_v (n).
+  // Variable layout: x_e (m) | s_u (n) | t_v (n). Edge weights enter the
+  // LP only as objective coefficients (1.0 on the unit policy).
   LpProblem lp;
   lp.num_vars = static_cast<int>(m + 2 * n);
   lp.objective.assign(lp.num_vars, 0.0);
-  for (int64_t e = 0; e < m; ++e) lp.objective[e] = 1.0;
 
   const auto s_var = [&](VertexId u) { return static_cast<int>(m + u); };
   const auto t_var = [&](VertexId v) { return static_cast<int>(m + n + v); };
 
-  const std::vector<Edge> edges = g.EdgeList();
-  for (int64_t e = 0; e < m; ++e) {
-    const auto [u, v] = edges[static_cast<size_t>(e)];
-    std::vector<double> row1(lp.num_vars, 0.0);  // x_e - s_u <= 0
-    row1[e] = 1.0;
-    row1[s_var(u)] = -1.0;
-    lp.AddConstraint(std::move(row1), 0.0);
-    std::vector<double> row2(lp.num_vars, 0.0);  // x_e - t_v <= 0
-    row2[e] = 1.0;
-    row2[t_var(v)] = -1.0;
-    lp.AddConstraint(std::move(row2), 0.0);
+  int64_t e = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i, ++e) {
+      const VertexId v = nbrs[i];
+      lp.objective[e] = static_cast<double>(g.OutWeight(u, i));
+      std::vector<double> row1(lp.num_vars, 0.0);  // x_e - s_u <= 0
+      row1[e] = 1.0;
+      row1[s_var(u)] = -1.0;
+      lp.AddConstraint(std::move(row1), 0.0);
+      std::vector<double> row2(lp.num_vars, 0.0);  // x_e - t_v <= 0
+      row2[e] = 1.0;
+      row2[t_var(v)] = -1.0;
+      lp.AddConstraint(std::move(row2), 0.0);
+    }
   }
   std::vector<double> s_budget(lp.num_vars, 0.0);
   for (VertexId u = 0; u < n; ++u) s_budget[s_var(u)] = 1.0;
@@ -72,7 +77,7 @@ CharikarLpResult SolveCharikarLp(const Digraph& g, const Fraction& ratio) {
       if (lp_solution.x[t_var(u)] >= r - 1e-12) pair.t.push_back(u);
     }
     if (pair.Empty()) continue;
-    const double density = DirectedDensity(g, pair);
+    const double density = PairDensity(g, pair);
     if (density > result.rounded_density) {
       result.rounded_density = density;
       result.rounded = std::move(pair);
@@ -80,5 +85,10 @@ CharikarLpResult SolveCharikarLp(const Digraph& g, const Fraction& ratio) {
   }
   return result;
 }
+
+template CharikarLpResult SolveCharikarLp<Digraph>(const Digraph&,
+                                                   const Fraction&);
+template CharikarLpResult SolveCharikarLp<WeightedDigraph>(
+    const WeightedDigraph&, const Fraction&);
 
 }  // namespace ddsgraph

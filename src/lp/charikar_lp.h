@@ -9,18 +9,21 @@
 /// \file
 /// Charikar's LP relaxation of directed densest subgraph at a fixed ratio.
 ///
-/// LP(a):  maximize   sum_{(u,v) in E} x_uv
+/// LP(a):  maximize   sum_{(u,v) in E} w_uv x_uv
 ///         subject to x_uv <= s_u,  x_uv <= t_v          for every edge
 ///                    sum_u s_u <= sqrt(a)
 ///                    sum_v t_v <= 1 / sqrt(a)
 ///                    x, s, t >= 0
 ///
-/// For every pair (S,T) with |S|/|T| = a, the assignment s_u = t_v = x_uv =
-/// 1/sqrt(|S||T|) is feasible with objective rho(S,T), so LP(a) >=
+/// (w_uv = 1 on the unweighted instantiation.) For every pair (S,T) with
+/// |S|/|T| = a, the assignment s_u = t_v = x_uv = 1/sqrt(|S||T|) is
+/// feasible with objective rho(S,T) = w(E(S,T))/sqrt(|S||T|), so LP(a) >=
 /// max density at ratio a; Charikar's rounding shows some level set
-/// S(r) = {u : s_u >= r}, T(r) = {v : t_v >= r} matches the LP value, and
-/// max over realizable a equals rho_opt. The level-set sweep below
-/// evaluates every candidate r and returns the densest pair.
+/// S(r) = {u : s_u >= r}, T(r) = {v : t_v >= r} matches the LP value (the
+/// averaging argument integrates the weighted objective over r unchanged),
+/// and max over realizable a equals rho_opt. The level-set sweep below
+/// evaluates every candidate r and returns the densest pair. Weights only
+/// touch the objective coefficients, so the template serves both policies.
 
 namespace ddsgraph {
 
@@ -33,7 +36,13 @@ struct CharikarLpResult {
 };
 
 /// Builds and solves LP(ratio), then rounds by the level-set sweep.
-CharikarLpResult SolveCharikarLp(const Digraph& g, const Fraction& ratio);
+template <typename G>
+CharikarLpResult SolveCharikarLp(const G& g, const Fraction& ratio);
+
+extern template CharikarLpResult SolveCharikarLp<Digraph>(const Digraph&,
+                                                          const Fraction&);
+extern template CharikarLpResult SolveCharikarLp<WeightedDigraph>(
+    const WeightedDigraph&, const Fraction&);
 
 }  // namespace ddsgraph
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "dds/naive_exact.h"
+#include "dds/weighted_dds.h"
 #include "graph/generators.h"
 #include "util/random.h"
 
@@ -73,6 +74,71 @@ TEST_P(BatchPeelGuaranteeTest, CertifiedBracketHolds) {
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndDensities, BatchPeelGuaranteeTest,
     ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 4)));
+
+// ------------------------------------------------------- weighted peeling
+
+TEST(WeightedBatchPeelTest, UnitWeightsBitIdenticalToUnweighted) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Digraph base = RmatDigraph(6, 500, seed);
+    const WeightedDigraph unit = WeightedDigraph::FromDigraph(base);
+    const DdsSolution plain = BatchPeelApprox(base);
+    const DdsSolution weighted = BatchPeelApprox(unit);
+    EXPECT_EQ(weighted.pair.s, plain.pair.s) << "seed " << seed;
+    EXPECT_EQ(weighted.pair.t, plain.pair.t) << "seed " << seed;
+    EXPECT_EQ(weighted.density, plain.density) << "seed " << seed;
+    EXPECT_EQ(weighted.pair_edges, plain.pair_edges) << "seed " << seed;
+    EXPECT_EQ(weighted.lower_bound, plain.lower_bound) << "seed " << seed;
+    EXPECT_EQ(weighted.upper_bound, plain.upper_bound) << "seed " << seed;
+    // The pass count is the streaming cost model — it must not drift.
+    EXPECT_EQ(weighted.stats.binary_search_iters,
+              plain.stats.binary_search_iters)
+        << "seed " << seed;
+    EXPECT_EQ(weighted.stats.ratios_probed, plain.stats.ratios_probed);
+  }
+}
+
+TEST(WeightedBatchPeelTest, HeavyEdgeBeatsBroadUnitBlock) {
+  std::vector<WeightedEdge> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 3; v < 6; ++v) edges.push_back({u, v, 1});
+  }
+  edges.push_back({6, 7, 10});
+  const WeightedDigraph g = WeightedDigraph::FromEdges(8, edges);
+  const DdsSolution sol = BatchPeelApprox(g);
+  EXPECT_NEAR(sol.density, 10.0, 1e-9);
+  EXPECT_EQ(sol.pair.s, (std::vector<VertexId>{6}));
+  EXPECT_EQ(sol.pair.t, (std::vector<VertexId>{7}));
+}
+
+class WeightedBatchPeelGuaranteeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WeightedBatchPeelGuaranteeTest, CertifiedBracketHolds) {
+  const auto [seed, dist] = GetParam();
+  WeightOptions weights;
+  weights.dist = dist == 0 ? WeightOptions::Dist::kUniform
+                           : WeightOptions::Dist::kGeometric;
+  weights.max_weight = 6;
+  const WeightedDigraph g =
+      (seed % 2 == 0)
+          ? UniformWeightedDigraph(9, 30, static_cast<uint64_t>(seed) + 21,
+                                   weights)
+          : AttachRandomWeights(
+                UniformDigraph(9, 26, static_cast<uint64_t>(seed) + 17),
+                static_cast<uint64_t>(seed) + 29, weights);
+  if (g.TotalWeight() == 0) return;
+  const DdsSolution exact = WeightedNaiveExact(g);
+  const DdsSolution approx = BatchPeelApprox(g);
+  EXPECT_LE(exact.density, approx.upper_bound + 1e-9)
+      << "seed " << seed << " dist " << dist;
+  EXPECT_LE(approx.density, exact.density + 1e-9);
+  EXPECT_NEAR(approx.density,
+              PairDensity(g, approx.pair.s, approx.pair.t), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWeightDists, WeightedBatchPeelGuaranteeTest,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 2)));
 
 }  // namespace
 }  // namespace ddsgraph

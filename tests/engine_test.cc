@@ -9,7 +9,6 @@
 #include "dds/solver.h"
 #include "dds/weighted_dds.h"
 #include "graph/generators.h"
-#include "graph/weighted_digraph.h"
 #include "util/random.h"
 
 namespace ddsgraph {
@@ -67,13 +66,22 @@ TEST(RegistryTest, HelpStringListsEveryName) {
   for (const AlgorithmInfo& info : AlgorithmRegistry()) {
     EXPECT_NE(help.find(info.name), std::string::npos) << info.name;
   }
+  // Every algorithm is weight-generic now: the weighted help is the full
+  // list, derived from the same rows (the CLI --algo help can't go stale).
   const std::string weighted_help =
       AlgorithmNamesHelp(/*weighted_only=*/true);
-  EXPECT_NE(weighted_help.find("core-exact"), std::string::npos);
-  // The whole exact engine is weight-generic now.
-  EXPECT_NE(weighted_help.find("flow-exact"), std::string::npos);
-  EXPECT_NE(weighted_help.find("dc-exact"), std::string::npos);
-  EXPECT_EQ(weighted_help.find("lp-exact"), std::string::npos);
+  EXPECT_EQ(weighted_help, help);
+  EXPECT_NE(weighted_help.find("peel-approx"), std::string::npos);
+  EXPECT_NE(weighted_help.find("batch-peel-approx"), std::string::npos);
+  EXPECT_NE(weighted_help.find("lp-exact"), std::string::npos);
+}
+
+TEST(RegistryTest, EveryRowIsWeightedCapable) {
+  // The acceptance bar of the weight-generic approximation pipeline:
+  // zero weighted_capable=false rows remain.
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    EXPECT_TRUE(info.weighted_capable) << info.name;
+  }
 }
 
 // ----------------------------------------------------------------- engine
@@ -148,20 +156,53 @@ TEST(DdsEngineTest, WeightedFacadeMatchesDirectSolvers) {
   }
 }
 
-TEST(DdsEngineTest, WeightedEngineRejectsUnweightedOnlyAlgorithms) {
+TEST(DdsEngineTest, WeightedEngineServesTheFullRegistry) {
+  // Every algorithm — exact, LP and both peel approximations — validates
+  // and solves on a weighted engine, and approximations report certified
+  // brackets of the weighted optimum.
   const WeightedDigraph g = RandomWeighted(8, 20, 3, 1);
+  const double optimum = WeightedNaiveExact(g).density;
   DdsEngine engine(g);
   for (const AlgorithmInfo& info : AlgorithmRegistry()) {
     DdsRequest request;
     request.algorithm = info.algorithm;
     const Result<DdsSolution> result = engine.Solve(request);
-    if (info.weighted_capable) {
-      EXPECT_TRUE(result.ok()) << info.name;
+    ASSERT_TRUE(result.ok()) << info.name;
+    const DdsSolution& sol = result.value();
+    if (info.exact) {
+      EXPECT_NEAR(sol.density, optimum, 1e-6) << info.name;
     } else {
-      ASSERT_FALSE(result.ok()) << info.name;
-      EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented)
-          << info.name;
-      EXPECT_FALSE(result.status().message().empty());
+      EXPECT_LE(sol.density, optimum + 1e-9) << info.name;
+      EXPECT_GE(sol.upper_bound + 1e-9, optimum) << info.name;
+    }
+    EXPECT_NEAR(sol.density, WeightedDensity(g, sol.pair.s, sol.pair.t),
+                1e-12)
+        << info.name;
+  }
+}
+
+// All-weights-1 weighted approximation solves run the same templated code
+// as the unweighted engine — the whole DdsSolution, including every
+// SolverStats counter, must be bit-identical through the facade.
+TEST(DdsEngineTest, UnitWeightApproxSolvesBitIdenticalToUnweighted) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const Digraph base = RmatDigraph(6, 400, seed);
+    const WeightedDigraph unit = WeightedDigraph::FromDigraph(base);
+    DdsEngine plain_engine(base);
+    DdsEngine weighted_engine(unit);
+    for (DdsAlgorithm algorithm :
+         {DdsAlgorithm::kPeelApprox, DdsAlgorithm::kBatchPeelApprox,
+          DdsAlgorithm::kCoreApprox}) {
+      DdsRequest request;
+      request.algorithm = algorithm;
+      const DdsSolution plain = plain_engine.Solve(request).value();
+      const DdsSolution weighted = weighted_engine.Solve(request).value();
+      ExpectSameSolution(weighted, plain);
+      EXPECT_EQ(weighted.stats.ratios_probed, plain.stats.ratios_probed)
+          << AlgorithmName(algorithm) << " seed " << seed;
+      EXPECT_EQ(weighted.stats.binary_search_iters,
+                plain.stats.binary_search_iters)
+          << AlgorithmName(algorithm) << " seed " << seed;
     }
   }
 }

@@ -1,0 +1,160 @@
+#include "util/peel_queue.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace ddsgraph {
+namespace {
+
+// The policy split is a compile-time contract: the unit policy *is* the
+// bucket queue (zero behavioral drift possible), the weighted policy is
+// the range-independent heap.
+static_assert(std::is_same_v<PeelQueue<Digraph>, BucketQueue>);
+static_assert(std::is_same_v<PeelQueue<WeightedDigraph>, LazyHeapQueue>);
+
+TEST(LazyHeapQueueTest, BasicInsertPopOrdering) {
+  LazyHeapQueue q(5, 100);
+  q.Insert(0, 30);
+  q.Insert(1, 10);
+  q.Insert(2, 20);
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(q.PeekMinKey(), std::optional<int64_t>(10));
+  auto popped = q.PopMin();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->first, 1u);
+  EXPECT_EQ(popped->second, 10);
+  q.DecreaseKey(0, 5);
+  popped = q.PopMin();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->first, 0u);
+  EXPECT_EQ(popped->second, 5);
+  q.Remove(2);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(q.PopMin().has_value());
+  EXPECT_FALSE(q.PeekMinKey().has_value());
+}
+
+TEST(LazyHeapQueueTest, HugeKeysNeedNoKeyRangeAllocation) {
+  // The reason the weighted policy exists: keys near 2^40 would demand a
+  // terabyte-scale bucket array but are free for the heap.
+  const int64_t big = int64_t{1} << 40;
+  LazyHeapQueue q(3, big);
+  q.Insert(0, big);
+  q.Insert(1, big - 7);
+  q.Insert(2, 3);
+  EXPECT_EQ(q.PopMin()->second, 3);
+  q.DecreaseKey(0, big - 9);
+  EXPECT_EQ(q.PopMin()->first, 0u);
+  EXPECT_EQ(q.PopMin()->first, 1u);
+}
+
+// The heart of the bit-identity story: the heap reproduces the bucket
+// queue's extraction order — including LIFO tie-breaks among equal keys
+// and stale-entry skipping — on arbitrary monotone operation sequences.
+TEST(PeelQueueTest, HeapMatchesBucketOnRandomMonotoneSequences) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 1009 + 17);
+    const uint32_t n = 40;
+    const int64_t max_key = 60;
+    BucketQueue bucket(n, max_key);
+    LazyHeapQueue heap(n, max_key);
+    std::vector<int64_t> key(n, -1);
+
+    for (uint32_t v = 0; v < n; ++v) {
+      const int64_t k = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(max_key) + 1));
+      bucket.Insert(v, k);
+      heap.Insert(v, k);
+      key[v] = k;
+    }
+
+    int64_t live = n;
+    int64_t ops = 0;
+    while (live > 0 && ops < 4000) {
+      ++ops;
+      const uint64_t roll = rng.NextBounded(10);
+      if (roll < 5) {
+        // Decrease a random present item's key.
+        const uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+        if (key[v] < 0) continue;
+        const int64_t delta =
+            static_cast<int64_t>(rng.NextBounded(3));  // 0..2 (0 = no-op)
+        const int64_t nk = std::max<int64_t>(0, key[v] - delta);
+        bucket.DecreaseKey(v, nk);
+        heap.DecreaseKey(v, nk);
+        key[v] = nk;
+      } else if (roll < 7) {
+        // Remove a random present item.
+        const uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+        if (key[v] < 0) continue;
+        bucket.Remove(v);
+        heap.Remove(v);
+        key[v] = -1;
+        --live;
+      } else if (roll == 7) {
+        const auto bk = bucket.PeekMinKey();
+        const auto hk = heap.PeekMinKey();
+        EXPECT_EQ(bk, hk) << "seed " << seed << " op " << ops;
+      } else {
+        // Pop — the popped *item* must match, not just the key.
+        const auto bp = bucket.PopMin();
+        const auto hp = heap.PopMin();
+        ASSERT_EQ(bp.has_value(), hp.has_value())
+            << "seed " << seed << " op " << ops;
+        if (bp.has_value()) {
+          EXPECT_EQ(bp->first, hp->first) << "seed " << seed << " op " << ops;
+          EXPECT_EQ(bp->second, hp->second)
+              << "seed " << seed << " op " << ops;
+          key[bp->first] = -1;
+          --live;
+        }
+      }
+      EXPECT_EQ(bucket.Size(), heap.Size());
+      EXPECT_EQ(bucket.Empty(), heap.Empty());
+    }
+    // Drain what is left; the full tail order must agree too.
+    while (true) {
+      const auto bp = bucket.PopMin();
+      const auto hp = heap.PopMin();
+      ASSERT_EQ(bp.has_value(), hp.has_value()) << "seed " << seed;
+      if (!bp.has_value()) break;
+      EXPECT_EQ(bp->first, hp->first) << "seed " << seed;
+      EXPECT_EQ(bp->second, hp->second) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PeelQueueTest, ReinsertAfterPopAndRemove) {
+  BucketQueue bucket(4, 10);
+  LazyHeapQueue heap(4, 10);
+  for (uint32_t v = 0; v < 4; ++v) {
+    bucket.Insert(v, 5);
+    heap.Insert(v, 5);
+  }
+  // Pop one, remove one, re-insert the popped item at the same key: the
+  // stale entries must be skipped identically afterwards.
+  const auto bp = bucket.PopMin();
+  const auto hp = heap.PopMin();
+  ASSERT_TRUE(bp.has_value());
+  ASSERT_TRUE(hp.has_value());
+  EXPECT_EQ(bp->first, hp->first);
+  const uint32_t removed = bp->first == 0 ? 1 : 0;
+  bucket.Remove(removed);
+  heap.Remove(removed);
+  bucket.Insert(bp->first, 5);
+  heap.Insert(hp->first, 5);
+  std::vector<uint32_t> bucket_order;
+  std::vector<uint32_t> heap_order;
+  while (const auto p = bucket.PopMin()) bucket_order.push_back(p->first);
+  while (const auto p = heap.PopMin()) heap_order.push_back(p->first);
+  EXPECT_EQ(bucket_order, heap_order);
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -1,4 +1,4 @@
-#include "graph/weighted_digraph.h"
+#include "graph/digraph.h"
 
 #include <gtest/gtest.h>
 

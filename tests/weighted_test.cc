@@ -5,9 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "core/core_approx.h"
-#include "core/weighted_xy_core.h"
+#include "core/xy_core.h"
 #include "core/xy_core_decomposition.h"
 #include "dds/core_exact.h"
+#include "dds/lp_exact.h"
 #include "dds/naive_exact.h"
 #include "graph/generators.h"
 #include "util/random.h"
@@ -38,7 +39,7 @@ TEST(WeightedXyCoreTest, UnitWeightsMatchUnweightedCore) {
     const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
     for (int64_t x = 0; x <= 4; ++x) {
       for (int64_t y = 0; y <= 4; ++y) {
-        const XyCore weighted = ComputeWeightedXyCore(g, x, y);
+        const XyCore weighted = ComputeXyCore(g, x, y);
         const XyCore plain = ComputeXyCore(base, x, y);
         EXPECT_EQ(weighted.s, plain.s) << "x=" << x << " y=" << y;
         EXPECT_EQ(weighted.t, plain.t) << "x=" << x << " y=" << y;
@@ -50,10 +51,10 @@ TEST(WeightedXyCoreTest, UnitWeightsMatchUnweightedCore) {
 TEST(WeightedXyCoreTest, WeightsActAsMultiplicities) {
   // One edge of weight 5: S side has weighted out-degree 5.
   const WeightedDigraph g = WeightedDigraph::FromEdges(2, {{0, 1, 5}});
-  EXPECT_FALSE(ComputeWeightedXyCore(g, 5, 5).Empty());
-  EXPECT_TRUE(ComputeWeightedXyCore(g, 6, 1).Empty());
-  EXPECT_TRUE(ComputeWeightedXyCore(g, 1, 6).Empty());
-  EXPECT_TRUE(IsValidWeightedXyCore(g, ComputeWeightedXyCore(g, 5, 5), 5, 5));
+  EXPECT_FALSE(ComputeXyCore(g, 5, 5).Empty());
+  EXPECT_TRUE(ComputeXyCore(g, 6, 1).Empty());
+  EXPECT_TRUE(ComputeXyCore(g, 1, 6).Empty());
+  EXPECT_TRUE(IsValidXyCore(g, ComputeXyCore(g, 5, 5), 5, 5));
 }
 
 TEST(WeightedMaxYForXTest, UnitWeightsMatchUnweighted) {
@@ -61,7 +62,7 @@ TEST(WeightedMaxYForXTest, UnitWeightsMatchUnweighted) {
     const Digraph base = UniformDigraph(40, 220, seed);
     const WeightedDigraph g = WeightedDigraph::FromDigraph(base);
     for (int64_t x = 1; x <= 6; ++x) {
-      EXPECT_EQ(WeightedMaxYForX(g, x), MaxYForX(base, x))
+      EXPECT_EQ(MaxYForX(g, x), MaxYForX(base, x))
           << "seed " << seed << " x " << x;
     }
   }
@@ -73,10 +74,10 @@ TEST(WeightedMaxYForXTest, MatchesBruteForceWithWeights) {
     for (int64_t x = 1; x <= 8; ++x) {
       int64_t brute = 0;
       for (int64_t y = 1; y <= g.MaxWeightedInDegree(); ++y) {
-        if (ComputeWeightedXyCore(g, x, y).Empty()) break;
+        if (ComputeXyCore(g, x, y).Empty()) break;
         brute = y;
       }
-      EXPECT_EQ(WeightedMaxYForX(g, x), brute)
+      EXPECT_EQ(MaxYForX(g, x), brute)
           << "seed " << seed << " x " << x;
     }
   }
@@ -220,6 +221,22 @@ TEST(WeightedExactTest, ScalingWeightsScalesDensityLinearly) {
   const DdsSolution a = WeightedCoreExact(g);
   const DdsSolution b = WeightedCoreExact(g7);
   EXPECT_NEAR(b.density, 7.0 * a.density, 1e-6);
+}
+
+// The LP baseline is weight-generic too (weights are objective
+// coefficients): it must certify the weighted flow engine independently.
+TEST(WeightedExactTest, LpExactMatchesNaiveOnWeightedGraphs) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const WeightedDigraph g = RandomWeighted(7, 20, 5, seed + 300);
+    if (g.TotalWeight() == 0) continue;
+    const DdsSolution naive = WeightedNaiveExact(g);
+    const DdsSolution lp = LpExact(g);
+    EXPECT_NEAR(lp.density, naive.density, 1e-6) << "seed " << seed;
+    // LP duality: the best LP value upper-bounds (and here matches) the
+    // optimum under the weighted objective.
+    EXPECT_GE(lp.upper_bound + 1e-6, naive.density) << "seed " << seed;
+    EXPECT_NEAR(lp.upper_bound, naive.density, 1e-4) << "seed " << seed;
+  }
 }
 
 TEST(WeightedExactTest, HeavyEdgeDominatesManyLightOnes) {

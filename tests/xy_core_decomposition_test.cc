@@ -56,21 +56,44 @@ TEST(MaxYForXTest, MatchesBruteForceOnPowerLawGraphs) {
   }
 }
 
-TEST(CoreSkylineTest, IsNonIncreasing) {
+TEST(CoreSkylineTest, CornersAreStrictlyMonotone) {
+  // One point per distinct y-level: x strictly increases, y strictly
+  // decreases along the staircase corners.
   const Digraph g = RmatDigraph(8, 3000, 3);
   const std::vector<SkylinePoint> skyline = CoreSkyline(g);
   ASSERT_FALSE(skyline.empty());
   for (size_t i = 1; i < skyline.size(); ++i) {
-    EXPECT_EQ(skyline[i].x, skyline[i - 1].x + 1);
-    EXPECT_LE(skyline[i].y, skyline[i - 1].y);
+    EXPECT_GT(skyline[i].x, skyline[i - 1].x);
+    EXPECT_LT(skyline[i].y, skyline[i - 1].y);
   }
+}
+
+TEST(CoreSkylineTest, CornersCoverEveryLevel) {
+  // The corner list is a lossless description of the dense staircase:
+  // y_max(x) for any x is the y of the first corner at or right of x.
+  const Digraph g = UniformDigraph(60, 500, 8);
+  const std::vector<SkylinePoint> skyline = CoreSkyline(g);
+  ASSERT_FALSE(skyline.empty());
+  int64_t x = 1;
+  for (const SkylinePoint& p : skyline) {
+    for (; x <= p.x; ++x) {
+      EXPECT_EQ(MaxYForX(g, x), p.y) << "x " << x;
+    }
+  }
+  EXPECT_EQ(MaxYForX(g, skyline.back().x + 1), 0);
 }
 
 TEST(CoreSkylineTest, PointsAreRealizedAndMaximal) {
   const Digraph g = UniformDigraph(60, 500, 8);
-  for (const SkylinePoint& p : CoreSkyline(g, 6)) {
+  const int64_t x_limit = 6;
+  for (const SkylinePoint& p : CoreSkyline(g, x_limit)) {
     EXPECT_FALSE(ComputeXyCore(g, p.x, p.y).Empty());
+    // y-maximal at its x always; x-maximal at its y except for a level
+    // truncated at the cap.
     EXPECT_TRUE(ComputeXyCore(g, p.x, p.y + 1).Empty());
+    if (p.x < x_limit) {
+      EXPECT_TRUE(ComputeXyCore(g, p.x + 1, p.y).Empty());
+    }
   }
 }
 
@@ -78,6 +101,48 @@ TEST(CoreSkylineTest, RespectsLimit) {
   const Digraph g = UniformDigraph(60, 600, 9);
   const auto skyline = CoreSkyline(g, 3);
   EXPECT_LE(skyline.size(), 3u);
+  for (const SkylinePoint& p : skyline) EXPECT_LE(p.x, 3);
+}
+
+TEST(CoreSkylineTest, WeightedCornersStepOnWeightedThresholds) {
+  // A single edge of weight 100: the weighted staircase has one level
+  // spanning x = 1..100 at y = 100, and the corner walk reports it as one
+  // point instead of 100 dense-x peels.
+  const WeightedDigraph g = WeightedDigraph::FromEdges(2, {{0, 1, 100}});
+  const auto skyline = CoreSkyline(g);
+  ASSERT_EQ(skyline.size(), 1u);
+  EXPECT_EQ(skyline[0].x, 100);
+  EXPECT_EQ(skyline[0].y, 100);
+}
+
+TEST(CoreSkylineTest, WeightedCornersMatchBruteForce) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const WeightedDigraph g = UniformWeightedDigraph(20, 70, seed);
+    const auto skyline = CoreSkyline(g);
+    // Reconstruct y_max(x) from the corners and compare against the
+    // direct per-x sweep over the full weighted x range.
+    size_t corner = 0;
+    for (int64_t x = 1; x <= g.MaxWeightedOutDegree(); ++x) {
+      while (corner < skyline.size() && skyline[corner].x < x) ++corner;
+      const int64_t expected =
+          corner < skyline.size() ? skyline[corner].y : 0;
+      EXPECT_EQ(MaxYForX(g, x), expected) << "seed " << seed << " x " << x;
+    }
+  }
+}
+
+TEST(CoreSkylineTest, UnitWeightsBitIdenticalToUnweighted) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const Digraph base = RmatDigraph(6, 400, seed);
+    const WeightedDigraph unit = WeightedDigraph::FromDigraph(base);
+    const auto plain = CoreSkyline(base);
+    const auto weighted = CoreSkyline(unit);
+    ASSERT_EQ(plain.size(), weighted.size()) << "seed " << seed;
+    for (size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(plain[i].x, weighted[i].x) << "seed " << seed;
+      EXPECT_EQ(plain[i].y, weighted[i].y) << "seed " << seed;
+    }
+  }
 }
 
 TEST(FixedXCoreNumbersTest, MembershipMatchesDirectCores) {

@@ -10,7 +10,9 @@
 // with --json the solution and its solver statistics are printed as one
 // machine-readable JSON object. --deadline_s turns an exact run into an
 // anytime one: on expiry the tool reports the incumbent with its
-// certified [lower, upper] density bracket.
+// certified [lower, upper] density bracket. --threads N runs the solve on
+// the shared-memory parallel layer (peel-ladder fan-out, work-sharing
+// exact search); deadlines and --threads compose.
 //
 //   ./build/examples/dds_tool --snap_file wiki-Vote.txt --algo core-exact
 //   ./build/examples/dds_tool --generate rmat --scale 14 --edges 200000
@@ -58,6 +60,13 @@ int main(int argc, char** argv) {
       "disable the parametric probe engine (rebuild + cold-solve the flow "
       "network at every guess) — the ablation baseline; applies to the "
       "exact solvers, weighted or not, and never changes the answer");
+  int64_t* threads = flags.Int64(
+      "threads", 1,
+      "shared-memory workers for the solve: fans the peel ladder, the "
+      "skyline walk and the exact ratio-space search across a thread "
+      "pool. Approximations return identical solutions at any count; the "
+      "exact solvers return the same optimum with schedule-dependent "
+      "statistics. 1 = sequential");
   std::string* out_file =
       flags.String("out_file", "", "write S/T vertex lists here");
   flags.ParseOrDie(argc, argv);
@@ -122,6 +131,7 @@ int main(int argc, char** argv) {
   DdsRequest request;
   request.algorithm = *algorithm;
   request.exact.incremental_probe = !*fresh_probes;
+  request.threads = static_cast<int>(*threads);
   if (*deadline_s > 0) request.deadline_seconds = *deadline_s;
 
   DdsEngine engine = *weighted ? DdsEngine(weighted_graph)

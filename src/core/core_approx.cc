@@ -10,38 +10,32 @@
 namespace ddsgraph {
 
 template <typename G>
-CoreApproxResult CoreApprox(const G& g) {
+CoreApproxResult CoreApprox(const G& g, ThreadPool* pool) {
   CoreApproxResult result;
   if (g.TotalWeight() == 0) return result;
 
+  // The skyline corner walk (core/xy_core_decomposition.cc) yields one
+  // point (x_max(y), y) per distinct y-level with two peels per level —
+  // Corners have strictly increasing x and strictly decreasing y, so
+  // their count K satisfies (K/2)^2 <= max product <= W, i.e.
+  // K <= 2 sqrt(W) — the O(sqrt(W) (n+m)) bound — while real graphs have
+  // far fewer levels. Under a multi-worker pool the walk runs
+  // speculatively batched; the corners (and hence everything below) are
+  // identical, only the executed-peel count differs.
+  const std::vector<SkylinePoint> skyline =
+      CoreSkyline(g, /*x_limit=*/-1, pool, &result.sweeps);
+
+  // Each corner dominates every product on its level, so scanning the
+  // corners covers all non-empty cores; first strictly-better wins, which
+  // keeps the largest-y corner on product ties.
   int64_t best_product = 0;
-
-  // Corner-jumping sweep over the skyline staircase. For the current x we
-  // compute y = y_max(x), then jump straight to the right end of that
-  // y-level, x' = x_max(y) (one fixed-y sweep on the transpose:
-  // [x,y]-core of G == swapped [y,x]-core of G^T). The corner (x', y)
-  // dominates every product on the level, so all levels are covered with
-  // two peels each. Corners have strictly increasing x and strictly
-  // decreasing y, so their count K satisfies (K/2)^2 <= max product <= W,
-  // i.e. K <= 2 sqrt(W) — the O(sqrt(W) (n+m)) bound — while real graphs
-  // have far fewer levels.
-  const G reversed = g.Reversed();
-  int64_t x = 1;
-  while (true) {
-    ++result.sweeps;
-    const int64_t y = MaxYForX(g, x);
-    if (y == 0) break;
-    ++result.sweeps;
-    const int64_t x_right = MaxYForX(reversed, y);  // x_max(y) >= x
-    CHECK_GE(x_right, x);
-    if (x_right * y > best_product) {
-      best_product = x_right * y;
-      result.best_x = x_right;
-      result.best_y = y;
+  for (const SkylinePoint& corner : skyline) {
+    if (corner.x * corner.y > best_product) {
+      best_product = corner.x * corner.y;
+      result.best_x = corner.x;
+      result.best_y = corner.y;
     }
-    x = x_right + 1;
   }
-
   if (best_product == 0) return result;
 
   result.core = ComputeXyCore(g, result.best_x, result.best_y);
@@ -54,7 +48,8 @@ CoreApproxResult CoreApprox(const G& g) {
   return result;
 }
 
-template CoreApproxResult CoreApprox<Digraph>(const Digraph&);
-template CoreApproxResult CoreApprox<WeightedDigraph>(const WeightedDigraph&);
+template CoreApproxResult CoreApprox<Digraph>(const Digraph&, ThreadPool*);
+template CoreApproxResult CoreApprox<WeightedDigraph>(const WeightedDigraph&,
+                                                      ThreadPool*);
 
 }  // namespace ddsgraph

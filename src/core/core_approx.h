@@ -30,6 +30,8 @@
 
 namespace ddsgraph {
 
+class ThreadPool;
+
 struct CoreApproxResult {
   XyCore core;         ///< the [best_x, best_y]-core (S and T sides)
   int64_t best_x = 0;  ///< x of the max-product core
@@ -45,13 +47,17 @@ struct CoreApproxResult {
 };
 
 /// Runs the 2-approximation. For an edgeless graph returns an empty result
-/// with density 0.
+/// with density 0. `pool`, when non-null with more than one worker, runs
+/// the skyline walk speculatively batched (core/xy_core_decomposition.h);
+/// the chosen core, densities and bounds are identical either way — only
+/// `sweeps` reflects the peels the batched walk actually executed.
 template <typename G>
-CoreApproxResult CoreApprox(const G& g);
+CoreApproxResult CoreApprox(const G& g, ThreadPool* pool = nullptr);
 
-extern template CoreApproxResult CoreApprox<Digraph>(const Digraph&);
+extern template CoreApproxResult CoreApprox<Digraph>(const Digraph&,
+                                                     ThreadPool*);
 extern template CoreApproxResult CoreApprox<WeightedDigraph>(
-    const WeightedDigraph&);
+    const WeightedDigraph&, ThreadPool*);
 
 }  // namespace ddsgraph
 

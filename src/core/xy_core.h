@@ -2,9 +2,11 @@
 #define DDSGRAPH_CORE_XY_CORE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "util/epoch_set.h"
 
 /// \file
 /// The [x,y]-core of a directed graph, weighted or not.
@@ -53,12 +55,39 @@ struct XyCore {
 template <typename G>
 XyCore ComputeXyCore(const G& g, int64_t x, int64_t y);
 
+/// Reusable scratch for ComputeXyCoreWithin: epoch-stamped membership
+/// marks plus per-vertex degree accumulators that are re-initialized only
+/// for the candidates of each call. With it, a candidate-restricted core
+/// costs O(|s_init| + |t_init| + edges incident to them) — no O(n)
+/// allocation or scan per call, which is what keeps the exact engine's
+/// per-guess core refinement proportional to the (tiny, core-pruned)
+/// candidate sets instead of the whole graph (the E11 fix; DESIGN.md §7).
+struct XyCoreScratch {
+  EpochSet in_s;
+  EpochSet in_t;
+  std::vector<int64_t> dout;  ///< valid only where in_s is stamped
+  std::vector<int64_t> din;   ///< valid only where in_t is stamped
+  std::vector<std::pair<VertexId, int>> stack;
+};
+
 /// Computes the [x,y]-core of the pair-restricted graph: only vertices in
 /// `s_init` may enter S and only vertices in `t_init` may enter T, and only
 /// edges from `s_init` to `t_init` count. Because cores are nested, calling
 /// this with the S/T sides of a weaker core gives the same result as
-/// ComputeXyCore on the full graph (tested), but in time proportional to
-/// the smaller object.
+/// ComputeXyCore on the full graph (tested), in time proportional to the
+/// smaller object (`scratch` carries the amortized per-vertex arrays; the
+/// scratch-less overload below pays a one-off allocation instead). The
+/// candidate lists must be duplicate-free (DCHECKed — degrees are
+/// accumulated per list entry); the returned sides are ascending
+/// whenever `s_init` / `t_init` are — the fixpoint is unique and
+/// membership is tested in input order.
+template <typename G>
+XyCore ComputeXyCoreWithin(const G& g, int64_t x, int64_t y,
+                           const std::vector<VertexId>& s_init,
+                           const std::vector<VertexId>& t_init,
+                           XyCoreScratch* scratch);
+
+/// Convenience overload with a private single-use scratch.
 template <typename G>
 XyCore ComputeXyCoreWithin(const G& g, int64_t x, int64_t y,
                            const std::vector<VertexId>& s_init,
@@ -74,6 +103,12 @@ extern template XyCore ComputeXyCore<Digraph>(const Digraph&, int64_t,
                                               int64_t);
 extern template XyCore ComputeXyCore<WeightedDigraph>(const WeightedDigraph&,
                                                       int64_t, int64_t);
+extern template XyCore ComputeXyCoreWithin<Digraph>(
+    const Digraph&, int64_t, int64_t, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, XyCoreScratch*);
+extern template XyCore ComputeXyCoreWithin<WeightedDigraph>(
+    const WeightedDigraph&, int64_t, int64_t, const std::vector<VertexId>&,
+    const std::vector<VertexId>&, XyCoreScratch*);
 extern template XyCore ComputeXyCoreWithin<Digraph>(
     const Digraph&, int64_t, int64_t, const std::vector<VertexId>&,
     const std::vector<VertexId>&);

@@ -5,13 +5,16 @@
 
 #include "util/logging.h"
 #include "util/peel_queue.h"
+#include "util/thread_pool.h"
 
 namespace ddsgraph {
 
 // The policy split of DESIGN.md §10: unit-weight peels keep the bucket
-// array, weighted peels get the range-independent heap.
+// array; weighted peels get the runtime hybrid that picks the bucket
+// array when the weighted-degree range is dense enough and the
+// range-independent heap otherwise.
 static_assert(std::is_same_v<PeelQueue<Digraph>, BucketQueue>);
-static_assert(std::is_same_v<PeelQueue<WeightedDigraph>, LazyHeapQueue>);
+static_assert(std::is_same_v<PeelQueue<WeightedDigraph>, HybridPeelQueue>);
 
 template <typename G>
 int64_t MaxYForX(const G& g, int64_t x) {
@@ -198,37 +201,100 @@ FixedXCoreNumbers ComputeFixedXCoreNumbers(const Digraph& g, int64_t x) {
 }
 
 template <typename G>
-std::vector<SkylinePoint> CoreSkyline(const G& g, int64_t x_limit) {
+std::vector<SkylinePoint> CoreSkyline(const G& g, int64_t x_limit,
+                                      ThreadPool* pool, int64_t* peels) {
   std::vector<SkylinePoint> skyline;
+  int64_t peel_count = 0;
   const int64_t bound =
       x_limit >= 1 ? x_limit : std::numeric_limits<int64_t>::max();
-  if (g.NumVertices() == 0 || g.TotalWeight() == 0) return skyline;
+  if (g.NumVertices() == 0 || g.TotalWeight() == 0) {
+    if (peels != nullptr) *peels = 0;
+    return skyline;
+  }
 
-  // Corner walk (the CoreApprox sweep, core/core_approx.cc): for the
-  // current x compute the level y = y_max(x), then jump to the level's
-  // right end x_max(y) via one fixed-y sweep on the transpose. Each
-  // distinct y-level costs two peels no matter how wide it is in x — the
-  // property that makes the decomposition weight-generic, since weighted
-  // levels span Theta(W) consecutive x values.
   const G reversed = g.Reversed();
+  const int workers = pool != nullptr ? pool->num_workers() : 1;
+  if (workers <= 1) {
+    // Corner walk (the CoreApprox sweep): for the current x compute the
+    // level y = y_max(x), then jump to the level's right end x_max(y) via
+    // one fixed-y sweep on the transpose. Each distinct y-level costs two
+    // peels no matter how wide it is in x — the property that makes the
+    // decomposition weight-generic, since weighted levels span Theta(W)
+    // consecutive x values.
+    int64_t x = 1;
+    while (x <= bound) {
+      ++peel_count;
+      const int64_t y = MaxYForX(g, x);
+      if (y == 0) break;
+      ++peel_count;
+      int64_t x_right = MaxYForX(reversed, y);  // x_max(y) >= x
+      CHECK_GE(x_right, x);
+      // A level reaching past the cap is reported truncated at the cap
+      // (the point is still realized and y-maximal there, just not
+      // x-maximal).
+      x_right = std::min(x_right, bound);
+      skyline.push_back(SkylinePoint{x_right, y});
+      x = x_right + 1;
+    }
+    if (peels != nullptr) *peels = peel_count;
+    return skyline;
+  }
+
+  // Speculative batched walk (DESIGN.md §11): peel a batch of consecutive
+  // x values concurrently. y_max is non-increasing, so every strict drop
+  // inside the batch pins a level's right end exactly — those corners
+  // need no transpose peel at all — and only the level still open at the
+  // batch's end pays the transpose jump, which also skips the rest of a
+  // wide level exactly like the sequential walk. The staircase is a pure
+  // function of the graph, so the points are identical to the sequential
+  // walk's no matter how the batches land.
+  const int64_t batch_cap = std::min<int64_t>(workers, 16);
+  std::vector<int64_t> ys(static_cast<size_t>(batch_cap));
   int64_t x = 1;
   while (x <= bound) {
-    const int64_t y = MaxYForX(g, x);
-    if (y == 0) break;
-    int64_t x_right = MaxYForX(reversed, y);  // x_max(y) >= x
-    CHECK_GE(x_right, x);
-    // A level reaching past the cap is reported truncated at the cap (the
-    // point is still realized and y-maximal there, just not x-maximal).
-    x_right = std::min(x_right, bound);
-    skyline.push_back(SkylinePoint{x_right, y});
-    x = x_right + 1;
+    const int64_t batch = std::min(batch_cap, bound - x + 1);
+    pool->ParallelFor(batch, [&](int64_t j, int /*worker*/) {
+      ys[static_cast<size_t>(j)] = MaxYForX(g, x + j);
+    });
+    peel_count += batch;
+    if (ys[0] == 0) break;
+    bool done = false;
+    int64_t j = 0;
+    while (j < batch) {
+      const int64_t y = ys[static_cast<size_t>(j)];
+      int64_t k = j;
+      while (k + 1 < batch && ys[static_cast<size_t>(k + 1)] == y) ++k;
+      if (k + 1 < batch) {
+        // The level's right end is inside the batch: y_max(x + k + 1)
+        // drops below y, so x_max(y) = x + k exactly.
+        skyline.push_back(SkylinePoint{x + k, y});
+        if (ys[static_cast<size_t>(k + 1)] == 0) {
+          done = true;  // the staircase ends inside the batch
+          break;
+        }
+        j = k + 1;
+      } else {
+        // The level may extend past the batch: one transpose jump finds
+        // (and skips) its true right end.
+        ++peel_count;
+        int64_t x_right = MaxYForX(reversed, y);
+        CHECK_GE(x_right, x + k);
+        x_right = std::min(x_right, bound);
+        skyline.push_back(SkylinePoint{x_right, y});
+        x = x_right + 1;
+        break;
+      }
+    }
+    if (done) break;
   }
+  if (peels != nullptr) *peels = peel_count;
   return skyline;
 }
 
 template std::vector<SkylinePoint> CoreSkyline<Digraph>(const Digraph&,
-                                                        int64_t);
+                                                        int64_t, ThreadPool*,
+                                                        int64_t*);
 template std::vector<SkylinePoint> CoreSkyline<WeightedDigraph>(
-    const WeightedDigraph&, int64_t);
+    const WeightedDigraph&, int64_t, ThreadPool*, int64_t*);
 
 }  // namespace ddsgraph

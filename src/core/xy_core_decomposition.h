@@ -31,6 +31,8 @@
 
 namespace ddsgraph {
 
+class ThreadPool;
+
 /// A staircase corner of the non-empty core region.
 struct SkylinePoint {
   int64_t x = 0;
@@ -57,13 +59,26 @@ extern template int64_t MaxYForX<WeightedDigraph>(const WeightedDigraph&,
 /// x_limit >= 1 the walk stops at x = x_limit; a level reaching past the
 /// cap is reported truncated at (x_limit, y), still realized and
 /// y-maximal but not x-maximal.
+///
+/// `pool`, when non-null with more than one worker, turns the walk into a
+/// speculative batched one (DESIGN.md §11): each round peels a batch of
+/// consecutive x values concurrently, reads every level boundary inside
+/// the batch straight off the monotone y sequence (those corners need no
+/// transpose peel at all), and falls back to one transpose jump only for
+/// the level still open at the batch's end. The staircase is a pure
+/// function of the graph, so the returned points are bit-identical to the
+/// sequential walk — speculation changes only which peels are executed.
+/// `peels`, when non-null, receives the number of decomposition peels
+/// executed (the CoreApproxResult::sweeps accounting).
 template <typename G>
-std::vector<SkylinePoint> CoreSkyline(const G& g, int64_t x_limit = -1);
+std::vector<SkylinePoint> CoreSkyline(const G& g, int64_t x_limit = -1,
+                                      ThreadPool* pool = nullptr,
+                                      int64_t* peels = nullptr);
 
-extern template std::vector<SkylinePoint> CoreSkyline<Digraph>(const Digraph&,
-                                                               int64_t);
+extern template std::vector<SkylinePoint> CoreSkyline<Digraph>(
+    const Digraph&, int64_t, ThreadPool*, int64_t*);
 extern template std::vector<SkylinePoint> CoreSkyline<WeightedDigraph>(
-    const WeightedDigraph&, int64_t);
+    const WeightedDigraph&, int64_t, ThreadPool*, int64_t*);
 
 /// Per-vertex decomposition at fixed x (the directed analogue of core
 /// numbers): s_number[u] is the largest y such that u belongs to the S

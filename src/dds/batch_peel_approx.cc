@@ -5,15 +5,18 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ddsgraph {
 namespace {
 
 // One batch-peel pass. Returns the best intermediate pair density and,
-// through the out-parameters, the best pair itself.
+// through the out-parameters, the best pair itself. `pool` parallelizes
+// the per-pass threshold scans (chunked, drop lists concatenated in chunk
+// order, so the scan output is bit-identical to the sequential one).
 template <typename G>
-double BatchPass(const G& g, double beta, int64_t* passes,
+double BatchPass(const G& g, double beta, ThreadPool* pool, int64_t* passes,
                  DdsPair* best_pair) {
   const uint32_t n = g.NumVertices();
   std::vector<bool> in_s(n, true);
@@ -45,6 +48,19 @@ double BatchPass(const G& g, double beta, int64_t* passes,
     }
   };
 
+  // Chunk layout for the parallel threshold scans. The chunk count is a
+  // function of n alone (not of the worker count), and chunk results are
+  // concatenated in chunk order, so the drop lists come out in vertex
+  // order — identical to the sequential scan — for every thread count.
+  const int workers = pool != nullptr ? pool->num_workers() : 1;
+  const uint32_t chunk_size = 1u << 14;
+  const int64_t num_chunks =
+      workers > 1 ? (n + chunk_size - 1) / chunk_size : 1;
+  std::vector<std::vector<VertexId>> chunk_drop_s(
+      static_cast<size_t>(num_chunks));
+  std::vector<std::vector<VertexId>> chunk_drop_t(
+      static_cast<size_t>(num_chunks));
+
   consider();
   while (n_s > 0 && n_t > 0 && weight > 0) {
     ++*passes;
@@ -56,12 +72,38 @@ double BatchPass(const G& g, double beta, int64_t* passes,
         beta * static_cast<double>(weight) / static_cast<double>(n_t);
     std::vector<VertexId> drop_s;
     std::vector<VertexId> drop_t;
-    for (VertexId v = 0; v < n; ++v) {
-      if (in_s[v] && static_cast<double>(dout[v]) <= s_threshold) {
-        drop_s.push_back(v);
+    if (workers > 1 && num_chunks > 1) {
+      pool->ParallelFor(num_chunks, [&](int64_t c, int /*worker*/) {
+        auto& local_s = chunk_drop_s[static_cast<size_t>(c)];
+        auto& local_t = chunk_drop_t[static_cast<size_t>(c)];
+        local_s.clear();
+        local_t.clear();
+        const VertexId begin = static_cast<VertexId>(c) * chunk_size;
+        const VertexId end =
+            std::min<VertexId>(n, begin + chunk_size);
+        for (VertexId v = begin; v < end; ++v) {
+          if (in_s[v] && static_cast<double>(dout[v]) <= s_threshold) {
+            local_s.push_back(v);
+          }
+          if (in_t[v] && static_cast<double>(din[v]) <= t_threshold) {
+            local_t.push_back(v);
+          }
+        }
+      });
+      for (int64_t c = 0; c < num_chunks; ++c) {
+        drop_s.insert(drop_s.end(), chunk_drop_s[static_cast<size_t>(c)].begin(),
+                      chunk_drop_s[static_cast<size_t>(c)].end());
+        drop_t.insert(drop_t.end(), chunk_drop_t[static_cast<size_t>(c)].begin(),
+                      chunk_drop_t[static_cast<size_t>(c)].end());
       }
-      if (in_t[v] && static_cast<double>(din[v]) <= t_threshold) {
-        drop_t.push_back(v);
+    } else {
+      for (VertexId v = 0; v < n; ++v) {
+        if (in_s[v] && static_cast<double>(dout[v]) <= s_threshold) {
+          drop_s.push_back(v);
+        }
+        if (in_t[v] && static_cast<double>(din[v]) <= t_threshold) {
+          drop_t.push_back(v);
+        }
       }
     }
     // Every vertex passing both thresholds would certify a dense pair; at
@@ -127,6 +169,7 @@ template <typename G>
 DdsSolution BatchPeelApprox(const G& g, const BatchPeelOptions& options) {
   CHECK_GT(options.ladder_epsilon, 0.0);
   CHECK_GT(options.batch_epsilon, 0.0);
+  CHECK_GE(options.threads, 1);
   WallTimer timer;
   DdsSolution solution;
   if (g.NumEdges() == 0) return solution;
@@ -136,9 +179,10 @@ DdsSolution BatchPeelApprox(const G& g, const BatchPeelOptions& options) {
   // (beta * w(E) / n_side), not on a ratio-linearized objective, so one
   // pass covers every ratio at once — a geometric ratio ladder would
   // repeat the identical computation at every rung.
+  ThreadPool pool(options.threads);
   int64_t passes = 0;
   DdsPair pair;
-  (void)BatchPass(g, beta, &passes, &pair);
+  (void)BatchPass(g, beta, &pool, &passes, &pair);
   solution.pair = std::move(pair);
   solution.stats.ratios_probed = 1;
   solution.stats.binary_search_iters = passes;

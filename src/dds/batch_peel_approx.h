@@ -35,6 +35,13 @@ struct BatchPeelOptions {
   double ladder_epsilon = 0.1;
   /// Batch threshold slack beta = 1 + batch_epsilon.
   double batch_epsilon = 0.25;
+  /// Worker count (util/thread_pool.h) for the per-pass threshold scans —
+  /// the O(n) read-only half of every pass. Chunks of the vertex range
+  /// are scanned concurrently and their drop lists concatenated in chunk
+  /// order, so the drop sets, their application order and hence the whole
+  /// run are bit-identical for every thread count. 1 (the default) is the
+  /// historical sequential scan.
+  int threads = 1;
 };
 
 /// Runs the batch-peeling baseline. stats.ratios_probed is 1 (the single

@@ -1,10 +1,12 @@
 #ifndef DDSGRAPH_DDS_CONTROL_H_
 #define DDSGRAPH_DDS_CONTROL_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -43,6 +45,13 @@ using DdsProgressCallback = std::function<bool(const DdsProgress&)>;
 /// Wall-clock deadline plus optional cancellation callback for one solve.
 /// Once `ShouldStop` has returned true it keeps returning true (sticky),
 /// so a cancelled solve unwinds promptly without re-invoking the callback.
+///
+/// Thread-safe: the parallel exact engine (DESIGN.md §11) shares one
+/// control across every probe worker, so `ShouldStop`/`stopped` may be
+/// called concurrently. The stop latch is an atomic, and the user
+/// callback is serialized under an internal mutex — it is never invoked
+/// from two threads at once, but under `threads > 1` it may be invoked
+/// from a worker thread rather than the thread that started the solve.
 class SolveControl {
  public:
   /// No deadline, no callback: never stops.
@@ -66,18 +75,24 @@ class SolveControl {
   /// True when the solve should unwind: the deadline passed or the
   /// callback returned false (now or on any earlier check).
   bool ShouldStop(const DdsProgress& progress) {
-    if (stopped_) return true;
+    if (stopped_.load(std::memory_order_acquire)) return true;
     if (deadline_.has_value() && Clock::now() >= *deadline_) {
-      stopped_ = true;
-    } else if (progress_ && !progress_(progress)) {
-      stopped_ = true;
+      stopped_.store(true, std::memory_order_release);
+      return true;
     }
-    return stopped_;
+    if (progress_) {
+      std::lock_guard<std::mutex> lock(callback_mu_);
+      if (stopped_.load(std::memory_order_acquire)) return true;
+      if (!progress_(progress)) {
+        stopped_.store(true, std::memory_order_release);
+      }
+    }
+    return stopped_.load(std::memory_order_acquire);
   }
 
   /// Whether a previous ShouldStop already fired (does not re-check the
   /// clock or the callback).
-  bool stopped() const { return stopped_; }
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
   /// Seconds since this control was created (= since the solve began).
   double ElapsedSeconds() const {
@@ -89,7 +104,8 @@ class SolveControl {
   Clock::time_point start_ = Clock::now();
   std::optional<Clock::time_point> deadline_;
   DdsProgressCallback progress_;
-  bool stopped_ = false;
+  std::mutex callback_mu_;  ///< serializes the user callback
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace ddsgraph

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "core/core_approx.h"
@@ -12,6 +15,7 @@
 #include "flow/dinic.h"
 #include "flow/min_cut.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ddsgraph {
@@ -106,42 +110,79 @@ void MaybeUpdateIncumbent(const RatioProbeResult& probe,
   }
 }
 
+/// A located candidate core — the [x,y]-core of an interval context.
+/// Shared immutably between the interval's two children, which locate
+/// their (nested) cores *within* it instead of peeling the full graph.
+struct CoreContext {
+  std::vector<VertexId> s;
+  std::vector<VertexId> t;
+};
+using CoreContextPtr = std::shared_ptr<const CoreContext>;
+
 struct ContextProbe {
   RatioProbeResult probe;
   /// True when the context core was empty: no pair with ratio anywhere in
   /// (lo_ctx, hi_ctx) can beat the incumbent (containment), so the caller
   /// may discard the entire context, not just this ratio.
   bool context_exhausted = false;
+  /// The candidate core this probe ran on (null when core pruning was
+  /// off or the incumbent was still 0). Handed to the child intervals.
+  CoreContextPtr located;
 };
 
 // Probes `ratio` in the interval context (lo_ctx, hi_ctx): candidates are
-// located in the [x,y]-core implied by the incumbent and the context (when
-// core pruning is on). The binary search starts from 0 so that the
-// returned h_upper genuinely tracks h(ratio) — that is what powers the
-// interval pruning — but is truncated at `stop_below` (see header).
+// located in the [x,y]-core implied by `incumbent_density` and the
+// context (when core pruning is on). The binary search starts from 0 so
+// that the returned h_upper genuinely tracks h(ratio) — that is what
+// powers the interval pruning — but is truncated at `stop_below` (see
+// header). Pure with respect to the engine state: everything it needs is
+// passed in, so concurrent workers can run probes side by side (each on
+// its own `workspace`) and absorb the results under a lock afterwards.
+// Any valid lower bound works as `incumbent_density`; a stale (smaller)
+// one merely yields a larger candidate core, never a wrong answer.
+//
+// `within`, when non-null, is a previously located core whose thresholds
+// were no stronger than this context's — the parent interval's candidate
+// core. Cores are nested, so the context core is located *inside it* in
+// O(|within|) instead of peeling the full graph (the same fixpoint comes
+// out; only the cost changes). The D&C loops thread each probe's located
+// core to its two subintervals: the incumbent only rises and a child
+// context is a sub-interval, so the child's [x,y]-thresholds dominate
+// the parent's and the containment prerequisite always holds.
 template <typename G>
-ContextProbe ProbeInContext(const Fraction& ratio, const Fraction& lo_ctx,
-                            const Fraction& hi_ctx, double stop_below,
-                            EngineState<G>* state) {
-  const G& g = *state->g;
+ContextProbe ProbeInContextAt(const G& g, const ExactOptions& options,
+                              double delta, double upper_global,
+                              double incumbent_density, const Fraction& ratio,
+                              const Fraction& lo_ctx, const Fraction& hi_ctx,
+                              double stop_below, const CoreContext* within,
+                              ProbeWorkspace* workspace,
+                              SolveControl* control) {
   ContextProbe result;
   std::vector<VertexId> s_cand;
   std::vector<VertexId> t_cand;
-  if (state->options.core_pruning && state->incumbent_density > 0) {
+  const std::vector<VertexId>* probe_s = &s_cand;
+  const std::vector<VertexId>* probe_t = &t_cand;
+  if (options.core_pruning && incumbent_density > 0) {
     const double sqrt_lo = std::sqrt(lo_ctx.ToDouble());
     const double sqrt_hi = std::sqrt(hi_ctx.ToDouble());
-    const int64_t x_c =
-        SideThreshold(state->incumbent_density / (2.0 * sqrt_hi));
-    const int64_t y_c =
-        SideThreshold(state->incumbent_density * sqrt_lo / 2.0);
-    XyCore core = ComputeXyCore(g, x_c, y_c);
+    const int64_t x_c = SideThreshold(incumbent_density / (2.0 * sqrt_hi));
+    const int64_t y_c = SideThreshold(incumbent_density * sqrt_lo / 2.0);
+    XyCore core =
+        within != nullptr
+            ? ComputeXyCoreWithin(g, x_c, y_c, within->s, within->t,
+                                  &workspace->refine_scratch)
+            : ComputeXyCore(g, x_c, y_c);
     if (core.Empty()) {
-      result.probe.h_upper = state->incumbent_density;
+      result.probe.h_upper = incumbent_density;
       result.context_exhausted = true;
       return result;
     }
-    s_cand = std::move(core.s);
-    t_cand = std::move(core.t);
+    auto located = std::make_shared<CoreContext>();
+    located->s = std::move(core.s);
+    located->t = std::move(core.t);
+    result.located = std::move(located);
+    probe_s = &result.located->s;
+    probe_t = &result.located->t;
   } else {
     s_cand.resize(g.NumVertices());
     t_cand.resize(g.NumVertices());
@@ -150,16 +191,46 @@ ContextProbe ProbeInContext(const Fraction& ratio, const Fraction& lo_ctx,
       t_cand[v] = v;
     }
   }
-  result.probe = ProbeRatio(g, s_cand, t_cand, ratio, /*lower_start=*/0.0,
-                            state->upper_global, state->delta,
-                            state->options.refine_cores_in_probe,
-                            state->options.record_network_sizes, stop_below,
-                            state->workspace,
-                            state->options.incremental_probe,
-                            state->control);
-  AbsorbProbeStats(result.probe, state);
-  MaybeUpdateIncumbent(result.probe, state);
+  result.probe = ProbeRatio(g, *probe_s, *probe_t, ratio, /*lower_start=*/0.0,
+                            upper_global, delta, options.refine_cores_in_probe,
+                            options.record_network_sizes, stop_below,
+                            workspace, options.incremental_probe, control);
   return result;
+}
+
+// The sequential wrapper: probe with the live engine state and absorb the
+// outcome in place (the historical threads = 1 code path).
+template <typename G>
+ContextProbe ProbeInContext(const Fraction& ratio, const Fraction& lo_ctx,
+                            const Fraction& hi_ctx, double stop_below,
+                            const CoreContext* within, EngineState<G>* state) {
+  ContextProbe result = ProbeInContextAt(
+      *state->g, state->options, state->delta, state->upper_global,
+      state->incumbent_density, ratio, lo_ctx, hi_ctx, stop_below, within,
+      state->workspace, state->control);
+  if (!result.context_exhausted) {
+    AbsorbProbeStats(result.probe, state);
+    MaybeUpdateIncumbent(result.probe, state);
+  }
+  return result;
+}
+
+/// An interval on the work stack together with the located core of its
+/// *parent* context (null = locate on the full graph).
+struct IntervalWork {
+  RatioInterval interval;
+  CoreContextPtr parent;
+};
+
+// The anytime certificate wants the bare intervals of the outstanding
+// work (dds/ratio_space.h).
+template <typename G>
+void FinishInterruptedWork(EngineState<G>* state,
+                           const std::vector<IntervalWork>& work) {
+  std::vector<RatioInterval> intervals;
+  intervals.reserve(work.size());
+  for (const IntervalWork& item : work) intervals.push_back(item.interval);
+  FinishInterrupted(state, &intervals);
 }
 
 template <typename G>
@@ -167,31 +238,39 @@ void RunDivideAndConquer(EngineState<G>* state) {
   const int64_t n = state->g->NumVertices();
   const Fraction lo = MinRatio(n);
   const Fraction hi = MaxRatio(n);
-  const ContextProbe probe_lo = ProbeInContext(lo, lo, lo, 0.0, state);
+  const ContextProbe probe_lo =
+      ProbeInContext(lo, lo, lo, 0.0, /*within=*/nullptr, state);
   if (state->control != nullptr && state->control->stopped()) {
     FinishInterrupted(state, nullptr);
     return;
   }
   if (lo == hi) return;
-  const ContextProbe probe_hi = ProbeInContext(hi, hi, hi, 0.0, state);
+  const ContextProbe probe_hi =
+      ProbeInContext(hi, hi, hi, 0.0, /*within=*/nullptr, state);
   if (state->control != nullptr && state->control->stopped()) {
     FinishInterrupted(state, nullptr);
     return;
   }
 
-  std::vector<RatioInterval> work;
-  work.push_back(RatioInterval{lo, hi, probe_lo.probe.h_upper,
-                               probe_hi.probe.h_upper});
+  // The root interval locates its core on the full graph (the endpoint
+  // contexts are single ratios with *stronger* thresholds, so their cores
+  // do not contain the root's); every descendant locates within its
+  // parent's located core.
+  std::vector<IntervalWork> work;
+  work.push_back(IntervalWork{RatioInterval{lo, hi, probe_lo.probe.h_upper,
+                                            probe_hi.probe.h_upper},
+                              nullptr});
   while (!work.empty()) {
     // A probe truncated by the control still returns a certified (looser)
     // h_upper, so the subintervals pushed below keep the invariant and
     // this check can account for them on the next pass.
     if (StopRequested(state)) {
-      FinishInterrupted(state, &work);
+      FinishInterruptedWork(state, work);
       return;
     }
-    RatioInterval interval = work.back();
+    IntervalWork item = std::move(work.back());
     work.pop_back();
+    const RatioInterval& interval = item.interval;
     if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) continue;
     const double bound = IntervalDensityBound(interval);
     const double prune_at =
@@ -208,17 +287,21 @@ void RunDivideAndConquer(EngineState<G>* state) {
     const double interval_phi = RatioMismatchPhi(
         std::sqrt(interval.hi.ToDouble() / interval.lo.ToDouble()));
     const double stop_below = state->incumbent_density / interval_phi;
-    const ContextProbe probe =
-        ProbeInContext(*mid, interval.lo, interval.hi, stop_below, state);
+    const ContextProbe probe = ProbeInContext(
+        *mid, interval.lo, interval.hi, stop_below, item.parent.get(), state);
     if (probe.context_exhausted) {
       // Nothing anywhere in (lo, hi) beats the incumbent.
       state->stats.intervals_pruned += 2;
       continue;
     }
-    work.push_back(RatioInterval{interval.lo, *mid, interval.h_upper_lo,
-                                 probe.probe.h_upper});
-    work.push_back(RatioInterval{*mid, interval.hi, probe.probe.h_upper,
-                                 interval.h_upper_hi});
+    work.push_back(IntervalWork{RatioInterval{interval.lo, *mid,
+                                              interval.h_upper_lo,
+                                              probe.probe.h_upper},
+                                probe.located});
+    work.push_back(IntervalWork{RatioInterval{*mid, interval.hi,
+                                              probe.probe.h_upper,
+                                              interval.h_upper_hi},
+                                probe.located});
   }
 }
 
@@ -235,11 +318,254 @@ void RunExhaustive(EngineState<G>* state) {
     }
     // At a single ratio, any pair denser than the incumbent has linearized
     // value > incumbent, so the descent may stop there.
-    ProbeInContext(ratio, ratio, ratio, state->incumbent_density, state);
+    ProbeInContext(ratio, ratio, ratio, state->incumbent_density,
+                   /*within=*/nullptr, state);
   }
   // The control can also fire inside the *last* ratio's probe, truncating
   // its descent with no further loop iteration to notice; without this
   // check the solve would claim proven optimality it doesn't have.
+  if (state->control != nullptr && state->control->stopped()) {
+    FinishInterrupted(state, nullptr);
+  }
+}
+
+// ------------------------------------------------------------------------
+// The parallel ratio-space search (DESIGN.md §11). Shapes shared by both
+// engines: every probe runs the pure ProbeInContextAt on a per-worker
+// ProbeWorkspace; all engine-state mutation (stats, incumbent, the
+// interval stack) happens under one mutex; and equal-density witnesses
+// are merged under a deterministic lowest-probe-ratio tie-break, so
+// among the witnesses that get reported the incumbent does not depend on
+// reporting order. (Which equal-density witnesses are reported at all
+// still depends on pruning against the evolving incumbent — only a
+// unique max-density witness makes the returned pair fully
+// schedule-independent; see ExactOptions::threads.)
+
+// Provenance of the shared incumbent: the ratio of the probe that set it,
+// or "not from a probe" for the warm start. On a density tie the
+// warm-start incumbent is kept (sequential parity: the sequential loop
+// replaces only on strictly greater density) and among probe witnesses
+// the lowest ratio wins.
+struct IncumbentTie {
+  Fraction ratio;
+  bool from_probe = false;
+};
+
+template <typename G>
+void MaybeUpdateIncumbentParallel(const RatioProbeResult& probe,
+                                  const Fraction& ratio, EngineState<G>* state,
+                                  IncumbentTie* tie) {
+  if (probe.best_pair.Empty()) return;
+  const bool better = probe.best_density > state->incumbent_density;
+  const bool tie_better = probe.best_density == state->incumbent_density &&
+                          tie->from_probe &&
+                          FractionLess(ratio, tie->ratio);
+  if (better || tie_better) {
+    state->incumbent = probe.best_pair;
+    state->incumbent_density = probe.best_density;
+    tie->ratio = ratio;
+    tie->from_probe = true;
+  }
+}
+
+// Work-sharing divide and conquer: the interval stack becomes a shared
+// pool from which every worker pops, probes, and deposits subintervals.
+// Each worker prunes against the freshest incumbent available at pop
+// time; a stale (lower) incumbent only makes pruning more conservative,
+// so exactness is untouched. Anytime semantics survive: a truncated
+// probe still returns certified bounds, its subintervals reach the stack
+// before the worker exits, and the certificate is derived from the
+// drained stack once every worker has stopped.
+template <typename G>
+void RunDivideAndConquerParallel(EngineState<G>* state, ThreadPool* pool) {
+  const G& g = *state->g;
+  const int64_t n = g.NumVertices();
+  const Fraction lo = MinRatio(n);
+  const Fraction hi = MaxRatio(n);
+  const int workers = pool->num_workers();
+  // Worker 0 probes on the caller's long-lived workspace (the engine
+  // serving path); the others own per-solve private scratch.
+  std::vector<ProbeWorkspace> private_workspaces(
+      static_cast<size_t>(workers - 1));
+  auto workspace_for = [&](int worker) {
+    return worker == 0 ? state->workspace
+                       : &private_workspaces[static_cast<size_t>(worker - 1)];
+  };
+  IncumbentTie tie;
+
+  // Endpoint probes: independent of each other, both against the
+  // warm-start incumbent, absorbed in (lo, hi) order.
+  const int64_t num_endpoints = lo == hi ? 1 : 2;
+  std::vector<ContextProbe> endpoint(static_cast<size_t>(num_endpoints));
+  const double incumbent0 = state->incumbent_density;
+  pool->ParallelFor(num_endpoints, [&](int64_t i, int worker) {
+    const Fraction& ratio = i == 0 ? lo : hi;
+    endpoint[static_cast<size_t>(i)] = ProbeInContextAt(
+        g, state->options, state->delta, state->upper_global, incumbent0,
+        ratio, ratio, ratio, /*stop_below=*/0.0, /*within=*/nullptr,
+        workspace_for(worker), state->control);
+  });
+  for (int64_t i = 0; i < num_endpoints; ++i) {
+    const ContextProbe& probe = endpoint[static_cast<size_t>(i)];
+    if (probe.context_exhausted) continue;
+    AbsorbProbeStats(probe.probe, state);
+    MaybeUpdateIncumbentParallel(probe.probe, i == 0 ? lo : hi, state, &tie);
+  }
+  if (state->control != nullptr && state->control->stopped()) {
+    FinishInterrupted(state, nullptr);
+    return;
+  }
+  if (num_endpoints == 1) return;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<IntervalWork> work;
+  work.push_back(IntervalWork{RatioInterval{lo, hi, endpoint[0].probe.h_upper,
+                                            endpoint[1].probe.h_upper},
+                              nullptr});
+  int active = 0;
+  bool stop_draining = false;
+
+  pool->RunOnAllWorkers([&](int worker) {
+    ProbeWorkspace* workspace = workspace_for(worker);
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      if (stop_draining) break;
+      // The sequential per-interval anytime cadence: deadline/callback
+      // checked before each pop. The progress snapshot is taken under
+      // the lock but the control (and with it the user callback) runs
+      // outside it, so a slow callback never serializes the other
+      // workers behind this one — the stop latch is sticky and atomic,
+      // so semantics are unchanged.
+      if (state->control != nullptr) {
+        DdsProgress progress;
+        progress.lower_bound = state->incumbent_density;
+        progress.upper_bound = state->upper_global;
+        progress.ratios_probed = state->stats.ratios_probed;
+        progress.binary_search_iters = state->stats.binary_search_iters;
+        progress.elapsed_seconds = state->control->ElapsedSeconds();
+        lock.unlock();
+        const bool stop = state->control->ShouldStop(progress);
+        lock.lock();
+        if (stop || stop_draining) {
+          stop_draining = true;
+          cv.notify_all();
+          break;
+        }
+      }
+      if (work.empty()) {
+        if (active == 0) {
+          cv.notify_all();
+          break;
+        }
+        cv.wait(lock);
+        continue;
+      }
+      IntervalWork item = std::move(work.back());
+      work.pop_back();
+      const RatioInterval interval = item.interval;
+      if (!HasRealizableRatioBetween(interval.lo, interval.hi, n)) continue;
+      const double bound = IntervalDensityBound(interval);
+      const double incumbent_snapshot = state->incumbent_density;
+      const double prune_at =
+          incumbent_snapshot + 1e-9 * std::max(1.0, incumbent_snapshot);
+      if (bound <= prune_at) {
+        ++state->stats.intervals_pruned;
+        continue;
+      }
+      std::optional<Fraction> mid = ProbeRatioForInterval(interval, n);
+      CHECK(mid.has_value());  // HasRealizableRatioBetween passed
+      const double interval_phi = RatioMismatchPhi(
+          std::sqrt(interval.hi.ToDouble() / interval.lo.ToDouble()));
+      const double stop_below = incumbent_snapshot / interval_phi;
+      ++active;
+      lock.unlock();
+      const ContextProbe probe = ProbeInContextAt(
+          g, state->options, state->delta, state->upper_global,
+          incumbent_snapshot, *mid, interval.lo, interval.hi, stop_below,
+          item.parent.get(), workspace, state->control);
+      lock.lock();
+      --active;
+      if (probe.context_exhausted) {
+        // Nothing anywhere in (lo, hi) beats the snapshot incumbent.
+        state->stats.intervals_pruned += 2;
+        cv.notify_all();
+        continue;
+      }
+      AbsorbProbeStats(probe.probe, state);
+      MaybeUpdateIncumbentParallel(probe.probe, *mid, state, &tie);
+      // Subintervals reach the stack even after a truncated probe — the
+      // truncated h_upper is still certified, which is what keeps the
+      // anytime bound valid when the loop drains below.
+      work.push_back(IntervalWork{RatioInterval{interval.lo, *mid,
+                                                interval.h_upper_lo,
+                                                probe.probe.h_upper},
+                                  probe.located});
+      work.push_back(IntervalWork{RatioInterval{*mid, interval.hi,
+                                                probe.probe.h_upper,
+                                                interval.h_upper_hi},
+                                  probe.located});
+      cv.notify_all();
+    }
+  });
+
+  if (state->control != nullptr && state->control->stopped()) {
+    FinishInterruptedWork(state, work);
+  }
+}
+
+// Parallel exhaustive enumeration: the realizable ratios fan out across
+// the pool; each probe truncates its descent at the freshest incumbent
+// snapshot and results merge under the same lowest-ratio tie-break.
+template <typename G>
+void RunExhaustiveParallel(EngineState<G>* state, ThreadPool* pool) {
+  const G& g = *state->g;
+  const int64_t n = g.NumVertices();
+  CHECK_LE(n, state->options.max_exhaustive_n)
+      << "exhaustive ratio enumeration is O(n^2); enable "
+         "divide_and_conquer for graphs this large";
+  const std::vector<Fraction> ratios = AllRealizableRatios(n);
+  const int workers = pool->num_workers();
+  std::vector<ProbeWorkspace> private_workspaces(
+      static_cast<size_t>(workers - 1));
+  std::mutex mu;
+  IncumbentTie tie;
+  pool->ParallelFor(
+      static_cast<int64_t>(ratios.size()), [&](int64_t i, int worker) {
+        double incumbent_snapshot;
+        DdsProgress snapshot;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          incumbent_snapshot = state->incumbent_density;
+          snapshot.lower_bound = state->incumbent_density;
+          snapshot.upper_bound = state->upper_global;
+          snapshot.ratios_probed = state->stats.ratios_probed;
+          snapshot.binary_search_iters = state->stats.binary_search_iters;
+        }
+        // The control (and the user callback) runs outside the stats
+        // mutex so a slow callback cannot serialize the pool.
+        if (state->control != nullptr) {
+          snapshot.elapsed_seconds = state->control->ElapsedSeconds();
+          if (state->control->ShouldStop(snapshot)) {
+            return;  // drain the remaining ratios
+          }
+        }
+        const Fraction& ratio = ratios[static_cast<size_t>(i)];
+        // At a single ratio, any pair denser than the incumbent has
+        // linearized value > incumbent, so the descent may stop there.
+        const ContextProbe probe = ProbeInContextAt(
+            g, state->options, state->delta, state->upper_global,
+            incumbent_snapshot, ratio, ratio, ratio,
+            /*stop_below=*/incumbent_snapshot, /*within=*/nullptr,
+            worker == 0
+                ? state->workspace
+                : &private_workspaces[static_cast<size_t>(worker - 1)],
+            state->control);
+        if (probe.context_exhausted) return;
+        std::lock_guard<std::mutex> lock(mu);
+        AbsorbProbeStats(probe.probe, state);
+        MaybeUpdateIncumbentParallel(probe.probe, ratio, state, &tie);
+      });
   if (state->control != nullptr && state->control->stopped()) {
     FinishInterrupted(state, nullptr);
   }
@@ -327,7 +653,8 @@ RatioProbeResult ProbeRatio(const G& g,
     if (refine_cores) {
       const int64_t x_c = SideThreshold(guess / (2.0 * sqrt_a));
       const int64_t y_c = SideThreshold(guess * sqrt_a / 2.0);
-      refined = ComputeXyCoreWithin(g, x_c, y_c, cur_s, cur_t);
+      refined = ComputeXyCoreWithin(g, x_c, y_c, cur_s, cur_t,
+                                    &workspace->refine_scratch);
       if (refined.Empty()) {
         u = guess;
         continue;
@@ -416,9 +743,15 @@ RatioProbeResult ProbeRatio(const G& g,
 template <typename G>
 DdsSolution SolveExactDds(const G& g, const ExactOptions& options,
                           SolveControl* control, ProbeWorkspace* workspace) {
+  CHECK_GE(options.threads, 1);
   WallTimer timer;
   DdsSolution solution;
   if (g.TotalWeight() == 0) return solution;
+
+  // One pool for the whole solve: the warm start's skyline walk and the
+  // ratio-space search share it. threads = 1 spawns nothing and every
+  // phase runs the historical sequential code inline.
+  ThreadPool pool(options.threads);
 
   EngineState<G> state;
   state.g = &g;
@@ -435,7 +768,7 @@ DdsSolution SolveExactDds(const G& g, const ExactOptions& options,
                 static_cast<double>(g.MaxEdgeWeight()));
 
   if (options.approx_warm_start) {
-    const CoreApproxResult approx = CoreApprox(g);
+    const CoreApproxResult approx = CoreApprox(g, &pool);
     if (!approx.Empty()) {
       state.incumbent = DdsPair{approx.core.s, approx.core.t};
       state.incumbent_density = approx.density;
@@ -443,10 +776,12 @@ DdsSolution SolveExactDds(const G& g, const ExactOptions& options,
     }
   }
 
+  const bool parallel = pool.num_workers() > 1;
   if (options.divide_and_conquer) {
-    RunDivideAndConquer(&state);
+    parallel ? RunDivideAndConquerParallel(&state, &pool)
+             : RunDivideAndConquer(&state);
   } else {
-    RunExhaustive(&state);
+    parallel ? RunExhaustiveParallel(&state, &pool) : RunExhaustive(&state);
   }
 
   solution.pair = std::move(state.incumbent);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/xy_core.h"
 #include "dds/control.h"
 #include "dds/result.h"
 #include "flow/dds_network.h"
@@ -75,6 +76,23 @@ struct ExactOptions {
   /// Safety limit for the non-D&C exhaustive ratio enumeration, which
   /// materializes O(n^2) fractions.
   int64_t max_exhaustive_n = 2000;
+  /// Worker count for the ratio-space search (util/thread_pool.h,
+  /// DESIGN.md §11). With threads > 1 the divide-and-conquer interval
+  /// stack becomes a work-sharing loop (independent intervals probed
+  /// concurrently against an atomic shared incumbent, one
+  /// ProbeWorkspace per worker) and the exhaustive enumeration fans its
+  /// ratios across the pool. The returned density is the exact optimum
+  /// either way — pruning against a stale incumbent is only ever
+  /// conservative. When the max-density witness is unique the returned
+  /// pair is that witness, identical to the sequential solve's; a graph
+  /// with several optimum pairs can return any of them (the
+  /// lowest-probe-ratio tie-break removes dependence on witness
+  /// *reporting* order, but which witnesses get reported at all depends
+  /// on pruning against the evolving incumbent and is
+  /// schedule-dependent, as are the SolverStats trajectory counters). 1
+  /// (the default) runs the historical sequential search,
+  /// bit-identically.
+  int threads = 1;
 };
 
 /// Outcome of probing a single ratio value.
@@ -111,6 +129,9 @@ struct ProbeWorkspace {
   DdsBuildScratch build_scratch;
   EpochSet built_s_marks;
   EpochSet built_t_marks;
+  /// Scratch for the per-guess core refinement, so each refinement costs
+  /// O(candidates), not O(n) (core/xy_core.h).
+  XyCoreScratch refine_scratch;
 };
 
 /// Binary search with min-cut feasibility tests at a fixed `ratio`,
@@ -184,9 +205,16 @@ extern template double ExactSearchDelta<WeightedDigraph>(
 /// `[lower_bound, upper_bound]` bracket of the optimum — the lower bound
 /// is the incumbent's exactly evaluated density, the upper bound is the
 /// max of the interval bounds still outstanding (capped by the global
-/// bound). `workspace`, when non-null, supplies long-lived scratch reused
-/// across solves (DdsEngine owns one per graph); solves are bit-identical
-/// with or without a pre-used workspace.
+/// bound). These semantics survive `threads > 1`: the control is
+/// thread-safe, a truncated probe still returns certified bounds, every
+/// in-flight interval deposits its subintervals on the shared stack
+/// before its worker exits, and the anytime bound is derived from the
+/// drained stack once all workers have stopped. `workspace`, when
+/// non-null, supplies long-lived scratch reused across solves (DdsEngine
+/// owns one per graph); solves are bit-identical with or without a
+/// pre-used workspace. Under `threads > 1` the caller's workspace serves
+/// worker 0 and the remaining workers run on per-solve private
+/// workspaces.
 ///
 /// On the weighted instantiation all densities are weighted densities and
 /// `pair_edges` carries w(E(S,T)); on an all-weights-1 graph the solve is

@@ -1,6 +1,7 @@
 #include "dds/engine.h"
 
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "core/core_approx.h"
@@ -9,6 +10,7 @@
 #include "dds/lp_exact.h"
 #include "dds/naive_exact.h"
 #include "dds/weighted_dds.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ddsgraph {
@@ -36,8 +38,8 @@ DdsSolution RunLp(DdsEngine& engine, const DdsRequest&, SolveControl*) {
 // control — so weighted solves honor every ExactOptions flag and preset.
 DdsSolution RunExactEngine(DdsEngine& engine, const DdsRequest& request,
                            SolveControl* control) {
-  const ExactOptions options =
-      ExactPresetFor(request.algorithm, request.exact);
+  ExactOptions options = ExactPresetFor(request.algorithm, request.exact);
+  options.threads = request.threads;
   if (engine.weighted()) {
     return SolveExactDds(*engine.weighted_graph(), options, control,
                          engine.workspace());
@@ -48,18 +50,22 @@ DdsSolution RunExactEngine(DdsEngine& engine, const DdsRequest& request,
 
 DdsSolution RunPeel(DdsEngine& engine, const DdsRequest& request,
                     SolveControl*) {
+  PeelApproxOptions options = request.peel;
+  options.threads = request.threads;
   if (engine.weighted()) {
-    return PeelApprox(*engine.weighted_graph(), request.peel);
+    return PeelApprox(*engine.weighted_graph(), options);
   }
-  return PeelApprox(*engine.graph(), request.peel);
+  return PeelApprox(*engine.graph(), options);
 }
 
 DdsSolution RunBatchPeel(DdsEngine& engine, const DdsRequest& request,
                          SolveControl*) {
+  BatchPeelOptions options = request.batch_peel;
+  options.threads = request.threads;
   if (engine.weighted()) {
-    return BatchPeelApprox(*engine.weighted_graph(), request.batch_peel);
+    return BatchPeelApprox(*engine.weighted_graph(), options);
   }
-  return BatchPeelApprox(*engine.graph(), request.batch_peel);
+  return BatchPeelApprox(*engine.graph(), options);
 }
 
 // The registry adapter for the core 2-approximation: convert the
@@ -67,8 +73,9 @@ DdsSolution RunBatchPeel(DdsEngine& engine, const DdsRequest& request,
 // [density, 2 sqrt(x y)] bracket, reporting skyline sweeps through the
 // same ratios_probed counter every other solver uses.
 template <typename G>
-DdsSolution CoreApproxSolution(const G& g) {
-  const CoreApproxResult approx = CoreApprox(g);
+DdsSolution CoreApproxSolution(const G& g, int threads) {
+  ThreadPool pool(threads);
+  const CoreApproxResult approx = CoreApprox(g, &pool);
   DdsSolution solution;
   solution.pair = DdsPair{approx.core.s, approx.core.t};
   solution.density = approx.density;
@@ -79,10 +86,12 @@ DdsSolution CoreApproxSolution(const G& g) {
   return solution;
 }
 
-DdsSolution RunCoreApprox(DdsEngine& engine, const DdsRequest&,
+DdsSolution RunCoreApprox(DdsEngine& engine, const DdsRequest& request,
                           SolveControl*) {
-  if (engine.weighted()) return CoreApproxSolution(*engine.weighted_graph());
-  return CoreApproxSolution(*engine.graph());
+  if (engine.weighted()) {
+    return CoreApproxSolution(*engine.weighted_graph(), request.threads);
+  }
+  return CoreApproxSolution(*engine.graph(), request.threads);
 }
 
 // ------------------------------------------------------------ registry
@@ -149,6 +158,11 @@ Status ValidateRequest(const DdsRequest& request) {
     return Status::InvalidArgument(
         "deadline_seconds must be positive (infinity = no deadline), got " +
         std::to_string(request.deadline_seconds));
+  }
+  if (request.threads < 1) {
+    return Status::InvalidArgument(
+        "DdsRequest::threads must be >= 1 (1 = sequential), got " +
+        std::to_string(request.threads));
   }
   // Only the options the chosen algorithm consumes are validated, so a
   // request object can be reused across algorithms without tripping on
@@ -230,7 +244,16 @@ Result<DdsSolution> DdsEngine::Solve(const DdsRequest& request) {
   }
   WallTimer timer;
   SolveControl control(request.deadline_seconds, request.progress);
-  DdsSolution solution = info->run(*this, request, &control);
+  // Clamp the fan-out to the hardware: beyond it, CPU-bound peels and
+  // probes only pay cache-thrashing interleaving, and a serving facade
+  // must bound the threads one request can spawn. (Unknown concurrency
+  // probes as 0 — no clamp then.)
+  DdsRequest effective = request;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware > 0 && effective.threads > static_cast<int>(hardware)) {
+    effective.threads = static_cast<int>(hardware);
+  }
+  DdsSolution solution = info->run(*this, effective, &control);
   // Facade-level uniformity: every algorithm reports wall time and the
   // engine-reuse provenance the same way. Only workspace-using solves
   // count as scratch inheritance — a core-approx query between two exact

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/peel_queue.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ddsgraph {
@@ -112,6 +115,7 @@ PassResult PeelPass(const G& g, double sqrt_a,
 template <typename G>
 DdsSolution PeelApprox(const G& g, const PeelApproxOptions& options) {
   CHECK_GT(options.epsilon, 0.0);
+  CHECK_GE(options.threads, 1);
   WallTimer timer;
   DdsSolution solution;
   if (g.NumEdges() == 0) return solution;
@@ -125,27 +129,56 @@ DdsSolution PeelApprox(const G& g, const PeelApproxOptions& options) {
   const double hi = static_cast<double>(n);
   for (double a = lo; a < hi; a *= 1.0 + options.epsilon) ladder.push_back(a);
   ladder.push_back(hi);
+  solution.stats.ratios_probed = static_cast<int64_t>(ladder.size());
 
-  double best_density = 0;
-  double best_sqrt_a = 1;
-  for (double a : ladder) {
-    ++solution.stats.ratios_probed;
-    const PassResult pass = PeelPass(g, std::sqrt(a), nullptr);
-    if (pass.best_density > best_density) {
-      best_density = pass.best_density;
-      best_sqrt_a = std::sqrt(a);
+  // The rungs are independent read-only passes, fanned out across the
+  // pool. Each worker keeps its champion pass *with the recorded removal
+  // sequence*, so the winner is materialized from the recording instead
+  // of being peeled a second time, and merging champions under
+  // (density desc, rung index asc) reproduces the sequential loop's
+  // first-strictly-better tie-break for every thread count.
+  struct Champion {
+    double density = 0;
+    int64_t rung = std::numeric_limits<int64_t>::max();
+    int64_t best_step = -1;
+    std::vector<std::pair<VertexId, int>> removals;
+  };
+  ThreadPool pool(options.threads);
+  std::vector<Champion> champions(static_cast<size_t>(pool.num_workers()));
+  std::vector<std::vector<std::pair<VertexId, int>>> scratch(
+      static_cast<size_t>(pool.num_workers()));
+  pool.ParallelFor(
+      static_cast<int64_t>(ladder.size()), [&](int64_t i, int worker) {
+        auto& removals = scratch[static_cast<size_t>(worker)];
+        removals.clear();
+        const double a = ladder[static_cast<size_t>(i)];
+        const PassResult pass = PeelPass(g, std::sqrt(a), &removals);
+        Champion& champion = champions[static_cast<size_t>(worker)];
+        if (pass.best_density > champion.density ||
+            (pass.best_density == champion.density && pass.best_density > 0 &&
+             i < champion.rung)) {
+          champion.density = pass.best_density;
+          champion.rung = i;
+          champion.best_step = pass.best_step;
+          champion.removals.swap(removals);
+        }
+      });
+  const Champion* best = &champions[0];
+  for (const Champion& champion : champions) {
+    if (champion.density > best->density ||
+        (champion.density == best->density && champion.rung < best->rung)) {
+      best = &champion;
     }
   }
 
-  if (best_density > 0) {
-    // Replay the winning pass to materialize the best intermediate pair.
-    std::vector<std::pair<VertexId, int>> removals;
-    const PassResult pass = PeelPass(g, best_sqrt_a, &removals);
-    CHECK_GE(pass.best_step, 0);
+  if (best->density > 0) {
+    // Materialize the champion's best intermediate pair from its recorded
+    // removal prefix.
+    CHECK_GE(best->best_step, 0);
     std::vector<bool> in_s(n, true);
     std::vector<bool> in_t(n, true);
-    for (int64_t i = 0; i < pass.best_step; ++i) {
-      const auto [v, side] = removals[static_cast<size_t>(i)];
+    for (int64_t i = 0; i < best->best_step; ++i) {
+      const auto [v, side] = best->removals[static_cast<size_t>(i)];
       (side == 0 ? in_s : in_t)[v] = false;
     }
     for (VertexId v = 0; v < n; ++v) {
@@ -155,7 +188,7 @@ DdsSolution PeelApprox(const G& g, const PeelApproxOptions& options) {
     solution.density = PairDensity(g, solution.pair);
     solution.pair_edges = PairWeight(g, solution.pair.s, solution.pair.t);
     // Replay determinism: the recomputed density must match the scan.
-    CHECK_GE(solution.density + 1e-9, pass.best_density);
+    CHECK_GE(solution.density + 1e-9, best->density);
   }
   solution.lower_bound = solution.density;
   solution.upper_bound = 2.0 * RatioMismatchPhi(1.0 + options.epsilon) *

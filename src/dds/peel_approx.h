@@ -33,10 +33,21 @@ namespace ddsgraph {
 struct PeelApproxOptions {
   /// Geometric ladder step; smaller = tighter guarantee, more passes.
   double epsilon = 0.1;
+  /// Worker count for the ladder fan-out (util/thread_pool.h): the rungs
+  /// are independent read-only passes over `g`, so they are distributed
+  /// across `threads` workers and the winners merged with the sequential
+  /// tie-break (equal density -> lowest rung index). Results are
+  /// bit-identical for every thread count; 1 (the default) runs the
+  /// historical sequential loop.
+  int threads = 1;
 };
 
 /// Runs the peeling baseline. stats.ratios_probed reports the number of
 /// ladder points; upper_bound carries the certified 2*phi(1+eps) bound.
+/// Each pass records its removal sequence into per-worker scratch and the
+/// champion's sequence is kept, so the winning rung is materialized by
+/// replaying the recorded prefix instead of peeling the graph a second
+/// time.
 template <typename G>
 DdsSolution PeelApprox(const G& g,
                        const PeelApproxOptions& options = PeelApproxOptions());

@@ -31,5 +31,6 @@
 #include "graph/io.h"                     // IWYU pragma: export
 #include "graph/subgraph.h"               // IWYU pragma: export
 #include "graph/wcc.h"                    // IWYU pragma: export
+#include "util/thread_pool.h"             // IWYU pragma: export
 
 #endif  // DDSGRAPH_DDSGRAPH_H_

@@ -28,6 +28,10 @@ class EpochSet {
   bool Contains(uint32_t element) const {
     return stamp_[element] == epoch_;
   }
+  /// Removes one element from the current epoch's set. (Backdating the
+  /// stamp can never collide with a future epoch — Clear only ever
+  /// increments the counter.)
+  void Remove(uint32_t element) { stamp_[element] = epoch_ - 1; }
 
  private:
   uint64_t epoch_ = 0;

@@ -25,8 +25,15 @@
 ///   * Integer weights: keys are weighted degrees, bounded only by the
 ///     total edge weight W. A bucket array of size W is an O(W) allocation
 ///     per peel (and a cache disaster when weights are heavy-tailed), so
-///     `PeelQueue<WeightedDigraph>` is LazyHeapQueue — a lazy-deletion
-///     4-ary min-heap with O(log n) operations independent of W.
+///     the weighted fallback is LazyHeapQueue — a lazy-deletion 4-ary
+///     min-heap with O(log n) operations independent of W. But many
+///     weighted graphs (all-weights-1 lifts, small multiplicities) have
+///     weighted degrees that are still dense small integers, for which the
+///     heap is a pure ~4-6x constant-factor loss (E3's
+///     `unit_peel_overhead`). `PeelQueue<WeightedDigraph>` is therefore
+///     HybridPeelQueue: it inspects the actual key bound at construction
+///     and picks the bucket array whenever it is small enough to pay,
+///     falling back to the heap only for genuinely wide key ranges.
 ///
 /// LazyHeapQueue deliberately reproduces BucketQueue's *extraction order*,
 /// not just its min-key semantics: entries are ordered by (key ascending,
@@ -175,6 +182,72 @@ class LazyHeapQueue {
   uint32_t size_ = 0;
 };
 
+/// Runtime-dispatched peel queue for weighted keys: the same interface and
+/// extraction order as BucketQueue / LazyHeapQueue (the two backends are
+/// pop-order identical by construction, cross-checked in
+/// tests/peel_queue_test.cc), with the backend chosen per instance from
+/// the actual key bound. Since both backends extract the same items in the
+/// same order, the choice is invisible to callers — peel trajectories are
+/// bit-identical whichever backend runs, so the dispatch is purely a
+/// constant-factor decision.
+class HybridPeelQueue {
+ public:
+  /// True when a dense bucket array over [0, max_key] is the profitable
+  /// backend for `n` items: the O(max_key) allocation and cumulative
+  /// bucket scan must stay comparable to the O(n) the peel already pays.
+  /// Unit-weight lifts (max weighted degree = max degree <= n) and small
+  /// multiplicities land in the bucket regime; heavy-tailed weighted
+  /// degrees (bounded only by W) take the heap.
+  static bool UsesBucket(uint32_t n, int64_t max_key) {
+    return max_key <= std::max<int64_t>(4096, 4 * static_cast<int64_t>(n));
+  }
+
+  HybridPeelQueue(uint32_t n, int64_t max_key)
+      : use_bucket_(UsesBucket(n, max_key)) {
+    if (use_bucket_) {
+      bucket_.emplace(n, max_key);
+    } else {
+      heap_.emplace(n, max_key);
+    }
+  }
+
+  void Insert(uint32_t item, int64_t key) {
+    use_bucket_ ? bucket_->Insert(item, key) : heap_->Insert(item, key);
+  }
+  void DecreaseKey(uint32_t item, int64_t new_key) {
+    use_bucket_ ? bucket_->DecreaseKey(item, new_key)
+                : heap_->DecreaseKey(item, new_key);
+  }
+  void Decrement(uint32_t item) {
+    use_bucket_ ? bucket_->Decrement(item) : heap_->Decrement(item);
+  }
+  void Remove(uint32_t item) {
+    use_bucket_ ? bucket_->Remove(item) : heap_->Remove(item);
+  }
+  bool Contains(uint32_t item) const {
+    return use_bucket_ ? bucket_->Contains(item) : heap_->Contains(item);
+  }
+  int64_t KeyOf(uint32_t item) const {
+    return use_bucket_ ? bucket_->KeyOf(item) : heap_->KeyOf(item);
+  }
+  bool Empty() const { return use_bucket_ ? bucket_->Empty() : heap_->Empty(); }
+  uint32_t Size() const { return use_bucket_ ? bucket_->Size() : heap_->Size(); }
+  std::optional<std::pair<uint32_t, int64_t>> PopMin() {
+    return use_bucket_ ? bucket_->PopMin() : heap_->PopMin();
+  }
+  std::optional<int64_t> PeekMinKey() {
+    return use_bucket_ ? bucket_->PeekMinKey() : heap_->PeekMinKey();
+  }
+
+  /// Which backend this instance runs on (observable for tests/benches).
+  bool uses_bucket_backend() const { return use_bucket_; }
+
+ private:
+  bool use_bucket_;
+  std::optional<BucketQueue> bucket_;
+  std::optional<LazyHeapQueue> heap_;
+};
+
 namespace internal {
 
 template <bool kWeightedKeys>
@@ -184,14 +257,14 @@ struct PeelQueueSelector {
 
 template <>
 struct PeelQueueSelector<true> {
-  using type = LazyHeapQueue;
+  using type = HybridPeelQueue;
 };
 
 }  // namespace internal
 
 /// The peel queue for graph type `G` (a `DigraphT` instantiation): the
-/// monotone bucket queue when degrees are unit-weighted, the lazy-deletion
-/// heap when they are weighted sums.
+/// monotone bucket queue when degrees are unit-weighted, the runtime
+/// bucket-or-heap hybrid when they are weighted sums.
 template <typename G>
 using PeelQueue = typename internal::PeelQueueSelector<G::kWeighted>::type;
 

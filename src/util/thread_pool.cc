@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace ddsgraph {
+
+ThreadPool::ThreadPool(int threads) {
+  const int spawned = threads > 1 ? threads - 1 : 0;
+  threads_.reserve(static_cast<size_t>(spawned));
+  for (int i = 0; i < spawned; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(int)>* body;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || job_epoch_ != seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      body = job_;
+    }
+    (*body)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--unfinished_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& body) {
+  if (threads_.empty()) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &body;
+    unfinished_ = static_cast<int>(threads_.size());
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  body(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int)>& fn) {
+  if (n <= 0) return;
+  if (threads_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  RunOnAllWorkers([&](int worker) {
+    while (true) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i, worker);
+    }
+  });
+}
+
+}  // namespace ddsgraph

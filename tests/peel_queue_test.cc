@@ -14,9 +14,10 @@ namespace {
 
 // The policy split is a compile-time contract: the unit policy *is* the
 // bucket queue (zero behavioral drift possible), the weighted policy is
-// the range-independent heap.
+// the runtime hybrid that picks the bucket array for dense key ranges and
+// the range-independent heap otherwise.
 static_assert(std::is_same_v<PeelQueue<Digraph>, BucketQueue>);
-static_assert(std::is_same_v<PeelQueue<WeightedDigraph>, LazyHeapQueue>);
+static_assert(std::is_same_v<PeelQueue<WeightedDigraph>, HybridPeelQueue>);
 
 TEST(LazyHeapQueueTest, BasicInsertPopOrdering) {
   LazyHeapQueue q(5, 100);
@@ -126,6 +127,70 @@ TEST(PeelQueueTest, HeapMatchesBucketOnRandomMonotoneSequences) {
       if (!bp.has_value()) break;
       EXPECT_EQ(bp->first, hp->first) << "seed " << seed;
       EXPECT_EQ(bp->second, hp->second) << "seed " << seed;
+    }
+  }
+}
+
+TEST(HybridPeelQueueTest, SelectsBucketForDenseKeyRangesAndHeapForWide) {
+  // Dense regime: unit-weight lifts have max key <= n.
+  HybridPeelQueue dense(1000, 999);
+  EXPECT_TRUE(dense.uses_bucket_backend());
+  // Wide regime: heavy-tailed weighted degrees, max key >> n.
+  HybridPeelQueue wide(1000, int64_t{1} << 40);
+  EXPECT_FALSE(wide.uses_bucket_backend());
+  // The threshold is a function of (n, max_key) alone.
+  EXPECT_TRUE(HybridPeelQueue::UsesBucket(16, 4096));
+  EXPECT_FALSE(HybridPeelQueue::UsesBucket(16, 4097));
+  EXPECT_TRUE(HybridPeelQueue::UsesBucket(1u << 20, 1 << 22));
+}
+
+TEST(HybridPeelQueueTest, BothBackendsMatchBucketPopOrder) {
+  // Drive a bucket queue, a hybrid-on-bucket and a hybrid-on-heap with
+  // the same monotone sequence; all three must extract identically. The
+  // hybrid's backend choice is forced via the advertised max_key (the
+  // keys themselves stay small so all three accept them).
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 131 + 7);
+    const uint32_t n = 30;
+    const int64_t max_key = 50;
+    BucketQueue reference(n, max_key);
+    HybridPeelQueue on_bucket(n, max_key);
+    HybridPeelQueue on_heap(n, int64_t{1} << 40);
+    ASSERT_TRUE(on_bucket.uses_bucket_backend());
+    ASSERT_FALSE(on_heap.uses_bucket_backend());
+    std::vector<int64_t> key(n, -1);
+    for (uint32_t v = 0; v < n; ++v) {
+      const int64_t k = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(max_key) + 1));
+      reference.Insert(v, k);
+      on_bucket.Insert(v, k);
+      on_heap.Insert(v, k);
+      key[v] = k;
+    }
+    for (int64_t ops = 0; ops < 400; ++ops) {
+      const uint64_t roll = rng.NextBounded(4);
+      if (roll < 2) {
+        const uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+        if (key[v] < 0) continue;
+        const int64_t nk =
+            std::max<int64_t>(0, key[v] - static_cast<int64_t>(
+                                              rng.NextBounded(3)));
+        reference.DecreaseKey(v, nk);
+        on_bucket.DecreaseKey(v, nk);
+        on_heap.DecreaseKey(v, nk);
+        key[v] = nk;
+      } else {
+        const auto rp = reference.PopMin();
+        const auto bp = on_bucket.PopMin();
+        const auto hp = on_heap.PopMin();
+        ASSERT_EQ(rp.has_value(), bp.has_value());
+        ASSERT_EQ(rp.has_value(), hp.has_value());
+        if (!rp.has_value()) break;
+        EXPECT_EQ(rp->first, bp->first) << "seed " << seed;
+        EXPECT_EQ(rp->first, hp->first) << "seed " << seed;
+        EXPECT_EQ(rp->second, hp->second) << "seed " << seed;
+        key[rp->first] = -1;
+      }
     }
   }
 }

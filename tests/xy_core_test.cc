@@ -148,6 +148,33 @@ TEST(XyCoreTest, WithinRestrictedCandidatesMatchesNestedComputation) {
   EXPECT_EQ(within.t, direct.t);
 }
 
+TEST(XyCoreTest, ScratchOverloadMatchesAndReusesAcrossCalls) {
+  // The scratch-backed overload must agree with the scratch-less one (and
+  // hence with the full-graph peel) while one scratch instance serves many
+  // calls with varying thresholds and candidate sets — the exact engine's
+  // per-guess refinement pattern.
+  const Digraph g = UniformDigraph(60, 500, 19);
+  XyCoreScratch scratch;
+  for (int64_t x = 1; x <= 4; ++x) {
+    for (int64_t y = 1; y <= 4; ++y) {
+      const XyCore weak = ComputeXyCore(g, 1, 1);
+      const XyCore direct = ComputeXyCore(g, x, y);
+      const XyCore with_scratch =
+          ComputeXyCoreWithin(g, x, y, weak.s, weak.t, &scratch);
+      EXPECT_EQ(with_scratch.s, direct.s) << x << "," << y;
+      EXPECT_EQ(with_scratch.t, direct.t) << x << "," << y;
+      // Nested use: refine the just-computed core further.
+      if (!direct.Empty()) {
+        const XyCore tighter = ComputeXyCore(g, x + 1, y);
+        const XyCore nested =
+            ComputeXyCoreWithin(g, x + 1, y, direct.s, direct.t, &scratch);
+        EXPECT_EQ(nested.s, tighter.s);
+        EXPECT_EQ(nested.t, tighter.t);
+      }
+    }
+  }
+}
+
 TEST(XyCoreTest, ReversalDuality) {
   // [x,y]-core of G equals the swapped [y,x]-core of the transpose.
   const Digraph g = UniformDigraph(40, 300, 15);

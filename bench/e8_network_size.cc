@@ -1,66 +1,412 @@
-// E8 — flow-network size across binary-search iterations (the paper's
-// "size of flow network" figure).
+// E8 — flow-kernel microbenchmark (the exact probe hot path).
 //
-// For one ratio probe at the optimum's neighbourhood, the per-iteration
-// node counts of the solved flow networks, with and without core
-// refinement. The expected shape: the unrefined probe stays at the
-// full-size network while the refined one collapses by orders of
-// magnitude as the lower bound rises. Since the parametric engine
-// (DESIGN.md §7) reuses one network per candidate snapshot, the refined
-// trace steps down at each snapshot rebuild rather than shrinking at
-// every single iteration as the seed's rebuild-per-guess probing did.
+// Every exact DDS solve reduces to a sequence of min-cut probes, so this
+// experiment times exactly that kernel: a parametric binary-search descent
+// of density guesses on the DDS network of each dataset (ratio 1, all
+// vertices as candidates), solved by each layout/engine combination:
+//
+//   * layout: the pre-PR linked-list adjacency walk (`ListDinic` below, a
+//     verbatim copy of the old solver) vs the finalized CSR layout the
+//     shipping kernels iterate (DESIGN.md §12);
+//   * engine: Dinic vs push-relabel;
+//   * mode:  `fresh` cold-solves an identical network copy at every guess,
+//     `probe` replays the real parametric descent — build once, then
+//     Reparameterize + re-solve (warm-started where the engine supports
+//     it, which is how `flow_engine = auto|dinic|push_relabel` behave in
+//     ProbeRatio).
+//
+// The guess ladder is decided once (feasible iff max flow < W', the total
+// source capacity) and replayed identically by every column, and every
+// solve's flow value is cross-checked against the reference — the bench
+// fails loudly if any kernel disagrees, which is what bench_e8_smoke
+// guards in CI.
+//
+// Results are dumped as JSON (--json_out, default BENCH_e8.json). The
+// headline number is `geomean_speedup`: the geometric mean over datasets
+// of probe-descent time, pre-PR linked-list Dinic baseline vs the best
+// CSR engine (the acceptance bar is >= 1.25x).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <sstream>
+#include <vector>
 
 #include "bench_common.h"
-#include "dds/core_exact.h"
+#include "flow/dds_network.h"
+#include "flow/dinic.h"
+#include "flow/flow_engine.h"
+#include "flow/push_relabel.h"
 #include "util/flags.h"
+#include "util/stats.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace ddsgraph {
 namespace bench {
 namespace {
 
+// The pre-PR Dinic, kept verbatim as the committed baseline: linked-list
+// adjacency walk (Head/Next pointer chasing), O(n) level/iterator resets
+// per BFS phase, and an augment that scans each path twice (once for the
+// bottleneck, once to push). Recording the baseline in the same binary —
+// against the same FlowNetwork, whose list layout is still maintained —
+// keeps the BENCH_e8.json speedup an apples-to-apples kernel comparison.
+class ListDinic {
+ public:
+  explicit ListDinic(FlowNetwork* network) : net_(network) {}
+
+  FlowCap Solve(uint32_t source, uint32_t sink) {
+    return AugmentToMax(source, sink);
+  }
+  FlowCap Resolve(uint32_t source, uint32_t sink) {
+    return AugmentToMax(source, sink);
+  }
+
+ private:
+  bool BuildLevels(uint32_t source, uint32_t sink) {
+    level_.assign(net_->NumNodes(), -1);
+    queue_.clear();
+    queue_.push_back(source);
+    level_[source] = 0;
+    for (size_t qi = 0; qi < queue_.size(); ++qi) {
+      const uint32_t v = queue_[qi];
+      if (level_[sink] >= 0 && level_[v] >= level_[sink]) break;
+      for (uint32_t e = net_->Head(v); e != FlowNetwork::kNil;
+           e = net_->Next(e)) {
+        const uint32_t w = net_->To(e);
+        if (level_[w] < 0 && net_->Residual(e) > kFlowEps) {
+          level_[w] = level_[v] + 1;
+          queue_.push_back(w);
+        }
+      }
+    }
+    return level_[sink] >= 0;
+  }
+
+  FlowCap Augment(uint32_t source, uint32_t sink) {
+    path_.clear();
+    uint32_t v = source;
+    while (true) {
+      if (v == sink) {
+        FlowCap pushed = std::numeric_limits<FlowCap>::max();
+        for (uint32_t arc : path_) {
+          pushed = std::min(pushed, net_->Residual(arc));
+        }
+        for (uint32_t arc : path_) net_->Push(arc, pushed);
+        return pushed;
+      }
+      uint32_t& e = iter_[v];
+      while (e != FlowNetwork::kNil &&
+             (level_[net_->To(e)] != level_[v] + 1 ||
+              net_->Residual(e) <= kFlowEps)) {
+        e = net_->Next(e);
+      }
+      if (e == FlowNetwork::kNil) {
+        level_[v] = -1;
+        if (path_.empty()) return 0;
+        path_.pop_back();
+        v = path_.empty() ? source : net_->To(path_.back());
+        iter_[v] = net_->Next(iter_[v]);
+        continue;
+      }
+      path_.push_back(e);
+      v = net_->To(e);
+    }
+  }
+
+  FlowCap AugmentToMax(uint32_t source, uint32_t sink) {
+    FlowCap total = 0;
+    while (BuildLevels(source, sink)) {
+      iter_.assign(net_->NumNodes(), 0);
+      for (uint32_t v = 0; v < net_->NumNodes(); ++v) iter_[v] = net_->Head(v);
+      while (true) {
+        const FlowCap pushed = Augment(source, sink);
+        if (pushed <= 0) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+  FlowNetwork* net_;
+  std::vector<int32_t> level_;
+  std::vector<uint32_t> iter_;
+  std::vector<uint32_t> queue_;
+  std::vector<uint32_t> path_;
+};
+
+FlowCap SourceOutflow(const DdsNetwork& network) {
+  FlowCap total = 0;
+  for (uint32_t arc : network.source_arcs) total += network.net.FlowOn(arc);
+  return total;
+}
+
+// One step of the replayed binary-search ladder.
+struct GuessStep {
+  double guess = 0;
+  FlowCap flow_value = 0;  ///< reference max-flow value at this guess
+};
+
+// The microbench's own dataset ladder: the shared ExactDatasets graphs are
+// sized for full O(n^2)-ratio exact solves and give sub-millisecond flow
+// networks, so the kernel columns would time noise. These are the same
+// generator families at flow-kernel scale.
+std::vector<Dataset> KernelDatasets(bool quick) {
+  std::vector<Dataset> sets;
+  sets.push_back(
+      {"uni-2k", "uniform", UniformDigraph(2000, 12000, 811), {}, {}});
+  sets.push_back({"rmat-4k", "rmat", RmatDigraph(12, 24000, 812), {}, {}});
+  {
+    PlantedDigraph planted = PlantedDenseBlock(3000, 15000, 25, 40, 1.0, 813);
+    sets.push_back({"planted-3k", "planted", std::move(planted.graph),
+                    std::move(planted.planted_s),
+                    std::move(planted.planted_t)});
+  }
+  if (!quick) {
+    sets.push_back(
+        {"uni-8k", "uniform", UniformDigraph(8000, 48000, 814), {}, {}});
+    sets.push_back({"rmat-8k", "rmat", RmatDigraph(13, 60000, 815), {}, {}});
+  }
+  return sets;
+}
+
 int Main(int argc, const char* const* argv) {
   FlagSet flags("e8_network_size",
-                "E8: flow network size per binary-search iteration");
+                "E8: flow-kernel microbench (layout x engine x warm-start)");
   bool* quick = flags.Bool("quick", false, "drop the largest datasets");
+  int64_t* reps = flags.Int64(
+      "reps", 3, "repetitions per column; the minimum is reported");
+  int64_t* num_guesses = flags.Int64(
+      "guesses", 12, "binary-search steps per parametric descent");
+  std::string* json_out = flags.String(
+      "json_out", "BENCH_e8.json",
+      "write machine-readable results here (empty string disables)");
   flags.ParseOrDie(argc, argv);
 
-  PrintBanner("E8", "flow-network sizes across iterations");
-  for (const Dataset& d : ExactDatasets(*quick)) {
+  PrintBanner("E8", "flow kernel: list vs CSR, dinic vs push-relabel");
+  Table t({"dataset", "net nodes", "net arcs", "fresh list", "fresh csr",
+           "fresh pr", "probe list", "probe dinic", "probe pr", "probe auto",
+           "speedup"});
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"e8_flow_kernel\",\n  \"guesses\": "
+       << *num_guesses << ",\n  \"reps\": " << *reps
+       << ",\n  \"datasets\": [";
+  std::vector<double> speedups;
+  bool first_dataset = true;
+  for (Dataset& d : KernelDatasets(*quick)) {
     std::vector<VertexId> all(d.graph.NumVertices());
     for (VertexId v = 0; v < d.graph.NumVertices(); ++v) all[v] = v;
-    const double upper =
-        std::sqrt(static_cast<double>(d.graph.NumEdges()));
-    const Fraction ratio{1, 1};
-    const RatioProbeResult plain =
-        ProbeRatio(d.graph, all, all, ratio, 0.0, upper,
-                   ExactSearchDelta(d.graph), /*refine_cores=*/false,
-                   /*record_sizes=*/true);
-    const RatioProbeResult refined =
-        ProbeRatio(d.graph, all, all, ratio, 0.0, upper,
-                   ExactSearchDelta(d.graph), /*refine_cores=*/true,
-                   /*record_sizes=*/true);
-    std::printf("### %s (probe at ratio 1, %u vertices)\n", d.name.c_str(),
-                d.graph.NumVertices());
-    Table t({"iteration", "nodes (no refinement)", "nodes (core refined)"});
-    const size_t rows =
-        std::max(plain.network_sizes.size(), refined.network_sizes.size());
-    for (size_t i = 0; i < rows; ++i) {
-      t.AddRow({std::to_string(i + 1),
-                i < plain.network_sizes.size()
-                    ? std::to_string(plain.network_sizes[i])
-                    : "-",
-                i < refined.network_sizes.size()
-                    ? std::to_string(refined.network_sizes[i])
-                    : "-"});
+    DdsBuildScratch scratch;
+    const auto build = [&](double guess) {
+      return BuildDdsNetwork(d.graph, all, all, /*sqrt_ratio=*/1.0, guess,
+                             &scratch);
+    };
+
+    // Decide the guess ladder once with the reference kernel; every timed
+    // column replays it. Feasible iff the min cut leaves source capacity
+    // unsaturated (max flow < W' = num_pair_edges).
+    std::vector<GuessStep> steps;
+    {
+      double l = 0;
+      double u = std::sqrt(static_cast<double>(d.graph.NumEdges()));
+      for (int64_t i = 0; i < *num_guesses; ++i) {
+        const double guess = 0.5 * (l + u);
+        if (guess <= l || guess >= u) break;
+        DdsNetwork network = build(guess);
+        Dinic dinic(&network.net);
+        const FlowCap flow = dinic.Solve(network.source, network.sink);
+        const double w_prime =
+            static_cast<double>(network.num_pair_edges);
+        const bool feasible = flow < w_prime - 1e-6 * std::max(1.0, w_prime);
+        steps.push_back({guess, flow});
+        if (feasible) {
+          l = guess;
+        } else {
+          u = guess;
+        }
+      }
     }
-    t.PrintMarkdown(std::cout);
-    std::printf("\n");
+    const DdsNetwork probe_net = build(steps.front().guess);
+    const int64_t net_nodes = probe_net.NumNodes();
+    const int64_t net_arcs = static_cast<int64_t>(probe_net.net.NumArcs());
+
+    const auto check = [&](size_t step, FlowCap value, const char* column) {
+      const FlowCap want = steps[step].flow_value;
+      if (std::abs(value - want) > 1e-6 * std::max<FlowCap>(1.0, want)) {
+        std::fprintf(stderr,
+                     "ERROR: %s/%s disagrees at guess %zu: %.12g != %.12g\n",
+                     d.name.c_str(), column, step, value, want);
+        std::exit(1);
+      }
+    };
+
+    // Mode 1 — fresh: cold solve on an identical network copy per guess;
+    // copies and rebuilds stay outside the timed region, so the columns
+    // compare nothing but kernel arc-scanning.
+    const auto time_fresh = [&](auto&& solve, const char* column) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int64_t r = 0; r < *reps; ++r) {
+        double total = 0;
+        for (size_t i = 0; i < steps.size(); ++i) {
+          DdsNetwork network = build(steps[i].guess);
+          WallTimer timer;
+          const FlowCap flow = solve(&network);
+          total += timer.Seconds();
+          check(i, flow, column);
+        }
+        best = std::min(best, total);
+      }
+      return best;
+    };
+    const double fresh_list = time_fresh(
+        [](DdsNetwork* network) {
+          ListDinic solver(&network->net);
+          return solver.Solve(network->source, network->sink);
+        },
+        "fresh_list_dinic");
+    const double fresh_csr = time_fresh(
+        [](DdsNetwork* network) {
+          Dinic solver(&network->net);
+          return solver.Solve(network->source, network->sink);
+        },
+        "fresh_csr_dinic");
+    const double fresh_pr = time_fresh(
+        [](DdsNetwork* network) {
+          PushRelabel solver(&network->net);
+          return solver.Solve(network->source, network->sink);
+        },
+        "fresh_csr_push_relabel");
+
+    // Mode 2 — probe: the real parametric descent. Build once at the
+    // first guess, then Reparameterize + re-solve at each subsequent one;
+    // the Reparameterize is timed because it *is* part of the incremental
+    // kernel cost the engines pay. `solve(network, fresh)` returns the
+    // network's total source outflow so warm and cold engines are
+    // cross-checked on the same quantity.
+    const auto time_probe = [&](auto&& solve, const char* column) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int64_t r = 0; r < *reps; ++r) {
+        DdsNetwork network = build(steps.front().guess);
+        double total = 0;
+        for (size_t i = 0; i < steps.size(); ++i) {
+          WallTimer timer;
+          if (i > 0) network.Reparameterize(steps[i].guess);
+          solve(&network, /*fresh=*/i == 0);
+          total += timer.Seconds();
+          check(i, SourceOutflow(network), column);
+        }
+        best = std::min(best, total);
+      }
+      return best;
+    };
+    // Engine objects live across the descent (like ProbeRatio's), so the
+    // warm solvers keep their per-node state; lambdas re-wrap per rep.
+    const double probe_list = [&] {
+      std::vector<ListDinic> storage;
+      return time_probe(
+          [&](DdsNetwork* network, bool fresh) {
+            if (fresh) {
+              storage.clear();
+              storage.emplace_back(&network->net);
+            }
+            return fresh
+                       ? storage[0].Solve(network->source, network->sink)
+                       : storage[0].Resolve(network->source, network->sink);
+          },
+          "probe_list_dinic");
+    }();
+    const double probe_dinic = [&] {
+      std::vector<Dinic> storage;
+      return time_probe(
+          [&](DdsNetwork* network, bool fresh) {
+            if (fresh) {
+              storage.clear();
+              storage.emplace_back(&network->net);
+            }
+            return fresh
+                       ? storage[0].Solve(network->source, network->sink)
+                       : storage[0].Resolve(network->source, network->sink);
+          },
+          "probe_csr_dinic");
+    }();
+    const double probe_pr = time_probe(
+        [](DdsNetwork* network, bool fresh) {
+          // flow_engine = push_relabel semantics: no warm start, so every
+          // reuse resets the flow and re-solves cold on the reused
+          // topology.
+          if (!fresh) network->net.ResetFlow();
+          PushRelabel solver(&network->net);
+          return solver.Solve(network->source, network->sink);
+        },
+        "probe_csr_push_relabel");
+    const double probe_auto = [&] {
+      std::vector<Dinic> storage;
+      return time_probe(
+          [&](DdsNetwork* network, bool fresh) {
+            // flow_engine = auto semantics: warm-started Dinic for the
+            // incremental re-solves; the fresh build goes to push-relabel
+            // iff the network clears the size cutoff (it does for every
+            // kernel dataset here — asserted so the column stays honest
+            // if the datasets or the cutoff change).
+            if (fresh) {
+              storage.clear();
+              storage.emplace_back(&network->net);
+              if (network->net.NumArcs() >= kAutoPushRelabelMinArcs) {
+                PushRelabel solver(&network->net);
+                return solver.Solve(network->source, network->sink);
+              }
+              return storage[0].Solve(network->source, network->sink);
+            }
+            return storage[0].Resolve(network->source, network->sink);
+          },
+          "probe_csr_auto");
+    }();
+
+    const double best_csr = std::min({probe_dinic, probe_pr, probe_auto});
+    const double speedup = probe_list / best_csr;
+    speedups.push_back(speedup);
+    t.AddRow({d.name, std::to_string(net_nodes), std::to_string(net_arcs),
+              FormatSeconds(fresh_list), FormatSeconds(fresh_csr),
+              FormatSeconds(fresh_pr), FormatSeconds(probe_list),
+              FormatSeconds(probe_dinic), FormatSeconds(probe_pr),
+              FormatSeconds(probe_auto), FormatDouble(speedup, 2) + "x"});
+    if (!first_dataset) json << ",";
+    first_dataset = false;
+    json << "\n    {\"dataset\": \"" << d.name << "\", \"family\": \""
+         << d.family << "\", \"n\": " << d.graph.NumVertices()
+         << ", \"m\": " << d.graph.NumEdges()
+         << ", \"network_nodes\": " << net_nodes
+         << ", \"network_arcs\": " << net_arcs
+         << ", \"guesses\": " << steps.size() << ",\n"
+         << "     \"fresh\": {\"list_dinic\": " << fresh_list
+         << ", \"csr_dinic\": " << fresh_csr
+         << ", \"csr_push_relabel\": " << fresh_pr << "},\n"
+         << "     \"probe\": {\"list_dinic\": " << probe_list
+         << ", \"csr_dinic\": " << probe_dinic
+         << ", \"csr_push_relabel\": " << probe_pr
+         << ", \"csr_auto\": " << probe_auto << "},\n"
+         << "     \"speedup_probe\": " << FormatDouble(speedup, 4) << "}";
+  }
+  const double geomean = GeometricMean(speedups);
+  json << "\n  ],\n  \"baseline\": \"probe.list_dinic (pre-CSR linked-list "
+          "Dinic)\",\n  \"geomean_speedup\": "
+       << FormatDouble(geomean, 4) << "\n}\n";
+  t.PrintMarkdown(std::cout);
+  std::printf("geomean speedup (probe: list dinic -> best csr engine): "
+              "%.2fx\n", geomean);
+  if (!json_out->empty()) {
+    std::ofstream out(*json_out);
+    if (!out) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", json_out->c_str());
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << *json_out << "\n";
   }
   return 0;
 }

@@ -13,7 +13,9 @@
 #include "dds/solver.h"
 #include "flow/dds_network.h"
 #include "flow/dinic.h"
+#include "flow/flow_engine.h"
 #include "flow/min_cut.h"
+#include "flow/push_relabel.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -90,6 +92,10 @@ void AbsorbProbeStats(const RatioProbeResult& probe, EngineState<G>* state) {
   state->stats.flow_networks_built += probe.networks_built;
   state->stats.flow_networks_reused += probe.networks_reused;
   state->stats.warm_start_augmentations += probe.warm_start_augmentations;
+  state->stats.arcs_scanned += probe.arcs_scanned;
+  state->stats.global_relabels += probe.global_relabels;
+  state->stats.flow_solves_dinic += probe.flow_solves_dinic;
+  state->stats.flow_solves_push_relabel += probe.flow_solves_push_relabel;
   state->stats.binary_search_iters += probe.iterations;
   state->stats.max_network_nodes =
       std::max(state->stats.max_network_nodes, probe.max_network_nodes);
@@ -194,7 +200,8 @@ ContextProbe ProbeInContextAt(const G& g, const ExactOptions& options,
   result.probe = ProbeRatio(g, *probe_s, *probe_t, ratio, /*lower_start=*/0.0,
                             upper_global, delta, options.refine_cores_in_probe,
                             options.record_network_sizes, stop_below,
-                            workspace, options.incremental_probe, control);
+                            workspace, options.incremental_probe,
+                            options.flow_engine, control);
   return result;
 }
 
@@ -590,7 +597,8 @@ RatioProbeResult ProbeRatio(const G& g,
                             double upper_start, double delta,
                             bool refine_cores, bool record_sizes,
                             double stop_below, ProbeWorkspace* workspace,
-                            bool incremental, SolveControl* control) {
+                            bool incremental, FlowEngine engine,
+                            SolveControl* control) {
   CHECK_GT(delta, 0.0);
   ProbeWorkspace local_workspace;
   if (workspace == nullptr) workspace = &local_workspace;
@@ -611,9 +619,16 @@ RatioProbeResult ProbeRatio(const G& g,
   // the core, so they always reuse; a guess falling below every level
   // built so far can outgrow the snapshot and forces a rebuild.
   // `network.net` lives at a stable address across rebuild-by-assignment,
-  // so `dinic` wraps it once and its residual state carries over.
+  // so both kernels wrap it once and the residual state carries over.
+  // Engine dispatch (flow/flow_engine.h): kAuto answers fresh builds with
+  // push-relabel and warm-started re-solves with Dinic — push-relabel has
+  // no warm start, so forcing it makes every reuse reset the flow and
+  // re-solve cold on the reused topology. Either way the minimal min cut
+  // (residual source side) is the same, so the witnesses — and with them
+  // the whole search trajectory — do not depend on the engine.
   DdsNetwork network;
   Dinic dinic(&network.net);
+  PushRelabel push_relabel(&network.net);
   bool network_valid = false;
   std::vector<VertexId> built_s;  // candidate-set snapshot of `network`
   std::vector<VertexId> built_t;
@@ -700,13 +715,31 @@ RatioProbeResult ProbeRatio(const G& g,
       u = guess;
       continue;
     }
-    if (reuse) {
+    // kAuto: warm Dinic whenever the residual state survives, and for
+    // fresh solves push-relabel only on networks big enough for its setup
+    // cost to pay off (flow_engine.h's E2/E8-calibrated cutoff).
+    const bool use_push_relabel =
+        engine == FlowEngine::kPushRelabel ||
+        (engine == FlowEngine::kAuto && !reuse &&
+         network.net.NumArcs() >= kAutoPushRelabelMinArcs);
+    if (use_push_relabel) {
+      if (reuse) network.net.ResetFlow();  // push-relabel has no warm start
+      push_relabel.Solve(network.source, network.sink);
+      result.arcs_scanned += push_relabel.arcs_scanned();
+      result.global_relabels += push_relabel.num_global_relabels();
+      ++result.flow_solves_push_relabel;
+    } else if (reuse) {
       const int64_t augmentations_before = dinic.num_augmentations();
+      const int64_t arcs_before = dinic.arcs_scanned();
       dinic.Resolve(network.source, network.sink);
       result.warm_start_augmentations +=
           dinic.num_augmentations() - augmentations_before;
+      result.arcs_scanned += dinic.arcs_scanned() - arcs_before;
+      ++result.flow_solves_dinic;
     } else {
       dinic.Solve(network.source, network.sink);
+      result.arcs_scanned += dinic.arcs_scanned();
+      ++result.flow_solves_dinic;
     }
     const std::vector<bool> side =
         SourceSideOfMinCut(network.net, network.source);
@@ -804,11 +837,11 @@ template double ExactSearchDelta<WeightedDigraph>(const WeightedDigraph&);
 template RatioProbeResult ProbeRatio<Digraph>(
     const Digraph&, const std::vector<VertexId>&,
     const std::vector<VertexId>&, const Fraction&, double, double, double,
-    bool, bool, double, ProbeWorkspace*, bool, SolveControl*);
+    bool, bool, double, ProbeWorkspace*, bool, FlowEngine, SolveControl*);
 template RatioProbeResult ProbeRatio<WeightedDigraph>(
     const WeightedDigraph&, const std::vector<VertexId>&,
     const std::vector<VertexId>&, const Fraction&, double, double, double,
-    bool, bool, double, ProbeWorkspace*, bool, SolveControl*);
+    bool, bool, double, ProbeWorkspace*, bool, FlowEngine, SolveControl*);
 template DdsSolution SolveExactDds<Digraph>(const Digraph&,
                                             const ExactOptions&,
                                             SolveControl*, ProbeWorkspace*);

@@ -8,6 +8,7 @@
 #include "dds/control.h"
 #include "dds/result.h"
 #include "flow/dds_network.h"
+#include "flow/flow_engine.h"
 #include "graph/digraph.h"
 #include "util/stern_brocot.h"
 
@@ -71,6 +72,13 @@ struct ExactOptions {
   /// each guess's network on the per-guess refined core, which can be
   /// smaller than the snapshot this engine solves on.
   bool incremental_probe = true;
+  /// Which max-flow kernel answers the min-cut probes (flow/flow_engine.h).
+  /// Pure performance knob: results are bit-identical across engines
+  /// because every engine reports the same minimal min cut. `kAuto` runs
+  /// warm-started Dinic on incremental reparameterized re-solves and, on
+  /// fresh network builds, push-relabel when the network has at least
+  /// kAutoPushRelabelMinArcs residual arcs, Dinic below (DESIGN.md §12).
+  FlowEngine flow_engine = FlowEngine::kAuto;
   /// Record per-network node counts in SolverStats::network_sizes.
   bool record_network_sizes = false;
   /// Safety limit for the non-D&C exhaustive ratio enumeration, which
@@ -113,6 +121,13 @@ struct RatioProbeResult {
   int64_t networks_reused = 0;
   /// Augmenting paths pushed by warm-started re-solves.
   int64_t warm_start_augmentations = 0;
+  /// Residual arcs examined by the max-flow kernels across all guesses.
+  int64_t arcs_scanned = 0;
+  /// Global relabels performed by push-relabel solves.
+  int64_t global_relabels = 0;
+  /// Max-flow solves answered by each kernel (what `auto` actually ran).
+  int64_t flow_solves_dinic = 0;
+  int64_t flow_solves_push_relabel = 0;
   int64_t max_network_nodes = 0;
   /// Per-network node counts; filled only when record_sizes is set.
   std::vector<int64_t> network_sizes;
@@ -173,16 +188,17 @@ RatioProbeResult ProbeRatio(const G& g,
                             double stop_below = 0.0,
                             ProbeWorkspace* workspace = nullptr,
                             bool incremental = true,
+                            FlowEngine engine = FlowEngine::kAuto,
                             SolveControl* control = nullptr);
 
 extern template RatioProbeResult ProbeRatio<Digraph>(
     const Digraph&, const std::vector<VertexId>&,
     const std::vector<VertexId>&, const Fraction&, double, double, double,
-    bool, bool, double, ProbeWorkspace*, bool, SolveControl*);
+    bool, bool, double, ProbeWorkspace*, bool, FlowEngine, SolveControl*);
 extern template RatioProbeResult ProbeRatio<WeightedDigraph>(
     const WeightedDigraph&, const std::vector<VertexId>&,
     const std::vector<VertexId>&, const Fraction&, double, double, double,
-    bool, bool, double, ProbeWorkspace*, bool, SolveControl*);
+    bool, bool, double, ProbeWorkspace*, bool, FlowEngine, SolveControl*);
 
 /// Termination gap for the binary searches: below the minimum spacing of
 /// distinct (linearized) density values, clamped to [1e-12, 1e-4]. For

@@ -21,6 +21,14 @@ struct SolverStats {
   /// Augmenting paths pushed by warm-started re-solves — the incremental
   /// flow work the parametric probe engine does instead of full solves.
   int64_t warm_start_augmentations = 0;
+  /// Residual arcs examined by the max-flow kernels across all probes —
+  /// the engine-neutral measure of flow work (E8).
+  int64_t arcs_scanned = 0;
+  int64_t global_relabels = 0;       ///< push-relabel exact-height rebuilds
+  /// Max-flow solves answered by each kernel — what `flow_engine = auto`
+  /// actually dispatched per probe.
+  int64_t flow_solves_dinic = 0;
+  int64_t flow_solves_push_relabel = 0;
   int64_t binary_search_iters = 0;   ///< total guesses across all ratios
   int64_t max_network_nodes = 0;     ///< largest flow network constructed
   int64_t intervals_pruned = 0;      ///< D&C intervals discarded by bounds

@@ -14,6 +14,10 @@ std::string SolverStats::ToString() const {
   os << "ratios=" << ratios_probed << " flows=" << flow_networks_built
      << " reused=" << flow_networks_reused
      << " warm_aug=" << warm_start_augmentations
+     << " arcs=" << arcs_scanned
+     << " solves[dinic=" << flow_solves_dinic
+     << ",pr=" << flow_solves_push_relabel
+     << ",grel=" << global_relabels << "]"
      << " iters=" << binary_search_iters
      << " max_net=" << max_network_nodes << " pruned=" << intervals_pruned;
   if (prior_engine_solves > 0) {
@@ -113,6 +117,11 @@ std::string SolutionJson(const DdsSolution& solution,
      << solution.stats.flow_networks_reused
      << ", \"warm_start_augmentations\": "
      << solution.stats.warm_start_augmentations
+     << ", \"arcs_scanned\": " << solution.stats.arcs_scanned
+     << ", \"global_relabels\": " << solution.stats.global_relabels
+     << ", \"flow_solves_dinic\": " << solution.stats.flow_solves_dinic
+     << ", \"flow_solves_push_relabel\": "
+     << solution.stats.flow_solves_push_relabel
      << ", \"binary_search_iters\": " << solution.stats.binary_search_iters
      << ", \"max_network_nodes\": " << solution.stats.max_network_nodes
      << ", \"intervals_pruned\": " << solution.stats.intervals_pruned

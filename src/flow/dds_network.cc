@@ -94,6 +94,10 @@ DdsNetwork BuildDdsNetwork(const G& g,
     out.b_sink_arcs.push_back(out.net.AddEdge(out.BNode(j), out.sink,
                                               cap_b_to_sink));
   }
+  // Compact the adjacency for the solvers while the arena is cache-hot;
+  // Reparameterize touches only capacities, so the CSR stays valid across
+  // the whole parametric guess sequence.
+  out.net.Finalize();
   return out;
 }
 

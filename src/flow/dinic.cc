@@ -11,76 +11,117 @@ Dinic::Dinic(FlowNetwork* network) : net_(network) {
   CHECK(net_ != nullptr);
 }
 
+void Dinic::EnsureSized() {
+  const uint32_t n = net_->NumNodes();
+  if (level_.size() != n ||
+      epoch_ >= std::numeric_limits<uint32_t>::max() - 1) {
+    level_.assign(n, -1);
+    level_stamp_.assign(n, 0);
+    iter_.assign(n, 0);
+    epoch_ = 0;
+  }
+}
+
 bool Dinic::BuildLevels(uint32_t source, uint32_t sink) {
-  level_.assign(net_->NumNodes(), -1);
+  ++epoch_;
   queue_.clear();
   queue_.push_back(source);
-  level_[source] = 0;
+  SetLevel(source, 0);
+  int32_t sink_level = -1;
   for (size_t qi = 0; qi < queue_.size(); ++qi) {
     const uint32_t v = queue_[qi];
     // Nodes at or past the sink's level cannot lie on a shortest
     // augmenting path; stop expanding once the sink has been levelled.
-    if (level_[sink] >= 0 && level_[v] >= level_[sink]) break;
-    for (uint32_t e = net_->Head(v); e != FlowNetwork::kNil;
-         e = net_->Next(e)) {
-      const uint32_t w = net_->To(e);
-      if (level_[w] < 0 && net_->Residual(e) > kFlowEps) {
-        level_[w] = level_[v] + 1;
+    if (sink_level >= 0 && Level(v) >= sink_level) break;
+    const int32_t next_level = Level(v) + 1;
+    const uint32_t begin = net_->FirstOut(v);
+    const uint32_t end = net_->EndOut(v);
+    arcs_scanned_ += end - begin;
+    for (uint32_t k = begin; k < end; ++k) {
+      // Heads first (contiguous via the adj_to_ mirror); the scattered
+      // capacity load is paid only for arcs into unlevelled nodes.
+      const uint32_t w = net_->OutArcTo(k);
+      if (Level(w) < 0 && net_->Residual(net_->OutArc(k)) > kFlowEps) {
+        SetLevel(w, next_level);
+        if (w == sink) sink_level = next_level;
         queue_.push_back(w);
       }
     }
   }
-  return level_[sink] >= 0;
+  return sink_level >= 0;
 }
 
-// Finds one augmenting path in the level graph and pushes its bottleneck.
-// Iterative DFS with an explicit arc stack: parametric networks can have
-// augmenting paths as long as the node count, which would overflow the
-// call stack if this recursed.
-FlowCap Dinic::Augment(uint32_t source, uint32_t sink) {
+// Saturates the level graph: repeatedly walks shortest augmenting paths
+// with an explicit arc stack (parametric networks can have paths as long
+// as the node count, which would overflow the call stack if this
+// recursed). `path_cap_` carries the prefix-minimum residual along the
+// stack, so reaching the sink yields the bottleneck without re-scanning
+// the path; after a push the walk retreats only to the first saturated
+// arc and continues from there.
+FlowCap Dinic::BlockingFlow(uint32_t source, uint32_t sink) {
+  FlowCap total = 0;
   path_.clear();
+  path_cap_.clear();
   uint32_t v = source;
   while (true) {
     if (v == sink) {
-      FlowCap pushed = std::numeric_limits<FlowCap>::max();
-      for (uint32_t arc : path_) {
-        pushed = std::min(pushed, net_->Residual(arc));
-      }
+      const FlowCap pushed = path_cap_.back();
       for (uint32_t arc : path_) net_->Push(arc, pushed);
-      return pushed;
-    }
-    uint32_t& e = iter_[v];
-    while (e != FlowNetwork::kNil &&
-           (level_[net_->To(e)] != level_[v] + 1 ||
-            net_->Residual(e) <= kFlowEps)) {
-      e = net_->Next(e);
-    }
-    if (e == FlowNetwork::kNil) {
-      level_[v] = -1;  // dead end; prune for the rest of this phase
-      if (path_.empty()) return 0;
-      path_.pop_back();
+      total += pushed;
+      ++num_augmentations_;
+      // Retreat to the first saturated arc; the retained prefix stays on
+      // the stack with its prefix-minimums reduced by what was pushed.
+      size_t keep = 0;
+      while (keep < path_.size() &&
+             net_->Residual(path_[keep]) > kFlowEps) {
+        ++keep;
+      }
+      path_.resize(keep);
+      path_cap_.resize(keep);
+      for (size_t i = 0; i < keep; ++i) path_cap_[i] -= pushed;
       v = path_.empty() ? source : net_->To(path_.back());
-      iter_[v] = net_->Next(iter_[v]);  // skip the arc into the dead end
       continue;
     }
-    path_.push_back(e);
-    v = net_->To(e);
+    uint32_t& slot = iter_[v];
+    const uint32_t end = net_->EndOut(v);
+    const int32_t next_level = Level(v) + 1;
+    bool advanced = false;
+    while (slot < end) {
+      ++arcs_scanned_;
+      const uint32_t w = net_->OutArcTo(slot);
+      if (Level(w) == next_level) {
+        const uint32_t e = net_->OutArc(slot);
+        const FlowCap residual = net_->Residual(e);
+        if (residual > kFlowEps) {
+          path_cap_.push_back(path_cap_.empty()
+                                  ? residual
+                                  : std::min(path_cap_.back(), residual));
+          path_.push_back(e);
+          v = w;
+          advanced = true;
+          break;
+        }
+      }
+      ++slot;
+    }
+    if (advanced) continue;
+    SetLevel(v, -1);  // dead end; prune for the rest of this phase
+    if (path_.empty()) return total;
+    path_.pop_back();
+    path_cap_.pop_back();
+    v = path_.empty() ? source : net_->To(path_.back());
+    ++iter_[v];  // skip the arc into the dead end
   }
 }
 
 FlowCap Dinic::AugmentToMax(uint32_t source, uint32_t sink) {
   CHECK_NE(source, sink);
+  net_->Finalize();
+  EnsureSized();
   FlowCap total = 0;
   while (BuildLevels(source, sink)) {
     ++num_phases_;
-    iter_.assign(net_->NumNodes(), 0);
-    for (uint32_t v = 0; v < net_->NumNodes(); ++v) iter_[v] = net_->Head(v);
-    while (true) {
-      const FlowCap pushed = Augment(source, sink);
-      if (pushed <= 0) break;
-      total += pushed;
-      ++num_augmentations_;
-    }
+    total += BlockingFlow(source, sink);
   }
   return total;
 }
@@ -88,6 +129,7 @@ FlowCap Dinic::AugmentToMax(uint32_t source, uint32_t sink) {
 FlowCap Dinic::Solve(uint32_t source, uint32_t sink) {
   num_phases_ = 0;
   num_augmentations_ = 0;
+  arcs_scanned_ = 0;
   return AugmentToMax(source, sink);
 }
 

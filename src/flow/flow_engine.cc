@@ -1,0 +1,41 @@
+#include "flow/flow_engine.h"
+
+namespace ddsgraph {
+
+const std::vector<FlowEngineInfo>& FlowEngineRegistry() {
+  static const std::vector<FlowEngineInfo>* const registry =
+      new std::vector<FlowEngineInfo>{
+          {FlowEngine::kAuto, "auto"},
+          {FlowEngine::kDinic, "dinic"},
+          {FlowEngine::kPushRelabel, "push_relabel"},
+      };
+  return *registry;
+}
+
+const char* FlowEngineName(FlowEngine engine) {
+  for (const FlowEngineInfo& info : FlowEngineRegistry()) {
+    if (info.engine == engine) return info.name;
+  }
+  return nullptr;
+}
+
+bool ParseFlowEngineName(std::string_view name, FlowEngine* out) {
+  for (const FlowEngineInfo& info : FlowEngineRegistry()) {
+    if (name == info.name) {
+      *out = info.engine;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FlowEngineNamesHelp() {
+  std::string help;
+  for (const FlowEngineInfo& info : FlowEngineRegistry()) {
+    if (!help.empty()) help += " | ";
+    help += info.name;
+  }
+  return help;
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,65 @@
+#ifndef DDSGRAPH_FLOW_FLOW_ENGINE_H_
+#define DDSGRAPH_FLOW_FLOW_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Selectable max-flow kernel for the exact DDS probes (DESIGN.md §12).
+///
+/// Every exact probe reduces to a min-cut feasibility check; which kernel
+/// answers it is a pure performance knob — the witness pair the probe
+/// reports is the residual-source-side of the *minimal* min cut, which is
+/// unique for any maximum flow, so results stay bit-identical across
+/// engines (enforced by tests/exact_solver_test.cc).
+
+namespace ddsgraph {
+
+/// Which max-flow kernel the exact probes run.
+enum class FlowEngine {
+  /// Heuristic: warm-started Dinic for incremental reparameterized
+  /// re-solves (always — push-relabel has no warm start to compete with),
+  /// push-relabel for fresh solves on networks of at least
+  /// kAutoPushRelabelMinArcs arcs, Dinic below (the E2/E8 crossover:
+  /// push-relabel's per-solve setup loses to Dinic's cold BFS on the
+  /// small core-pruned networks the exact engine mostly builds, and wins
+  /// on large skewed ones).
+  kAuto,
+  /// Dinic everywhere: fresh Solve and warm-started Resolve.
+  kDinic,
+  /// Push-relabel everywhere; incremental re-solves reset the flow and
+  /// re-solve cold on the reused topology (push-relabel has no warm start).
+  kPushRelabel,
+};
+
+/// Fresh-solve size cutoff of kAuto: below this many residual arcs the
+/// heuristic stays on Dinic. Calibrated on E2 (tiny core-pruned networks,
+/// where forcing push-relabel cost 1.2-1.6x) and E8 (>= ~36k-arc kernel
+/// datasets, where push-relabel wins the cold rmat/planted solves).
+inline constexpr size_t kAutoPushRelabelMinArcs = 32768;
+
+struct FlowEngineInfo {
+  FlowEngine engine;
+  const char* name;  ///< canonical CLI / options spelling
+};
+
+/// All selectable engines, in help-display order.
+const std::vector<FlowEngineInfo>& FlowEngineRegistry();
+
+/// Canonical name of `engine`, or nullptr if the value is not a
+/// registered engine (e.g. an out-of-range cast) — callers use the
+/// nullptr to reject invalid requests with a Status instead of crashing.
+const char* FlowEngineName(FlowEngine engine);
+
+/// Parses a canonical engine name; returns false on unknown names and
+/// leaves `*out` untouched.
+bool ParseFlowEngineName(std::string_view name, FlowEngine* out);
+
+/// Registry-derived "auto | dinic | push_relabel" string for help text
+/// and error messages.
+std::string FlowEngineNamesHelp();
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_FLOW_FLOW_ENGINE_H_

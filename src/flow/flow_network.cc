@@ -8,6 +8,7 @@ FlowCap RouteFlow(FlowNetwork* net, uint32_t from, uint32_t to,
                   FlowCap amount) {
   CHECK(net != nullptr);
   CHECK_NE(from, to);
+  net->Finalize();
   FlowCap routed = 0;
   // Each round finds one shortest residual path by BFS and pushes its
   // bottleneck (capped at the remaining amount). BFS matters here: the
@@ -22,8 +23,9 @@ FlowCap RouteFlow(FlowNetwork* net, uint32_t from, uint32_t to,
     bool reached = false;
     for (size_t qi = 0; qi < queue.size() && !reached; ++qi) {
       const uint32_t v = queue[qi];
-      for (uint32_t e = net->Head(v); e != FlowNetwork::kNil;
-           e = net->Next(e)) {
+      const uint32_t end = net->EndOut(v);
+      for (uint32_t k = net->FirstOut(v); k < end; ++k) {
+        const uint32_t e = net->OutArc(k);
         const uint32_t w = net->To(e);
         if (w == from || parent_arc[w] != FlowNetwork::kNil ||
             net->Residual(e) <= kFlowEps) {

@@ -11,9 +11,15 @@
 /// Residual flow network shared by the max-flow solvers.
 ///
 /// Edges are stored in an arena as (forward, reverse) pairs at indices
-/// (2k, 2k+1); `e ^ 1` is the reverse of edge `e`. Adjacency is a linked
-/// list threaded through the arena (head_/next_), the standard compact
-/// representation for flow algorithms.
+/// (2k, 2k+1); `e ^ 1` is the reverse of edge `e`. Adjacency is built as a
+/// linked list threaded through the arena (head_/next_) so AddEdge stays
+/// O(1), then compacted by Finalize() into a CSR permutation (`adj_`
+/// grouped by tail, bracketed by `first_` offsets) that the solvers scan
+/// contiguously instead of chasing `next_` (DESIGN.md §12). Arc ids — and
+/// with them the `e ^ 1` pairing and every stored capacity — are untouched
+/// by the compaction, so the parametric mutators below operate identically
+/// on either layout, and AddEdge after a Finalize simply marks the CSR
+/// stale for lazy re-finalization.
 ///
 /// Capacities are `double` because the DDS networks carry irrational
 /// capacities (multiples of sqrt(ratio)); all solvers treat residuals below
@@ -41,6 +47,7 @@ class FlowNetwork {
   /// Adds node and returns its id.
   uint32_t AddNode() {
     head_.push_back(kNil);
+    finalized_ = false;
     return NumNodes() - 1;
   }
 
@@ -63,6 +70,64 @@ class FlowNetwork {
   uint32_t To(uint32_t arc) const { return to_[arc]; }
   FlowCap Residual(uint32_t arc) const { return cap_[arc]; }
   FlowCap InitialCap(uint32_t arc) const { return initial_cap_[arc]; }
+
+  // --- CSR layout (DESIGN.md §12) ---------------------------------------
+  //
+  // After Finalize(), node v's out-arcs occupy the contiguous slot range
+  // [FirstOut(v), EndOut(v)) of the `adj_` permutation, in exactly the
+  // order a Head/Next walk yields — so list and CSR traversals are
+  // order-identical and the solvers' trajectories do not depend on which
+  // layout they iterate.
+
+  /// Compacts the adjacency into CSR. Idempotent and cheap when already
+  /// finalized; O(nodes + arcs) otherwise. AddNode/AddEdge mark the layout
+  /// stale, and the solvers re-finalize lazily on their next solve.
+  void Finalize() {
+    if (finalized_) return;
+    const uint32_t n = NumNodes();
+    arc_base_ = static_cast<uint32_t>(to_.size());
+    first_.resize(n + 1);
+    adj_.resize(2 * static_cast<size_t>(arc_base_));
+    uint32_t pos = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      first_[v] = pos;
+      for (uint32_t e = head_[v]; e != kNil; e = next_[e]) {
+        adj_[pos] = to_[e];
+        adj_[arc_base_ + pos] = e;
+        ++pos;
+      }
+    }
+    first_[n] = pos;
+    DCHECK_EQ(pos, to_.size());
+    finalized_ = true;
+  }
+
+  bool finalized() const { return finalized_; }
+
+  /// First / one-past-last adjacency slot of `node`; valid iff finalized().
+  uint32_t FirstOut(uint32_t node) const { return first_[node]; }
+  uint32_t EndOut(uint32_t node) const { return first_[node + 1]; }
+  /// The arc id stored in adjacency slot `slot`; valid iff finalized().
+  uint32_t OutArc(uint32_t slot) const { return adj_[arc_base_ + slot]; }
+  /// To(OutArc(slot)), mirrored into the slot-ordered head half of the
+  /// buffer so scans read the arc heads contiguously — the solvers test
+  /// level/height on the head first and only touch the (scattered)
+  /// capacity array for arcs that pass.
+  uint32_t OutArcTo(uint32_t slot) const { return adj_[slot]; }
+
+  /// Visits every out-arc of `node` in adjacency order, preferring the CSR
+  /// scan when it is available. The non-hot read paths (min-cut
+  /// extraction, cut capacity) use this so they work on both layouts.
+  template <typename Fn>
+  void ForEachOutArc(uint32_t node, Fn&& fn) const {
+    if (finalized_) {
+      for (uint32_t k = first_[node]; k < first_[node + 1]; ++k) {
+        fn(OutArc(k));
+      }
+    } else {
+      for (uint32_t e = head_[node]; e != kNil; e = next_[e]) fn(e);
+    }
+  }
 
   /// Pushes `amount` of flow along `arc` (decreasing its residual and
   /// increasing the reverse residual).
@@ -127,6 +192,7 @@ class FlowNetwork {
     initial_cap_.push_back(cap);
     next_.push_back(head_[u]);
     head_[u] = e;
+    finalized_ = false;
     return e;
   }
 
@@ -135,6 +201,14 @@ class FlowNetwork {
   std::vector<uint32_t> to_;
   std::vector<FlowCap> cap_;
   std::vector<FlowCap> initial_cap_;
+  /// CSR compaction of the adjacency (valid iff finalized_), one buffer
+  /// bracketed by first_ offsets: slot-ordered arc heads in
+  /// [0, arc_base_) and the matching permutation of arc ids (grouped by
+  /// tail, list-walk order) in [arc_base_, 2*arc_base_).
+  std::vector<uint32_t> first_;
+  std::vector<uint32_t> adj_;
+  uint32_t arc_base_ = 0;
+  bool finalized_ = false;
 };
 
 /// Pushes up to `amount` of flow from `from` to `to` along shortest

@@ -12,13 +12,13 @@ std::vector<bool> SourceSideOfMinCut(const FlowNetwork& net, uint32_t source) {
   reached[source] = true;
   for (size_t qi = 0; qi < queue.size(); ++qi) {
     const uint32_t v = queue[qi];
-    for (uint32_t e = net.Head(v); e != FlowNetwork::kNil; e = net.Next(e)) {
+    net.ForEachOutArc(v, [&](uint32_t e) {
       const uint32_t w = net.To(e);
       if (!reached[w] && net.Residual(e) > kFlowEps) {
         reached[w] = true;
         queue.push_back(w);
       }
-    }
+    });
   }
   return reached;
 }
@@ -29,9 +29,9 @@ FlowCap CutCapacity(const FlowNetwork& net,
   FlowCap total = 0;
   for (uint32_t v = 0; v < net.NumNodes(); ++v) {
     if (!source_side[v]) continue;
-    for (uint32_t e = net.Head(v); e != FlowNetwork::kNil; e = net.Next(e)) {
+    net.ForEachOutArc(v, [&](uint32_t e) {
       if (!source_side[net.To(e)]) total += net.InitialCap(e);
-    }
+    });
   }
   return total;
 }

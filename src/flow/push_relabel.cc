@@ -14,21 +14,63 @@ void PushRelabel::InitializeHeights(uint32_t source, uint32_t sink) {
   const uint32_t n = net_->NumNodes();
   height_.assign(n, n);  // unreachable-from-sink nodes sit at height n
   height_.at(sink) = 0;
-  std::vector<uint32_t> queue{sink};
-  for (size_t qi = 0; qi < queue.size(); ++qi) {
-    const uint32_t v = queue[qi];
-    for (uint32_t e = net_->Head(v); e != FlowNetwork::kNil;
-         e = net_->Next(e)) {
+  bfs_queue_.clear();
+  bfs_queue_.push_back(sink);
+  for (size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
+    const uint32_t v = bfs_queue_[qi];
+    const uint32_t end = net_->EndOut(v);
+    for (uint32_t k = net_->FirstOut(v); k < end; ++k) {
+      const uint32_t e = net_->OutArc(k);
+      ++arcs_scanned_;
       // Arc e is v->w; flow towards the sink would use w->v, i.e. the
       // reverse arc e^1. It is usable iff its residual is positive.
       const uint32_t w = net_->To(e);
       if (height_[w] == n && net_->Residual(e ^ 1) > kFlowEps && w != source) {
         height_[w] = height_[v] + 1;
-        queue.push_back(w);
+        bfs_queue_.push_back(w);
       }
     }
   }
   height_[source] = n;
+  height_count_.assign(2 * n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) ++height_count_[height_[v]];
+}
+
+// Periodic exact-height rebuild: reverse BFS from the sink over residual
+// arcs recomputes every reachable node's true distance-to-sink. Heights
+// only ever move up (max with the old label), nodes cut off from the sink
+// are lifted past n, and the gap counters / current arcs are rebuilt to
+// match — so validity (h[v] <= h[w] + 1 on residual arcs) and the
+// monotone-heights invariant both survive the rebuild.
+void PushRelabel::GlobalRelabel(uint32_t source, uint32_t sink) {
+  ++num_global_relabels_;
+  work_since_global_ = 0;
+  const uint32_t n = net_->NumNodes();
+  const uint32_t unreached = 2 * n;  // BFS sentinel, never a real distance
+  std::vector<uint32_t> exact(n, unreached);
+  exact[sink] = 0;
+  bfs_queue_.clear();
+  bfs_queue_.push_back(sink);
+  for (size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
+    const uint32_t v = bfs_queue_[qi];
+    const uint32_t end = net_->EndOut(v);
+    for (uint32_t k = net_->FirstOut(v); k < end; ++k) {
+      const uint32_t e = net_->OutArc(k);
+      ++arcs_scanned_;
+      const uint32_t w = net_->To(e);
+      if (exact[w] == unreached && net_->Residual(e ^ 1) > kFlowEps &&
+          w != source) {
+        exact[w] = exact[v] + 1;
+        bfs_queue_.push_back(w);
+      }
+    }
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    if (v == source) continue;  // the source stays pinned at height n
+    const uint32_t target = exact[v] == unreached ? n + 1 : exact[v];
+    height_[v] = std::max(height_[v], target);
+    current_[v] = net_->FirstOut(v);
+  }
   height_count_.assign(2 * n + 1, 0);
   for (uint32_t v = 0; v < n; ++v) ++height_count_[height_[v]];
 }
@@ -45,16 +87,20 @@ void PushRelabel::Relabel(uint32_t v) {
   const uint32_t n = net_->NumNodes();
   const uint32_t old_height = height_[v];
   uint32_t best = 2 * n;
-  for (uint32_t e = net_->Head(v); e != FlowNetwork::kNil;
-       e = net_->Next(e)) {
+  const uint32_t begin = net_->FirstOut(v);
+  const uint32_t end = net_->EndOut(v);
+  for (uint32_t k = begin; k < end; ++k) {
+    const uint32_t e = net_->OutArc(k);
     if (net_->Residual(e) > kFlowEps) {
       best = std::min(best, height_[net_->To(e)] + 1);
     }
   }
+  arcs_scanned_ += end - begin;
+  work_since_global_ += end - begin + 12;  // hi_pr-style relabel surcharge
   --height_count_[old_height];
   height_[v] = best;
   ++height_count_[best];
-  current_arc_[v] = net_->Head(v);
+  current_[v] = begin;
   if (height_count_[old_height] == 0 && old_height < n) {
     ApplyGapHeuristic(old_height);
   }
@@ -74,33 +120,49 @@ void PushRelabel::ApplyGapHeuristic(uint32_t empty_height) {
 }
 
 void PushRelabel::Discharge(uint32_t v, uint32_t source, uint32_t sink) {
+  const uint32_t end = net_->EndOut(v);
   while (excess_[v] > kFlowEps) {
-    if (current_arc_[v] == FlowNetwork::kNil) {
+    if (current_[v] == end) {
       Relabel(v);
       if (height_[v] >= 2 * net_->NumNodes()) break;  // cannot push further
       continue;
     }
-    const uint32_t e = current_arc_[v];
-    const uint32_t w = net_->To(e);
-    if (net_->Residual(e) > kFlowEps && height_[v] == height_[w] + 1) {
-      const FlowCap amount = std::min(excess_[v], net_->Residual(e));
-      net_->Push(e, amount);
-      excess_[v] -= amount;
-      excess_[w] += amount;
-      Enqueue(w, source, sink);
-    } else {
-      current_arc_[v] = net_->Next(e);
+    ++arcs_scanned_;
+    ++work_since_global_;
+    // Heads first (contiguous via the adj_to_ mirror); the scattered
+    // capacity load is paid only for admissible-height arcs.
+    const uint32_t w = net_->OutArcTo(current_[v]);
+    if (height_[v] == height_[w] + 1) {
+      const uint32_t e = net_->OutArc(current_[v]);
+      const FlowCap residual = net_->Residual(e);
+      if (residual > kFlowEps) {
+        const FlowCap amount = std::min(excess_[v], residual);
+        net_->Push(e, amount);
+        excess_[v] -= amount;
+        excess_[w] += amount;
+        Enqueue(w, source, sink);
+        continue;
+      }
     }
+    ++current_[v];
   }
 }
 
 FlowCap PushRelabel::Solve(uint32_t source, uint32_t sink) {
   CHECK_NE(source, sink);
+  net_->Finalize();
   const uint32_t n = net_->NumNodes();
   num_relabels_ = 0;
+  num_global_relabels_ = 0;
+  arcs_scanned_ = 0;
+  work_since_global_ = 0;
+  // Re-run the exact-height BFS after roughly one full network's worth of
+  // discharge/relabel work (the classic alpha*n + m schedule).
+  global_relabel_work_ =
+      6 * static_cast<int64_t>(n) + static_cast<int64_t>(net_->NumArcs());
   excess_.assign(n, 0);
-  current_arc_.assign(n, FlowNetwork::kNil);
-  for (uint32_t v = 0; v < n; ++v) current_arc_[v] = net_->Head(v);
+  current_.resize(n);
+  for (uint32_t v = 0; v < n; ++v) current_[v] = net_->FirstOut(v);
   InitializeHeights(source, sink);
 
   fifo_.clear();
@@ -108,8 +170,9 @@ FlowCap PushRelabel::Solve(uint32_t source, uint32_t sink) {
   in_fifo_.assign(n, false);
 
   // Saturate all source arcs.
-  for (uint32_t e = net_->Head(source); e != FlowNetwork::kNil;
-       e = net_->Next(e)) {
+  const uint32_t source_end = net_->EndOut(source);
+  for (uint32_t k = net_->FirstOut(source); k < source_end; ++k) {
+    const uint32_t e = net_->OutArc(k);
     const FlowCap cap = net_->Residual(e);
     if (cap > kFlowEps) {
       const uint32_t w = net_->To(e);
@@ -123,6 +186,9 @@ FlowCap PushRelabel::Solve(uint32_t source, uint32_t sink) {
     const uint32_t v = fifo_[fifo_head_++];
     in_fifo_[v] = false;
     Discharge(v, source, sink);
+    if (work_since_global_ >= global_relabel_work_) {
+      GlobalRelabel(source, sink);
+    }
     // Periodically compact the FIFO storage.
     if (fifo_head_ > 1024 && fifo_head_ * 2 > fifo_.size()) {
       fifo_.erase(fifo_.begin(), fifo_.begin() + fifo_head_);

@@ -1,8 +1,10 @@
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "flow/dinic.h"
+#include "flow/flow_engine.h"
 #include "flow/flow_network.h"
 #include "flow/min_cut.h"
 #include "flow/push_relabel.h"
@@ -162,6 +164,157 @@ TEST_P(RandomFlowTest, SolversAgreeAndDualityHolds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlowTest, ::testing::Range(0, 40));
+
+// AddEdge after a solve (which finalizes the CSR layout) must mark the
+// layout stale and re-finalize lazily on the next solve, so the new arc is
+// actually traversed.
+TEST(FlowNetworkTest, LazyRefinalizeAfterAddEdge) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 2.0);
+  net.AddEdge(1, 3, 2.0);
+  Dinic dinic(&net);
+  EXPECT_NEAR(dinic.Solve(0, 3), 2.0, 1e-12);
+  EXPECT_TRUE(net.finalized());
+
+  net.AddEdge(0, 2, 1.5);  // second path s -> 2 -> t
+  net.AddEdge(2, 3, 1.5);
+  EXPECT_FALSE(net.finalized());
+  net.ResetFlow();
+  EXPECT_NEAR(dinic.Solve(0, 3), 3.5, 1e-12);
+  EXPECT_TRUE(net.finalized());
+}
+
+TEST(FlowNetworkTest, AddNodeAfterFinalizeInvalidatesLayout) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 1.0);
+  net.Finalize();
+  EXPECT_TRUE(net.finalized());
+  const uint32_t v = net.AddNode();
+  EXPECT_FALSE(net.finalized());
+  net.AddEdge(1, v, 1.0);
+  net.Finalize();
+  EXPECT_EQ(net.EndOut(v) - net.FirstOut(v), 1u);  // v's reverse arc
+}
+
+// CSR slot order must replicate the Head/Next walk exactly — that identity
+// is what makes list and CSR traversals (and with them the solvers'
+// trajectories) indistinguishable.
+TEST(FlowNetworkTest, CsrOrderMatchesListOrder) {
+  Rng rng(7);
+  FlowNetwork net(12);
+  for (int e = 0; e < 60; ++e) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextBounded(12));
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(12));
+    if (u != v) net.AddEdge(u, v, 1.0 + static_cast<double>(e));
+  }
+  net.Finalize();
+  for (uint32_t v = 0; v < net.NumNodes(); ++v) {
+    uint32_t slot = net.FirstOut(v);
+    for (uint32_t e = net.Head(v); e != FlowNetwork::kNil;
+         e = net.Next(e), ++slot) {
+      ASSERT_LT(slot, net.EndOut(v));
+      EXPECT_EQ(net.OutArc(slot), e);
+      EXPECT_EQ(net.OutArcTo(slot), net.To(e));
+    }
+    EXPECT_EQ(slot, net.EndOut(v));
+  }
+}
+
+// Parametric re-solve sequences: shrink/grow arc capacities with
+// SetArcCapacity (+ RouteFlow to restore conservation after draining) and
+// warm-resolve; the resulting max flow must match a fresh network built
+// with the final capacities. This is the incremental contract the DDS
+// binary search leans on.
+class ParametricSequenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParametricSequenceTest, WarmResolveMatchesFreshBuild) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  const uint32_t n = 6 + static_cast<uint32_t>(rng.NextBounded(20));
+  const uint32_t source = 0;
+  const uint32_t sink = n - 1;
+  FlowNetwork net(n);
+  std::vector<uint32_t> arcs;      // forward arc ids
+  std::vector<double> caps;        // current capacities (mirrors the net)
+  std::vector<std::pair<uint32_t, uint32_t>> ends;
+  const int edges = 2 + static_cast<int>(rng.NextBounded(5 * n));
+  for (int e = 0; e < edges; ++e) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+    if (u == v || v == source || u == sink) continue;
+    const double cap = 0.5 * static_cast<double>(1 + rng.NextBounded(20));
+    arcs.push_back(net.AddEdge(u, v, cap));
+    caps.push_back(cap);
+    ends.emplace_back(u, v);
+  }
+  if (arcs.empty()) return;
+
+  Dinic dinic(&net);
+  FlowCap flow = dinic.Solve(source, sink);
+  for (int step = 0; step < 6; ++step) {
+    // Mutate a random arc: sometimes grow, sometimes shrink below its flow.
+    const size_t i = rng.NextBounded(arcs.size());
+    const double new_cap =
+        0.5 * static_cast<double>(rng.NextBounded(24));  // may be 0
+    const FlowCap excess = net.SetArcCapacity(arcs[i], new_cap);
+    caps[i] = new_cap;
+    if (excess > 0) {
+      // Drained arcs leave the tail over-supplied and the head
+      // under-supplied; route both halves back through the residual
+      // network (tail -> source, sink -> head) to restore conservation.
+      const auto [tail, head] = ends[i];
+      if (tail != source) {
+        EXPECT_NEAR(RouteFlow(&net, tail, source, excess), excess, 1e-9);
+      }
+      if (head != sink) {
+        EXPECT_NEAR(RouteFlow(&net, sink, head, excess), excess, 1e-9);
+      }
+      flow -= excess;
+    }
+    flow += dinic.Resolve(source, sink);
+
+    // Fresh build with the final capacities must agree — and so must a
+    // cold push-relabel on the warm network's own residual state.
+    FlowNetwork fresh(n);
+    for (size_t k = 0; k < arcs.size(); ++k) {
+      fresh.AddEdge(ends[k].first, ends[k].second, caps[k]);
+    }
+    Dinic fresh_dinic(&fresh);
+    const FlowCap fresh_flow = fresh_dinic.Solve(source, sink);
+    ASSERT_NEAR(flow, fresh_flow, 1e-6 * std::max(1.0, fresh_flow));
+    EXPECT_TRUE(VerifyMaxFlowMinCut(net, source, sink, flow, 1e-6));
+
+    FlowNetwork pr_net(n);
+    for (size_t k = 0; k < arcs.size(); ++k) {
+      pr_net.AddEdge(ends[k].first, ends[k].second, caps[k]);
+    }
+    PushRelabel pr(&pr_net);
+    EXPECT_NEAR(pr.Solve(source, sink), fresh_flow,
+                1e-6 * std::max(1.0, fresh_flow));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParametricSequenceTest,
+                         ::testing::Range(0, 20));
+
+TEST(FlowEngineTest, RegistryParseRoundTrips) {
+  for (const FlowEngineInfo& info : FlowEngineRegistry()) {
+    FlowEngine parsed;
+    ASSERT_TRUE(ParseFlowEngineName(info.name, &parsed)) << info.name;
+    EXPECT_EQ(parsed, info.engine);
+    EXPECT_STREQ(FlowEngineName(info.engine), info.name);
+  }
+}
+
+TEST(FlowEngineTest, RejectsUnknownNamesAndValues) {
+  FlowEngine parsed;
+  EXPECT_FALSE(ParseFlowEngineName("hi_pr", &parsed));
+  EXPECT_FALSE(ParseFlowEngineName("", &parsed));
+  EXPECT_EQ(FlowEngineName(static_cast<FlowEngine>(42)), nullptr);
+  const std::string help = FlowEngineNamesHelp();
+  EXPECT_NE(help.find("auto"), std::string::npos);
+  EXPECT_NE(help.find("dinic"), std::string::npos);
+  EXPECT_NE(help.find("push_relabel"), std::string::npos);
+}
 
 TEST(MinCutTest, CutCapacityOfTrivialCut) {
   FlowNetwork net = ClrsNetwork();

@@ -1,6 +1,12 @@
 #include "util/stats.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "dds/core_exact.h"
+#include "dds/solver.h"
+#include "graph/generators.h"
 
 namespace ddsgraph {
 namespace {
@@ -42,6 +48,71 @@ TEST(StatsTest, SummarizeEmpty) {
   const Summary s = Summarize({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.mean, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// SolverStats kernel counters (arcs scanned, per-engine solve counts,
+// global relabels) and their surfacing through ToString / SolutionJson.
+// ---------------------------------------------------------------------
+
+TEST(SolverStatsTest, KernelCountersFilledByExactSolve) {
+  const Digraph g = UniformDigraph(20, 110, 21);
+  // Force push-relabel so both kernels' counters are exercised: under
+  // `auto` a graph this small stays below the fresh-solve cutoff and
+  // would run Dinic only.
+  ExactOptions pr_options;
+  pr_options.flow_engine = FlowEngine::kPushRelabel;
+  const DdsSolution pr_sol = SolveExactDds(g, pr_options);
+  EXPECT_GT(pr_sol.stats.flow_solves_push_relabel, 0);
+  EXPECT_EQ(pr_sol.stats.flow_solves_dinic, 0);
+  EXPECT_GT(pr_sol.stats.arcs_scanned, 0);
+
+  const DdsSolution sol = SolveExactDds(g, ExactOptions{});
+  EXPECT_GT(sol.stats.arcs_scanned, 0);
+  EXPECT_GT(sol.stats.flow_solves_dinic, 0);
+  // At most one kernel solve per binary-search guess (guesses whose
+  // refined core comes up empty are certified without a flow solve).
+  EXPECT_LE(sol.stats.flow_solves_dinic + sol.stats.flow_solves_push_relabel,
+            sol.stats.binary_search_iters);
+  EXPECT_GT(sol.stats.flow_solves_dinic + sol.stats.flow_solves_push_relabel,
+            0);
+  EXPECT_GE(sol.stats.global_relabels, 0);
+}
+
+TEST(SolverStatsTest, ForcedDinicScansArcsWithoutGlobalRelabels) {
+  const Digraph g = UniformDigraph(16, 70, 23);
+  ExactOptions options;
+  options.flow_engine = FlowEngine::kDinic;
+  const DdsSolution sol = SolveExactDds(g, options);
+  EXPECT_GT(sol.stats.arcs_scanned, 0);
+  EXPECT_EQ(sol.stats.flow_solves_push_relabel, 0);
+  EXPECT_EQ(sol.stats.global_relabels, 0);  // a push-relabel-only counter
+}
+
+TEST(SolverStatsTest, ToStringCarriesKernelCounters) {
+  SolverStats stats;
+  stats.arcs_scanned = 12345;
+  stats.flow_solves_dinic = 7;
+  stats.flow_solves_push_relabel = 3;
+  stats.global_relabels = 2;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("arcs=12345"), std::string::npos) << s;
+  EXPECT_NE(s.find("solves[dinic=7,pr=3,grel=2]"), std::string::npos) << s;
+}
+
+TEST(SolverStatsTest, SolutionJsonCarriesKernelCounters) {
+  const Digraph g = UniformDigraph(14, 60, 25);
+  const DdsSolution sol = SolveExactDds(g, ExactOptions{});
+  const std::string json = SolutionJson(sol);
+  for (const char* key :
+       {"\"arcs_scanned\": ", "\"global_relabels\": ",
+        "\"flow_solves_dinic\": ", "\"flow_solves_push_relabel\": "}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+  // The emitted numbers are the stats' values, not placeholders.
+  EXPECT_NE(json.find("\"arcs_scanned\": " +
+                      std::to_string(sol.stats.arcs_scanned)),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,385 @@
+// E12 — serving-layer load benchmark (beyond the paper's evaluation;
+// DESIGN.md §13).
+//
+// Closed-loop load against an in-process dds_server: N client threads,
+// each with its own connection, replay a Zipfian-skewed mix of
+// (graph, algorithm) queries and block for each response before sending
+// the next — the strict request/response cycle that measures *latency
+// under concurrency* rather than open-loop saturation. The client ladder
+// (default 1/4/16) shows how p50/p99 and throughput move as closed-loop
+// concurrency grows past the worker count: queueing time (reported
+// separately by the server as queue_ms) starts to dominate solve time.
+//
+// The mix is ordered hot→cold by cost: the approximation algorithms take
+// the hot Zipf ranks and core-exact the tail, the shape of an
+// interactive service where cheap exploratory queries dominate and
+// expensive certified ones are rare.
+//
+// Correctness is load-bearing, not incidental: every served response is
+// cross-checked byte-for-byte against a solution precomputed by a
+// *direct* single-threaded DdsEngine on the same graph (the comparable
+// slice of SolutionJson — density, pair, vertex lists, bounds; timings
+// excluded). Any divergence — a cross-request workspace leak, a
+// serialization race, a wire corruption — fails the run with a nonzero
+// exit, so the committed BENCH_serve.json doubles as an end-to-end
+// identity certificate for the whole serve stack.
+//
+// JSON dump (--json_out, default BENCH_serve.json): per-rung qps,
+// p50/p99/mean client latency, and the queue/solve split.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "dds/engine.h"
+#include "dds/solver.h"
+#include "graph/generators.h"
+#include "serve/catalog.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/zipf.h"
+
+namespace ddsgraph {
+namespace bench {
+namespace {
+
+// One entry of the query mix: a catalog graph plus an algorithm name,
+// with the expected comparable solution slice precomputed by a direct
+// single-threaded engine before the server starts.
+struct MixItem {
+  std::string graph;
+  std::string algo;
+  bool weighted = false;
+  std::string request_json;    // the frame every client sends for this item
+  std::string expected_slice;  // SolutionJson prefix (before ", "stats")
+};
+
+// What one client thread records. Latencies in milliseconds.
+struct ClientLog {
+  std::vector<double> latency_ms;
+  std::vector<double> queue_ms;
+  std::vector<double> solve_ms;
+  bool failed = false;
+  std::string error;
+};
+
+std::string BuildRequestJson(const MixItem& item) {
+  std::ostringstream out;
+  out << "{\"graph\": \"" << item.graph << "\", \"algo\": \"" << item.algo
+      << "\", \"weighted\": " << (item.weighted ? "true" : "false") << "}";
+  return out.str();
+}
+
+// The comparable prefix of a direct SolutionJson: everything before the
+// schedule-dependent stats block. Mirrors SolutionSliceForCompare on the
+// response side, so the two strings are byte-comparable.
+std::string DirectSolutionSlice(const std::string& solution_json) {
+  const size_t stats = solution_json.find(", \"stats\"");
+  CHECK(stats != std::string::npos)
+      << "SolutionJson without a stats block: " << solution_json;
+  return solution_json.substr(0, stats);
+}
+
+void RunClient(int port, const std::vector<MixItem>& mix, int requests,
+               double zipf_s, uint64_t seed, ClientLog* log) {
+  ServeClient client;
+  const Status connected = client.Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    log->failed = true;
+    log->error = "connect: " + connected.ToString();
+    return;
+  }
+  ZipfGenerator zipf(static_cast<int64_t>(mix.size()), zipf_s, seed);
+  log->latency_ms.reserve(static_cast<size_t>(requests));
+  for (int r = 0; r < requests; ++r) {
+    const MixItem& item = mix[static_cast<size_t>(zipf.Next())];
+    WallTimer timer;
+    const Result<std::string> response = client.Call(item.request_json);
+    const double ms = timer.Seconds() * 1e3;
+    if (!response.ok()) {
+      log->failed = true;
+      log->error = item.graph + "/" + item.algo + ": " +
+                   response.status().ToString();
+      return;
+    }
+    const std::string& json = response.value();
+    if (FindJsonString(json, "status").value_or("") != "ok") {
+      log->failed = true;
+      log->error = item.graph + "/" + item.algo + ": " + json;
+      return;
+    }
+    const Result<std::string> slice = SolutionSliceForCompare(json);
+    if (!slice.ok() || slice.value() != item.expected_slice) {
+      log->failed = true;
+      log->error = "DIVERGENCE on " + item.graph + "/" + item.algo +
+                   ": served solution differs from the direct "
+                   "single-threaded engine\n  expected: " +
+                   item.expected_slice + "\n  served:   " +
+                   (slice.ok() ? slice.value() : slice.status().ToString());
+      return;
+    }
+    log->latency_ms.push_back(ms);
+    log->queue_ms.push_back(FindJsonNumber(json, "queue_ms").value_or(0));
+    log->solve_ms.push_back(FindJsonNumber(json, "solve_ms").value_or(0));
+  }
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  FlagSet flags("e12_serve",
+                "closed-loop load benchmark for the DDS serving daemon");
+  bool* quick = flags.Bool("quick", false,
+                           "smoke sizes: fewer requests, smaller ladder");
+  std::string* client_counts_flag = flags.String(
+      "client_counts", "1,4,16",
+      "comma-separated closed-loop client ladder (>= 3 rungs for the "
+      "committed BENCH_serve.json)");
+  int64_t* requests_per_client = flags.Int64(
+      "requests_per_client", 48, "requests each client issues per rung");
+  double* zipf_s = flags.Double(
+      "zipf_s", 1.0, "Zipf exponent of the query mix (0 = uniform)");
+  int64_t* seed = flags.Int64("seed", 42, "base RNG seed");
+  int64_t* workers = flags.Int64("workers", 2, "scheduler pool workers");
+  int64_t* queue_capacity =
+      flags.Int64("queue_capacity", 64, "admission queue bound");
+  std::string* json_out = flags.String(
+      "json_out", "BENCH_serve.json", "output JSON path; empty disables");
+  flags.ParseOrDie(argc, argv);
+
+  PrintBanner("E12", "serving daemon under closed-loop Zipfian load");
+
+  std::vector<int> client_counts;
+  {
+    std::string tok;
+    for (const char c : *client_counts_flag + ",") {
+      if (c == ',') {
+        if (!tok.empty()) client_counts.push_back(std::atoi(tok.c_str()));
+        tok.clear();
+      } else {
+        tok += c;
+      }
+    }
+  }
+  if (*quick && client_counts.size() > 2 &&
+      *client_counts_flag == std::string("1,4,16")) {
+    client_counts = {1, 2};  // smoke: exercise >1 client, stay tiny
+  }
+  const int requests = static_cast<int>(*quick ? 8 : *requests_per_client);
+
+  // ---- the catalog and the query mix ------------------------------------
+  // Sizes tuned so core-exact (the cold tail of the mix) stays in the low
+  // tens of milliseconds: the ladder measures scheduling, not one giant
+  // solve. Local copies of the graphs feed the *direct* cross-check
+  // engines; the catalog gets its own copies.
+  const Digraph uni = UniformDigraph(240, 1600, 5);
+  const Digraph rmat = RmatDigraph(8, 1800, 7);
+  const WeightedDigraph wuni =
+      UniformWeightedDigraph(200, 1200, 13, WeightOptions{});
+
+  GraphCatalog catalog;
+  CHECK(catalog.AddGraph("uni", uni).ok());
+  CHECK(catalog.AddGraph("rmat", rmat).ok());
+  CHECK(catalog.AddWeightedGraph("wuni", wuni).ok());
+
+  // Hot → cold: approximations first, certified exact at the Zipf tail.
+  std::vector<MixItem> mix = {
+      {"rmat", "core-approx", false, "", ""},
+      {"uni", "peel-approx", false, "", ""},
+      {"wuni", "peel-approx", true, "", ""},
+      {"uni", "core-approx", false, "", ""},
+      {"wuni", "core-approx", true, "", ""},
+      {"rmat", "peel-approx", false, "", ""},
+      {"uni", "core-exact", false, "", ""},
+      {"rmat", "core-exact", false, "", ""},
+      {"wuni", "core-exact", true, "", ""},
+  };
+
+  // Precompute every expected solution with direct single-threaded
+  // engines, independent of the serve stack.
+  {
+    DdsEngine uni_engine(uni);
+    DdsEngine rmat_engine(rmat);
+    DdsEngine wuni_engine(wuni);
+    for (MixItem& item : mix) {
+      DdsRequest request;
+      const std::optional<DdsAlgorithm> algo = ParseAlgorithmName(item.algo);
+      CHECK(algo.has_value()) << "bad mix algo " << item.algo;
+      request.algorithm = *algo;
+      DdsEngine& engine = item.graph == "uni"    ? uni_engine
+                          : item.graph == "rmat" ? rmat_engine
+                                                 : wuni_engine;
+      const Result<DdsSolution> solved = engine.Solve(request);
+      CHECK(solved.ok()) << solved.status().ToString();
+      item.expected_slice = DirectSolutionSlice(SolutionJson(solved.value()));
+      item.request_json = BuildRequestJson(item);
+    }
+  }
+
+  // ---- the server -------------------------------------------------------
+  ServerOptions options;
+  options.port = 0;  // ephemeral: benchmarks never fight over a port
+  options.scheduler.workers = static_cast<int>(*workers);
+  options.scheduler.queue_capacity = static_cast<int>(*queue_capacity);
+  DdsServer server(&catalog, options);
+  const Result<int> started = server.Start();
+  CHECK(started.ok()) << started.status().ToString();
+  const int port = started.value();
+  std::printf("server on 127.0.0.1:%d — %d workers, queue %d, zipf_s %.2f, "
+              "%d requests/client\n\n",
+              port, static_cast<int>(*workers),
+              static_cast<int>(*queue_capacity), *zipf_s, requests);
+
+  // Warmup: touch every mix item once so the first rung does not pay the
+  // engines' first-solve workspace builds.
+  {
+    ServeClient warm;
+    CHECK(warm.Connect("127.0.0.1", port).ok());
+    for (const MixItem& item : mix) {
+      const Result<std::string> r = warm.Call(item.request_json);
+      CHECK(r.ok()) << r.status().ToString();
+      CHECK(FindJsonString(r.value(), "status").value_or("") == "ok")
+          << r.value();
+    }
+  }
+
+  // ---- the ladder -------------------------------------------------------
+  struct RungResult {
+    int clients = 0;
+    int total = 0;
+    double seconds = 0;
+    double qps = 0;
+    double p50 = 0, p99 = 0, mean = 0;
+    double mean_queue = 0, p99_queue = 0, mean_solve = 0;
+  };
+  std::vector<RungResult> rungs;
+  bool diverged = false;
+  std::string divergence;
+
+  Table table({"clients", "qps", "p50_ms", "p99_ms", "mean_ms",
+               "queue_ms(mean)", "queue_ms(p99)", "solve_ms(mean)"});
+  for (size_t rung_index = 0; rung_index < client_counts.size();
+       ++rung_index) {
+    const int clients = client_counts[rung_index];
+    CHECK(clients >= 1) << "bad --client_counts entry " << clients;
+    std::vector<ClientLog> logs(static_cast<size_t>(clients));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    WallTimer wall;
+    for (int c = 0; c < clients; ++c) {
+      const uint64_t client_seed = static_cast<uint64_t>(*seed) +
+                                   1009 * (rung_index + 1) +
+                                   static_cast<uint64_t>(97 * c);
+      threads.emplace_back(RunClient, port, std::cref(mix), requests,
+                           *zipf_s, client_seed,
+                           &logs[static_cast<size_t>(c)]);
+    }
+    for (std::thread& t : threads) t.join();
+    const double seconds = wall.Seconds();
+
+    std::vector<double> latency, queue, solve;
+    for (const ClientLog& log : logs) {
+      if (log.failed && !diverged) {
+        diverged = true;
+        divergence = log.error;
+      }
+      latency.insert(latency.end(), log.latency_ms.begin(),
+                     log.latency_ms.end());
+      queue.insert(queue.end(), log.queue_ms.begin(), log.queue_ms.end());
+      solve.insert(solve.end(), log.solve_ms.begin(), log.solve_ms.end());
+    }
+    if (diverged) break;
+
+    RungResult r;
+    r.clients = clients;
+    r.total = static_cast<int>(latency.size());
+    r.seconds = seconds;
+    r.qps = seconds > 0 ? r.total / seconds : 0;
+    r.p50 = Quantile(latency, 0.5);
+    r.p99 = Quantile(latency, 0.99);
+    r.mean = Mean(latency);
+    r.mean_queue = Mean(queue);
+    r.p99_queue = Quantile(queue, 0.99);
+    r.mean_solve = Mean(solve);
+    rungs.push_back(r);
+    table.AddRow({std::to_string(r.clients), FormatDouble(r.qps, 1),
+                  FormatDouble(r.p50, 2), FormatDouble(r.p99, 2),
+                  FormatDouble(r.mean, 2), FormatDouble(r.mean_queue, 2),
+                  FormatDouble(r.p99_queue, 2),
+                  FormatDouble(r.mean_solve, 2)});
+  }
+  server.Stop();
+
+  if (diverged) {
+    std::fprintf(stderr, "E12 FAILED: %s\n", divergence.c_str());
+    return 1;
+  }
+  table.PrintMarkdown(std::cout);
+  std::printf("\nall %d responses bit-identical to the direct "
+              "single-threaded engine\n",
+              static_cast<int>(mix.size()) +
+                  requests * std::accumulate(client_counts.begin(),
+                                             client_counts.end(), 0));
+
+  if (!json_out->empty()) {
+    std::ostringstream out;
+    out << "{\n  \"experiment\": \"e12_serve\",\n";
+    out << "  \"quick\": " << (*quick ? "true" : "false") << ",\n";
+    out << "  \"zipf_s\": " << FormatDouble(*zipf_s, 4) << ",\n";
+    out << "  \"workers\": " << *workers << ",\n";
+    out << "  \"queue_capacity\": " << *queue_capacity << ",\n";
+    out << "  \"requests_per_client\": " << requests << ",\n";
+    out << "  \"mix\": [";
+    for (size_t i = 0; i < mix.size(); ++i) {
+      if (i) out << ", ";
+      out << "{\"graph\": \"" << mix[i].graph << "\", \"algo\": \""
+          << mix[i].algo << "\"}";
+    }
+    out << "],\n  \"rungs\": [\n";
+    for (size_t i = 0; i < rungs.size(); ++i) {
+      const RungResult& r = rungs[i];
+      out << "    {\"clients\": " << r.clients
+          << ", \"requests\": " << r.total
+          << ", \"seconds\": " << FormatDouble(r.seconds, 4)
+          << ", \"qps\": " << FormatDouble(r.qps, 2)
+          << ", \"p50_ms\": " << FormatDouble(r.p50, 3)
+          << ", \"p99_ms\": " << FormatDouble(r.p99, 3)
+          << ", \"mean_ms\": " << FormatDouble(r.mean, 3)
+          << ", \"mean_queue_ms\": " << FormatDouble(r.mean_queue, 3)
+          << ", \"p99_queue_ms\": " << FormatDouble(r.p99_queue, 3)
+          << ", \"mean_solve_ms\": " << FormatDouble(r.mean_solve, 3)
+          << ", \"verified\": " << r.total << "}"
+          << (i + 1 < rungs.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::ofstream file(*json_out);
+    file << out.str();
+    if (!file) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", json_out->c_str());
+      return 1;
+    }
+    std::cout << "wrote " << *json_out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ddsgraph
+
+int main(int argc, char** argv) {
+  return ddsgraph::bench::Main(argc, argv);
+}

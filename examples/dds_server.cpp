@@ -1,0 +1,180 @@
+// dds_server: the long-lived DDS serving daemon.
+//
+// Loads a catalog of named graphs once, keeps one hot DdsEngine per graph
+// (warm ProbeWorkspace, finalized CSR flow arenas), and serves concurrent
+// densest-subgraph queries over a framed JSON protocol on TCP — the
+// serve-many-queries deployment the one-shot dds_tool cannot be: engines
+// and workspaces survive across requests instead of dying per invocation.
+//
+// ## Usage
+//
+//   # Serve two files: "web" unweighted, "reviews" weighted (u v w lines).
+//   ./build/dds_server --graphs "web=wiki-Vote.txt,reviews=reviews.wtxt:weighted" \
+//       --port 8642 --workers 4 --queue_capacity 128
+//
+//   # No data handy: serve three deterministic synthetic demo graphs.
+//   ./build/dds_server --generate_demo
+//
+// ## Protocol (serve/protocol.h)
+//
+// Frames are "<byte length>\n<json>\n". One request per frame:
+//
+//   printf '{"graph": "web", "algo": "core-exact", "deadline_ms": 50}' \
+//       | awk '{ print length($0); print }' | nc 127.0.0.1 8642
+//
+// Fields: graph (required catalog name), algo (any dds_tool --algo name),
+// weighted (optional expectation check), deadline_ms (end-to-end budget;
+// expired exact solves return the incumbent with certified [lower, upper]
+// bounds), threads (per-solve parallelism), id (echoed back).
+//
+// The response wraps the same SolutionJson dds_tool --json prints, plus
+// queue_ms / solve_ms so clients can split waiting from computing. Full
+// admission queues are rejected immediately with code UNAVAILABLE
+// (backpressure) — retry with jitter.
+//
+// Ctrl-C (or --max_seconds for scripted runs) triggers a drain shutdown:
+// no new requests are admitted, every admitted request still gets its
+// response, then the process exits.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ddsgraph.h"
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSignal(int) { g_interrupted = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ddsgraph;
+  FlagSet flags("dds_server", "long-lived DDS serving daemon");
+  std::string* graphs = flags.String(
+      "graphs", "",
+      "comma-separated catalog specs `name=path` or `name=path:weighted`; "
+      "each file loads once through the shared edge-list loader and gets "
+      "a persistent engine");
+  bool* generate_demo = flags.Bool(
+      "generate_demo", false,
+      "add three deterministic synthetic graphs (demo-rmat, demo-uniform, "
+      "demo-weighted) to the catalog; the zero-setup way to try the "
+      "server");
+  std::string* host = flags.String("host", "127.0.0.1", "listen address");
+  int64_t* port =
+      flags.Int64("port", 8642, "TCP port; 0 picks an ephemeral port");
+  int64_t* workers = flags.Int64(
+      "workers", 2, "scheduler pool workers pulling from the queue");
+  int64_t* queue_capacity = flags.Int64(
+      "queue_capacity", 64,
+      "admitted-but-unserved request cap; beyond it requests are "
+      "rejected with UNAVAILABLE instead of queueing unboundedly");
+  double* max_seconds = flags.Double(
+      "max_seconds", 0,
+      "exit (with a drain shutdown) after this many seconds; 0 = serve "
+      "until SIGINT/SIGTERM. Used by the ctest smoke run");
+  flags.ParseOrDie(argc, argv);
+
+  GraphCatalog catalog;
+  if (!graphs->empty()) {
+    // Parse "name=path[:weighted]" specs.
+    std::string spec;
+    std::vector<std::string> specs;
+    for (const char c : *graphs + ",") {
+      if (c == ',') {
+        if (!spec.empty()) specs.push_back(spec);
+        spec.clear();
+      } else {
+        spec += c;
+      }
+    }
+    for (const std::string& s : specs) {
+      const size_t eq = s.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "bad --graphs spec '%s' (want name=path[:weighted])\n",
+                     s.c_str());
+        return 1;
+      }
+      const std::string name = s.substr(0, eq);
+      std::string path = s.substr(eq + 1);
+      bool weighted = false;
+      const std::string suffix = ":weighted";
+      if (path.size() > suffix.size() &&
+          path.compare(path.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+        weighted = true;
+        path.resize(path.size() - suffix.size());
+      }
+      // The shared loader's Status names the offending file — surface it
+      // verbatim (same path dds_tool takes).
+      const Status loaded = catalog.LoadGraph(name, path, weighted);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "failed to load graph '%s': %s\n",
+                     name.c_str(), loaded.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  if (*generate_demo || catalog.size() == 0) {
+    if (catalog.size() == 0 && !*generate_demo) {
+      std::fprintf(stderr,
+                   "no --graphs given; serving the synthetic demo catalog "
+                   "(pass --graphs name=path to serve real data)\n");
+    }
+    (void)catalog.AddGraph("demo-rmat", RmatDigraph(10, 8000, 7));
+    (void)catalog.AddGraph("demo-uniform", UniformDigraph(600, 5000, 11));
+    (void)catalog.AddWeightedGraph(
+        "demo-weighted",
+        UniformWeightedDigraph(400, 3000, 13, WeightOptions{}));
+  }
+
+  for (const CatalogEntry* entry : catalog.Entries()) {
+    std::printf("catalog: %-16s %s n=%u m=%lld\n", entry->name().c_str(),
+                entry->weighted() ? "weighted  " : "unweighted",
+                entry->num_vertices(),
+                static_cast<long long>(entry->num_edges()));
+  }
+
+  ServerOptions options;
+  options.host = *host;
+  options.port = static_cast<int>(*port);
+  options.scheduler.workers = static_cast<int>(*workers);
+  options.scheduler.queue_capacity = static_cast<int>(*queue_capacity);
+  DdsServer server(&catalog, options);
+  const Result<int> started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dds_server listening on %s:%d (%d workers, queue %d)\n",
+              host->c_str(), started.value(), static_cast<int>(*workers),
+              static_cast<int>(*queue_capacity));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  WallTimer uptime;
+  while (g_interrupted == 0 &&
+         (*max_seconds <= 0 || uptime.Seconds() < *max_seconds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining: %lld served, %lld rejected, %lld queued\n",
+              static_cast<long long>(server.scheduler().served()),
+              static_cast<long long>(server.scheduler().rejected()),
+              static_cast<long long>(server.scheduler().queued()));
+  server.Stop();
+  std::printf("dds_server stopped after %.1fs; %lld requests served\n",
+              uptime.Seconds(),
+              static_cast<long long>(server.scheduler().served()));
+  return 0;
+}

@@ -84,25 +84,20 @@ int main(int argc, char** argv) {
   WeightedDigraph weighted_graph;
   std::vector<uint64_t> labels;
   if (!snap_file->empty()) {
-    if (*weighted) {
-      auto loaded = LoadWeightedEdgeList(*snap_file);
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "failed to load %s: %s\n", snap_file->c_str(),
-                     loaded.status().ToString().c_str());
-        return 1;
-      }
-      weighted_graph = std::move(loaded.value().graph);
-      labels = std::move(loaded.value().labels);
-    } else {
-      auto loaded = LoadSnapEdgeList(*snap_file);
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "failed to load %s: %s\n", snap_file->c_str(),
-                     loaded.status().ToString().c_str());
-        return 1;
-      }
-      graph = std::move(loaded.value().graph);
-      labels = std::move(loaded.value().labels);
+    // One shared loader with the serving catalog (graph/io): failures come
+    // back as a Status whose message always names the offending file.
+    auto loaded = LoadEdgeListAuto(*snap_file, *weighted);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load graph: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
     }
+    if (*weighted) {
+      weighted_graph = std::move(loaded.value().weighted_graph);
+    } else {
+      graph = std::move(loaded.value().graph);
+    }
+    labels = std::move(loaded.value().labels);
     if (!*json) std::printf("loaded %s\n", snap_file->c_str());
   } else {
     if (*generate == "rmat") {

@@ -206,6 +206,21 @@ Status ValidateRequest(const DdsRequest& request) {
 }
 
 Result<DdsSolution> DdsEngine::Solve(const DdsRequest& request) {
+  // Reentrancy latch first: everything below (validation aside) touches
+  // engine-owned state — the workspace, the solve counters — so a racing
+  // second Solve must fail before reading any of it. Cleared on every
+  // exit path via RAII.
+  if (solving_.test_and_set(std::memory_order_acquire)) {
+    return Status::Unavailable(
+        "DdsEngine::Solve is not reentrant: another solve is already "
+        "running on this engine; give each thread its own engine or "
+        "serialize access (the serve scheduler's one-mutex-per-graph "
+        "pattern)");
+  }
+  struct BusyClear {
+    std::atomic_flag* flag;
+    ~BusyClear() { flag->clear(std::memory_order_release); }
+  } busy_clear{&solving_};
   Status status = ValidateRequest(request);
   if (!status.ok()) return status;
   const AlgorithmInfo* info = FindAlgorithm(request.algorithm);

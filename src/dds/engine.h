@@ -1,6 +1,7 @@
 #ifndef DDSGRAPH_DDS_ENGINE_H_
 #define DDSGRAPH_DDS_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -96,7 +97,17 @@ Status ValidateRequest(const DdsRequest& request);
 
 /// A reusable solver facade bound to one graph. Not thread-safe: one
 /// engine serves one query at a time (give each thread its own engine
-/// over the same graph). The graph must outlive the engine.
+/// over the same graph, or serialize externally the way the serve
+/// scheduler does — one mutex per catalog entry). The graph must outlive
+/// the engine.
+///
+/// The no-concurrent-solves contract is *enforced*, not assumed: Solve
+/// latches an atomic busy flag for its duration and a second Solve that
+/// races it returns StatusCode::kUnavailable instead of corrupting the
+/// shared workspace. The check is one uncontended atomic RMW per solve —
+/// nanoseconds against solves that run min-cuts — so it is on in every
+/// build, keeping release servers protected and the failure a clean
+/// Status in both.
 class DdsEngine {
  public:
   explicit DdsEngine(const Digraph& graph) : graph_(&graph) {}
@@ -134,6 +145,8 @@ class DdsEngine {
   int64_t num_solves_ = 0;
   /// Solves that ran through `workspace_` (feeds prior_engine_solves).
   int64_t workspace_solves_ = 0;
+  /// Busy latch for the reentrancy check (see the class comment).
+  std::atomic_flag solving_ = ATOMIC_FLAG_INIT;
 };
 
 /// One registry row with a single weight-dispatched runner: `run` solves

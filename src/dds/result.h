@@ -42,6 +42,14 @@ struct SolverStats {
   /// Node count of each flow network in construction order (E8 traces).
   std::vector<int64_t> network_sizes;
   double seconds = 0;                ///< wall time of the solve
+  /// Serving-path latency split (dds_server / RequestScheduler): wall
+  /// milliseconds the request waited in the admission queue before a
+  /// worker picked it up, and wall milliseconds the solve itself took on
+  /// that worker. Both stay 0 for direct library calls — only the serve
+  /// scheduler fills them — so the load benchmark can separate queueing
+  /// from compute without a second stats channel.
+  double queue_ms = 0;
+  double solve_ms = 0;
 
   std::string ToString() const;
 };

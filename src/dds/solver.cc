@@ -23,6 +23,12 @@ std::string SolverStats::ToString() const {
   if (prior_engine_solves > 0) {
     os << " engine_solves=" << prior_engine_solves;
   }
+  // The serve-path split only exists for scheduler-served solves; keep
+  // direct-call output unchanged.
+  if (queue_ms > 0 || solve_ms > 0) {
+    os << " queue=" << FormatDouble(queue_ms, 3)
+       << "ms solve=" << FormatDouble(solve_ms, 3) << "ms";
+  }
   os << " time=" << FormatSeconds(seconds);
   return os.str();
 }
@@ -126,6 +132,8 @@ std::string SolutionJson(const DdsSolution& solution,
      << ", \"max_network_nodes\": " << solution.stats.max_network_nodes
      << ", \"intervals_pruned\": " << solution.stats.intervals_pruned
      << ", \"prior_engine_solves\": " << solution.stats.prior_engine_solves
+     << ", \"queue_ms\": " << FormatDouble(solution.stats.queue_ms, 6)
+     << ", \"solve_ms\": " << FormatDouble(solution.stats.solve_ms, 6)
      << ", \"seconds\": " << FormatDouble(solution.stats.seconds, 6)
      << "}}";
   return os.str();

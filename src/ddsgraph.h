@@ -31,6 +31,13 @@
 #include "graph/io.h"                     // IWYU pragma: export
 #include "graph/subgraph.h"               // IWYU pragma: export
 #include "graph/wcc.h"                    // IWYU pragma: export
+#include "serve/catalog.h"                // IWYU pragma: export
+#include "serve/client.h"                 // IWYU pragma: export
+#include "serve/protocol.h"               // IWYU pragma: export
+#include "serve/scheduler.h"              // IWYU pragma: export
+#include "serve/server.h"                 // IWYU pragma: export
 #include "util/thread_pool.h"             // IWYU pragma: export
+#include "util/timer.h"                   // IWYU pragma: export
+#include "util/zipf.h"                    // IWYU pragma: export
 
 #endif  // DDSGRAPH_DDSGRAPH_H_

@@ -144,6 +144,35 @@ Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path) {
   return out;
 }
 
+Result<LoadedAnyGraph> LoadEdgeListAuto(const std::string& path,
+                                        bool weighted) {
+  // Both parse paths already name the file in every Status they emit
+  // (ParseEdgeFile prefixes `path` or `path:line`); the belt-and-braces
+  // rewrap below keeps the "message names the file" contract even if a
+  // future loader forgets, since the CLI and the serving catalog both
+  // surface these messages verbatim.
+  auto ensure_path = [&path](Status status) {
+    if (status.message().find(path) == std::string::npos) {
+      return Status(status.code(), path + ": " + status.message());
+    }
+    return status;
+  };
+  LoadedAnyGraph out;
+  out.weighted = weighted;
+  if (weighted) {
+    Result<LoadedWeightedGraph> loaded = LoadWeightedEdgeList(path);
+    if (!loaded.ok()) return ensure_path(loaded.status());
+    out.weighted_graph = std::move(loaded.value().graph);
+    out.labels = std::move(loaded.value().labels);
+  } else {
+    Result<LoadedGraph> loaded = LoadSnapEdgeList(path);
+    if (!loaded.ok()) return ensure_path(loaded.status());
+    out.graph = std::move(loaded.value().graph);
+    out.labels = std::move(loaded.value().labels);
+  }
+  return out;
+}
+
 Status SaveSnapEdgeList(const Digraph& g, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::InvalidArgument("cannot write " + path);

@@ -44,6 +44,24 @@ struct LoadedWeightedGraph {
 /// dropped, and a weight below 1 fails the load with InvalidArgument.
 Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path);
 
+/// A graph loaded in either weight flavor by LoadEdgeListAuto; exactly
+/// one of `graph` / `weighted_graph` is populated, as told by `weighted`.
+struct LoadedAnyGraph {
+  bool weighted = false;
+  Digraph graph;                    ///< populated when !weighted
+  WeightedDigraph weighted_graph;   ///< populated when weighted
+  /// Same densification contract as LoadedGraph::labels.
+  std::vector<uint64_t> labels;
+};
+
+/// The one shared edge-list entry point for every loader front-end
+/// (dds_tool, the serving catalog): dispatches to LoadSnapEdgeList or
+/// LoadWeightedEdgeList by `weighted` and guarantees that any failure
+/// Status names `path` in its message — callers surface the error
+/// verbatim and the user always learns *which* file was unreadable.
+Result<LoadedAnyGraph> LoadEdgeListAuto(const std::string& path,
+                                        bool weighted);
+
 /// Writes `g` as a SNAP-style edge list with a small header comment.
 Status SaveSnapEdgeList(const Digraph& g, const std::string& path);
 

@@ -1,0 +1,97 @@
+#include "serve/catalog.h"
+
+#include <utility>
+
+#include "graph/io.h"
+
+namespace ddsgraph {
+
+CatalogEntry::CatalogEntry(std::string name, Digraph graph,
+                           std::vector<uint64_t> labels)
+    : name_(std::move(name)),
+      weighted_(false),
+      graph_(std::move(graph)),
+      weighted_graph_(),
+      labels_(std::move(labels)),
+      num_vertices_(graph_.NumVertices()),
+      num_edges_(graph_.NumEdges()),
+      engine_(graph_) {}
+
+CatalogEntry::CatalogEntry(std::string name, WeightedDigraph graph,
+                           std::vector<uint64_t> labels)
+    : name_(std::move(name)),
+      weighted_(true),
+      graph_(),
+      weighted_graph_(std::move(graph)),
+      labels_(std::move(labels)),
+      num_vertices_(weighted_graph_.NumVertices()),
+      num_edges_(weighted_graph_.NumEdges()),
+      engine_(weighted_graph_) {}
+
+Result<DdsSolution> CatalogEntry::Solve(const DdsRequest& request) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_.Solve(request);
+}
+
+int64_t CatalogEntry::num_solves() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_.num_solves();
+}
+
+Status GraphCatalog::LoadGraph(const std::string& name,
+                               const std::string& path, bool weighted) {
+  Result<LoadedAnyGraph> loaded = LoadEdgeListAuto(path, weighted);
+  if (!loaded.ok()) return loaded.status();
+  LoadedAnyGraph& any = loaded.value();
+  if (weighted) {
+    return AddWeightedGraph(name, std::move(any.weighted_graph),
+                            std::move(any.labels));
+  }
+  return AddGraph(name, std::move(any.graph), std::move(any.labels));
+}
+
+Status GraphCatalog::AddGraph(const std::string& name, Digraph graph,
+                              std::vector<uint64_t> labels) {
+  return Insert(name, std::unique_ptr<CatalogEntry>(new CatalogEntry(
+                          name, std::move(graph), std::move(labels))));
+}
+
+Status GraphCatalog::AddWeightedGraph(const std::string& name,
+                                      WeightedDigraph graph,
+                                      std::vector<uint64_t> labels) {
+  return Insert(name, std::unique_ptr<CatalogEntry>(new CatalogEntry(
+                          name, std::move(graph), std::move(labels))));
+}
+
+Status GraphCatalog::Insert(const std::string& name,
+                            std::unique_ptr<CatalogEntry> entry) {
+  if (name.empty()) {
+    return Status::InvalidArgument("catalog graph name must be non-empty");
+  }
+  auto [it, inserted] = entries_.emplace(name, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("catalog already has a graph named '" +
+                                   name + "'");
+  }
+  return Status::Ok();
+}
+
+CatalogEntry* GraphCatalog::Find(const std::string& name) {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+const CatalogEntry* GraphCatalog::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const CatalogEntry*> GraphCatalog::Entries() const {
+  std::vector<const CatalogEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.get());
+  return out;
+}
+
+}  // namespace ddsgraph

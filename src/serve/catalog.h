@@ -1,0 +1,113 @@
+#ifndef DDSGRAPH_SERVE_CATALOG_H_
+#define DDSGRAPH_SERVE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dds/engine.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+/// \file
+/// The serving daemon's graph catalog (DESIGN.md §13).
+///
+/// A `GraphCatalog` maps names to graphs loaded exactly once — from an
+/// edge-list file through the shared `LoadEdgeListAuto` helper, or handed
+/// in pre-built — and keeps one hot `DdsEngine` per graph for the whole
+/// process lifetime. That engine ownership is the point of the serving
+/// subsystem: repeat queries against a graph amortize the engine's
+/// `ProbeWorkspace` (finalized CSR flow arenas, epoch sets) instead of
+/// rebuilding them per request, which is exactly the amortization the
+/// one-shot `dds_tool` throws away at exit.
+///
+/// Concurrency contract: populate the catalog fully (Load/Add), then
+/// share it read-only — `Find`/`Entries` take no lock and must not race
+/// mutation. Per-entry solves *are* safe to issue from many threads:
+/// `CatalogEntry::Solve` serializes on the entry's mutex, which is the
+/// scheduler's one-engine-per-graph discipline; the engine's own
+/// reentrancy latch (dds/engine.h) backstops it.
+
+namespace ddsgraph {
+
+/// One named graph with its long-lived engine. Created by GraphCatalog;
+/// address-stable for the catalog's lifetime.
+class CatalogEntry {
+ public:
+  const std::string& name() const { return name_; }
+  bool weighted() const { return weighted_; }
+  /// Dense-id → original-file-label mapping (empty when identity).
+  const std::vector<uint64_t>& labels() const { return labels_; }
+  uint32_t num_vertices() const { return num_vertices_; }
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Runs one query on this entry's hot engine, serialized on the entry
+  /// mutex so concurrent callers queue here rather than corrupt the
+  /// shared workspace. Returns whatever DdsEngine::Solve returns. Const
+  /// because a solve is logically a query on a read-only catalog; the
+  /// engine's workspace mutation is an amortization detail hidden behind
+  /// the entry mutex.
+  Result<DdsSolution> Solve(const DdsRequest& request) const;
+
+  /// Solves served by this entry so far (under the entry mutex).
+  int64_t num_solves() const;
+
+ private:
+  friend class GraphCatalog;
+  CatalogEntry(std::string name, Digraph graph,
+               std::vector<uint64_t> labels);
+  CatalogEntry(std::string name, WeightedDigraph graph,
+               std::vector<uint64_t> labels);
+
+  const std::string name_;
+  const bool weighted_;
+  // Exactly one of the two graphs is populated; the engine points at it,
+  // so the entry is pinned in memory (held by unique_ptr in the catalog).
+  const Digraph graph_;
+  const WeightedDigraph weighted_graph_;
+  const std::vector<uint64_t> labels_;
+  const uint32_t num_vertices_;
+  const int64_t num_edges_;
+  mutable std::mutex mu_;      ///< serializes solves on engine_
+  mutable DdsEngine engine_;   ///< guarded by mu_
+};
+
+class GraphCatalog {
+ public:
+  GraphCatalog() = default;
+  GraphCatalog(const GraphCatalog&) = delete;
+  GraphCatalog& operator=(const GraphCatalog&) = delete;
+
+  /// Loads `path` as `name` via the shared graph/io helper; the failure
+  /// Status names the file. Duplicate names are InvalidArgument.
+  Status LoadGraph(const std::string& name, const std::string& path,
+                   bool weighted);
+
+  /// Registers a pre-built graph (tests, benchmarks, generated demos).
+  Status AddGraph(const std::string& name, Digraph graph,
+                  std::vector<uint64_t> labels = {});
+  Status AddWeightedGraph(const std::string& name, WeightedDigraph graph,
+                          std::vector<uint64_t> labels = {});
+
+  /// Lookup by name; nullptr when absent. Safe only once population is
+  /// done (see the file comment).
+  CatalogEntry* Find(const std::string& name);
+  const CatalogEntry* Find(const std::string& name) const;
+
+  /// All entries in name order (stable pointers).
+  std::vector<const CatalogEntry*> Entries() const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  Status Insert(const std::string& name,
+                std::unique_ptr<CatalogEntry> entry);
+
+  std::map<std::string, std::unique_ptr<CatalogEntry>> entries_;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_SERVE_CATALOG_H_

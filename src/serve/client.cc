@@ -1,0 +1,29 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace ddsgraph {
+
+Status ServeClient::Connect(const std::string& host, int port) {
+  Result<UniqueSocket> sock = TcpConnect(host, port);
+  if (!sock.ok()) return sock.status();
+  socket_ = std::move(sock).value();
+  return Status::Ok();
+}
+
+Result<std::string> ServeClient::Call(const std::string& request_json) {
+  if (!socket_.valid()) {
+    return Status::Unavailable("client is not connected");
+  }
+  RETURN_IF_ERROR(WriteFrame(socket_.fd(), request_json));
+  std::string response;
+  bool clean_eof = false;
+  RETURN_IF_ERROR(ReadFrame(socket_.fd(), &response, &clean_eof));
+  if (clean_eof) {
+    return Status::Unavailable(
+        "server closed the connection before responding");
+  }
+  return response;
+}
+
+}  // namespace ddsgraph

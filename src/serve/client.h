@@ -1,0 +1,41 @@
+#ifndef DDSGRAPH_SERVE_CLIENT_H_
+#define DDSGRAPH_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "util/socket.h"
+#include "util/status.h"
+
+/// \file
+/// Minimal synchronous client for the dds_server protocol.
+///
+/// One `ServeClient` owns one connection and runs the strict closed-loop
+/// request/response cycle the load benchmark and the serve tests need:
+/// `Call` writes one framed request and blocks for one framed response.
+/// Not thread-safe — one client per thread, which is exactly the
+/// closed-loop benchmark's shape (N clients = N connections = N threads).
+
+namespace ddsgraph {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+
+  /// Connects to a running server.
+  Status Connect(const std::string& host, int port);
+
+  /// Sends `request_json` as one frame and waits for the response frame.
+  /// kUnavailable when the server closed the connection.
+  Result<std::string> Call(const std::string& request_json);
+
+  /// Closes the connection (also implied by destruction).
+  void Close() { socket_.Close(); }
+  bool connected() const { return socket_.valid(); }
+
+ private:
+  UniqueSocket socket_;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_SERVE_CLIENT_H_

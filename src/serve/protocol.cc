@@ -1,0 +1,389 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "dds/solver.h"
+#include "util/table.h"
+
+namespace ddsgraph {
+namespace {
+
+// ------------------------------------------------------- flat JSON lexer
+// A deliberately small scanner for the flat request schema. Keeping it
+// under ~150 lines (no nesting, no \u escapes) is what makes a
+// hand-rolled parser defensible over pulling in a JSON dependency the
+// container doesn't have; anything outside the subset fails with a
+// pointed message instead of being half-parsed.
+
+struct Cursor {
+  const std::string& s;
+  size_t i = 0;
+
+  bool AtEnd() const { return i >= s.size(); }
+  char Peek() const { return s[i]; }
+  void SkipWs() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+};
+
+Status ParseJsonString(Cursor* c, std::string* decoded, std::string* raw) {
+  const size_t start = c->i;
+  if (c->AtEnd() || c->Peek() != '"') {
+    return Status::InvalidArgument("expected '\"' at offset " +
+                                   std::to_string(c->i));
+  }
+  ++c->i;
+  decoded->clear();
+  while (!c->AtEnd()) {
+    const char ch = c->s[c->i];
+    if (ch == '"') {
+      ++c->i;
+      if (raw != nullptr) *raw = c->s.substr(start, c->i - start);
+      return Status::Ok();
+    }
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      return Status::InvalidArgument(
+          "unescaped control character in JSON string");
+    }
+    if (ch == '\\') {
+      ++c->i;
+      if (c->AtEnd()) break;
+      const char esc = c->s[c->i];
+      switch (esc) {
+        case '"': decoded->push_back('"'); break;
+        case '\\': decoded->push_back('\\'); break;
+        case '/': decoded->push_back('/'); break;
+        case 'b': decoded->push_back('\b'); break;
+        case 'f': decoded->push_back('\f'); break;
+        case 'n': decoded->push_back('\n'); break;
+        case 'r': decoded->push_back('\r'); break;
+        case 't': decoded->push_back('\t'); break;
+        case 'u':
+          return Status::InvalidArgument(
+              "\\u escapes are outside the supported JSON subset");
+        default:
+          return Status::InvalidArgument(
+              std::string("unknown escape '\\") + esc + "'");
+      }
+      ++c->i;
+      continue;
+    }
+    decoded->push_back(ch);
+    ++c->i;
+  }
+  return Status::InvalidArgument("unterminated JSON string");
+}
+
+Status ParseJsonNumber(Cursor* c, double* value, std::string* raw) {
+  const size_t start = c->i;
+  if (!c->AtEnd() && c->Peek() == '-') ++c->i;
+  size_t digits = 0;
+  auto eat_digits = [&] {
+    while (!c->AtEnd() && std::isdigit(static_cast<unsigned char>(
+                              c->s[c->i]))) {
+      ++c->i;
+      ++digits;
+    }
+  };
+  eat_digits();
+  if (!c->AtEnd() && c->Peek() == '.') {
+    ++c->i;
+    eat_digits();
+  }
+  if (!c->AtEnd() && (c->Peek() == 'e' || c->Peek() == 'E')) {
+    ++c->i;
+    if (!c->AtEnd() && (c->Peek() == '+' || c->Peek() == '-')) ++c->i;
+    eat_digits();
+  }
+  if (digits == 0) {
+    return Status::InvalidArgument("malformed JSON number at offset " +
+                                   std::to_string(start));
+  }
+  const std::string slice = c->s.substr(start, c->i - start);
+  *value = std::strtod(slice.c_str(), nullptr);
+  if (raw != nullptr) *raw = slice;
+  return Status::Ok();
+}
+
+bool ConsumeLiteral(Cursor* c, const char* literal) {
+  const size_t len = std::string_view(literal).size();
+  if (c->s.compare(c->i, len, literal) == 0) {
+    c->i += len;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::map<std::string, JsonScalar>> ParseFlatJsonObject(
+    const std::string& json) {
+  std::map<std::string, JsonScalar> out;
+  Cursor c{json};
+  c.SkipWs();
+  if (c.AtEnd() || c.Peek() != '{') {
+    return Status::InvalidArgument("request must be one JSON object");
+  }
+  ++c.i;
+  c.SkipWs();
+  bool first = true;
+  while (true) {
+    c.SkipWs();
+    if (!c.AtEnd() && c.Peek() == '}') {
+      ++c.i;
+      break;
+    }
+    if (!first) {
+      if (c.AtEnd() || c.Peek() != ',') {
+        return Status::InvalidArgument(
+            "expected ',' or '}' in JSON object at offset " +
+            std::to_string(c.i));
+      }
+      ++c.i;
+      c.SkipWs();
+    }
+    first = false;
+    std::string key;
+    RETURN_IF_ERROR(ParseJsonString(&c, &key, nullptr));
+    c.SkipWs();
+    if (c.AtEnd() || c.Peek() != ':') {
+      return Status::InvalidArgument("expected ':' after key \"" + key +
+                                     "\"");
+    }
+    ++c.i;
+    c.SkipWs();
+    if (c.AtEnd()) {
+      return Status::InvalidArgument("truncated JSON after key \"" + key +
+                                     "\"");
+    }
+    JsonScalar value;
+    const char lead = c.Peek();
+    if (lead == '"') {
+      value.kind = JsonScalar::Kind::kString;
+      RETURN_IF_ERROR(ParseJsonString(&c, &value.string_value, &value.raw));
+    } else if (lead == '-' ||
+               std::isdigit(static_cast<unsigned char>(lead))) {
+      value.kind = JsonScalar::Kind::kNumber;
+      RETURN_IF_ERROR(ParseJsonNumber(&c, &value.number, &value.raw));
+    } else if (ConsumeLiteral(&c, "true")) {
+      value.kind = JsonScalar::Kind::kBool;
+      value.boolean = true;
+      value.raw = "true";
+    } else if (ConsumeLiteral(&c, "false")) {
+      value.kind = JsonScalar::Kind::kBool;
+      value.boolean = false;
+      value.raw = "false";
+    } else if (ConsumeLiteral(&c, "null")) {
+      value.kind = JsonScalar::Kind::kNull;
+      value.raw = "null";
+    } else if (lead == '{' || lead == '[') {
+      return Status::InvalidArgument(
+          "nested JSON values are outside the flat request schema (key \"" +
+          key + "\")");
+    } else {
+      return Status::InvalidArgument("malformed JSON value for key \"" +
+                                     key + "\"");
+    }
+    if (!out.emplace(key, std::move(value)).second) {
+      return Status::InvalidArgument("duplicate key \"" + key + "\"");
+    }
+  }
+  c.SkipWs();
+  if (!c.AtEnd()) {
+    return Status::InvalidArgument(
+        "trailing bytes after the JSON object at offset " +
+        std::to_string(c.i));
+  }
+  return out;
+}
+
+std::string EscapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+Result<WireRequest> ParseWireRequest(const std::string& json) {
+  Result<std::map<std::string, JsonScalar>> parsed =
+      ParseFlatJsonObject(json);
+  if (!parsed.ok()) return parsed.status();
+
+  WireRequest wire;
+  bool saw_graph = false;
+  for (const auto& [key, value] : parsed.value()) {
+    auto want = [&key](bool ok, const char* type) -> Status {
+      if (ok) return Status::Ok();
+      return Status::InvalidArgument("\"" + key + "\" must be a " + type);
+    };
+    if (key == "graph") {
+      RETURN_IF_ERROR(
+          want(value.kind == JsonScalar::Kind::kString, "string"));
+      wire.graph = value.string_value;
+      saw_graph = true;
+    } else if (key == "algo") {
+      RETURN_IF_ERROR(
+          want(value.kind == JsonScalar::Kind::kString, "string"));
+      wire.algo = value.string_value;
+    } else if (key == "weighted") {
+      RETURN_IF_ERROR(
+          want(value.kind == JsonScalar::Kind::kBool, "boolean"));
+      wire.weighted = value.boolean;
+    } else if (key == "deadline_ms") {
+      RETURN_IF_ERROR(
+          want(value.kind == JsonScalar::Kind::kNumber, "number"));
+      if (!(value.number >= 0) || !std::isfinite(value.number)) {
+        return Status::InvalidArgument(
+            "\"deadline_ms\" must be finite and >= 0 (0 = no deadline)");
+      }
+      wire.deadline_ms = value.number;
+    } else if (key == "threads") {
+      RETURN_IF_ERROR(
+          want(value.kind == JsonScalar::Kind::kNumber, "number"));
+      const double t = value.number;
+      if (t < 1 || t != std::floor(t) || t > 1 << 20) {
+        return Status::InvalidArgument(
+            "\"threads\" must be an integer >= 1");
+      }
+      wire.threads = static_cast<int64_t>(t);
+    } else if (key == "id") {
+      if (value.kind != JsonScalar::Kind::kString &&
+          value.kind != JsonScalar::Kind::kNumber) {
+        return Status::InvalidArgument(
+            "\"id\" must be a string or a number");
+      }
+      wire.id_raw = value.raw;
+    } else {
+      // Strict: an ignored typo ("deadlin_ms") silently dropping a
+      // deadline is worse than a rejected request.
+      return Status::InvalidArgument(
+          "unknown request key \"" + key +
+          "\"; known keys: graph, algo, weighted, deadline_ms, threads, "
+          "id");
+    }
+  }
+  if (!saw_graph || wire.graph.empty()) {
+    return Status::InvalidArgument(
+        "request needs a non-empty \"graph\" naming a catalog entry");
+  }
+  return wire;
+}
+
+Result<ServeRequest> ToServeRequest(const WireRequest& wire) {
+  // Registry-validated: the server accepts exactly the vocabulary
+  // dds_tool's --algo accepts, from the same table.
+  const std::optional<DdsAlgorithm> algorithm =
+      ParseAlgorithmName(wire.algo);
+  if (!algorithm.has_value()) {
+    return Status::InvalidArgument("unknown algo '" + wire.algo +
+                                   "'; known: " + AlgorithmNamesHelp());
+  }
+  ServeRequest out;
+  out.graph = wire.graph;
+  out.request.algorithm = *algorithm;
+  if (wire.deadline_ms > 0) {
+    out.request.deadline_seconds = wire.deadline_ms / 1e3;
+  }
+  out.request.threads = static_cast<int>(wire.threads);
+  return out;
+}
+
+std::string OkResponseJson(const WireRequest& wire,
+                           const ServeResponse& response,
+                           const std::string& solution_json) {
+  std::string out = "{\"id\": ";
+  out += wire.id_raw.empty() ? "null" : wire.id_raw;
+  out += ", \"status\": \"ok\", \"graph\": \"";
+  out += EscapeJsonString(wire.graph);
+  out += "\", \"algo\": \"";
+  out += EscapeJsonString(wire.algo);
+  out += "\", \"weighted\": ";
+  out += (response.entry != nullptr && response.entry->weighted())
+             ? "true"
+             : "false";
+  out += ", \"queue_ms\": " + FormatDouble(response.queue_ms, 6);
+  out += ", \"solve_ms\": " + FormatDouble(response.solve_ms, 6);
+  out += ", \"solution\": ";
+  out += solution_json;
+  out += "}";
+  return out;
+}
+
+std::string ErrorResponseJson(const std::string& id_raw,
+                              const Status& status) {
+  std::string out = "{\"id\": ";
+  out += id_raw.empty() ? "null" : id_raw;
+  out += ", \"status\": \"error\", \"code\": \"";
+  out += StatusCodeName(status.code());
+  out += "\", \"message\": \"";
+  out += EscapeJsonString(status.message());
+  out += "\"}";
+  return out;
+}
+
+std::optional<double> FindJsonNumber(const std::string& json,
+                                     const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  Cursor c{json, at + needle.size()};
+  double value = 0;
+  if (!ParseJsonNumber(&c, &value, nullptr).ok()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> FindJsonString(const std::string& json,
+                                          const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  Cursor c{json, at + needle.size()};
+  std::string decoded;
+  if (!ParseJsonString(&c, &decoded, nullptr).ok()) return std::nullopt;
+  return decoded;
+}
+
+Result<std::string> SolutionSliceForCompare(
+    const std::string& response_json) {
+  const std::string open = "\"solution\": {";
+  const size_t start = response_json.find(open);
+  if (start == std::string::npos) {
+    return Status::InvalidArgument(
+        "response carries no \"solution\" object");
+  }
+  const size_t brace = start + open.size() - 1;
+  const size_t stats = response_json.find(", \"stats\"", brace);
+  if (stats == std::string::npos) {
+    return Status::InvalidArgument(
+        "solution object carries no \"stats\" suffix");
+  }
+  return response_json.substr(brace, stats - brace);
+}
+
+}  // namespace ddsgraph

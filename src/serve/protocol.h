@@ -1,0 +1,120 @@
+#ifndef DDSGRAPH_SERVE_PROTOCOL_H_
+#define DDSGRAPH_SERVE_PROTOCOL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "serve/scheduler.h"
+#include "util/status.h"
+
+/// \file
+/// The dds_server wire protocol (DESIGN.md §13).
+///
+/// Requests and responses are single JSON objects carried in the framed
+/// byte stream of util/socket.h ("<len>\n<json>\n"). One request:
+///
+///   {"graph": "reviews", "algo": "core-exact", "weighted": true,
+///    "deadline_ms": 50, "threads": 2, "id": 17}
+///
+/// `graph` is required; everything else is optional (`algo` defaults to
+/// core-exact, no deadline, threads 1). `id` — a JSON string or number —
+/// is echoed verbatim in the response so a pipelining client can match
+/// responses that complete out of order. Unknown keys are rejected, not
+/// ignored: a typo'd "deadlin_ms" must fail loudly, not silently run
+/// without a deadline.
+///
+/// A success response wraps the engine's SolutionJson (so the wire schema
+/// and the CLI --json schema share one serializer) plus the serve-path
+/// latency split:
+///
+///   {"id": 17, "status": "ok", "graph": "reviews", "algo": "core-exact",
+///    "queue_ms": 0.21, "solve_ms": 3.75, "solution": {...}}
+///
+/// An error response carries the Status verbatim:
+///
+///   {"id": 17, "status": "error", "code": "UNAVAILABLE",
+///    "message": "admission queue full (64 requests queued); retry later"}
+///
+/// Algorithm names are validated through the PR 2 registry
+/// (ParseAlgorithmName), so the server and dds_tool accept exactly the
+/// same `algo` vocabulary — one source of truth.
+
+namespace ddsgraph {
+
+/// One scalar JSON value with its verbatim source slice (for echoing).
+struct JsonScalar {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string string_value;  ///< decoded, for kString
+  double number = 0;         ///< for kNumber
+  bool boolean = false;      ///< for kBool
+  std::string raw;           ///< verbatim source slice, valid JSON
+};
+
+/// Parses one *flat* JSON object — string keys, scalar values (string /
+/// number / true / false / null). Nested objects or arrays are rejected:
+/// the request schema is flat by design, and rejecting nesting keeps the
+/// parser small enough to audit. Duplicate keys are rejected.
+Result<std::map<std::string, JsonScalar>> ParseFlatJsonObject(
+    const std::string& json);
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes, control
+/// characters, backslash).
+std::string EscapeJsonString(const std::string& s);
+
+/// The parsed wire request, before registry/catalog resolution.
+struct WireRequest {
+  std::string id_raw;  ///< verbatim id token to echo; empty = absent
+  std::string graph;
+  std::string algo = "core-exact";
+  std::optional<bool> weighted;  ///< client's expectation, if stated
+  double deadline_ms = 0;        ///< 0 = none
+  int64_t threads = 1;
+};
+
+/// Parses and schema-checks one request object (types, ranges, unknown
+/// keys). Algorithm-name validity is *not* checked here — that happens in
+/// ToServeRequest against the registry, so the two error classes stay
+/// distinguishable in messages.
+Result<WireRequest> ParseWireRequest(const std::string& json);
+
+/// Resolves the wire request into a scheduler ServeRequest via the
+/// algorithm registry: unknown `algo` → InvalidArgument naming the known
+/// algorithms (the same help string dds_tool prints).
+Result<ServeRequest> ToServeRequest(const WireRequest& wire);
+
+/// Serializes a success response (see the file comment). `solution_json`
+/// is the engine's SolutionJson output, embedded verbatim.
+std::string OkResponseJson(const WireRequest& wire,
+                           const ServeResponse& response,
+                           const std::string& solution_json);
+
+/// Serializes an error response for `status`. `id_raw` may be empty.
+std::string ErrorResponseJson(const std::string& id_raw,
+                              const Status& status);
+
+/// Scans `json` for `"key": ` followed by a number and returns it.
+/// Substring-based on purpose: response JSON nests (solution, stats) and
+/// the load client only needs a few numeric fields, not a full parser.
+/// Returns nullopt when the key is absent.
+std::optional<double> FindJsonNumber(const std::string& json,
+                                     const std::string& key);
+
+/// Scans `json` for `"key": "<string>"` and returns the raw (undecoded)
+/// string contents. Returns nullopt when absent.
+std::optional<std::string> FindJsonString(const std::string& json,
+                                          const std::string& key);
+
+/// The bit-comparable slice of a response's embedded solution: from the
+/// opening brace of the "solution" object up to (excluding) its
+/// `, "stats"` suffix — density, pair sizes, vertex lists, bounds and the
+/// interrupted flag, all deterministically formatted. Two solves of the
+/// same request must match on this slice byte-for-byte; the stats that
+/// follow (timings, schedule-dependent counters) legitimately differ.
+Result<std::string> SolutionSliceForCompare(
+    const std::string& response_json);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_SERVE_PROTOCOL_H_

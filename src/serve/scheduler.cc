@@ -1,0 +1,143 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ddsgraph {
+
+RequestScheduler::RequestScheduler(const GraphCatalog* catalog,
+                                   SchedulerOptions options)
+    : catalog_(catalog), options_(options), pool_(options.workers) {
+  CHECK(catalog != nullptr);
+  CHECK(options.workers >= 1)
+      << "scheduler needs >= 1 worker, got " << options.workers;
+  CHECK(options.queue_capacity >= 1)
+      << "queue capacity must be >= 1, got " << options.queue_capacity;
+}
+
+RequestScheduler::~RequestScheduler() { Stop(); }
+
+void RequestScheduler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CHECK(!started_) << "RequestScheduler::Start called twice";
+    started_ = true;
+  }
+  // The pump thread is pool worker 0; the pool spawns workers-1 more, so
+  // exactly options_.workers threads run WorkerLoop concurrently.
+  pump_ = std::thread([this] {
+    pool_.RunOnAllWorkers([this](int) { WorkerLoop(); });
+  });
+}
+
+Status RequestScheduler::Submit(ServeRequest request, ServeCallback done) {
+  CHECK(done != nullptr) << "Submit needs a completion callback";
+  // Cheap validation happens at admission so overload rejections and bad
+  // requests never cost a queue slot or a worker wakeup.
+  const CatalogEntry* entry = catalog_->Find(request.graph);
+  if (entry == nullptr) {
+    return Status::NotFound("no graph named '" + request.graph +
+                            "' in the catalog");
+  }
+  RETURN_IF_ERROR(ValidateRequest(request.request));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      return Status::Unavailable("scheduler is not accepting requests" +
+                                 std::string(stopping_ ? " (stopping)"
+                                                       : " (not started)"));
+    }
+    if (queue_.size() >=
+        static_cast<size_t>(options_.queue_capacity)) {
+      ++rejected_;
+      return Status::Unavailable(
+          "admission queue full (" +
+          std::to_string(options_.queue_capacity) +
+          " requests queued); retry later");
+    }
+    queue_.push_back(QueuedRequest{std::move(request), std::move(done),
+                                   entry, WallTimer()});
+  }
+  work_cv_.notify_one();
+  return Status::Ok();
+}
+
+void RequestScheduler::WorkerLoop() {
+  for (;;) {
+    QueuedRequest item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with an empty queue: the drain is complete.
+        return;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(std::move(item));
+  }
+}
+
+void RequestScheduler::Process(QueuedRequest item) {
+  ServeResponse response;
+  response.entry = item.entry;
+  response.queue_ms = item.queued_at.Millis();
+
+  // End-to-end deadline: charge the queue wait against the budget. An
+  // already-expired request still runs with an epsilon budget — the
+  // anytime engine stops at its first control check and returns the
+  // incumbent with a certified bracket, so expiry degrades the answer's
+  // tightness, never its validity.
+  DdsRequest effective = item.request.request;
+  if (effective.deadline_seconds !=
+      std::numeric_limits<double>::infinity()) {
+    const double remaining =
+        effective.deadline_seconds - response.queue_ms / 1e3;
+    effective.deadline_seconds = std::max(1e-9, remaining);
+  }
+
+  WallTimer solve_timer;
+  Result<DdsSolution> solved = item.entry->Solve(effective);
+  response.solve_ms = solve_timer.Millis();
+  if (solved.ok()) {
+    response.solution = std::move(solved).value();
+    response.solution.stats.queue_ms = response.queue_ms;
+    response.solution.stats.solve_ms = response.solve_ms;
+  } else {
+    response.status = solved.status();
+  }
+  item.done(std::move(response));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++served_;
+}
+
+void RequestScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (pump_.joinable()) pump_.join();
+}
+
+int64_t RequestScheduler::served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_;
+}
+
+int64_t RequestScheduler::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+int64_t RequestScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+}  // namespace ddsgraph

@@ -1,0 +1,137 @@
+#ifndef DDSGRAPH_SERVE_SCHEDULER_H_
+#define DDSGRAPH_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/catalog.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+/// \file
+/// The serving daemon's request scheduler (DESIGN.md §13).
+///
+/// A bounded admission queue feeding the existing `ThreadPool`: `workers`
+/// pool workers loop over the queue, each popped request solves on its
+/// catalog entry's hot engine (serialized per entry by the entry mutex),
+/// and the completion callback fires from the worker thread. The queue
+/// bound is the backpressure mechanism — `Submit` on a full queue returns
+/// `kUnavailable` immediately instead of stalling the caller, so an
+/// overloaded server degrades into fast rejections rather than unbounded
+/// memory growth and collapsing latency.
+///
+/// Deadlines are end-to-end: `ServeRequest::request.deadline_seconds` is
+/// the budget from *admission*, so time spent queued is charged against
+/// it. A worker that dequeues an already-expired request still runs the
+/// solve with a zero remaining budget — the anytime exact engine then
+/// returns its incumbent with a certified [lower, upper] bracket at the
+/// first control check instead of the scheduler inventing an empty
+/// "timed out" answer.
+///
+/// Shutdown drains: after `Stop()` no new request is admitted, but every
+/// request already admitted is solved and its callback fired before
+/// `Stop()` returns. A client that got an OK admission always gets a
+/// response.
+
+namespace ddsgraph {
+
+/// One admitted unit of work: a named catalog graph plus the full engine
+/// request. `request.progress` is honored (the scheduler composes it with
+/// its own deadline mapping), which is how tests gate a worker
+/// deterministically.
+struct ServeRequest {
+  std::string graph;   ///< catalog name
+  DdsRequest request;  ///< algorithm + options; deadline is end-to-end
+};
+
+/// What the completion callback receives. On a non-OK `status` the
+/// solution is default-constructed and only the latency fields are
+/// meaningful. On success `solution.stats.queue_ms` / `solve_ms` carry
+/// the same values as the top-level fields (satellite: the stats travel
+/// inside SolutionJson for wire clients).
+struct ServeResponse {
+  Status status;
+  DdsSolution solution;
+  double queue_ms = 0;  ///< admission → worker pickup
+  double solve_ms = 0;  ///< worker pickup → solve return
+  const CatalogEntry* entry = nullptr;  ///< resolved catalog entry
+};
+
+using ServeCallback = std::function<void(ServeResponse)>;
+
+struct SchedulerOptions {
+  /// Pool workers that pull from the queue (>= 1).
+  int workers = 2;
+  /// Max requests admitted-but-not-yet-picked-up (>= 1). Beyond it,
+  /// Submit rejects with kUnavailable.
+  int queue_capacity = 64;
+};
+
+class RequestScheduler {
+ public:
+  /// The catalog must be fully populated and must outlive the scheduler.
+  RequestScheduler(const GraphCatalog* catalog, SchedulerOptions options);
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Starts the worker pool. Must be called once before Submit.
+  void Start();
+
+  /// Admission control. Validates cheaply (known graph, well-formed
+  /// request) and enqueues; the callback later fires exactly once from a
+  /// worker thread. Errors:
+  ///   kNotFound         unknown graph name
+  ///   kInvalidArgument  request invalid (ValidateRequest)
+  ///   kUnavailable      queue full, or scheduler stopped/stopping
+  /// On any error the callback is NOT invoked — admission rejections are
+  /// synchronous, which is what makes them cheap under overload.
+  Status Submit(ServeRequest request, ServeCallback done);
+
+  /// Stops admissions, drains every queued request (callbacks fire),
+  /// then joins the workers. Idempotent.
+  void Stop();
+
+  /// Requests whose callbacks have completed.
+  int64_t served() const;
+  /// Submissions rejected by backpressure (queue full).
+  int64_t rejected() const;
+  /// Currently queued (admitted, not yet picked up).
+  int64_t queued() const;
+
+ private:
+  struct QueuedRequest {
+    ServeRequest request;
+    ServeCallback done;
+    const CatalogEntry* entry = nullptr;
+    WallTimer queued_at;  ///< started at admission; read at pickup
+  };
+
+  void WorkerLoop();
+  void Process(QueuedRequest item);
+
+  const GraphCatalog* const catalog_;
+  const SchedulerOptions options_;
+  ThreadPool pool_;
+  std::thread pump_;  ///< runs pool_.RunOnAllWorkers(WorkerLoop)
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for queue/stop
+  std::deque<QueuedRequest> queue_;   ///< guarded by mu_
+  bool started_ = false;              ///< guarded by mu_
+  bool stopping_ = false;             ///< guarded by mu_
+  int64_t served_ = 0;                ///< guarded by mu_
+  int64_t rejected_ = 0;              ///< guarded by mu_
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_SERVE_SCHEDULER_H_

@@ -1,0 +1,93 @@
+#ifndef DDSGRAPH_UTIL_SOCKET_H_
+#define DDSGRAPH_UTIL_SOCKET_H_
+
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+/// \file
+/// Thin POSIX TCP helpers for the serving layer (DESIGN.md §13).
+///
+/// Deliberately minimal: blocking sockets, IPv4, loopback-by-default —
+/// the dds_server protocol needs reliable framed byte streams, not an
+/// async I/O stack. Every call returns Status/Result; no call aborts on
+/// peer misbehavior. Writes use MSG_NOSIGNAL so a vanished client is an
+/// error return, never a SIGPIPE.
+///
+/// Framing ("length-prefixed JSON lines"): one frame is
+///   <decimal byte length>\n<payload bytes>\n
+/// The explicit length keeps payloads free to contain anything (no
+/// escaping concerns, cheap exact-size reads); the two newlines keep the
+/// stream inspectable with netcat. ReadFrame distinguishes clean EOF
+/// (peer closed between frames) from a truncated frame (error).
+
+namespace ddsgraph {
+
+/// Move-only RAII file descriptor; closes on destruction.
+class UniqueSocket {
+ public:
+  UniqueSocket() = default;
+  explicit UniqueSocket(int fd) : fd_(fd) {}
+  ~UniqueSocket() { Close(); }
+  UniqueSocket(const UniqueSocket&) = delete;
+  UniqueSocket& operator=(const UniqueSocket&) = delete;
+  UniqueSocket(UniqueSocket&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueSocket& operator=(UniqueSocket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+  void Close();
+  /// shutdown(2) both directions; unblocks a thread parked in recv on
+  /// this fd from another thread (the server's drain path). No-op when
+  /// invalid.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:port` (port 0 = ephemeral). On success the
+/// bound port is written to `*bound_port`.
+Result<UniqueSocket> TcpListen(const std::string& host, int port,
+                               int* bound_port);
+
+/// Accepts one connection. kUnavailable when the listener was shut down
+/// or closed (the server's stop path), other codes for real failures.
+Result<UniqueSocket> TcpAccept(int listen_fd);
+
+/// Connects to `host:port` (blocking).
+Result<UniqueSocket> TcpConnect(const std::string& host, int port);
+
+/// Writes all `size` bytes (handles short writes). kUnavailable when the
+/// peer has gone away or a send timeout (SetSendTimeout) expired.
+Status SendAll(int fd, const void* data, size_t size);
+
+/// Caps how long one send may block (SO_SNDTIMEO). The server sets this
+/// on every accepted socket so a client that stopped reading cannot
+/// wedge a response writer — and with it the drain shutdown — behind a
+/// full socket buffer.
+Status SetSendTimeout(int fd, double seconds);
+
+/// Writes one framed payload: "<len>\n<payload>\n".
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Reads one framed payload into `*payload`. Returns OK with
+/// `*clean_eof = true` (payload untouched) when the peer closed before
+/// the first length byte; a close mid-frame is an error. Frames above
+/// `max_bytes` are rejected without reading the payload.
+Status ReadFrame(int fd, std::string* payload, bool* clean_eof,
+                 size_t max_bytes = 64u << 20);
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_SOCKET_H_

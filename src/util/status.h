@@ -24,6 +24,11 @@ enum class StatusCode : int {
   kOutOfRange = 3,
   kInternal = 4,
   kUnimplemented = 5,
+  /// A resource is temporarily busy or shutting down (a full admission
+  /// queue, a stopping server, an engine already running a solve). The
+  /// operation may succeed if retried later — unlike kInvalidArgument,
+  /// nothing is wrong with the request itself.
+  kUnavailable = 6,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -51,6 +56,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -134,6 +134,42 @@ TEST_F(IoTest, WeightedLoaderRemapsLabelsAndRejectsBadWeights) {
   }
 }
 
+TEST_F(IoTest, LoadEdgeListAutoDispatchesOnWeightFlavor) {
+  const std::string path = TempPath("auto.txt");
+  WriteFile(path, "100 200 4\n200 300 2\n");
+  // Unweighted mode ignores the weight column (SNAP files often carry
+  // extras); weighted mode consumes it.
+  const auto plain = LoadEdgeListAuto(path, /*weighted=*/false);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().weighted);
+  EXPECT_EQ(plain.value().graph.NumVertices(), 3u);
+  const auto weighted = LoadEdgeListAuto(path, /*weighted=*/true);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_TRUE(weighted.value().weighted);
+  EXPECT_EQ(weighted.value().weighted_graph.TotalWeight(), 6);
+  ASSERT_EQ(weighted.value().labels.size(), 3u);
+  EXPECT_EQ(weighted.value().labels[0], 100u);
+}
+
+// The shared loader's contract with its front-ends (dds_tool, the serve
+// catalog): any failure Status names the offending file.
+TEST_F(IoTest, LoadEdgeListAutoNamesTheFileInErrors) {
+  const std::string missing = TempPath("does_not_exist.txt");
+  for (const bool weighted : {false, true}) {
+    const auto loaded = LoadEdgeListAuto(missing, weighted);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(loaded.status().message().find(missing), std::string::npos)
+        << loaded.status().ToString();
+  }
+  const std::string malformed = TempPath("auto_bad.txt");
+  WriteFile(malformed, "0 1 zzz\n");
+  const auto bad = LoadEdgeListAuto(malformed, /*weighted=*/true);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find(malformed), std::string::npos)
+      << bad.status().ToString();
+}
+
 TEST_F(IoTest, BinaryRejectsBadMagic) {
   const std::string path = TempPath("garbage.bin");
   WriteFile(path, "this is not a ddsgraph binary file at all");

@@ -100,6 +100,32 @@ TEST(SolverStatsTest, ToStringCarriesKernelCounters) {
   EXPECT_NE(s.find("solves[dinic=7,pr=3,grel=2]"), std::string::npos) << s;
 }
 
+// The serve-path latency split (queue_ms / solve_ms) is zero outside the
+// server and must stay invisible in ToString then — a one-shot CLI solve
+// has no queue to report.
+TEST(SolverStatsTest, ServeLatencySplitHiddenWhenZero) {
+  SolverStats stats;
+  EXPECT_EQ(stats.ToString().find("queue="), std::string::npos);
+  stats.queue_ms = 1.25;
+  stats.solve_ms = 40;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("queue=1.25ms"), std::string::npos) << s;
+  EXPECT_NE(s.find("solve=40ms"), std::string::npos) << s;
+}
+
+TEST(SolverStatsTest, SolutionJsonCarriesServeLatencySplit) {
+  const Digraph g = UniformDigraph(14, 60, 25);
+  DdsSolution sol = SolveExactDds(g, ExactOptions{});
+  // Outside the server the fields serialize as plain zeros.
+  EXPECT_NE(SolutionJson(sol).find("\"queue_ms\": 0, \"solve_ms\": 0"),
+            std::string::npos);
+  sol.stats.queue_ms = 0.5;
+  sol.stats.solve_ms = 2.25;
+  const std::string json = SolutionJson(sol);
+  EXPECT_NE(json.find("\"queue_ms\": 0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"solve_ms\": 2.25"), std::string::npos) << json;
+}
+
 TEST(SolverStatsTest, SolutionJsonCarriesKernelCounters) {
   const Digraph g = UniformDigraph(14, 60, 25);
   const DdsSolution sol = SolveExactDds(g, ExactOptions{});

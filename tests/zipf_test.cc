@@ -1,0 +1,88 @@
+#include "util/zipf.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+TEST(ZipfTest, RanksStayInUniverse) {
+  ZipfGenerator zipf(7, 1.0, 11);
+  EXPECT_EQ(zipf.universe(), 7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t k = zipf.Next();
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 7);
+  }
+}
+
+TEST(ZipfTest, SameSeedSameSequence) {
+  ZipfGenerator a(50, 1.2, 123);
+  ZipfGenerator b(50, 1.2, 123);
+  ZipfGenerator c(50, 1.2, 124);
+  bool any_diff = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t ka = a.Next();
+    ASSERT_EQ(ka, b.Next()) << "draw " << i;
+    any_diff = any_diff || (ka != c.Next());
+  }
+  // A different seed must not replay the same sequence.
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ZipfTest, SingletonUniverseAlwaysZero) {
+  ZipfGenerator zipf(1, 2.0, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(), 0);
+}
+
+// The empirical frequencies must follow the 1/(k+1)^s shape: monotone
+// nonincreasing in rank, and at s=1 the hottest rank draws ~2x the
+// second (1/1 vs 1/2). 200k draws over 8 ranks puts the sampling error
+// well under the 10% tolerances used here.
+TEST(ZipfTest, FrequencyShapeMatchesExponent) {
+  const int64_t n = 8;
+  const int draws = 200000;
+  ZipfGenerator zipf(n, 1.0, 42);
+  std::vector<int> count(static_cast<size_t>(n), 0);
+  for (int i = 0; i < draws; ++i) ++count[static_cast<size_t>(zipf.Next())];
+  for (int64_t k = 0; k + 1 < n; ++k) {
+    EXPECT_GE(count[static_cast<size_t>(k)],
+              count[static_cast<size_t>(k + 1)])
+        << "rank " << k;
+  }
+  const double hot_over_second =
+      static_cast<double>(count[0]) / static_cast<double>(count[1]);
+  EXPECT_NEAR(hot_over_second, 2.0, 0.2);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  const int64_t n = 6;
+  const int draws = 120000;
+  ZipfGenerator zipf(n, 0.0, 7);
+  std::vector<int> count(static_cast<size_t>(n), 0);
+  for (int i = 0; i < draws; ++i) ++count[static_cast<size_t>(zipf.Next())];
+  const double expected = static_cast<double>(draws) / static_cast<double>(n);
+  for (int64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(count[static_cast<size_t>(k)] / expected, 1.0, 0.05)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, LargerExponentConcentratesOnHotRank) {
+  const int64_t n = 16;
+  const int draws = 50000;
+  double share_at[2] = {0, 0};
+  const double exponents[2] = {1.0, 2.0};
+  for (int e = 0; e < 2; ++e) {
+    ZipfGenerator zipf(n, exponents[e], 99);
+    int hot = 0;
+    for (int i = 0; i < draws; ++i) hot += (zipf.Next() == 0) ? 1 : 0;
+    share_at[e] = static_cast<double>(hot) / draws;
+  }
+  EXPECT_GT(share_at[1], share_at[0] + 0.1);
+}
+
+}  // namespace
+}  // namespace ddsgraph

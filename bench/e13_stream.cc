@@ -1,0 +1,313 @@
+// E13 — dynamic stream maintenance vs rebuild-and-resolve (beyond the
+// paper's evaluation; DESIGN.md §14).
+//
+// Two arms answer the same question — "what is the densest-subgraph
+// density after each batch of a live edge stream?" — on the same replay
+// of the synthetic fraud burst:
+//
+//   * incremental — one `DynamicDdsEngine` over the delta overlay:
+//     O(1)/op bound maintenance, a certified [lower, upper] bracket read
+//     after every batch, and a full exact anchor only every
+//     --resolve_every batches;
+//   * rebuild — the static baseline: after every batch, rebuild the
+//     whole graph from the accumulated edge set (`FromEdges`) and run
+//     the exact solver on it from scratch.
+//
+// Correctness is load-bearing, not incidental: the rebuild arm's exact
+// density is the ground truth, and after the timed runs every
+// incremental bracket is checked to *contain* its batch's exact density
+// — plus the final overlay snapshot is checked arc-for-arc identical to
+// the final rebuilt graph. Any violation fails the run with exit 1, so
+// the committed BENCH_e13.json doubles as a certification that the
+// brackets were sound on every batch it reports.
+//
+// The headline number is speedup = rebuild seconds / incremental
+// seconds; the run fails below --min_speedup (default 2x). Both arms run
+// sequentially on the same core (single-core container numbers — no
+// parallelism to flatter either side).
+//
+// JSON dump (--json_out, default BENCH_e13.json): per-batch brackets and
+// exact densities, both arms' wall times, the speedup, and bracket
+// tightness stats.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "dds/core_exact.h"
+#include "graph/generators.h"
+#include "stream/dynamic_dds.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ddsgraph {
+namespace bench {
+namespace {
+
+// What the incremental arm records per batch (reading the bracket is part
+// of the measured protocol — it is the product being benchmarked).
+struct BatchTrace {
+  DensityBracket bracket;
+  double exact = 0;  ///< filled by the rebuild arm
+  int64_t num_edges = 0;
+};
+
+uint64_t ArcKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  FlagSet flags("e13_stream",
+                "incremental stream maintenance vs rebuild-and-resolve");
+  bool* quick = flags.Bool("quick", false, "smoke sizes");
+  int64_t* vertices =
+      flags.Int64("vertices", 400, "vertex count of the burst stream");
+  int64_t* base_edges = flags.Int64(
+      "base_edges", 1200, "edges of the uniform base graph under the stream");
+  int64_t* batches = flags.Int64("batches", 32, "stream batches");
+  int64_t* ops_per_batch = flags.Int64("ops_per_batch", 64, "ops per batch");
+  int64_t* resolve_every = flags.Int64(
+      "resolve_every", 8,
+      "incremental arm: exact anchor every this many batches");
+  double* min_speedup = flags.Double(
+      "min_speedup", 2.0, "fail (exit 1) below this rebuild/incremental ratio");
+  int64_t* seed = flags.Int64("seed", 42, "RNG seed");
+  std::string* json_out = flags.String(
+      "json_out", "BENCH_e13.json", "output JSON path; empty disables");
+  flags.ParseOrDie(argc, argv);
+
+  PrintBanner("E13", "dynamic stream maintenance vs rebuild-and-resolve");
+
+  if (*quick) {
+    *vertices = 160;
+    *base_edges = 400;
+    *batches = 12;
+    *ops_per_batch = 32;
+    *resolve_every = 6;
+  }
+  CHECK(*resolve_every >= 1) << "--resolve_every must be >= 1";
+
+  const uint32_t n0 = static_cast<uint32_t>(*vertices);
+  const Digraph base =
+      UniformDigraph(n0, *base_edges, static_cast<uint64_t>(*seed));
+  BurstStreamOptions stream_options;
+  stream_options.num_vertices = n0;
+  stream_options.batches = *batches;
+  stream_options.ops_per_batch = *ops_per_batch;
+  const std::vector<EdgeBatch> stream =
+      GenerateBurstStream(stream_options, static_cast<uint64_t>(*seed) + 1);
+
+  std::printf("base n=%u m=%lld, %zu batches x %lld ops, exact anchor "
+              "every %lld batches\n\n",
+              base.NumVertices(), static_cast<long long>(base.NumEdges()),
+              stream.size(), static_cast<long long>(*ops_per_batch),
+              static_cast<long long>(*resolve_every));
+
+  // ---- incremental arm (timed) ------------------------------------------
+  // ApplyBatch + bracket() per batch; Resolve only on the anchor cadence.
+  DynamicDigraph dynamic(base);
+  std::vector<BatchTrace> traces(stream.size());
+  int64_t incremental_resolves = 0;
+  WallTimer incremental_timer;
+  DynamicDdsEngine engine(&dynamic);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    engine.ApplyBatch(stream[i]);
+    if ((static_cast<int64_t>(i) + 1) % *resolve_every == 0) {
+      engine.Resolve();
+      ++incremental_resolves;
+    }
+    traces[i].bracket = engine.bracket();
+    traces[i].num_edges = dynamic.NumEdges();
+  }
+  const double incremental_seconds = incremental_timer.Seconds();
+
+  // ---- rebuild arm (timed) ----------------------------------------------
+  // The static baseline maintains its own edge set (same FromEdges
+  // semantics: self-loops dropped, inserts idempotent, deletes total) so
+  // the two arms share no dynamic-layer code — the identity check at the
+  // end is a real cross-implementation certificate.
+  std::vector<double> rebuild_exact(stream.size(), 0);
+  WallTimer rebuild_timer;
+  {
+    std::unordered_set<uint64_t> edges;
+    for (VertexId u = 0; u < base.NumVertices(); ++u) {
+      for (const VertexId v : base.OutNeighbors(u)) {
+        edges.insert(ArcKey(u, v));
+      }
+    }
+    uint32_t n = base.NumVertices();
+    for (size_t i = 0; i < stream.size(); ++i) {
+      for (const EdgeOp& op : stream[i]) {
+        if (op.from == op.to) continue;
+        n = std::max(n, std::max(op.from, op.to) + 1);
+        if (op.kind == EdgeOp::Kind::kInsert) {
+          if (op.weight > 0) edges.insert(ArcKey(op.from, op.to));
+        } else {
+          edges.erase(ArcKey(op.from, op.to));
+        }
+      }
+      std::vector<Edge> edge_list;
+      edge_list.reserve(edges.size());
+      for (const uint64_t key : edges) {
+        edge_list.emplace_back(static_cast<VertexId>(key >> 32),
+                               static_cast<VertexId>(key & 0xffffffffu));
+      }
+      const Digraph rebuilt = Digraph::FromEdges(n, std::move(edge_list));
+      // A fresh solve on a fresh graph: no workspace to warm-start from —
+      // exactly what "rebuild and resolve" costs.
+      const DdsSolution solution = SolveExactDds(rebuilt, ExactOptions{});
+      rebuild_exact[i] = solution.density;
+    }
+  }
+  const double rebuild_seconds = rebuild_timer.Seconds();
+
+  // ---- verification (untimed) -------------------------------------------
+  // 1. Bracket containment on every batch: lower <= exact <= upper.
+  int64_t violations = 0;
+  int64_t exact_batches = 0;
+  double width_sum = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    traces[i].exact = rebuild_exact[i];
+    const DensityBracket& b = traces[i].bracket;
+    const double eps = 1e-9 * std::max(1.0, std::abs(traces[i].exact));
+    if (b.lower > traces[i].exact + eps ||
+        traces[i].exact > b.upper + eps) {
+      ++violations;
+      std::fprintf(stderr,
+                   "E13 FAILED: batch %zu bracket [%.9f, %.9f] does not "
+                   "contain the rebuilt graph's exact density %.9f\n",
+                   i + 1, b.lower, b.upper, traces[i].exact);
+    }
+    if (b.exact) ++exact_batches;
+    width_sum += (b.upper - b.lower) / std::max(1.0, b.upper);
+  }
+  // 2. Final-state identity: the overlay snapshot must be arc-for-arc the
+  //    graph the rebuild arm ended on.
+  {
+    std::unordered_set<uint64_t> rebuilt_final;
+    {
+      std::unordered_set<uint64_t> edges;
+      for (VertexId u = 0; u < base.NumVertices(); ++u) {
+        for (const VertexId v : base.OutNeighbors(u)) {
+          edges.insert(ArcKey(u, v));
+        }
+      }
+      for (const EdgeBatch& batch : stream) {
+        for (const EdgeOp& op : batch) {
+          if (op.from == op.to) continue;
+          if (op.kind == EdgeOp::Kind::kInsert) {
+            if (op.weight > 0) edges.insert(ArcKey(op.from, op.to));
+          } else {
+            edges.erase(ArcKey(op.from, op.to));
+          }
+        }
+      }
+      rebuilt_final = std::move(edges);
+    }
+    const Digraph& snapshot = dynamic.Snapshot();
+    bool identical =
+        snapshot.NumEdges() == static_cast<int64_t>(rebuilt_final.size());
+    for (VertexId u = 0; identical && u < snapshot.NumVertices(); ++u) {
+      for (const VertexId v : snapshot.OutNeighbors(u)) {
+        if (!rebuilt_final.count(ArcKey(u, v))) identical = false;
+      }
+    }
+    if (!identical) {
+      std::fprintf(stderr, "E13 FAILED: final overlay snapshot differs "
+                           "from the rebuilt edge set\n");
+      return 1;
+    }
+  }
+  if (violations > 0) return 1;
+
+  const double speedup =
+      incremental_seconds > 0 ? rebuild_seconds / incremental_seconds : 0;
+  const double mean_width = width_sum / static_cast<double>(stream.size());
+
+  Table table({"arm", "seconds", "exact solves", "answers/batch"});
+  table.AddRow({"incremental", FormatDouble(incremental_seconds, 4),
+                std::to_string(incremental_resolves),
+                "certified bracket"});
+  table.AddRow({"rebuild", FormatDouble(rebuild_seconds, 4),
+                std::to_string(static_cast<long long>(stream.size())),
+                "exact density"});
+  table.PrintMarkdown(std::cout);
+  std::printf("\nspeedup (rebuild / incremental): %.2fx; all %zu brackets "
+              "contain the rebuilt exact density (%lld already tight); "
+              "mean relative width %.3f\n",
+              speedup, stream.size(),
+              static_cast<long long>(exact_batches), mean_width);
+
+  if (speedup < *min_speedup) {
+    std::fprintf(stderr,
+                 "E13 FAILED: speedup %.2fx below the required %.2fx\n",
+                 speedup, *min_speedup);
+    return 1;
+  }
+
+  if (!json_out->empty()) {
+    std::ostringstream out;
+    out << "{\n  \"experiment\": \"e13_stream\",\n";
+    out << "  \"quick\": " << (*quick ? "true" : "false") << ",\n";
+    out << "  \"vertices\": " << *vertices << ",\n";
+    out << "  \"base_edges\": " << *base_edges << ",\n";
+    out << "  \"batches\": " << *batches << ",\n";
+    out << "  \"ops_per_batch\": " << *ops_per_batch << ",\n";
+    out << "  \"resolve_every\": " << *resolve_every << ",\n";
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"note\": \"single-core sequential arms; speedup = "
+           "rebuild-and-resolve-per-batch wall time / incremental wall "
+           "time; every per-batch bracket verified to contain the exact "
+           "density of the independently rebuilt static graph, and the "
+           "final overlay snapshot verified arc-identical to the rebuilt "
+           "edge set (exit 1 on any violation)\",\n";
+    out << "  \"incremental_seconds\": "
+        << FormatDouble(incremental_seconds, 4) << ",\n";
+    out << "  \"rebuild_seconds\": " << FormatDouble(rebuild_seconds, 4)
+        << ",\n";
+    out << "  \"speedup\": " << FormatDouble(speedup, 2) << ",\n";
+    out << "  \"incremental_resolves\": " << incremental_resolves << ",\n";
+    out << "  \"verified_batches\": " << stream.size() << ",\n";
+    out << "  \"containment_violations\": " << violations << ",\n";
+    out << "  \"exact_bracket_batches\": " << exact_batches << ",\n";
+    out << "  \"mean_relative_width\": " << FormatDouble(mean_width, 4)
+        << ",\n  \"trajectory\": [\n";
+    for (size_t i = 0; i < traces.size(); ++i) {
+      out << "    {\"batch\": " << (i + 1)
+          << ", \"edges\": " << traces[i].num_edges
+          << ", \"lower\": " << FormatDouble(traces[i].bracket.lower, 4)
+          << ", \"exact\": " << FormatDouble(traces[i].exact, 4)
+          << ", \"upper\": " << FormatDouble(traces[i].bracket.upper, 4)
+          << "}" << (i + 1 < traces.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::ofstream file(*json_out);
+    file << out.str();
+    if (!file) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", json_out->c_str());
+      return 1;
+    }
+    std::cout << "wrote " << *json_out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ddsgraph
+
+int main(int argc, char** argv) {
+  return ddsgraph::bench::Main(argc, argv);
+}

@@ -10,32 +10,106 @@ CatalogEntry::CatalogEntry(std::string name, Digraph graph,
                            std::vector<uint64_t> labels)
     : name_(std::move(name)),
       weighted_(false),
-      graph_(std::move(graph)),
-      weighted_graph_(),
       labels_(std::move(labels)),
-      num_vertices_(graph_.NumVertices()),
-      num_edges_(graph_.NumEdges()),
-      engine_(graph_) {}
+      dyn_(std::make_unique<DynamicDigraph>(std::move(graph))),
+      wdyn_(nullptr) {}
 
 CatalogEntry::CatalogEntry(std::string name, WeightedDigraph graph,
                            std::vector<uint64_t> labels)
     : name_(std::move(name)),
       weighted_(true),
-      graph_(),
-      weighted_graph_(std::move(graph)),
       labels_(std::move(labels)),
-      num_vertices_(weighted_graph_.NumVertices()),
-      num_edges_(weighted_graph_.NumEdges()),
-      engine_(weighted_graph_) {}
+      dyn_(nullptr),
+      wdyn_(std::make_unique<DynamicWeightedDigraph>(std::move(graph))) {}
+
+uint32_t CatalogEntry::num_vertices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return weighted_ ? wdyn_->NumVertices() : dyn_->NumVertices();
+}
+
+int64_t CatalogEntry::num_edges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return weighted_ ? wdyn_->NumEdges() : dyn_->NumEdges();
+}
+
+int64_t CatalogEntry::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return weighted_ ? wdyn_->version() : dyn_->version();
+}
+
+void CatalogEntry::SyncEngineLocked() const {
+  // Solves run on an immutable CSR: fold any buffered updates first.
+  // Snapshot() is free when the overlay is clean, so never-updated
+  // entries pay nothing here.
+  if (weighted_) {
+    wdyn_->Snapshot();
+  } else {
+    dyn_->Snapshot();
+  }
+  const int64_t compactions =
+      weighted_ ? wdyn_->compactions() : dyn_->compactions();
+  if (engine_ != nullptr && engine_epoch_ == compactions) return;
+  if (engine_ != nullptr) {
+    // The CSR was rebuilt under the engine: its ProbeWorkspace is bound
+    // to the old contents, so the whole engine is replaced, not reused.
+    solves_before_engine_ += engine_->num_solves();
+    ++engine_rebuilds_;
+  }
+  engine_ = weighted_ ? std::make_unique<DdsEngine>(wdyn_->base())
+                      : std::make_unique<DdsEngine>(dyn_->base());
+  engine_epoch_ = compactions;
+}
 
 Result<DdsSolution> CatalogEntry::Solve(const DdsRequest& request) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return engine_.Solve(request);
+  SyncEngineLocked();
+  return engine_->Solve(request);
+}
+
+Result<CatalogEntry::UpdateResult> CatalogEntry::ApplyEdgeBatch(
+    const EdgeBatch& batch) {
+  if (!labels_.empty()) {
+    return Status::InvalidArgument(
+        "graph '" + name_ +
+        "' was loaded with a label mapping; updates need identity vertex "
+        "ids (reload the graph without labels to stream into it)");
+  }
+  for (const EdgeOp& op : batch) {
+    if (op.kind != EdgeOp::Kind::kInsert) continue;
+    if (!weighted_ && op.weight != 1) {
+      return Status::InvalidArgument(
+          "graph '" + name_ + "' is unweighted; insert weights must be 1");
+    }
+    if (weighted_ && op.weight < 1) {
+      return Status::InvalidArgument(
+          "insert weights must be >= 1 on weighted graph '" + name_ + "'");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateResult result;
+  if (weighted_) {
+    result.applied = wdyn_->ApplyBatch(batch);
+    result.version = wdyn_->version();
+    result.num_vertices = wdyn_->NumVertices();
+    result.num_edges = wdyn_->NumEdges();
+  } else {
+    result.applied = dyn_->ApplyBatch(batch);
+    result.version = dyn_->version();
+    result.num_vertices = dyn_->NumVertices();
+    result.num_edges = dyn_->NumEdges();
+  }
+  return result;
 }
 
 int64_t CatalogEntry::num_solves() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return engine_.num_solves();
+  return solves_before_engine_ +
+         (engine_ != nullptr ? engine_->num_solves() : 0);
+}
+
+int64_t CatalogEntry::engine_rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_rebuilds_;
 }
 
 Status GraphCatalog::LoadGraph(const std::string& name,

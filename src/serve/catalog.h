@@ -10,50 +10,81 @@
 
 #include "dds/engine.h"
 #include "graph/digraph.h"
+#include "stream/dynamic_digraph.h"
+#include "stream/edge_stream.h"
 #include "util/status.h"
 
 /// \file
-/// The serving daemon's graph catalog (DESIGN.md §13).
+/// The serving daemon's graph catalog (DESIGN.md §13, §14).
 ///
 /// A `GraphCatalog` maps names to graphs loaded exactly once — from an
 /// edge-list file through the shared `LoadEdgeListAuto` helper, or handed
-/// in pre-built — and keeps one hot `DdsEngine` per graph for the whole
-/// process lifetime. That engine ownership is the point of the serving
-/// subsystem: repeat queries against a graph amortize the engine's
-/// `ProbeWorkspace` (finalized CSR flow arenas, epoch sets) instead of
-/// rebuilding them per request, which is exactly the amortization the
-/// one-shot `dds_tool` throws away at exit.
+/// in pre-built — and keeps one hot `DdsEngine` per graph. That engine
+/// ownership is the point of the serving subsystem: repeat queries
+/// against a graph amortize the engine's `ProbeWorkspace` (finalized CSR
+/// flow arenas, epoch sets) instead of rebuilding them per request.
+///
+/// Since PR 8 every entry holds its graph inside a `DynamicDigraphT`
+/// overlay (stream/dynamic_digraph.h), so catalog graphs are *live*:
+/// `ApplyEdgeBatch` buffers edge inserts/deletes on the entry and bumps
+/// its `version()`. A solve first compacts the overlay (snapshot), and
+/// rebinds the hot engine when a compaction has rebuilt the CSR since the
+/// engine was created — a `ProbeWorkspace` is bound to one immutable
+/// graph, so reusing it across versions would be unsound. Entries that
+/// never see updates keep their engine (and its amortization) forever.
 ///
 /// Concurrency contract: populate the catalog fully (Load/Add), then
-/// share it read-only — `Find`/`Entries` take no lock and must not race
-/// mutation. Per-entry solves *are* safe to issue from many threads:
-/// `CatalogEntry::Solve` serializes on the entry's mutex, which is the
-/// scheduler's one-engine-per-graph discipline; the engine's own
-/// reentrancy latch (dds/engine.h) backstops it.
+/// share it — the name → entry map itself is immutable after population
+/// (`Find`/`Entries` take no lock), while everything *inside* an entry
+/// (overlay, engine, counters) is guarded by the entry mutex, so solves
+/// and updates may be issued concurrently from any threads: they
+/// serialize per entry, which is also the scheduler's
+/// one-engine-per-graph discipline.
 
 namespace ddsgraph {
 
-/// One named graph with its long-lived engine. Created by GraphCatalog;
-/// address-stable for the catalog's lifetime.
+/// One named live graph with its long-lived engine. Created by
+/// GraphCatalog; address-stable for the catalog's lifetime.
 class CatalogEntry {
  public:
+  /// What ApplyEdgeBatch reports back (echoed by the wire `update` verb).
+  struct UpdateResult {
+    int64_t version = 0;  ///< entry version after the batch
+    int64_t applied = 0;  ///< non-no-op ops
+    uint32_t num_vertices = 0;
+    int64_t num_edges = 0;
+  };
+
   const std::string& name() const { return name_; }
   bool weighted() const { return weighted_; }
   /// Dense-id → original-file-label mapping (empty when identity).
   const std::vector<uint64_t>& labels() const { return labels_; }
-  uint32_t num_vertices() const { return num_vertices_; }
-  int64_t num_edges() const { return num_edges_; }
+  uint32_t num_vertices() const;
+  int64_t num_edges() const;
+  /// Applied update batches since load (0 = pristine).
+  int64_t version() const;
 
   /// Runs one query on this entry's hot engine, serialized on the entry
   /// mutex so concurrent callers queue here rather than corrupt the
-  /// shared workspace. Returns whatever DdsEngine::Solve returns. Const
-  /// because a solve is logically a query on a read-only catalog; the
-  /// engine's workspace mutation is an amortization detail hidden behind
-  /// the entry mutex.
+  /// shared workspace. Compacts the overlay and rebinds the engine first
+  /// if updates have rebuilt the CSR since the engine was created. Const
+  /// because a solve is logically a query; the engine/overlay mutation is
+  /// an amortization detail hidden behind the entry mutex.
   Result<DdsSolution> Solve(const DdsRequest& request) const;
 
-  /// Solves served by this entry so far (under the entry mutex).
+  /// Applies an edge batch to the live overlay and bumps the version.
+  /// Rejected with InvalidArgument when the entry's graph was loaded with
+  /// a label mapping (streamed vertex ids would be ambiguous against the
+  /// file's labels — update targets must be identity-labeled), or when an
+  /// insert weight is invalid for the entry's flavor (!= 1 unweighted,
+  /// < 1 weighted). Self-loops and no-ops are skipped silently, matching
+  /// static construction.
+  Result<UpdateResult> ApplyEdgeBatch(const EdgeBatch& batch);
+
+  /// Solves served by this entry so far (across engine rebinds).
   int64_t num_solves() const;
+  /// Times the hot engine was rebound because updates rebuilt the CSR.
+  int64_t engine_rebuilds() const;
 
  private:
   friend class GraphCatalog;
@@ -62,17 +93,26 @@ class CatalogEntry {
   CatalogEntry(std::string name, WeightedDigraph graph,
                std::vector<uint64_t> labels);
 
+  /// Compacts the overlay and (re)creates engine_ over the fresh CSR when
+  /// needed. Requires mu_ held.
+  void SyncEngineLocked() const;
+
   const std::string name_;
   const bool weighted_;
-  // Exactly one of the two graphs is populated; the engine points at it,
-  // so the entry is pinned in memory (held by unique_ptr in the catalog).
-  const Digraph graph_;
-  const WeightedDigraph weighted_graph_;
   const std::vector<uint64_t> labels_;
-  const uint32_t num_vertices_;
-  const int64_t num_edges_;
-  mutable std::mutex mu_;      ///< serializes solves on engine_
-  mutable DdsEngine engine_;   ///< guarded by mu_
+
+  mutable std::mutex mu_;  ///< guards everything below
+  // Exactly one of the two overlays is populated; the engine points at
+  // its base CSR, so the entry is pinned in memory (held by unique_ptr in
+  // the catalog).
+  const std::unique_ptr<DynamicDigraph> dyn_;
+  const std::unique_ptr<DynamicWeightedDigraph> wdyn_;
+  mutable std::unique_ptr<DdsEngine> engine_;
+  /// Overlay compaction count the engine was built against; a mismatch
+  /// means the CSR was rebuilt and the engine must be too.
+  mutable int64_t engine_epoch_ = 0;
+  mutable int64_t solves_before_engine_ = 0;
+  mutable int64_t engine_rebuilds_ = 0;
 };
 
 class GraphCatalog {

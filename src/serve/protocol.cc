@@ -237,24 +237,40 @@ Result<WireRequest> ParseWireRequest(const std::string& json) {
 
   WireRequest wire;
   bool saw_graph = false;
+  bool saw_algo = false;
+  bool saw_weighted = false;
+  bool saw_deadline = false;
+  bool saw_threads = false;
+  bool saw_edges = false;
   for (const auto& [key, value] : parsed.value()) {
     auto want = [&key](bool ok, const char* type) -> Status {
       if (ok) return Status::Ok();
       return Status::InvalidArgument("\"" + key + "\" must be a " + type);
     };
-    if (key == "graph") {
+    if (key == "op") {
+      RETURN_IF_ERROR(
+          want(value.kind == JsonScalar::Kind::kString, "string"));
+      wire.op = value.string_value;
+    } else if (key == "graph") {
       RETURN_IF_ERROR(
           want(value.kind == JsonScalar::Kind::kString, "string"));
       wire.graph = value.string_value;
       saw_graph = true;
+    } else if (key == "edges") {
+      RETURN_IF_ERROR(
+          want(value.kind == JsonScalar::Kind::kString, "string"));
+      wire.edges = value.string_value;
+      saw_edges = true;
     } else if (key == "algo") {
       RETURN_IF_ERROR(
           want(value.kind == JsonScalar::Kind::kString, "string"));
       wire.algo = value.string_value;
+      saw_algo = true;
     } else if (key == "weighted") {
       RETURN_IF_ERROR(
           want(value.kind == JsonScalar::Kind::kBool, "boolean"));
       wire.weighted = value.boolean;
+      saw_weighted = true;
     } else if (key == "deadline_ms") {
       RETURN_IF_ERROR(
           want(value.kind == JsonScalar::Kind::kNumber, "number"));
@@ -263,6 +279,7 @@ Result<WireRequest> ParseWireRequest(const std::string& json) {
             "\"deadline_ms\" must be finite and >= 0 (0 = no deadline)");
       }
       wire.deadline_ms = value.number;
+      saw_deadline = true;
     } else if (key == "threads") {
       RETURN_IF_ERROR(
           want(value.kind == JsonScalar::Kind::kNumber, "number"));
@@ -272,6 +289,7 @@ Result<WireRequest> ParseWireRequest(const std::string& json) {
             "\"threads\" must be an integer >= 1");
       }
       wire.threads = static_cast<int64_t>(t);
+      saw_threads = true;
     } else if (key == "id") {
       if (value.kind != JsonScalar::Kind::kString &&
           value.kind != JsonScalar::Kind::kNumber) {
@@ -284,13 +302,49 @@ Result<WireRequest> ParseWireRequest(const std::string& json) {
       // deadline is worse than a rejected request.
       return Status::InvalidArgument(
           "unknown request key \"" + key +
-          "\"; known keys: graph, algo, weighted, deadline_ms, threads, "
-          "id");
+          "\"; known keys: op, graph, edges, algo, weighted, deadline_ms, "
+          "threads, id");
     }
   }
-  if (!saw_graph || wire.graph.empty()) {
+
+  // Per-verb key matrix, as strict as the unknown-key rule: a key that
+  // the verb cannot honor is a client bug, not something to drop.
+  auto forbid = [&wire](bool saw, const char* key) -> Status {
+    if (!saw) return Status::Ok();
+    return Status::InvalidArgument("\"" + std::string(key) +
+                                   "\" is not valid for op \"" + wire.op +
+                                   "\"");
+  };
+  if (wire.op == "solve") {
+    RETURN_IF_ERROR(forbid(saw_edges, "edges"));
+    if (!saw_graph || wire.graph.empty()) {
+      return Status::InvalidArgument(
+          "request needs a non-empty \"graph\" naming a catalog entry");
+    }
+  } else if (wire.op == "update") {
+    RETURN_IF_ERROR(forbid(saw_algo, "algo"));
+    RETURN_IF_ERROR(forbid(saw_deadline, "deadline_ms"));
+    RETURN_IF_ERROR(forbid(saw_threads, "threads"));
+    if (!saw_graph || wire.graph.empty()) {
+      return Status::InvalidArgument(
+          "update needs a non-empty \"graph\" naming a catalog entry");
+    }
+    if (!saw_edges || wire.edges.empty()) {
+      return Status::InvalidArgument(
+          "update needs a non-empty \"edges\" ops string "
+          "(\"+u v [w], -u v, ...\")");
+    }
+  } else if (wire.op == "list_graphs" || wire.op == "server_stats") {
+    RETURN_IF_ERROR(forbid(saw_graph, "graph"));
+    RETURN_IF_ERROR(forbid(saw_edges, "edges"));
+    RETURN_IF_ERROR(forbid(saw_algo, "algo"));
+    RETURN_IF_ERROR(forbid(saw_weighted, "weighted"));
+    RETURN_IF_ERROR(forbid(saw_deadline, "deadline_ms"));
+    RETURN_IF_ERROR(forbid(saw_threads, "threads"));
+  } else {
     return Status::InvalidArgument(
-        "request needs a non-empty \"graph\" naming a catalog entry");
+        "unknown op \"" + wire.op +
+        "\"; known ops: solve, update, list_graphs, server_stats");
   }
   return wire;
 }
@@ -344,6 +398,57 @@ std::string ErrorResponseJson(const std::string& id_raw,
   out += "\", \"message\": \"";
   out += EscapeJsonString(status.message());
   out += "\"}";
+  return out;
+}
+
+std::string UpdateResponseJson(const WireRequest& wire,
+                               const CatalogEntry::UpdateResult& result) {
+  std::string out = "{\"id\": ";
+  out += wire.id_raw.empty() ? "null" : wire.id_raw;
+  out += ", \"status\": \"ok\", \"op\": \"update\", \"graph\": \"";
+  out += EscapeJsonString(wire.graph);
+  out += "\", \"version\": " + std::to_string(result.version);
+  out += ", \"applied\": " + std::to_string(result.applied);
+  out += ", \"num_vertices\": " + std::to_string(result.num_vertices);
+  out += ", \"num_edges\": " + std::to_string(result.num_edges);
+  out += "}";
+  return out;
+}
+
+std::string ListGraphsResponseJson(const std::string& id_raw,
+                                   const GraphCatalog& catalog) {
+  std::string out = "{\"id\": ";
+  out += id_raw.empty() ? "null" : id_raw;
+  out += ", \"status\": \"ok\", \"op\": \"list_graphs\", \"graphs\": [";
+  bool first = true;
+  for (const CatalogEntry* entry : catalog.Entries()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + EscapeJsonString(entry->name());
+    out += std::string("\", \"weighted\": ") +
+           (entry->weighted() ? "true" : "false");
+    out += ", \"version\": " + std::to_string(entry->version());
+    out += ", \"num_vertices\": " + std::to_string(entry->num_vertices());
+    out += ", \"num_edges\": " + std::to_string(entry->num_edges());
+    out += ", \"solves\": " + std::to_string(entry->num_solves());
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ServerStatsResponseJson(const std::string& id_raw,
+                                    const GraphCatalog& catalog,
+                                    const RequestScheduler& scheduler) {
+  std::string out = "{\"id\": ";
+  out += id_raw.empty() ? "null" : id_raw;
+  out += ", \"status\": \"ok\", \"op\": \"server_stats\"";
+  out += ", \"num_graphs\": " + std::to_string(catalog.size());
+  out += ", \"accepted\": " + std::to_string(scheduler.accepted());
+  out += ", \"served\": " + std::to_string(scheduler.served());
+  out += ", \"rejected\": " + std::to_string(scheduler.rejected());
+  out += ", \"queued\": " + std::to_string(scheduler.queued());
+  out += "}";
   return out;
 }
 

@@ -9,10 +9,11 @@
 #include "util/status.h"
 
 /// \file
-/// The dds_server wire protocol (DESIGN.md §13).
+/// The dds_server wire protocol (DESIGN.md §13, §14).
 ///
 /// Requests and responses are single JSON objects carried in the framed
-/// byte stream of util/socket.h ("<len>\n<json>\n"). One request:
+/// byte stream of util/socket.h ("<len>\n<json>\n"). The optional `op`
+/// key selects the verb (default "solve"). One solve request:
 ///
 ///   {"graph": "reviews", "algo": "core-exact", "weighted": true,
 ///    "deadline_ms": 50, "threads": 2, "id": 17}
@@ -23,6 +24,21 @@
 /// responses that complete out of order. Unknown keys are rejected, not
 /// ignored: a typo'd "deadlin_ms" must fail loudly, not silently run
 /// without a deadline.
+///
+/// The streaming verbs added with the dynamic graph subsystem:
+///
+///   {"op": "update", "graph": "reviews", "edges": "+3 9, -1 2", "id": 2}
+///   {"op": "list_graphs", "id": 3}
+///   {"op": "server_stats", "id": 4}
+///
+/// `update` applies an edge batch to a live catalog graph; the batch
+/// travels as one *string* in the compact ops grammar of
+/// stream/edge_stream.h (`+u v [w]` / `-u v`, comma-separated) because
+/// the request schema is deliberately flat — no arrays. Each verb's key
+/// set is validated strictly (e.g. `algo` on an `update` is an error).
+/// Responses may nest: `update` echoes the new version and sizes,
+/// `list_graphs` returns one object per catalog entry, `server_stats`
+/// the scheduler's accepted/rejected/served/queued counters.
 ///
 /// A success response wraps the engine's SolutionJson (so the wire schema
 /// and the CLI --json schema share one serializer) plus the serve-path
@@ -66,17 +82,21 @@ std::string EscapeJsonString(const std::string& s);
 /// The parsed wire request, before registry/catalog resolution.
 struct WireRequest {
   std::string id_raw;  ///< verbatim id token to echo; empty = absent
+  std::string op = "solve";  ///< solve | update | list_graphs | server_stats
   std::string graph;
   std::string algo = "core-exact";
   std::optional<bool> weighted;  ///< client's expectation, if stated
   double deadline_ms = 0;        ///< 0 = none
   int64_t threads = 1;
+  std::string edges;  ///< update only: compact ops string (ParseEdgeOps)
 };
 
 /// Parses and schema-checks one request object (types, ranges, unknown
-/// keys). Algorithm-name validity is *not* checked here — that happens in
-/// ToServeRequest against the registry, so the two error classes stay
-/// distinguishable in messages.
+/// keys, and the per-verb key matrix — e.g. `edges` is required for
+/// op=update and forbidden elsewhere). Algorithm-name validity is *not*
+/// checked here — that happens in ToServeRequest against the registry, so
+/// the two error classes stay distinguishable in messages; likewise the
+/// `edges` grammar is parsed by the server via ParseEdgeOps.
 Result<WireRequest> ParseWireRequest(const std::string& json);
 
 /// Resolves the wire request into a scheduler ServeRequest via the
@@ -93,6 +113,24 @@ std::string OkResponseJson(const WireRequest& wire,
 /// Serializes an error response for `status`. `id_raw` may be empty.
 std::string ErrorResponseJson(const std::string& id_raw,
                               const Status& status);
+
+/// Serializes the response to an `update` verb:
+///   {"id": 2, "status": "ok", "op": "update", "graph": "reviews",
+///    "version": 5, "applied": 3, "num_vertices": 400, "num_edges": 2310}
+std::string UpdateResponseJson(const WireRequest& wire,
+                               const CatalogEntry::UpdateResult& result);
+
+/// Serializes the response to a `list_graphs` verb: one object per entry
+/// (name, weighted, version, num_vertices, num_edges, solves), in catalog
+/// (name) order. Responses may nest — only *requests* are flat.
+std::string ListGraphsResponseJson(const std::string& id_raw,
+                                   const GraphCatalog& catalog);
+
+/// Serializes the response to a `server_stats` verb from the scheduler's
+/// counters plus the catalog size.
+std::string ServerStatsResponseJson(const std::string& id_raw,
+                                    const GraphCatalog& catalog,
+                                    const RequestScheduler& scheduler);
 
 /// Scans `json` for `"key": ` followed by a number and returns it.
 /// Substring-based on purpose: response JSON nests (solution, stats) and

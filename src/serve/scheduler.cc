@@ -60,6 +60,7 @@ Status RequestScheduler::Submit(ServeRequest request, ServeCallback done) {
     }
     queue_.push_back(QueuedRequest{std::move(request), std::move(done),
                                    entry, WallTimer()});
+    ++accepted_;
   }
   work_cv_.notify_one();
   return Status::Ok();
@@ -123,6 +124,11 @@ void RequestScheduler::Stop() {
   }
   work_cv_.notify_all();
   if (pump_.joinable()) pump_.join();
+}
+
+int64_t RequestScheduler::accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
 }
 
 int64_t RequestScheduler::served() const {

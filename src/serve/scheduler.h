@@ -100,6 +100,8 @@ class RequestScheduler {
   /// then joins the workers. Idempotent.
   void Stop();
 
+  /// Submissions admitted to the queue (whether or not served yet).
+  int64_t accepted() const;
   /// Requests whose callbacks have completed.
   int64_t served() const;
   /// Submissions rejected by backpressure (queue full).
@@ -128,6 +130,7 @@ class RequestScheduler {
   std::deque<QueuedRequest> queue_;   ///< guarded by mu_
   bool started_ = false;              ///< guarded by mu_
   bool stopping_ = false;             ///< guarded by mu_
+  int64_t accepted_ = 0;              ///< guarded by mu_
   int64_t served_ = 0;                ///< guarded by mu_
   int64_t rejected_ = 0;              ///< guarded by mu_
 };

@@ -8,7 +8,7 @@
 
 namespace ddsgraph {
 
-DdsServer::DdsServer(const GraphCatalog* catalog, ServerOptions options)
+DdsServer::DdsServer(GraphCatalog* catalog, ServerOptions options)
     : catalog_(catalog),
       options_(std::move(options)),
       scheduler_(catalog, options_.scheduler) {
@@ -86,6 +86,25 @@ void DdsServer::HandleFrame(const std::shared_ptr<Connection>& conn,
   }
   const WireRequest wire = std::move(parsed).value();
 
+  // The streaming/introspection verbs are answered synchronously from the
+  // reader thread: they never run a solve, so they cannot stall other
+  // frames on this connection for long, and they must keep working even
+  // when the solve queue is saturated (an operator asking "server_stats"
+  // *because* the server is overloaded).
+  if (wire.op == "list_graphs") {
+    WriteResponse(conn, ListGraphsResponseJson(wire.id_raw, *catalog_));
+    return;
+  }
+  if (wire.op == "server_stats") {
+    WriteResponse(
+        conn, ServerStatsResponseJson(wire.id_raw, *catalog_, scheduler_));
+    return;
+  }
+  if (wire.op == "update") {
+    HandleUpdate(conn, wire);
+    return;
+  }
+
   Result<ServeRequest> serve = ToServeRequest(wire);
   if (!serve.ok()) {
     WriteResponse(conn, ErrorResponseJson(wire.id_raw, serve.status()));
@@ -132,6 +151,43 @@ void DdsServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     // the reader thread without costing a queue slot.
     WriteResponse(conn, ErrorResponseJson(wire.id_raw, admitted));
   }
+}
+
+void DdsServer::HandleUpdate(const std::shared_ptr<Connection>& conn,
+                             const WireRequest& wire) {
+  CatalogEntry* entry = catalog_->Find(wire.graph);
+  if (entry == nullptr) {
+    WriteResponse(conn,
+                  ErrorResponseJson(
+                      wire.id_raw,
+                      Status::NotFound("no graph named '" + wire.graph +
+                                       "' in the catalog")));
+    return;
+  }
+  if (wire.weighted.has_value() && entry->weighted() != *wire.weighted) {
+    WriteResponse(
+        conn,
+        ErrorResponseJson(
+            wire.id_raw,
+            Status::InvalidArgument(
+                "graph '" + wire.graph + "' is loaded " +
+                (entry->weighted() ? "weighted" : "unweighted") +
+                " but the request says weighted=" +
+                (*wire.weighted ? "true" : "false"))));
+    return;
+  }
+  Result<EdgeBatch> batch = ParseEdgeOps(wire.edges);
+  if (!batch.ok()) {
+    WriteResponse(conn, ErrorResponseJson(wire.id_raw, batch.status()));
+    return;
+  }
+  Result<CatalogEntry::UpdateResult> applied =
+      entry->ApplyEdgeBatch(batch.value());
+  if (!applied.ok()) {
+    WriteResponse(conn, ErrorResponseJson(wire.id_raw, applied.status()));
+    return;
+  }
+  WriteResponse(conn, UpdateResponseJson(wire, applied.value()));
 }
 
 void DdsServer::WriteResponse(const std::shared_ptr<Connection>& conn,

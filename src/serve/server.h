@@ -40,6 +40,8 @@
 
 namespace ddsgraph {
 
+struct WireRequest;  // serve/protocol.h
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 = pick an ephemeral port (tests, benchmarks)
@@ -48,8 +50,10 @@ struct ServerOptions {
 
 class DdsServer {
  public:
-  /// The catalog must be fully populated and outlive the server.
-  DdsServer(const GraphCatalog* catalog, ServerOptions options);
+  /// The catalog must be fully populated and outlive the server. Non-const
+  /// because the `update` verb streams edge batches into catalog entries;
+  /// entry-level locking makes that safe against in-flight solves.
+  DdsServer(GraphCatalog* catalog, ServerOptions options);
   ~DdsServer();
 
   DdsServer(const DdsServer&) = delete;
@@ -79,10 +83,14 @@ class DdsServer {
   void ConnectionLoop(std::shared_ptr<Connection> conn);
   void HandleFrame(const std::shared_ptr<Connection>& conn,
                    const std::string& payload);
+  /// The `update` verb: parse the ops string, stream the batch into the
+  /// named entry, echo the new version (synchronous, reader thread).
+  void HandleUpdate(const std::shared_ptr<Connection>& conn,
+                    const WireRequest& wire);
   static void WriteResponse(const std::shared_ptr<Connection>& conn,
                             const std::string& json);
 
-  const GraphCatalog* const catalog_;
+  GraphCatalog* const catalog_;
   const ServerOptions options_;
   RequestScheduler scheduler_;
   UniqueSocket listener_;

@@ -1,0 +1,156 @@
+#include "stream/dynamic_dds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/xy_core.h"
+#include "core/xy_core_decomposition.h"
+
+namespace ddsgraph {
+
+template <typename WeightPolicy>
+DynamicDdsEngineT<WeightPolicy>::DynamicDdsEngineT(
+    Dynamic* graph, DynamicDdsOptions options)
+    : graph_(graph), options_(std::move(options)) {
+  CHECK(graph_ != nullptr);
+  Rebase(options_.seed_incumbent_from_core);
+}
+
+template <typename WeightPolicy>
+int64_t DynamicDdsEngineT<WeightPolicy>::ApplyBatch(
+    const EdgeBatch& batch) {
+  return graph_->ApplyBatch(
+      batch, [this](VertexId u, VertexId v, int64_t old_weight,
+                    int64_t new_weight) {
+        ObserveOp(u, v, old_weight, new_weight);
+      });
+}
+
+template <typename WeightPolicy>
+void DynamicDdsEngineT<WeightPolicy>::ObserveOp(VertexId u, VertexId v,
+                                                int64_t old_weight,
+                                                int64_t new_weight) {
+  const int64_t dw = new_weight - old_weight;
+  if (dw > 0) {
+    core_bound_.OnInsert(u, v, dw);
+    inserted_weight_since_solve_ += dw;
+  }
+  // The incumbent's density is kept *exact* under both inserts and
+  // deletes: any touched arc inside S x T moves w(E(S,T)) by exactly dw.
+  // Vertices created after SetIncumbent fall past the bitsets and cannot
+  // be members.
+  if (u < in_s_.size() && in_s_[u] != 0 && v < in_t_.size() &&
+      in_t_[v] != 0) {
+    incumbent_weight_ += dw;
+  }
+}
+
+template <typename WeightPolicy>
+double DynamicDdsEngineT<WeightPolicy>::IncumbentDensity() const {
+  if (incumbent_.Empty()) return 0;
+  // Mirrors PairDensity (dds/density.cc) so the maintained lower bound is
+  // bit-identical to an evaluation on the rebuilt static graph.
+  return static_cast<double>(incumbent_weight_) /
+         std::sqrt(static_cast<double>(incumbent_.s.size()) *
+                   static_cast<double>(incumbent_.t.size()));
+}
+
+template <typename WeightPolicy>
+DensityBracket DynamicDdsEngineT<WeightPolicy>::bracket() const {
+  DensityBracket bracket;
+  bracket.lower = std::max(0.0, IncumbentDensity());
+  bracket.pair = incumbent_;
+  bracket.version = graph_->version();
+
+  double upper = core_bound_.DensityUpperBound();
+  if (solved_version_ >= 0) {
+    // Drift bound: sqrt(|S||T|) >= 1, so every unit of inserted weight
+    // raises any pair's density by at most one; deletions only lower it.
+    upper = std::min(
+        upper, solved_upper_ +
+                   static_cast<double>(inserted_weight_since_solve_));
+  }
+  upper = std::min(
+      upper, std::sqrt(static_cast<double>(graph_->TotalWeight()) *
+                       static_cast<double>(graph_->MaxEdgeWeightBound())));
+  // The lower bound is witnessed, so it can only exceed an upper bound
+  // through floating-point rounding; keep the bracket well-formed.
+  bracket.upper = std::max(upper, bracket.lower);
+  bracket.exact =
+      bracket.upper - bracket.lower <= 1e-9 * std::max(1.0, bracket.upper);
+  return bracket;
+}
+
+template <typename WeightPolicy>
+void DynamicDdsEngineT<WeightPolicy>::Rebase(bool seed_incumbent) {
+  const Graph& snap = graph_->Snapshot();
+  const std::vector<SkylinePoint> skyline = CoreSkyline(snap);
+  core_bound_.Rebase(skyline, snap.MaxWeightedOutDegree(),
+                     snap.MaxWeightedInDegree());
+  // The incumbent's weight stays exact across a rebase (compaction does
+  // not change the logical graph), but re-anchor it against the fresh
+  // base to shed any accumulated float-free drift concerns and to keep
+  // SetIncumbent the single source of the bitsets' size.
+  if (seed_incumbent && !skyline.empty()) {
+    const SkylinePoint* best = &skyline[0];
+    for (const SkylinePoint& corner : skyline) {
+      if (corner.x * corner.y > best->x * best->y) best = &corner;
+    }
+    const XyCore core = ComputeXyCore(snap, best->x, best->y);
+    if (!core.Empty()) {
+      const DdsPair candidate{core.s, core.t};
+      const double candidate_density =
+          PairDensity(snap, candidate.s, candidate.t);
+      if (candidate_density > IncumbentDensity()) SetIncumbent(candidate);
+    }
+  }
+}
+
+template <typename WeightPolicy>
+void DynamicDdsEngineT<WeightPolicy>::SetIncumbent(const DdsPair& pair) {
+  // Callers pass pairs valid for the *compacted* base (solver output or a
+  // core of the snapshot), so ids are always in range.
+  incumbent_ = pair;
+  in_s_.assign(graph_->NumVertices(), 0);
+  in_t_.assign(graph_->NumVertices(), 0);
+  for (VertexId u : incumbent_.s) in_s_[u] = 1;
+  for (VertexId v : incumbent_.t) in_t_[v] = 1;
+  incumbent_weight_ =
+      PairWeight(graph_->base(), incumbent_.s, incumbent_.t);
+}
+
+template <typename WeightPolicy>
+DdsSolution DynamicDdsEngineT<WeightPolicy>::Resolve(
+    SolveControl* control) {
+  const Graph& snap = graph_->Snapshot();
+  if (workspace_version_ != graph_->version()) {
+    // The probe workspace is bound to one immutable graph; the graph
+    // changed since it was last used, so start it fresh.
+    workspace_ = ProbeWorkspace{};
+  }
+  DdsSolution solution =
+      SolveExactDds(snap, options_.exact, control, &workspace_);
+  workspace_version_ = graph_->version();
+  // Rebase without seeding — the solve's own pair is at least as dense as
+  // any core seed.
+  Rebase(/*seed_incumbent=*/false);
+  SetIncumbent(solution.pair);
+  solved_upper_ = solution.upper_bound;
+  solved_version_ = graph_->version();
+  inserted_weight_since_solve_ = 0;
+  ++resolves_;
+  return solution;
+}
+
+template <typename WeightPolicy>
+DensityBracket DynamicDdsEngineT<WeightPolicy>::RefreshBounds() {
+  Rebase(options_.seed_incumbent_from_core);
+  ++refreshes_;
+  return bracket();
+}
+
+template class DynamicDdsEngineT<UnitWeight>;
+template class DynamicDdsEngineT<Int64Weight>;
+
+}  // namespace ddsgraph

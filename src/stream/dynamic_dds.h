@@ -1,0 +1,149 @@
+#ifndef DDSGRAPH_STREAM_DYNAMIC_DDS_H_
+#define DDSGRAPH_STREAM_DYNAMIC_DDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dds/control.h"
+#include "dds/core_exact.h"
+#include "dds/density.h"
+#include "dds/result.h"
+#include "stream/dynamic_digraph.h"
+#include "stream/edge_stream.h"
+#include "stream/incremental_core.h"
+
+/// \file
+/// Live "density so far" with certified brackets (DESIGN.md §14).
+///
+/// `DynamicDdsEngineT` wraps a `DynamicDigraphT` and answers, at any point
+/// of an edge stream, a certified bracket [lower, upper] containing the
+/// current optimal density rho_opt — in O(#skyline corners) per query and
+/// O(1) amortized per applied op, with *no* peel or flow work between
+/// anchors. The bracket combines:
+///
+///   * lower — the incumbent: a concrete witnessed (S, T) pair (the last
+///     exact solve's answer, or a core seeded at rebase) whose exact
+///     density on the *current* graph is maintained incrementally: the
+///     per-op observer adjusts w(E(S,T)) whenever a touched arc has both
+///     endpoints inside the pair. A real pair's density never exceeds
+///     rho_opt, so this lower bound is always valid.
+///   * upper — the minimum of three certified bounds: the incremental
+///     core bound (stream/incremental_core.h), the drift bound
+///     solved_upper + (weight inserted since the last exact solve)
+///     (sqrt(|S||T|) >= 1, so one unit of inserted weight raises any
+///     density by at most one), and the global bound
+///     sqrt(TotalWeight * MaxEdgeWeightBound).
+///
+/// Anchoring: `Resolve` runs the anytime exact engine (dds/core_exact.h)
+/// on a compacted snapshot — honoring a `SolveControl`, so even a
+/// deadline-truncated anchor yields certified bounds — then rebases the
+/// core bound and adopts the solution as incumbent, collapsing the
+/// bracket to (near-)zero width. `RefreshBounds` re-tightens the upper
+/// bound alone (one skyline sweep, no flow work) when drift has loosened
+/// it. All mutations must go through `ApplyBatch` here, not the raw
+/// overlay, or the maintained state silently goes stale.
+
+namespace ddsgraph {
+
+/// A certified bracket on the current optimal density.
+struct DensityBracket {
+  double lower = 0;  ///< witnessed by `pair` on the current graph
+  double upper = 0;  ///< certified: rho_opt <= upper
+  /// The incumbent witnessing `lower` (may be empty before any anchor).
+  DdsPair pair;
+  /// Overlay version (applied batches) this bracket describes.
+  int64_t version = 0;
+  /// True when the bracket is tight (upper - lower within numerical
+  /// tolerance), i.e. `pair` is currently optimal.
+  bool exact = false;
+};
+
+struct DynamicDdsOptions {
+  /// Options for the anchoring exact solves.
+  ExactOptions exact;
+  /// Seed the incumbent with the max-product core at construction and
+  /// rebase time (cheap, one extra peel) so the lower bound is non-trivial
+  /// before the first exact solve.
+  bool seed_incumbent_from_core = true;
+};
+
+template <typename WeightPolicy>
+class DynamicDdsEngineT {
+ public:
+  using Dynamic = DynamicDigraphT<WeightPolicy>;
+  using Graph = typename Dynamic::Graph;
+
+  /// Binds to `graph` (not owned; must outlive the engine) and runs an
+  /// initial rebase. The engine becomes the graph's sole mutation path.
+  explicit DynamicDdsEngineT(Dynamic* graph, DynamicDdsOptions options = {});
+
+  /// Applies a batch through the overlay with the bound-maintenance
+  /// observer attached. Returns the number of applied (non-no-op) ops.
+  int64_t ApplyBatch(const EdgeBatch& batch);
+
+  /// The current certified bracket; O(#skyline corners).
+  DensityBracket bracket() const;
+
+  /// Anchors: exact solve on a compacted snapshot (anytime under
+  /// `control`), rebase, adopt the result as incumbent, reset drift.
+  DdsSolution Resolve(SolveControl* control = nullptr);
+
+  /// Re-tightens the upper bound only: compact, one skyline sweep, rebase
+  /// the core bound (and re-seed the incumbent if configured and denser).
+  /// No flow work; the drift anchor of the last exact solve is kept.
+  DensityBracket RefreshBounds();
+
+  const Dynamic& graph() const { return *graph_; }
+  int64_t resolves() const { return resolves_; }
+  int64_t refreshes() const { return refreshes_; }
+  /// Total weight inserted since the last exact solve (the drift-bound
+  /// slack; large values mean RefreshBounds/Resolve would pay off).
+  int64_t inserted_weight_since_solve() const {
+    return inserted_weight_since_solve_;
+  }
+
+ private:
+  void ObserveOp(VertexId u, VertexId v, int64_t old_weight,
+                 int64_t new_weight);
+  /// Compacts, recomputes the skyline, rebases the core bound; optionally
+  /// seeds the incumbent from the max-product corner's core.
+  void Rebase(bool seed_incumbent);
+  /// Adopts `pair` as incumbent against the compacted base graph:
+  /// rebuilds the membership bitsets and evaluates w(E(S,T)) exactly.
+  void SetIncumbent(const DdsPair& pair);
+  double IncumbentDensity() const;
+
+  Dynamic* graph_;
+  DynamicDdsOptions options_;
+  IncrementalCoreBound core_bound_;
+
+  DdsPair incumbent_;
+  std::vector<char> in_s_;
+  std::vector<char> in_t_;
+  int64_t incumbent_weight_ = 0;
+
+  /// Upper bound certified by the last exact solve, and the overlay
+  /// version it was taken at (-1 = no solve yet).
+  double solved_upper_ = 0;
+  int64_t solved_version_ = -1;
+  int64_t inserted_weight_since_solve_ = 0;
+
+  ProbeWorkspace workspace_;
+  /// Overlay version the workspace's scratch was last used against; a
+  /// ProbeWorkspace is bound to one immutable graph, so it is reset
+  /// whenever the graph changed between solves.
+  int64_t workspace_version_ = -1;
+
+  int64_t resolves_ = 0;
+  int64_t refreshes_ = 0;
+};
+
+using DynamicDdsEngine = DynamicDdsEngineT<UnitWeight>;
+using DynamicWeightedDdsEngine = DynamicDdsEngineT<Int64Weight>;
+
+extern template class DynamicDdsEngineT<UnitWeight>;
+extern template class DynamicDdsEngineT<Int64Weight>;
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_STREAM_DYNAMIC_DDS_H_

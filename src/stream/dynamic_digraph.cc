@@ -1,0 +1,10 @@
+#include "stream/dynamic_digraph.h"
+
+namespace ddsgraph {
+
+// The overlay is instantiated for exactly the two weight policies, like
+// the CSR graph it wraps (graph/digraph.cc).
+template class DynamicDigraphT<UnitWeight>;
+template class DynamicDigraphT<Int64Weight>;
+
+}  // namespace ddsgraph

@@ -1,0 +1,44 @@
+#include "stream/incremental_core.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddsgraph {
+
+void IncrementalCoreBound::Rebase(const std::vector<SkylinePoint>& skyline,
+                                  int64_t max_weighted_out_degree,
+                                  int64_t max_weighted_in_degree) {
+  corners_.clear();
+  // Degenerate corners realize the x <= A and y <= B slices of the
+  // soundness argument: the [x, 0]-core is non-empty up to x =
+  // max_wout(G0) and the [0, y]-core up to y = max_win(G0).
+  corners_.push_back(SkylinePoint{max_weighted_out_degree, 0});
+  corners_.push_back(SkylinePoint{0, max_weighted_in_degree});
+  corners_.insert(corners_.end(), skyline.begin(), skyline.end());
+  inserted_out_.clear();
+  inserted_in_.clear();
+  a_ = 0;
+  b_ = 0;
+  inserted_weight_ = 0;
+}
+
+void IncrementalCoreBound::OnInsert(VertexId u, VertexId v,
+                                    int64_t weight) {
+  a_ = std::max(a_, inserted_out_[u] += weight);
+  b_ = std::max(b_, inserted_in_[v] += weight);
+  inserted_weight_ += weight;
+}
+
+int64_t IncrementalCoreBound::MaxCoreProductBound() const {
+  int64_t best = 0;
+  for (const SkylinePoint& corner : corners_) {
+    best = std::max(best, (corner.x + a_) * (corner.y + b_));
+  }
+  return best;
+}
+
+double IncrementalCoreBound::DensityUpperBound() const {
+  return 2.0 * std::sqrt(static_cast<double>(MaxCoreProductBound()));
+}
+
+}  // namespace ddsgraph

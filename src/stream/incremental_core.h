@@ -1,0 +1,86 @@
+#ifndef DDSGRAPH_STREAM_INCREMENTAL_CORE_H_
+#define DDSGRAPH_STREAM_INCREMENTAL_CORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/xy_core_decomposition.h"
+#include "graph/digraph.h"
+
+/// \file
+/// Incremental [x,y]-core upper-bound maintenance (DESIGN.md §14).
+///
+/// The exact skyline y_max(x) of a graph costs a full peel sweep —
+/// re-running it per applied batch is exactly the rebuild work the
+/// dynamic layer exists to avoid. Instead, `IncrementalCoreBound` keeps
+/// the skyline *corners* of the graph at the last rebase G0 and, per
+/// inserted edge, two monotone scalars:
+///
+///   A = max over vertices u of total weight inserted on out-arcs of u
+///       since the rebase, and
+///   B = the same for in-arcs,
+///
+/// tracked with per-vertex counters. Soundness (the §14 argument): let
+/// G be the current graph and C its non-empty [x,y]-core. Every vertex
+/// of C's S side has weighted out-degree >= x within C; removing the
+/// inserted arcs lowers any out-degree by at most A and any in-degree by
+/// at most B, and G minus the inserts is a subgraph of G0 (deletions
+/// only shrink it further), so C survives in G0 as a non-empty
+/// [max(x-A,0), max(y-B,0)]-core. Cores of G0 with x >= 1 are covered by
+/// its skyline corners; the degenerate corners (x_max(0), 0) and
+/// (0, y_max(0)) — realized by the max weighted out-/in-degree of G0 —
+/// cover the x <= A and y <= B cases, including cores made purely of
+/// vertices that did not exist at rebase time. Hence
+///
+///   max over non-empty cores of G of x*y
+///     <= max over augmented corners (x_i, y_i) of (x_i + A)(y_i + B),
+///
+/// and by the paper's containment bound rho_opt(G) <= 2 sqrt(that).
+/// Deletions are deliberately ignored (the bound only loosens), which is
+/// what makes maintenance O(1) amortized per op; the engine re-tightens
+/// by rebasing.
+
+namespace ddsgraph {
+
+class IncrementalCoreBound {
+ public:
+  /// Adopts `skyline` (the CoreSkyline corners of the rebased graph)
+  /// plus the degenerate corners built from its max weighted out-/in-
+  /// degree, and clears the insert trackers.
+  void Rebase(const std::vector<SkylinePoint>& skyline,
+              int64_t max_weighted_out_degree,
+              int64_t max_weighted_in_degree);
+
+  /// Accounts one inserted arc u -> v of weight `weight` (> 0). For a
+  /// weighted merge-insert pass the weight *gained*, not the new total.
+  void OnInsert(VertexId u, VertexId v, int64_t weight);
+
+  /// max over augmented corners of (x + A)(y + B) — an upper bound on
+  /// x*y over all non-empty [x,y]-cores of the current graph.
+  int64_t MaxCoreProductBound() const;
+
+  /// 2 sqrt(MaxCoreProductBound()): upper bound on the current optimal
+  /// density.
+  double DensityUpperBound() const;
+
+  int64_t max_inserted_out_weight() const { return a_; }
+  int64_t max_inserted_in_weight() const { return b_; }
+  /// Total weight inserted since the last rebase (drift-bound fuel for
+  /// the engine's second upper bound).
+  int64_t inserted_weight() const { return inserted_weight_; }
+
+ private:
+  /// Skyline corners of the rebase graph, augmented with the two
+  /// degenerate corners; (0, 0) when the rebase graph was edgeless.
+  std::vector<SkylinePoint> corners_{{0, 0}};
+  std::unordered_map<VertexId, int64_t> inserted_out_;
+  std::unordered_map<VertexId, int64_t> inserted_in_;
+  int64_t a_ = 0;
+  int64_t b_ = 0;
+  int64_t inserted_weight_ = 0;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_STREAM_INCREMENTAL_CORE_H_

@@ -1,0 +1,262 @@
+#include "stream/dynamic_dds.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dds/core_exact.h"
+#include "dds/density.h"
+#include "dds/naive_exact.h"
+#include "util/random.h"
+
+namespace ddsgraph {
+namespace {
+
+// The reference model from dynamic_digraph_test, reduced to what the
+// bracket tests need: the logical edge set with FromEdges semantics,
+// rebuilt fresh after every batch.
+template <typename WeightPolicy>
+class StreamModel {
+ public:
+  using Graph = DigraphT<WeightPolicy>;
+
+  void Seed(const Graph& base) {
+    num_vertices_ = base.NumVertices();
+    for (VertexId u = 0; u < base.NumVertices(); ++u) {
+      const auto nbrs = base.OutNeighbors(u);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        edges_[{u, nbrs[k]}] = base.OutWeight(u, k);
+      }
+    }
+  }
+
+  void Apply(const EdgeBatch& batch) {
+    for (const EdgeOp& op : batch) {
+      if (op.from == op.to) continue;
+      num_vertices_ = std::max(num_vertices_, std::max(op.from, op.to) + 1);
+      if (op.kind == EdgeOp::Kind::kInsert) {
+        if (op.weight <= 0) continue;
+        if constexpr (Graph::kWeighted) {
+          edges_[{op.from, op.to}] += op.weight;
+        } else {
+          edges_[{op.from, op.to}] = 1;
+        }
+      } else {
+        edges_.erase({op.from, op.to});
+      }
+    }
+  }
+
+  Graph Build() const {
+    std::vector<typename Graph::EdgeType> list;
+    list.reserve(edges_.size());
+    for (const auto& [arc, weight] : edges_) {
+      if constexpr (Graph::kWeighted) {
+        list.push_back(WeightedEdge{arc.first, arc.second, weight});
+      } else {
+        list.emplace_back(arc.first, arc.second);
+      }
+    }
+    return Graph::FromEdges(num_vertices_, std::move(list));
+  }
+
+ private:
+  std::map<std::pair<VertexId, VertexId>, int64_t> edges_;
+  uint32_t num_vertices_ = 0;
+};
+
+EdgeBatch RandomBatch(uint32_t n, int ops, bool weighted_weights, Rng* rng) {
+  EdgeBatch batch;
+  for (int i = 0; i < ops; ++i) {
+    const VertexId u = static_cast<VertexId>(rng->NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng->NextBounded(n));
+    if (rng->NextBounded(100) < 30) {
+      batch.push_back(EdgeOp::Delete(u, v));
+    } else {
+      batch.push_back(
+          EdgeOp::Insert(u, v, weighted_weights ? rng->NextInRange(1, 4) : 1));
+    }
+  }
+  return batch;
+}
+
+// The acceptance property of DESIGN.md §14: after EVERY applied batch the
+// engine's bracket contains the exact optimal density of the freshly
+// rebuilt static graph. Ground truth is NaiveExact (exhaustive), so the
+// check is independent of the whole flow/core solver stack.
+TEST(DynamicDdsTest, BracketContainsNaiveExactAfterEveryBatch) {
+  constexpr uint32_t n = 10;  // NaiveExact territory
+  Rng rng(21);
+  std::vector<Edge> base_edges;
+  for (int i = 0; i < 18; ++i) {
+    base_edges.emplace_back(static_cast<VertexId>(rng.NextBounded(n)),
+                            static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  const Digraph base = Digraph::FromEdges(n, std::move(base_edges));
+
+  DynamicDigraph dynamic(base);
+  DynamicDdsEngine engine(&dynamic);
+  StreamModel<UnitWeight> model;
+  model.Seed(base);
+
+  for (int b = 0; b < 25; ++b) {
+    const EdgeBatch batch = RandomBatch(n, 6, false, &rng);
+    engine.ApplyBatch(batch);
+    model.Apply(batch);
+    if (b % 7 == 6) engine.Resolve();
+    if (b % 5 == 4) engine.RefreshBounds();
+
+    const Digraph rebuilt = model.Build();
+    const double exact = NaiveExact(rebuilt).density;
+    const DensityBracket bracket = engine.bracket();
+    const double eps = 1e-9 * std::max(1.0, exact);
+    EXPECT_LE(bracket.lower, exact + eps)
+        << "batch " << b << ": lower bound overshoots the optimum";
+    EXPECT_GE(bracket.upper + eps, exact)
+        << "batch " << b << ": upper bound undercuts the optimum";
+    EXPECT_LE(bracket.lower, bracket.upper + eps);
+    EXPECT_EQ(bracket.version, dynamic.version());
+
+    // The maintained lower bound is not just sound but *exact*: it equals
+    // the incumbent pair's density evaluated on the rebuilt graph,
+    // bit-for-bit (same formula as PairDensity).
+    if (!bracket.pair.Empty()) {
+      EXPECT_EQ(bracket.lower,
+                PairDensity(rebuilt, bracket.pair.s, bracket.pair.t))
+          << "batch " << b;
+    }
+  }
+}
+
+TEST(DynamicDdsTest, BracketContainsCoreExactAfterEveryBatchWeighted) {
+  constexpr uint32_t n = 24;
+  Rng rng(31);
+  std::vector<WeightedEdge> base_edges;
+  for (int i = 0; i < 50; ++i) {
+    base_edges.push_back(
+        WeightedEdge{static_cast<VertexId>(rng.NextBounded(n)),
+                     static_cast<VertexId>(rng.NextBounded(n)),
+                     rng.NextInRange(1, 4)});
+  }
+  const WeightedDigraph base =
+      WeightedDigraph::FromEdges(n, std::move(base_edges));
+
+  DynamicWeightedDigraph dynamic(base);
+  DynamicWeightedDdsEngine engine(&dynamic);
+  StreamModel<Int64Weight> model;
+  model.Seed(base);
+
+  for (int b = 0; b < 15; ++b) {
+    const EdgeBatch batch = RandomBatch(n, 8, true, &rng);
+    engine.ApplyBatch(batch);
+    model.Apply(batch);
+    if (b % 6 == 5) engine.Resolve();
+
+    const WeightedDigraph rebuilt = model.Build();
+    const double exact = SolveExactDds(rebuilt, ExactOptions{}).density;
+    const DensityBracket bracket = engine.bracket();
+    const double eps = 1e-9 * std::max(1.0, exact);
+    EXPECT_LE(bracket.lower, exact + eps) << "batch " << b;
+    EXPECT_GE(bracket.upper + eps, exact) << "batch " << b;
+    if (!bracket.pair.Empty()) {
+      EXPECT_EQ(bracket.lower,
+                PairDensity(rebuilt, bracket.pair.s, bracket.pair.t))
+          << "batch " << b;
+    }
+  }
+}
+
+TEST(DynamicDdsTest, ResolveCollapsesTheBracketAndMatchesStaticSolve) {
+  Rng rng(41);
+  const uint32_t n = 20;
+  std::vector<Edge> base_edges;
+  for (int i = 0; i < 40; ++i) {
+    base_edges.emplace_back(static_cast<VertexId>(rng.NextBounded(n)),
+                            static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  const Digraph base = Digraph::FromEdges(n, std::move(base_edges));
+  DynamicDigraph dynamic(base);
+  DynamicDdsEngine engine(&dynamic);
+  StreamModel<UnitWeight> model;
+  model.Seed(base);
+
+  for (int b = 0; b < 6; ++b) {
+    const EdgeBatch batch = RandomBatch(n, 10, false, &rng);
+    engine.ApplyBatch(batch);
+    model.Apply(batch);
+  }
+  const DdsSolution dynamic_solution = engine.Resolve();
+  const DdsSolution static_solution =
+      SolveExactDds(model.Build(), ExactOptions{});
+  // The compacted snapshot and the rebuilt static graph are the same CSR,
+  // and the solver is deterministic — densities agree bit-for-bit.
+  EXPECT_EQ(dynamic_solution.density, static_solution.density);
+  EXPECT_EQ(dynamic_solution.pair.s, static_solution.pair.s);
+  EXPECT_EQ(dynamic_solution.pair.t, static_solution.pair.t);
+
+  const DensityBracket bracket = engine.bracket();
+  EXPECT_TRUE(bracket.exact);
+  EXPECT_NEAR(bracket.lower, static_solution.density,
+              1e-9 * std::max(1.0, static_solution.density));
+  EXPECT_EQ(engine.inserted_weight_since_solve(), 0);
+  EXPECT_EQ(engine.resolves(), 1);
+}
+
+TEST(DynamicDdsTest, DriftGrowsAndRefreshTightensTheUpperBound) {
+  const Digraph base = Digraph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0}});
+  DynamicDigraph dynamic(base);
+  DynamicDdsEngine engine(&dynamic);
+  engine.Resolve();
+  const DensityBracket anchored = engine.bracket();
+  EXPECT_TRUE(anchored.exact);
+
+  // A burst of inserts loosens the bracket through the drift term...
+  EdgeBatch burst;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 3; v < 6; ++v) burst.push_back(EdgeOp::Insert(u, v));
+  }
+  engine.ApplyBatch(burst);
+  const DensityBracket drifted = engine.bracket();
+  EXPECT_EQ(engine.inserted_weight_since_solve(), 9);
+  EXPECT_GT(drifted.upper, anchored.upper);
+  EXPECT_FALSE(drifted.exact);
+
+  // ...and a bound-only refresh (no flow work) pulls the upper bound back
+  // toward the truth and may adopt a denser core as incumbent.
+  const DensityBracket refreshed = engine.RefreshBounds();
+  EXPECT_LE(refreshed.upper, drifted.upper);
+  EXPECT_GE(refreshed.lower, drifted.lower - 1e-12);
+  EXPECT_EQ(engine.refreshes(), 1);
+  EXPECT_EQ(engine.resolves(), 1);
+}
+
+TEST(DynamicDdsTest, DeletionsKeepTheLowerBoundExact) {
+  // S x T block whose density the incumbent witnesses; deleting block
+  // edges must move the maintained lower bound in lockstep.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 3; v < 7; ++v) edges.emplace_back(u, v);
+  }
+  const Digraph base = Digraph::FromEdges(7, std::move(edges));
+  DynamicDigraph dynamic(base);
+  DynamicDdsEngine engine(&dynamic);
+  engine.Resolve();
+  const double before = engine.bracket().lower;
+  EXPECT_NEAR(before, 12.0 / std::sqrt(12.0), 1e-12);
+
+  engine.ApplyBatch({EdgeOp::Delete(0, 3), EdgeOp::Delete(1, 4)});
+  const DensityBracket after = engine.bracket();
+  // Same pair, two fewer block edges: 10 / sqrt(12).
+  EXPECT_NEAR(after.lower, 10.0 / std::sqrt(12.0), 1e-12);
+  StreamModel<UnitWeight> model;
+  model.Seed(base);
+  model.Apply({EdgeOp::Delete(0, 3), EdgeOp::Delete(1, 4)});
+  EXPECT_EQ(after.lower,
+            PairDensity(model.Build(), after.pair.s, after.pair.t));
+}
+
+}  // namespace
+}  // namespace ddsgraph

@@ -24,13 +24,32 @@
 // exit, so the committed BENCH_serve.json doubles as an end-to-end
 // identity certificate for the whole serve stack.
 //
+// The second phase (PR 9) measures the serving fast paths of DESIGN.md
+// §15 on a fresh cache-enabled server: a Zipf-hot repeated-query mix —
+// all certified exact solves, so a miss visibly costs a solve — with a
+// scripted updater thread interleaving deterministic edge batches on the
+// hot graph via the `update` verb. Every response is classified by its
+// top-level `cache_hit` / `coalesced` markers and bit-compared against a
+// direct single-threaded engine solve of the exact logical graph its
+// `version` names (one precomputed expectation per version, built from a
+// mirror of the update batches); a shared acked-version floor proves no
+// stale answer is ever served after an update ack. The phase fails the
+// run unless cache-hit p50 latency is >= 20x below cache-miss p50
+// (enforced outside --quick) — the headline metric that stays valid on
+// 1-CPU hardware, where the multi-client qps ladder above saturates.
+//
 // JSON dump (--json_out, default BENCH_serve.json): per-rung qps,
-// p50/p99/mean client latency, and the queue/solve split.
+// p50/p99/mean client latency, the queue/solve split, and the
+// "repeated" section (hit rate, hit-vs-miss latency split, cache and
+// batching counters).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <iostream>
 #include <numeric>
 #include <sstream>
@@ -46,6 +65,7 @@
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "stream/edge_stream.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -138,6 +158,142 @@ void RunClient(int port, const std::vector<MixItem>& mix, int requests,
   }
 }
 
+// ---- the repeated-query (cache) phase -----------------------------------
+
+// One item of the repeated mix. For the graph the updater mutates,
+// `expected` holds one comparable slice per version (index = entry
+// version); static graphs carry exactly one.
+struct RepeatedItem {
+  std::string graph;
+  std::string algo;
+  bool weighted = false;
+  bool updated = false;  // the updater's target graph
+  std::string request_json;
+  std::vector<std::string> expected;
+};
+
+// What one repeated-phase client records: latency per response class.
+struct RepeatedLog {
+  std::vector<double> hit_ms;
+  std::vector<double> miss_ms;
+  std::vector<double> coalesced_ms;
+  bool failed = false;
+  std::string error;
+};
+
+// True when the *top-level* response marker is set (the markers precede
+// the embedded solution object, so the first occurrence is the
+// top-level one).
+bool TopLevelMarker(const std::string& json, const std::string& key) {
+  return json.find("\"" + key + "\": true") != std::string::npos;
+}
+
+void RunRepeatedClient(int port, const std::vector<RepeatedItem>& mix,
+                       int requests, double zipf_s, uint64_t seed,
+                       const std::atomic<int64_t>* acked_version,
+                       RepeatedLog* log) {
+  ServeClient client;
+  const Status connected = client.Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    log->failed = true;
+    log->error = "connect: " + connected.ToString();
+    return;
+  }
+  ZipfGenerator zipf(static_cast<int64_t>(mix.size()), zipf_s, seed);
+  for (int r = 0; r < requests; ++r) {
+    const RepeatedItem& item = mix[static_cast<size_t>(zipf.Next())];
+    // The staleness floor: any response for the updated graph must be at
+    // least as fresh as the highest update ack seen before the send.
+    const int64_t floor =
+        item.updated ? acked_version->load(std::memory_order_acquire) : 0;
+    WallTimer timer;
+    const Result<std::string> response = client.Call(item.request_json);
+    const double ms = timer.Seconds() * 1e3;
+    if (!response.ok()) {
+      log->failed = true;
+      log->error = item.graph + "/" + item.algo + ": " +
+                   response.status().ToString();
+      return;
+    }
+    const std::string& json = response.value();
+    if (FindJsonString(json, "status").value_or("") != "ok") {
+      log->failed = true;
+      log->error = item.graph + "/" + item.algo + ": " + json;
+      return;
+    }
+    const auto version_field = FindJsonNumber(json, "version");
+    const int64_t version =
+        static_cast<int64_t>(version_field.value_or(-1));
+    if (version < floor) {
+      log->failed = true;
+      log->error = "STALE response on " + item.graph + "/" + item.algo +
+                   ": version " + std::to_string(version) +
+                   " served after the ack of version " +
+                   std::to_string(floor);
+      return;
+    }
+    if (version < 0 ||
+        static_cast<size_t>(version) >= item.expected.size()) {
+      log->failed = true;
+      log->error = item.graph + "/" + item.algo +
+                   ": version out of range: " + std::to_string(version);
+      return;
+    }
+    const Result<std::string> slice = SolutionSliceForCompare(json);
+    const std::string& expected =
+        item.expected[static_cast<size_t>(version)];
+    if (!slice.ok() || slice.value() != expected) {
+      log->failed = true;
+      log->error = "DIVERGENCE on " + item.graph + "/" + item.algo +
+                   " at version " + std::to_string(version) +
+                   ": served solution differs from the direct "
+                   "single-threaded engine\n  expected: " + expected +
+                   "\n  served:   " +
+                   (slice.ok() ? slice.value() : slice.status().ToString());
+      return;
+    }
+    if (TopLevelMarker(json, "cache_hit")) {
+      log->hit_ms.push_back(ms);
+    } else if (TopLevelMarker(json, "coalesced")) {
+      log->coalesced_ms.push_back(ms);
+    } else {
+      log->miss_ms.push_back(ms);
+    }
+  }
+}
+
+// Applies the scripted update frames in order, publishing each acked
+// version as the clients' staleness floor.
+void RunRepeatedUpdater(int port,
+                        const std::vector<std::string>& update_frames,
+                        int gap_ms, std::atomic<int64_t>* acked_version,
+                        RepeatedLog* log) {
+  ServeClient client;
+  const Status connected = client.Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    log->failed = true;
+    log->error = "updater connect: " + connected.ToString();
+    return;
+  }
+  for (const std::string& frame : update_frames) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(gap_ms));
+    const Result<std::string> response = client.Call(frame);
+    if (!response.ok() ||
+        FindJsonString(response.value(), "status").value_or("") != "ok") {
+      log->failed = true;
+      log->error = "update: " + (response.ok()
+                                     ? response.value()
+                                     : response.status().ToString());
+      return;
+    }
+    const int64_t version = static_cast<int64_t>(
+        FindJsonNumber(response.value(), "version").value_or(0));
+    // The ack is the client-visible linearization point: everything the
+    // clients send after reading this must see >= `version`.
+    acked_version->store(version, std::memory_order_release);
+  }
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -159,6 +315,15 @@ int Main(int argc, char** argv) {
       flags.Int64("queue_capacity", 64, "admission queue bound");
   std::string* json_out = flags.String(
       "json_out", "BENCH_serve.json", "output JSON path; empty disables");
+  int64_t* repeated_clients = flags.Int64(
+      "repeated_clients", 4, "closed-loop clients in the repeated phase");
+  int64_t* repeated_requests = flags.Int64(
+      "repeated_requests", 150,
+      "requests each repeated-phase client issues");
+  int64_t* updates = flags.Int64(
+      "updates", 6, "scripted edge batches the repeated phase interleaves");
+  int64_t* cache_mb = flags.Int64(
+      "cache_mb", 8, "response-cache budget (MiB) in the repeated phase");
   flags.ParseOrDie(argc, argv);
 
   PrintBanner("E12", "serving daemon under closed-loop Zipfian load");
@@ -335,6 +500,202 @@ int Main(int argc, char** argv) {
                   requests * std::accumulate(client_counts.begin(),
                                              client_counts.end(), 0));
 
+  // ---- the repeated-query (cache) phase ---------------------------------
+  const int rep_clients = static_cast<int>(*quick ? 2 : *repeated_clients);
+  const int rep_requests =
+      static_cast<int>(*quick ? 16 : *repeated_requests);
+  const int rep_updates = static_cast<int>(*quick ? 2 : *updates);
+  const int update_gap_ms = *quick ? 2 : 20;
+  CHECK(rep_clients >= 1 && rep_requests >= 1 && rep_updates >= 1);
+
+  // A fresh catalog — the updater mutates its target graph — behind a
+  // fresh server with the response cache armed.
+  GraphCatalog catalog2;
+  CHECK(catalog2.AddGraph("uni", uni).ok());
+  CHECK(catalog2.AddGraph("rmat", rmat).ok());
+  CHECK(catalog2.AddWeightedGraph("wuni", wuni).ok());
+
+  // All-certified-exact mix: a miss visibly pays a full solve, so the
+  // hit-vs-miss latency split is unambiguous. The Zipf-hot item is the
+  // updated graph, so every version bump is exercised immediately.
+  std::vector<RepeatedItem> rep_mix = {
+      {"uni", "core-exact", false, /*updated=*/true, "", {}},
+      {"rmat", "core-exact", false, false, "", {}},
+      {"wuni", "core-exact", true, false, "", {}},
+  };
+  for (RepeatedItem& item : rep_mix) {
+    const MixItem as_mix{item.graph, item.algo, item.weighted, "", ""};
+    item.request_json = BuildRequestJson(as_mix);
+  }
+
+  // Script the update batches and mirror them: per version, the expected
+  // comparable slice comes from a direct single-threaded engine on a
+  // statically built merge of base + batches[0..v) — exactly the overlay
+  // identity the serve stack must reproduce byte for byte.
+  std::vector<std::string> update_frames;
+  {
+    DdsRequest exact_request;
+    exact_request.algorithm = DdsAlgorithm::kCoreExact;
+    const auto slice_of = [&exact_request](DdsEngine& engine) {
+      const Result<DdsSolution> solved = engine.Solve(exact_request);
+      CHECK(solved.ok()) << solved.status().ToString();
+      return DirectSolutionSlice(SolutionJson(solved.value()));
+    };
+    std::vector<Edge> merged = uni.EdgeList();
+    std::set<Edge> present(merged.begin(), merged.end());
+    {
+      DdsEngine base_engine(uni);
+      rep_mix[0].expected.push_back(slice_of(base_engine));  // version 0
+      DdsEngine rmat_engine(rmat);
+      rep_mix[1].expected.push_back(slice_of(rmat_engine));
+      DdsEngine wuni_engine(wuni);
+      rep_mix[2].expected.push_back(slice_of(wuni_engine));
+    }
+    const uint32_t n = uni.NumVertices();
+    for (int b = 0; b < rep_updates; ++b) {
+      EdgeBatch batch;
+      // Deterministic scan for 4 edges not yet present; both sides of
+      // the mirror (updater and expectation) see the same batches.
+      for (uint32_t k = 0; batch.size() < 4; ++k) {
+        const VertexId u = static_cast<VertexId>(
+            (37u * static_cast<uint32_t>(b) + 13u * k) % n);
+        const VertexId v = static_cast<VertexId>(
+            (61u * static_cast<uint32_t>(b) + 29u * k + 1u) % n);
+        if (u == v || present.count({u, v}) != 0) continue;
+        present.insert({u, v});
+        merged.emplace_back(u, v);
+        batch.push_back(EdgeOp::Insert(u, v));
+      }
+      update_frames.push_back(
+          "{\"op\": \"update\", \"graph\": \"uni\", \"edges\": \"" +
+          FormatEdgeOps(batch) + "\"}");
+      const Digraph snapshot =
+          Digraph::FromEdges(n, std::vector<Edge>(merged));
+      DdsEngine snapshot_engine(snapshot);
+      rep_mix[0].expected.push_back(slice_of(snapshot_engine));
+    }
+  }
+
+  ServerOptions options2;
+  options2.port = 0;
+  options2.scheduler.workers = static_cast<int>(*workers);
+  options2.scheduler.queue_capacity = static_cast<int>(*queue_capacity);
+  options2.scheduler.cache_bytes = static_cast<size_t>(*cache_mb) << 20;
+  DdsServer server2(&catalog2, options2);
+  const Result<int> started2 = server2.Start();
+  CHECK(started2.ok()) << started2.status().ToString();
+  const int port2 = started2.value();
+  std::printf("\nrepeated-query phase on 127.0.0.1:%d — %d clients x %d "
+              "requests, %d interleaved updates, cache %lld MiB\n\n",
+              port2, rep_clients, rep_requests, rep_updates,
+              static_cast<long long>(*cache_mb));
+
+  std::atomic<int64_t> acked_version{0};
+  // Slot rep_clients holds the updater's log (it only uses failed/error).
+  std::vector<RepeatedLog> rep_logs(
+      static_cast<size_t>(rep_clients) + 1);
+  WallTimer rep_wall;
+  std::thread updater(RunRepeatedUpdater, port2, std::cref(update_frames),
+                      update_gap_ms, &acked_version,
+                      &rep_logs[static_cast<size_t>(rep_clients)]);
+  {
+    std::vector<std::thread> rep_threads;
+    rep_threads.reserve(static_cast<size_t>(rep_clients));
+    for (int c = 0; c < rep_clients; ++c) {
+      const uint64_t client_seed =
+          static_cast<uint64_t>(*seed) + 7919 +
+          static_cast<uint64_t>(101 * c);
+      rep_threads.emplace_back(RunRepeatedClient, port2,
+                               std::cref(rep_mix), rep_requests, *zipf_s,
+                               client_seed, &acked_version,
+                               &rep_logs[static_cast<size_t>(c)]);
+    }
+    for (std::thread& t : rep_threads) t.join();
+  }
+  updater.join();
+  const double rep_seconds = rep_wall.Seconds();
+
+  // Scrape the fast-path counters off the wire before stopping.
+  double cache_hits = 0, cache_misses = 0, cache_evictions = 0,
+         cache_invalidations = 0, stat_coalesced = 0, stat_batches = 0,
+         stat_batched = 0;
+  {
+    ServeClient stats_client;
+    CHECK(stats_client.Connect("127.0.0.1", port2).ok());
+    const Result<std::string> stats =
+        stats_client.Call("{\"op\": \"server_stats\"}");
+    CHECK(stats.ok()) << stats.status().ToString();
+    const std::string& json = stats.value();
+    cache_hits = FindJsonNumber(json, "cache_hits").value_or(0);
+    cache_misses = FindJsonNumber(json, "cache_misses").value_or(0);
+    cache_evictions = FindJsonNumber(json, "cache_evictions").value_or(0);
+    cache_invalidations =
+        FindJsonNumber(json, "cache_invalidations").value_or(0);
+    stat_coalesced = FindJsonNumber(json, "coalesced").value_or(0);
+    stat_batches = FindJsonNumber(json, "batches").value_or(0);
+    stat_batched = FindJsonNumber(json, "batched").value_or(0);
+  }
+  server2.Stop();
+
+  for (const RepeatedLog& log : rep_logs) {
+    if (log.failed) {
+      std::fprintf(stderr, "E12 repeated phase FAILED: %s\n",
+                   log.error.c_str());
+      return 1;
+    }
+  }
+  {
+    const CatalogEntry* entry = catalog2.Find("uni");
+    CHECK(entry != nullptr);
+    CHECK(entry->version() == rep_updates)
+        << "updater applied " << entry->version() << " of " << rep_updates;
+  }
+
+  std::vector<double> hit_ms, miss_ms, coalesced_ms;
+  for (const RepeatedLog& log : rep_logs) {
+    hit_ms.insert(hit_ms.end(), log.hit_ms.begin(), log.hit_ms.end());
+    miss_ms.insert(miss_ms.end(), log.miss_ms.begin(), log.miss_ms.end());
+    coalesced_ms.insert(coalesced_ms.end(), log.coalesced_ms.begin(),
+                        log.coalesced_ms.end());
+  }
+  const int rep_total = static_cast<int>(hit_ms.size() + miss_ms.size() +
+                                         coalesced_ms.size());
+  CHECK(rep_total == rep_clients * rep_requests);
+  CHECK(!hit_ms.empty() && !miss_ms.empty())
+      << "degenerate phase: " << hit_ms.size() << " hits, "
+      << miss_ms.size() << " misses";
+  const double hit_rate = static_cast<double>(hit_ms.size()) / rep_total;
+  const double hit_p50 = Quantile(hit_ms, 0.5);
+  const double hit_p99 = Quantile(hit_ms, 0.99);
+  const double miss_p50 = Quantile(miss_ms, 0.5);
+  const double miss_p99 = Quantile(miss_ms, 0.99);
+  const double p50_speedup = hit_p50 > 0 ? miss_p50 / hit_p50 : 0;
+
+  Table rep_table({"clients", "requests", "hit_rate", "hit_p50_ms",
+                   "hit_p99_ms", "miss_p50_ms", "miss_p99_ms",
+                   "p50_speedup", "coalesced"});
+  rep_table.AddRow({std::to_string(rep_clients), std::to_string(rep_total),
+                    FormatDouble(hit_rate, 3), FormatDouble(hit_p50, 4),
+                    FormatDouble(hit_p99, 4), FormatDouble(miss_p50, 3),
+                    FormatDouble(miss_p99, 3), FormatDouble(p50_speedup, 1),
+                    std::to_string(coalesced_ms.size())});
+  rep_table.PrintMarkdown(std::cout);
+  std::printf("\nrepeated phase: all %d responses version-fresh and "
+              "bit-identical to per-version direct solves (%d updates "
+              "interleaved)\n",
+              rep_total, rep_updates);
+
+  // The headline gate (1-CPU-valid, unlike the qps ladder): a cache hit
+  // must be at least 20x cheaper than the solve it memoizes. Quick mode
+  // skips it — smoke sample sizes make percentiles meaningless.
+  if (!*quick && p50_speedup < 20.0) {
+    std::fprintf(stderr,
+                 "E12 FAILED: cache-hit p50 %.4f ms is only %.1fx below "
+                 "cache-miss p50 %.3f ms (need >= 20x)\n",
+                 hit_p50, p50_speedup, miss_p50);
+    return 1;
+  }
+
   if (!json_out->empty()) {
     std::ostringstream out;
     out << "{\n  \"experiment\": \"e12_serve\",\n";
@@ -365,7 +726,31 @@ int Main(int argc, char** argv) {
           << ", \"verified\": " << r.total << "}"
           << (i + 1 < rungs.size() ? ",\n" : "\n");
     }
-    out << "  ]\n}\n";
+    out << "  ],\n";
+    out << "  \"repeated\": {\"clients\": " << rep_clients
+        << ", \"requests\": " << rep_total
+        << ", \"updates\": " << rep_updates
+        << ", \"seconds\": " << FormatDouble(rep_seconds, 4)
+        << ", \"cache_mb\": " << *cache_mb
+        << ",\n    \"hits\": " << hit_ms.size()
+        << ", \"misses\": " << miss_ms.size()
+        << ", \"coalesced\": " << coalesced_ms.size()
+        << ", \"hit_rate\": " << FormatDouble(hit_rate, 4)
+        << ",\n    \"hit_p50_ms\": " << FormatDouble(hit_p50, 4)
+        << ", \"hit_p99_ms\": " << FormatDouble(hit_p99, 4)
+        << ", \"miss_p50_ms\": " << FormatDouble(miss_p50, 3)
+        << ", \"miss_p99_ms\": " << FormatDouble(miss_p99, 3)
+        << ", \"p50_speedup\": " << FormatDouble(p50_speedup, 1)
+        << ",\n    \"cache_hits\": " << FormatDouble(cache_hits, 0)
+        << ", \"cache_misses\": " << FormatDouble(cache_misses, 0)
+        << ", \"cache_evictions\": " << FormatDouble(cache_evictions, 0)
+        << ", \"cache_invalidations\": "
+        << FormatDouble(cache_invalidations, 0)
+        << ", \"scheduler_coalesced\": " << FormatDouble(stat_coalesced, 0)
+        << ", \"batches\": " << FormatDouble(stat_batches, 0)
+        << ", \"batched\": " << FormatDouble(stat_batched, 0)
+        << ",\n    \"verified\": " << rep_total << ", \"stale\": 0}\n";
+    out << "}\n";
     std::ofstream file(*json_out);
     file << out.str();
     if (!file) {

@@ -18,6 +18,10 @@
 //
 // Run: ./build/examples/dds_monitor
 //      ./build/examples/dds_monitor --stream_file my.stream --resolve_every 4
+//
+// To monitor a *served* graph instead, poll dds_server's off-scheduler
+// verbs: `{"op": "health"}` for liveness and `{"op": "server_stats"}` for
+// queue depth and the cache/batch counters (see examples/dds_server.cpp).
 
 #include <cstdio>
 #include <iostream>

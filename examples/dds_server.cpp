@@ -28,9 +28,33 @@
 // bounds), threads (per-solve parallelism), id (echoed back).
 //
 // The response wraps the same SolutionJson dds_tool --json prints, plus
-// queue_ms / solve_ms so clients can split waiting from computing. Full
-// admission queues are rejected immediately with code UNAVAILABLE
-// (backpressure) — retry with jitter.
+// queue_ms / solve_ms so clients can split waiting from computing, a
+// `version` naming the exact graph state the solution corresponds to
+// (compare against `update` acks to check freshness), and the `cache_hit`
+// / `coalesced` fast-path markers (DESIGN.md §15). Full admission queues
+// are rejected immediately with code UNAVAILABLE (backpressure) — retry
+// with jitter.
+//
+// With --cache_mb > 0 (the default, 8 MiB) a version-keyed response
+// cache answers repeated no-deadline queries without re-solving, and
+// identical in-flight queries coalesce onto one solve; an `update` ack
+// guarantees later responses carry at least the acked version. Same-graph
+// batching (--batch_max) groups queued requests for one graph onto one
+// worker pass regardless of the cache.
+//
+// Introspection verbs, all answered off-scheduler so they work even when
+// the admission queue is saturated:
+//
+//   {"op": "list_graphs"}   one object per catalog entry (name, version…)
+//   {"op": "server_stats"}  accepted/served/rejected/queued plus the
+//                           fast-path counters: coalesced, batches,
+//                           batched, cache_enabled, cache_hits,
+//                           cache_misses, cache_evictions,
+//                           cache_invalidations, cache_entries,
+//                           cache_bytes
+//   {"op": "health"}        liveness probe: {"healthy": true,
+//                           "accepting": true, "num_graphs": 3,
+//                           "queued": 0} — probes branch on `healthy`
 //
 // Ctrl-C (or --max_seconds for scripted runs) triggers a drain shutdown:
 // no new requests are admitted, every admitted request still gets its
@@ -76,6 +100,15 @@ int main(int argc, char** argv) {
       "queue_capacity", 64,
       "admitted-but-unserved request cap; beyond it requests are "
       "rejected with UNAVAILABLE instead of queueing unboundedly");
+  int64_t* cache_mb = flags.Int64(
+      "cache_mb", 8,
+      "version-keyed response cache budget in MiB; hits skip the solve "
+      "entirely and identical in-flight requests coalesce. 0 disables "
+      "both (every request solves)");
+  int64_t* batch_max = flags.Int64(
+      "batch_max", 8,
+      "max queued same-graph requests one worker runs back to back on "
+      "the warm engine; 1 disables batching");
   double* max_seconds = flags.Double(
       "max_seconds", 0,
       "exit (with a drain shutdown) after this many seconds; 0 = serve "
@@ -148,6 +181,8 @@ int main(int argc, char** argv) {
   options.port = static_cast<int>(*port);
   options.scheduler.workers = static_cast<int>(*workers);
   options.scheduler.queue_capacity = static_cast<int>(*queue_capacity);
+  options.scheduler.cache_bytes = static_cast<size_t>(*cache_mb) << 20;
+  options.scheduler.batch_max = static_cast<int>(*batch_max);
   DdsServer server(&catalog, options);
   const Result<int> started = server.Start();
   if (!started.ok()) {
@@ -155,9 +190,12 @@ int main(int argc, char** argv) {
                  started.status().ToString().c_str());
     return 1;
   }
-  std::printf("dds_server listening on %s:%d (%d workers, queue %d)\n",
+  std::printf("dds_server listening on %s:%d (%d workers, queue %d, "
+              "cache %lld MiB, batch %d)\n",
               host->c_str(), started.value(), static_cast<int>(*workers),
-              static_cast<int>(*queue_capacity));
+              static_cast<int>(*queue_capacity),
+              static_cast<long long>(*cache_mb),
+              static_cast<int>(*batch_max));
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -168,10 +206,13 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  std::printf("draining: %lld served, %lld rejected, %lld queued\n",
+  std::printf("draining: %lld served, %lld rejected, %lld queued, "
+              "%lld cache hits, %lld coalesced\n",
               static_cast<long long>(server.scheduler().served()),
               static_cast<long long>(server.scheduler().rejected()),
-              static_cast<long long>(server.scheduler().queued()));
+              static_cast<long long>(server.scheduler().queued()),
+              static_cast<long long>(server.scheduler().cache_counters().hits),
+              static_cast<long long>(server.scheduler().coalesced()));
   server.Stop();
   std::printf("dds_server stopped after %.1fs; %lld requests served\n",
               uptime.Seconds(),

@@ -50,6 +50,14 @@ struct SolverStats {
   /// from compute without a second stats channel.
   double queue_ms = 0;
   double solve_ms = 0;
+  /// Serving-path provenance markers (RequestScheduler, DESIGN.md §15):
+  /// `cache_hit` — this solution came from the response cache, not a
+  /// fresh solve (the memoized stats counters are the original solve's);
+  /// `coalesced` — this request rode another identical request's
+  /// in-flight solve (single-flight). Both stay false for direct library
+  /// calls.
+  bool cache_hit = false;
+  bool coalesced = false;
 
   std::string ToString() const;
 };

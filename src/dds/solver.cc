@@ -29,6 +29,8 @@ std::string SolverStats::ToString() const {
     os << " queue=" << FormatDouble(queue_ms, 3)
        << "ms solve=" << FormatDouble(solve_ms, 3) << "ms";
   }
+  if (cache_hit) os << " cache_hit";
+  if (coalesced) os << " coalesced";
   os << " time=" << FormatSeconds(seconds);
   return os.str();
 }
@@ -134,6 +136,8 @@ std::string SolutionJson(const DdsSolution& solution,
      << ", \"prior_engine_solves\": " << solution.stats.prior_engine_solves
      << ", \"queue_ms\": " << FormatDouble(solution.stats.queue_ms, 6)
      << ", \"solve_ms\": " << FormatDouble(solution.stats.solve_ms, 6)
+     << ", \"cache_hit\": " << (solution.stats.cache_hit ? "true" : "false")
+     << ", \"coalesced\": " << (solution.stats.coalesced ? "true" : "false")
      << ", \"seconds\": " << FormatDouble(solution.stats.seconds, 6)
      << "}}";
   return os.str();

@@ -34,6 +34,7 @@
 #include "serve/catalog.h"                // IWYU pragma: export
 #include "serve/client.h"                 // IWYU pragma: export
 #include "serve/protocol.h"               // IWYU pragma: export
+#include "serve/response_cache.h"         // IWYU pragma: export
 #include "serve/scheduler.h"              // IWYU pragma: export
 #include "serve/server.h"                 // IWYU pragma: export
 #include "stream/dynamic_dds.h"           // IWYU pragma: export

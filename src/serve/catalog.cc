@@ -60,9 +60,13 @@ void CatalogEntry::SyncEngineLocked() const {
   engine_epoch_ = compactions;
 }
 
-Result<DdsSolution> CatalogEntry::Solve(const DdsRequest& request) const {
+Result<DdsSolution> CatalogEntry::Solve(const DdsRequest& request,
+                                        int64_t* solved_version) const {
   std::lock_guard<std::mutex> lock(mu_);
   SyncEngineLocked();
+  if (solved_version != nullptr) {
+    *solved_version = weighted_ ? wdyn_->version() : dyn_->version();
+  }
   return engine_->Solve(request);
 }
 
@@ -98,6 +102,10 @@ Result<CatalogEntry::UpdateResult> CatalogEntry::ApplyEdgeBatch(
     result.num_vertices = dyn_->NumVertices();
     result.num_edges = dyn_->NumEdges();
   }
+  // Publish before the caller can ack: a client that saw the update
+  // succeed must be guaranteed that later submissions read the new
+  // version (the response cache's no-stale-after-ack contract).
+  version_mirror_.store(result.version, std::memory_order_release);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef DDSGRAPH_SERVE_CATALOG_H_
 #define DDSGRAPH_SERVE_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -63,6 +64,14 @@ class CatalogEntry {
   int64_t num_edges() const;
   /// Applied update batches since load (0 = pristine).
   int64_t version() const;
+  /// Lock-free mirror of version(). The entry mutex is held for a
+  /// solve's whole duration, so readers that must not stall behind
+  /// solves — the scheduler's cache fast path on the connection reader
+  /// thread — read this instead. Monotone; may briefly trail version()
+  /// while an ApplyEdgeBatch is mid-flight, never lead it.
+  int64_t cached_version() const {
+    return version_mirror_.load(std::memory_order_acquire);
+  }
 
   /// Runs one query on this entry's hot engine, serialized on the entry
   /// mutex so concurrent callers queue here rather than corrupt the
@@ -70,7 +79,11 @@ class CatalogEntry {
   /// if updates have rebuilt the CSR since the engine was created. Const
   /// because a solve is logically a query; the engine/overlay mutation is
   /// an amortization detail hidden behind the entry mutex.
-  Result<DdsSolution> Solve(const DdsRequest& request) const;
+  /// `solved_version`, when non-null, receives the entry version the
+  /// solve actually ran against — captured under the same critical
+  /// section, which is what makes it sound as a response-cache key.
+  Result<DdsSolution> Solve(const DdsRequest& request,
+                            int64_t* solved_version = nullptr) const;
 
   /// Applies an edge batch to the live overlay and bumps the version.
   /// Rejected with InvalidArgument when the entry's graph was loaded with
@@ -113,6 +126,8 @@ class CatalogEntry {
   mutable int64_t engine_epoch_ = 0;
   mutable int64_t solves_before_engine_ = 0;
   mutable int64_t engine_rebuilds_ = 0;
+  /// Published copy of the overlay version for cached_version().
+  std::atomic<int64_t> version_mirror_{0};
 };
 
 class GraphCatalog {

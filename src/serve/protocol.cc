@@ -334,7 +334,8 @@ Result<WireRequest> ParseWireRequest(const std::string& json) {
           "update needs a non-empty \"edges\" ops string "
           "(\"+u v [w], -u v, ...\")");
     }
-  } else if (wire.op == "list_graphs" || wire.op == "server_stats") {
+  } else if (wire.op == "list_graphs" || wire.op == "server_stats" ||
+             wire.op == "health") {
     RETURN_IF_ERROR(forbid(saw_graph, "graph"));
     RETURN_IF_ERROR(forbid(saw_edges, "edges"));
     RETURN_IF_ERROR(forbid(saw_algo, "algo"));
@@ -344,7 +345,7 @@ Result<WireRequest> ParseWireRequest(const std::string& json) {
   } else {
     return Status::InvalidArgument(
         "unknown op \"" + wire.op +
-        "\"; known ops: solve, update, list_graphs, server_stats");
+        "\"; known ops: solve, update, list_graphs, server_stats, health");
   }
   return wire;
 }
@@ -383,6 +384,11 @@ std::string OkResponseJson(const WireRequest& wire,
              : "false";
   out += ", \"queue_ms\": " + FormatDouble(response.queue_ms, 6);
   out += ", \"solve_ms\": " + FormatDouble(response.solve_ms, 6);
+  out += ", \"version\": " + std::to_string(response.version);
+  out += std::string(", \"cache_hit\": ") +
+         (response.cache_hit ? "true" : "false");
+  out += std::string(", \"coalesced\": ") +
+         (response.coalesced ? "true" : "false");
   out += ", \"solution\": ";
   out += solution_json;
   out += "}";
@@ -447,6 +453,37 @@ std::string ServerStatsResponseJson(const std::string& id_raw,
   out += ", \"accepted\": " + std::to_string(scheduler.accepted());
   out += ", \"served\": " + std::to_string(scheduler.served());
   out += ", \"rejected\": " + std::to_string(scheduler.rejected());
+  out += ", \"queued\": " + std::to_string(scheduler.queued());
+  out += ", \"coalesced\": " + std::to_string(scheduler.coalesced());
+  out += ", \"batches\": " + std::to_string(scheduler.batches());
+  out += ", \"batched\": " + std::to_string(scheduler.batched());
+  const ResponseCacheCounters cache = scheduler.cache_counters();
+  out += std::string(", \"cache_enabled\": ") +
+         (scheduler.response_cache() != nullptr ? "true" : "false");
+  out += ", \"cache_hits\": " + std::to_string(cache.hits);
+  out += ", \"cache_misses\": " + std::to_string(cache.misses);
+  out += ", \"cache_evictions\": " + std::to_string(cache.evictions);
+  out += ", \"cache_invalidations\": " +
+         std::to_string(cache.invalidations);
+  out += ", \"cache_entries\": " + std::to_string(cache.entries);
+  out += ", \"cache_bytes\": " + std::to_string(cache.bytes);
+  out += "}";
+  return out;
+}
+
+std::string HealthResponseJson(const std::string& id_raw,
+                               const GraphCatalog& catalog,
+                               const RequestScheduler& scheduler) {
+  // "healthy" is the liveness summary a probe branches on; the rest is
+  // the minimum context to debug an unhealthy report. Deliberately
+  // cheap: no per-entry locks, no cache sweep — safe to poll hot.
+  const bool accepting = scheduler.accepting();
+  std::string out = "{\"id\": ";
+  out += id_raw.empty() ? "null" : id_raw;
+  out += ", \"status\": \"ok\", \"op\": \"health\"";
+  out += std::string(", \"healthy\": ") + (accepting ? "true" : "false");
+  out += std::string(", \"accepting\": ") + (accepting ? "true" : "false");
+  out += ", \"num_graphs\": " + std::to_string(catalog.size());
   out += ", \"queued\": " + std::to_string(scheduler.queued());
   out += "}";
   return out;

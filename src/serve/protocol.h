@@ -25,11 +25,13 @@
 /// ignored: a typo'd "deadlin_ms" must fail loudly, not silently run
 /// without a deadline.
 ///
-/// The streaming verbs added with the dynamic graph subsystem:
+/// The streaming verbs added with the dynamic graph subsystem, plus the
+/// health probe:
 ///
 ///   {"op": "update", "graph": "reviews", "edges": "+3 9, -1 2", "id": 2}
 ///   {"op": "list_graphs", "id": 3}
 ///   {"op": "server_stats", "id": 4}
+///   {"op": "health", "id": 5}
 ///
 /// `update` applies an edge batch to a live catalog graph; the batch
 /// travels as one *string* in the compact ops grammar of
@@ -38,14 +40,21 @@
 /// set is validated strictly (e.g. `algo` on an `update` is an error).
 /// Responses may nest: `update` echoes the new version and sizes,
 /// `list_graphs` returns one object per catalog entry, `server_stats`
-/// the scheduler's accepted/rejected/served/queued counters.
+/// the scheduler's accepted/rejected/served/queued counters plus the
+/// response-cache and batching counters (DESIGN.md §15), and `health` a
+/// cheap liveness summary — like `server_stats` it is answered on the
+/// connection thread, off-scheduler, so it stays responsive when the
+/// admission queue is saturated.
 ///
 /// A success response wraps the engine's SolutionJson (so the wire schema
 /// and the CLI --json schema share one serializer) plus the serve-path
-/// latency split:
+/// latency split and the cache provenance markers (`version` is the
+/// entry version the solution corresponds to; compare it against an
+/// `update` ack's version to check freshness):
 ///
 ///   {"id": 17, "status": "ok", "graph": "reviews", "algo": "core-exact",
-///    "queue_ms": 0.21, "solve_ms": 3.75, "solution": {...}}
+///    "queue_ms": 0.21, "solve_ms": 3.75, "version": 4,
+///    "cache_hit": false, "coalesced": false, "solution": {...}}
 ///
 /// An error response carries the Status verbatim:
 ///
@@ -82,7 +91,8 @@ std::string EscapeJsonString(const std::string& s);
 /// The parsed wire request, before registry/catalog resolution.
 struct WireRequest {
   std::string id_raw;  ///< verbatim id token to echo; empty = absent
-  std::string op = "solve";  ///< solve | update | list_graphs | server_stats
+  /// solve | update | list_graphs | server_stats | health
+  std::string op = "solve";
   std::string graph;
   std::string algo = "core-exact";
   std::optional<bool> weighted;  ///< client's expectation, if stated
@@ -127,10 +137,23 @@ std::string ListGraphsResponseJson(const std::string& id_raw,
                                    const GraphCatalog& catalog);
 
 /// Serializes the response to a `server_stats` verb from the scheduler's
-/// counters plus the catalog size.
+/// counters plus the catalog size. Since PR 9 the object also carries
+/// the fast-path counters: coalesced/batches/batched and the
+/// cache_enabled/cache_hits/cache_misses/cache_evictions/
+/// cache_invalidations/cache_entries/cache_bytes group (all-zero
+/// counters with "cache_enabled": false when the cache is off).
 std::string ServerStatsResponseJson(const std::string& id_raw,
                                     const GraphCatalog& catalog,
                                     const RequestScheduler& scheduler);
+
+/// Serializes the response to a `health` verb:
+///   {"id": 5, "status": "ok", "op": "health", "healthy": true,
+///    "accepting": true, "num_graphs": 3, "queued": 0}
+/// `healthy` currently equals `accepting` (between Start and Stop);
+/// probes should branch on `healthy` so the meaning can widen later.
+std::string HealthResponseJson(const std::string& id_raw,
+                               const GraphCatalog& catalog,
+                               const RequestScheduler& scheduler);
 
 /// Scans `json` for `"key": ` followed by a number and returns it.
 /// Substring-based on purpose: response JSON nests (solution, stats) and

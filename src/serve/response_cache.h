@@ -1,0 +1,136 @@
+#ifndef DDSGRAPH_SERVE_RESPONSE_CACHE_H_
+#define DDSGRAPH_SERVE_RESPONSE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dds/engine.h"
+#include "dds/result.h"
+
+/// \file
+/// The serving daemon's version-keyed response cache (DESIGN.md §15).
+///
+/// A `ResponseCache` memoizes whole `DdsSolution`s keyed on the triple
+/// (graph name, entry `version()`, canonicalized request). The version is
+/// the dynamic subsystem's applied-batch counter (stream/dynamic_digraph.h),
+/// so the key *is* the invalidation contract: any `update` bumps the
+/// version and every prior entry for that graph becomes unreachable — a
+/// hit can only return a solution that was solved on the exact logical
+/// graph the requester would solve on, which is what makes hits
+/// bit-identical to the direct solve they memoize. Explicit invalidation
+/// (`InvalidateGraph`, called by the serve layer on `update`) and the
+/// insert-time prune of dead versions only reclaim the bytes; they are
+/// not needed for correctness.
+///
+/// Bounded LRU under a byte budget: every entry is charged its key plus
+/// the approximate heap footprint of its solution (vertex lists dominate),
+/// and inserts evict from the cold end until the budget holds. Counters
+/// (hits / misses / evictions / invalidations, live entries / bytes) feed
+/// the wire `server_stats` verb.
+///
+/// Thread-safe: one internal mutex, every operation O(1) amortized except
+/// the per-graph sweeps (bounded by live entries). Callers (the
+/// RequestScheduler) may hold their own locks around calls — the cache
+/// never calls out.
+
+namespace ddsgraph {
+
+/// Canonical textual form of everything in `request` that can influence
+/// the *solution* (not the trajectory counters): the algorithm plus the
+/// option group that algorithm consumes, plus the thread count (exact
+/// solves may legitimately report a different equal-density witness at
+/// different thread counts, so thread counts never share entries).
+/// Deliberately excludes `deadline_seconds` and `progress`: requests
+/// carrying either are not cachable at all (an interrupted solve is
+/// admission-time-dependent, not a function of the key) — the scheduler
+/// bypasses the cache for them rather than widening the key.
+std::string CanonicalRequestKey(const DdsRequest& request);
+
+/// True when `request` may be served from / inserted into the cache:
+/// no deadline and no progress callback (see CanonicalRequestKey).
+bool IsCachableRequest(const DdsRequest& request);
+
+/// Approximate heap footprint of a solution for the byte budget: the
+/// S/T vertex vectors plus the fixed struct size. network_sizes traces
+/// are counted too (record_network_sizes solves are cachable).
+size_t ApproxSolutionBytes(const DdsSolution& solution);
+
+struct ResponseCacheOptions {
+  /// Byte budget across all entries; inserts evict LRU entries to hold
+  /// it. An entry larger than the whole budget is not inserted.
+  size_t max_bytes = 8u << 20;
+};
+
+/// Monotone counters plus the live footprint, readable at any time.
+struct ResponseCacheCounters {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;      ///< entries dropped by the byte budget
+  int64_t invalidations = 0;  ///< entries dropped as version-stale
+  int64_t entries = 0;        ///< live entries right now
+  int64_t bytes = 0;          ///< live charged bytes right now
+};
+
+class ResponseCache {
+ public:
+  explicit ResponseCache(ResponseCacheOptions options);
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// Returns a copy of the memoized solution for the exact triple, or
+  /// nullopt. Counts one hit or one miss; a hit refreshes LRU recency.
+  std::optional<DdsSolution> Lookup(const std::string& graph,
+                                    int64_t version,
+                                    const std::string& request_key);
+
+  /// Memoizes `solution` under the triple. Re-inserting an existing key
+  /// refreshes recency and keeps the first value (deterministic solvers
+  /// make the two identical). Inserting also drops every entry for
+  /// `graph` under an *older* version — a new version reaching the
+  /// cache proves the older ones are dead (counted as invalidations) —
+  /// then evicts LRU entries until the byte budget holds.
+  void Insert(const std::string& graph, int64_t version,
+              const std::string& request_key, const DdsSolution& solution);
+
+  /// Drops every entry for `graph`, any version (the serve layer calls
+  /// this on `update`). Returns the number dropped; counts them as
+  /// invalidations.
+  int64_t InvalidateGraph(const std::string& graph);
+
+  ResponseCacheCounters Counters() const;
+  size_t max_bytes() const { return options_.max_bytes; }
+
+ private:
+  struct Entry {
+    std::string key;    ///< composite map key
+    std::string graph;  ///< graph component, for per-graph sweeps
+    int64_t version = 0;
+    DdsSolution solution;
+    size_t bytes = 0;
+  };
+  using Lru = std::list<Entry>;
+
+  static std::string CompositeKey(const std::string& graph, int64_t version,
+                                  const std::string& request_key);
+  /// Drops entries of `graph` whose version is < `older_than`
+  /// (pass INT64_MAX for all versions). Requires mu_ held.
+  int64_t InvalidateLocked(const std::string& graph, int64_t older_than);
+
+  const ResponseCacheOptions options_;
+  mutable std::mutex mu_;
+  Lru lru_;  ///< front = most recently used; guarded by mu_
+  std::unordered_map<std::string, Lru::iterator> index_;  ///< guarded by mu_
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t invalidations_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_SERVE_RESPONSE_CACHE_H_

@@ -100,6 +100,11 @@ void DdsServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         conn, ServerStatsResponseJson(wire.id_raw, *catalog_, scheduler_));
     return;
   }
+  if (wire.op == "health") {
+    WriteResponse(conn,
+                  HealthResponseJson(wire.id_raw, *catalog_, scheduler_));
+    return;
+  }
   if (wire.op == "update") {
     HandleUpdate(conn, wire);
     return;
@@ -187,6 +192,12 @@ void DdsServer::HandleUpdate(const std::shared_ptr<Connection>& conn,
     WriteResponse(conn, ErrorResponseJson(wire.id_raw, applied.status()));
     return;
   }
+  // Reclaim the graph's cached responses before the client sees the ack:
+  // the version key already makes stale entries unreachable, but an
+  // acked update is the natural point to return their bytes. Ordering
+  // (invalidate before WriteResponse) keeps the no-stale-after-ack
+  // argument entirely on the version bump inside ApplyEdgeBatch.
+  scheduler_.InvalidateGraph(wire.graph);
   WriteResponse(conn, UpdateResponseJson(wire, applied.value()));
 }
 

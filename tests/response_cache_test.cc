@@ -1,0 +1,188 @@
+// Unit coverage for the serve-layer response cache (DESIGN.md §15):
+// canonical request keys, the cachability rule, the LRU byte budget,
+// and the two invalidation paths (insert-time prune of older versions,
+// explicit per-graph drop).
+
+#include "serve/response_cache.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dds/engine.h"
+
+namespace ddsgraph {
+namespace {
+
+DdsSolution MakeSolution(double density, size_t side = 4) {
+  DdsSolution solution;
+  solution.density = density;
+  solution.lower_bound = density;
+  solution.upper_bound = density;
+  for (size_t i = 0; i < side; ++i) {
+    solution.pair.s.push_back(static_cast<VertexId>(i));
+    solution.pair.t.push_back(static_cast<VertexId>(i + side));
+  }
+  solution.pair.s.shrink_to_fit();
+  solution.pair.t.shrink_to_fit();
+  return solution;
+}
+
+TEST(ResponseCacheTest, CanonicalKeyCoversConsumedOptionsOnly) {
+  DdsRequest a;
+  a.algorithm = DdsAlgorithm::kCoreExact;
+  DdsRequest b = a;
+  EXPECT_EQ(CanonicalRequestKey(a), CanonicalRequestKey(b));
+
+  // Options the algorithm consumes split the key...
+  b.threads = 2;
+  EXPECT_NE(CanonicalRequestKey(a), CanonicalRequestKey(b));
+  b = a;
+  b.exact.core_pruning = false;
+  EXPECT_NE(CanonicalRequestKey(a), CanonicalRequestKey(b));
+  b = a;
+  b.algorithm = DdsAlgorithm::kPeelApprox;
+  EXPECT_NE(CanonicalRequestKey(a), CanonicalRequestKey(b));
+
+  // ...options it ignores do not: peel epsilon is dead weight on an
+  // exact request, so both requests would solve identically.
+  b = a;
+  b.peel.epsilon = 0.5;
+  EXPECT_EQ(CanonicalRequestKey(a), CanonicalRequestKey(b));
+
+  // Epsilons do split the approximations.
+  DdsRequest p;
+  p.algorithm = DdsAlgorithm::kPeelApprox;
+  DdsRequest q = p;
+  q.peel.epsilon = 0.2;
+  EXPECT_NE(CanonicalRequestKey(p), CanonicalRequestKey(q));
+
+  // kFlowExact overlays its defining preset on ExactOptions, so a flag
+  // the preset overrides cannot split the key — both requests run the
+  // same solve (ExactPresetFor forces divide_and_conquer off).
+  DdsRequest f;
+  f.algorithm = DdsAlgorithm::kFlowExact;
+  DdsRequest g = f;
+  g.exact.divide_and_conquer = !f.exact.divide_and_conquer;
+  EXPECT_EQ(CanonicalRequestKey(f), CanonicalRequestKey(g));
+}
+
+TEST(ResponseCacheTest, CachabilityExcludesDeadlinesAndProgress) {
+  DdsRequest request;
+  EXPECT_TRUE(IsCachableRequest(request));
+  request.deadline_seconds = 5.0;
+  EXPECT_FALSE(IsCachableRequest(request));
+  request = DdsRequest{};
+  request.progress = [](const DdsProgress&) { return true; };
+  EXPECT_FALSE(IsCachableRequest(request));
+}
+
+TEST(ResponseCacheTest, HitsMissesAndLruRecency) {
+  ResponseCache cache(ResponseCacheOptions{1u << 20});
+  const DdsSolution solution = MakeSolution(2.5);
+  EXPECT_FALSE(cache.Lookup("g", 0, "k1").has_value());
+  cache.Insert("g", 0, "k1", solution);
+
+  const auto hit = cache.Lookup("g", 0, "k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->density, 2.5);
+  EXPECT_EQ(hit->pair.s, solution.pair.s);
+  EXPECT_EQ(hit->pair.t, solution.pair.t);
+
+  // Every key component isolates: other request, version, or graph miss.
+  EXPECT_FALSE(cache.Lookup("g", 0, "k2").has_value());
+  EXPECT_FALSE(cache.Lookup("g", 1, "k1").has_value());
+  EXPECT_FALSE(cache.Lookup("h", 0, "k1").has_value());
+
+  const ResponseCacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 4);
+  EXPECT_EQ(counters.entries, 1);
+  EXPECT_GT(counters.bytes, 0);
+}
+
+TEST(ResponseCacheTest, ByteBudgetEvictsColdestFirst) {
+  const DdsSolution solution = MakeSolution(1.0);
+  // Keys "ka"/"kb"/"kc" are the same length, so all entries charge the
+  // same bytes; budget exactly two of them.
+  const size_t entry_bytes = std::string("g\x1f") // graph + separator
+                                 .size() +
+                             std::string("0\x1f" "ka").size() +
+                             ApproxSolutionBytes(solution);
+  ResponseCache cache(ResponseCacheOptions{2 * entry_bytes});
+  cache.Insert("g", 0, "ka", solution);
+  cache.Insert("g", 0, "kb", solution);
+  EXPECT_EQ(cache.Counters().entries, 2);
+
+  // Touch "ka" so "kb" is the LRU tail, then force an eviction.
+  EXPECT_TRUE(cache.Lookup("g", 0, "ka").has_value());
+  cache.Insert("g", 0, "kc", solution);
+  EXPECT_TRUE(cache.Lookup("g", 0, "ka").has_value());
+  EXPECT_FALSE(cache.Lookup("g", 0, "kb").has_value());
+  EXPECT_TRUE(cache.Lookup("g", 0, "kc").has_value());
+  const ResponseCacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.evictions, 1);
+  EXPECT_EQ(counters.entries, 2);
+  EXPECT_LE(static_cast<size_t>(counters.bytes), 2 * entry_bytes);
+}
+
+TEST(ResponseCacheTest, OversizedEntryIsNotInserted) {
+  const DdsSolution big = MakeSolution(1.0, /*side=*/256);
+  ResponseCache cache(ResponseCacheOptions{ApproxSolutionBytes(big) / 2});
+  cache.Insert("g", 0, "k", big);
+  EXPECT_EQ(cache.Counters().entries, 0);
+  EXPECT_FALSE(cache.Lookup("g", 0, "k").has_value());
+}
+
+TEST(ResponseCacheTest, InsertPrunesOlderVersionsButNeverNewer) {
+  ResponseCache cache(ResponseCacheOptions{1u << 20});
+  cache.Insert("g", 0, "k1", MakeSolution(1.0));
+  cache.Insert("g", 0, "k2", MakeSolution(1.5));
+  cache.Insert("h", 0, "k1", MakeSolution(3.0));
+
+  // Version 1 arriving drops both version-0 entries of "g" only.
+  cache.Insert("g", 1, "k1", MakeSolution(2.0));
+  EXPECT_FALSE(cache.Lookup("g", 0, "k1").has_value());
+  EXPECT_FALSE(cache.Lookup("g", 0, "k2").has_value());
+  EXPECT_TRUE(cache.Lookup("g", 1, "k1").has_value());
+  EXPECT_TRUE(cache.Lookup("h", 0, "k1").has_value());
+  EXPECT_EQ(cache.Counters().invalidations, 2);
+
+  // A late insert from a solve that raced an update (older version)
+  // must not wipe the newer entry.
+  cache.Insert("g", 0, "k1", MakeSolution(1.0));
+  EXPECT_TRUE(cache.Lookup("g", 1, "k1").has_value());
+}
+
+TEST(ResponseCacheTest, InvalidateGraphDropsAllItsVersions) {
+  ResponseCache cache(ResponseCacheOptions{1u << 20});
+  // Newer first, then a late older insert: the only order under which
+  // two versions of one graph coexist (insert-time pruning only runs
+  // against *older* entries).
+  cache.Insert("g", 1, "k1", MakeSolution(2.0));
+  cache.Insert("g", 0, "k1", MakeSolution(1.0));
+  cache.Insert("h", 0, "k1", MakeSolution(3.0));
+  EXPECT_EQ(cache.InvalidateGraph("g"), 2);
+  EXPECT_EQ(cache.InvalidateGraph("g"), 0);  // idempotent
+  EXPECT_FALSE(cache.Lookup("g", 1, "k1").has_value());
+  EXPECT_FALSE(cache.Lookup("g", 0, "k1").has_value());
+  EXPECT_TRUE(cache.Lookup("h", 0, "k1").has_value());
+  const ResponseCacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.invalidations, 2);  // both explicit
+  EXPECT_EQ(counters.entries, 1);
+}
+
+TEST(ResponseCacheTest, ReinsertKeepsTheIncumbentValue) {
+  ResponseCache cache(ResponseCacheOptions{1u << 20});
+  cache.Insert("g", 0, "k", MakeSolution(1.0));
+  // Racing duplicate solves insert identical values; first-wins makes
+  // that visible as a no-op.
+  cache.Insert("g", 0, "k", MakeSolution(9.0));
+  const auto hit = cache.Lookup("g", 0, "k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->density, 1.0);
+  EXPECT_EQ(cache.Counters().entries, 1);
+}
+
+}  // namespace
+}  // namespace ddsgraph

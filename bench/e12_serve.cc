@@ -49,6 +49,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <iostream>
 #include <numeric>
@@ -294,6 +295,77 @@ void RunRepeatedUpdater(int port,
   }
 }
 
+// ---- the restart (self-healing) phase -----------------------------------
+
+// What one self-healing client records across the restart.
+struct RetryLog {
+  int verified = 0;
+  int64_t reconnects = 0;
+  int64_t retries = 0;
+  bool failed = false;
+  std::string error;
+};
+
+// A closed-loop client built on CallRetrying. At its midpoint it parks on
+// the barrier until the main thread has bounced the server, so every
+// client's second half provably crosses the restart — the reconnect count
+// per client must come out >= 1, and every response (both halves) is
+// still bit-checked against the direct engine.
+void RunRetryingClient(int port, const std::vector<MixItem>& mix,
+                       int requests, double zipf_s, uint64_t seed,
+                       std::atomic<int>* at_midpoint,
+                       const std::atomic<bool>* restarted, RetryLog* log) {
+  ServeClientOptions retry_options;
+  retry_options.read_timeout_s = 30;
+  retry_options.max_attempts = 12;
+  retry_options.backoff_initial_ms = 5;
+  retry_options.backoff_max_ms = 250;
+  retry_options.jitter_seed = seed;
+  ServeClient client(retry_options);
+  const Status connected = client.Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    log->failed = true;
+    log->error = "connect: " + connected.ToString();
+    return;
+  }
+  ZipfGenerator zipf(static_cast<int64_t>(mix.size()), zipf_s, seed);
+  for (int r = 0; r < requests; ++r) {
+    if (r == requests / 2) {
+      at_midpoint->fetch_add(1, std::memory_order_acq_rel);
+      while (!restarted->load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    const MixItem& item = mix[static_cast<size_t>(zipf.Next())];
+    const Result<std::string> response =
+        client.CallRetrying(item.request_json);
+    if (!response.ok()) {
+      log->failed = true;
+      log->error = item.graph + "/" + item.algo + ": " +
+                   response.status().ToString();
+      return;
+    }
+    const std::string& json = response.value();
+    if (FindJsonString(json, "status").value_or("") != "ok") {
+      log->failed = true;
+      log->error = item.graph + "/" + item.algo + ": " + json;
+      return;
+    }
+    const Result<std::string> slice = SolutionSliceForCompare(json);
+    if (!slice.ok() || slice.value() != item.expected_slice) {
+      log->failed = true;
+      log->error = "DIVERGENCE after restart on " + item.graph + "/" +
+                   item.algo + "\n  expected: " + item.expected_slice +
+                   "\n  served:   " +
+                   (slice.ok() ? slice.value() : slice.status().ToString());
+      return;
+    }
+    ++log->verified;
+  }
+  log->reconnects = client.reconnects();
+  log->retries = client.retries();
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -324,6 +396,10 @@ int Main(int argc, char** argv) {
       "updates", 6, "scripted edge batches the repeated phase interleaves");
   int64_t* cache_mb = flags.Int64(
       "cache_mb", 8, "response-cache budget (MiB) in the repeated phase");
+  bool* restart_mid_run = flags.Bool(
+      "restart_mid_run", false,
+      "run the crash-recovery phase: kill and restart the server on the "
+      "same port while self-healing clients are mid-run (DESIGN.md §16)");
   flags.ParseOrDie(argc, argv);
 
   PrintBanner("E12", "serving daemon under closed-loop Zipfian load");
@@ -696,6 +772,88 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // ---- the restart phase (--restart_mid_run) ----------------------------
+  // Self-healing clients ride CallRetrying through a real server bounce:
+  // the server is stopped and a fresh instance started on the SAME port
+  // while every client is parked at its midpoint, so each one's second
+  // half must reconnect. 100% of responses (before and after) are
+  // bit-verified; any retry exhaustion or divergence fails the run.
+  int rs_clients = 0, rs_verified = 0;
+  int64_t rs_reconnects = 0, rs_retries = 0;
+  double rs_seconds = 0;
+  if (*restart_mid_run) {
+    rs_clients = *quick ? 2 : 4;
+    const int rs_requests = *quick ? 8 : 32;
+    ServerOptions options3;
+    options3.port = 0;
+    options3.scheduler.workers = static_cast<int>(*workers);
+    options3.scheduler.queue_capacity = static_cast<int>(*queue_capacity);
+    auto server3 = std::make_unique<DdsServer>(&catalog, options3);
+    const Result<int> started3 = server3->Start();
+    CHECK(started3.ok()) << started3.status().ToString();
+    const int port3 = started3.value();
+    std::printf("\nrestart phase on 127.0.0.1:%d — %d self-healing clients "
+                "x %d requests, server bounced at the midpoint\n",
+                port3, rs_clients, rs_requests);
+
+    std::atomic<int> at_midpoint{0};
+    std::atomic<bool> restarted{false};
+    std::vector<RetryLog> retry_logs(static_cast<size_t>(rs_clients));
+    WallTimer rs_wall;
+    std::vector<std::thread> rs_threads;
+    rs_threads.reserve(static_cast<size_t>(rs_clients));
+    for (int c = 0; c < rs_clients; ++c) {
+      const uint64_t client_seed = static_cast<uint64_t>(*seed) + 31337 +
+                                   static_cast<uint64_t>(211 * c);
+      rs_threads.emplace_back(RunRetryingClient, port3, std::cref(mix),
+                              rs_requests, *zipf_s, client_seed,
+                              &at_midpoint, &restarted,
+                              &retry_logs[static_cast<size_t>(c)]);
+    }
+    while (at_midpoint.load(std::memory_order_acquire) < rs_clients) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server3->Stop();
+    server3.reset();
+    // Rebind the SAME port. The dead server's socket can linger briefly,
+    // so the bind is retried rather than assumed.
+    ServerOptions options4 = options3;
+    options4.port = port3;
+    Result<int> restarted_port = Status::Unavailable("not yet restarted");
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      server3 = std::make_unique<DdsServer>(&catalog, options4);
+      restarted_port = server3->Start();
+      if (restarted_port.ok()) break;
+      server3.reset();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    CHECK(restarted_port.ok())
+        << "could not rebind port " << port3 << ": "
+        << restarted_port.status().ToString();
+    restarted.store(true, std::memory_order_release);
+    for (std::thread& t : rs_threads) t.join();
+    rs_seconds = rs_wall.Seconds();
+    server3->Stop();
+
+    for (const RetryLog& log : retry_logs) {
+      if (log.failed) {
+        std::fprintf(stderr, "E12 restart phase FAILED: %s\n",
+                     log.error.c_str());
+        return 1;
+      }
+      CHECK(log.reconnects >= 1)
+          << "a client crossed the restart without reconnecting";
+      rs_verified += log.verified;
+      rs_reconnects += log.reconnects;
+      rs_retries += log.retries;
+    }
+    CHECK(rs_verified == rs_clients * rs_requests);
+    std::printf("restart phase: all %d responses bit-verified across the "
+                "bounce (%lld reconnects, %lld retries)\n",
+                rs_verified, static_cast<long long>(rs_reconnects),
+                static_cast<long long>(rs_retries));
+  }
+
   if (!json_out->empty()) {
     std::ostringstream out;
     out << "{\n  \"experiment\": \"e12_serve\",\n";
@@ -749,8 +907,15 @@ int Main(int argc, char** argv) {
         << ", \"scheduler_coalesced\": " << FormatDouble(stat_coalesced, 0)
         << ", \"batches\": " << FormatDouble(stat_batches, 0)
         << ", \"batched\": " << FormatDouble(stat_batched, 0)
-        << ",\n    \"verified\": " << rep_total << ", \"stale\": 0}\n";
-    out << "}\n";
+        << ",\n    \"verified\": " << rep_total << ", \"stale\": 0}";
+    if (*restart_mid_run) {
+      out << ",\n  \"restart\": {\"clients\": " << rs_clients
+          << ", \"verified\": " << rs_verified
+          << ", \"reconnects\": " << rs_reconnects
+          << ", \"retries\": " << rs_retries
+          << ", \"seconds\": " << FormatDouble(rs_seconds, 4) << "}";
+    }
+    out << "\n}\n";
     std::ofstream file(*json_out);
     file << out.str();
     if (!file) {

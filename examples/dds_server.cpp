@@ -56,6 +56,20 @@
 //                           "accepting": true, "num_graphs": 3,
 //                           "queued": 0} — probes branch on `healthy`
 //
+// ## Durability (--data_dir, DESIGN.md §16)
+//
+//   ./build/dds_server --generate_demo --data_dir /var/lib/dds
+//
+// With --data_dir every graph gets a write-ahead log and a snapshot
+// under the directory: each acked `update` is appended (and, under the
+// default --fsync always, fsynced) to `<name>.wal` *before* the ack is
+// written, and the log folds into `<name>.snap` when it outgrows
+// --wal_checkpoint_mb. On startup the daemon first rebuilds every graph
+// found in the directory (snapshot + WAL tail replay; a torn final
+// record is truncated, never fatal) and only then loads --graphs specs
+// whose names were not recovered. --fsync interval/never trade the
+// ack-implies-durable guarantee for throughput.
+//
 // Ctrl-C (or --max_seconds for scripted runs) triggers a drain shutdown:
 // no new requests are admitted, every admitted request still gets its
 // response, then the process exits.
@@ -113,9 +127,85 @@ int main(int argc, char** argv) {
       "max_seconds", 0,
       "exit (with a drain shutdown) after this many seconds; 0 = serve "
       "until SIGINT/SIGTERM. Used by the ctest smoke run");
+  std::string* data_dir = flags.String(
+      "data_dir", "",
+      "durability directory: one `<name>.wal` + `<name>.snap` pair per "
+      "graph; acked updates are logged before the ack and graphs found "
+      "here are recovered on startup. Empty = in-memory only");
+  std::string* fsync = flags.String(
+      "fsync", "always",
+      "WAL fsync policy: `always` (ack implies durable), `interval` "
+      "(group fsync, bounded loss window), `never` (page cache only)");
+  double* fsync_interval_ms = flags.Double(
+      "fsync_interval_ms", 50,
+      "max un-fsynced age of an acked record under --fsync interval");
+  int64_t* wal_checkpoint_mb = flags.Int64(
+      "wal_checkpoint_mb", 64,
+      "fold a graph's WAL into a fresh snapshot when it exceeds this "
+      "many MiB; 0 disables automatic checkpoints");
+  double* update_timeout_ms = flags.Double(
+      "update_timeout_ms", 5000,
+      "max time an `update` waits for a graph busy with a long solve or "
+      "compaction before answering retryable UNAVAILABLE; 0 waits "
+      "forever");
+  std::string* failpoints = flags.String(
+      "failpoints", "",
+      "arm deterministic failpoints, e.g. `wal:after_append=abort` or "
+      "`serve:reject=error@3` (comma-separated; crash-test harness "
+      "only)");
   flags.ParseOrDie(argc, argv);
 
+  if (!failpoints->empty()) {
+    const Status armed = Failpoints::ActivateFromSpec(*failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n",
+                   armed.ToString().c_str());
+      return 1;
+    }
+  }
+
   GraphCatalog catalog;
+  std::vector<std::string> recovered;
+  if (!data_dir->empty()) {
+    PersistOptions persist;
+    persist.data_dir = *data_dir;
+    const Result<FsyncPolicy> policy = ParseFsyncPolicy(*fsync);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "bad --fsync: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    persist.wal.fsync = policy.value();
+    persist.wal.fsync_interval_s = *fsync_interval_ms / 1e3;
+    persist.checkpoint_bytes = *wal_checkpoint_mb << 20;
+    const Status enabled = catalog.EnablePersistence(persist);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "failed to open --data_dir '%s': %s\n",
+                   data_dir->c_str(), enabled.ToString().c_str());
+      return 1;
+    }
+    // Recovery before loading: a crash-interrupted run's state (snapshot
+    // + replayed WAL tail) wins over re-reading the original input file,
+    // which would silently discard every acked update.
+    const Status recovered_ok = catalog.RecoverAll(&recovered);
+    if (!recovered_ok.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered_ok.ToString().c_str());
+      return 1;
+    }
+    for (const std::string& name : recovered) {
+      const CatalogEntry* entry = catalog.Find(name);
+      std::printf("recovered: %-16s v%lld from %s\n", name.c_str(),
+                  static_cast<long long>(entry->version()),
+                  data_dir->c_str());
+    }
+  }
+  const auto was_recovered = [&recovered](const std::string& name) {
+    for (const std::string& r : recovered) {
+      if (r == name) return true;
+    }
+    return false;
+  };
   if (!graphs->empty()) {
     // Parse "name=path[:weighted]" specs.
     std::string spec;
@@ -146,6 +236,10 @@ int main(int argc, char** argv) {
         weighted = true;
         path.resize(path.size() - suffix.size());
       }
+      // Already rebuilt from its snapshot + WAL: the durable state is
+      // strictly newer than the input file (it has the acked updates),
+      // so the file must not overwrite it.
+      if (was_recovered(name)) continue;
       // The shared loader's Status names the offending file — surface it
       // verbatim (same path dds_tool takes).
       const Status loaded = catalog.LoadGraph(name, path, weighted);
@@ -162,11 +256,18 @@ int main(int argc, char** argv) {
                    "no --graphs given; serving the synthetic demo catalog "
                    "(pass --graphs name=path to serve real data)\n");
     }
-    (void)catalog.AddGraph("demo-rmat", RmatDigraph(10, 8000, 7));
-    (void)catalog.AddGraph("demo-uniform", UniformDigraph(600, 5000, 11));
-    (void)catalog.AddWeightedGraph(
-        "demo-weighted",
-        UniformWeightedDigraph(400, 3000, 13, WeightOptions{}));
+    if (!was_recovered("demo-rmat")) {
+      (void)catalog.AddGraph("demo-rmat", RmatDigraph(10, 8000, 7));
+    }
+    if (!was_recovered("demo-uniform")) {
+      (void)catalog.AddGraph("demo-uniform",
+                             UniformDigraph(600, 5000, 11));
+    }
+    if (!was_recovered("demo-weighted")) {
+      (void)catalog.AddWeightedGraph(
+          "demo-weighted",
+          UniformWeightedDigraph(400, 3000, 13, WeightOptions{}));
+    }
   }
 
   for (const CatalogEntry* entry : catalog.Entries()) {
@@ -183,6 +284,7 @@ int main(int argc, char** argv) {
   options.scheduler.queue_capacity = static_cast<int>(*queue_capacity);
   options.scheduler.cache_bytes = static_cast<size_t>(*cache_mb) << 20;
   options.scheduler.batch_max = static_cast<int>(*batch_max);
+  options.update_timeout_s = *update_timeout_ms / 1e3;
   DdsServer server(&catalog, options);
   const Result<int> started = server.Start();
   if (!started.ok()) {
@@ -191,11 +293,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("dds_server listening on %s:%d (%d workers, queue %d, "
-              "cache %lld MiB, batch %d)\n",
+              "cache %lld MiB, batch %d, durability %s)\n",
               host->c_str(), started.value(), static_cast<int>(*workers),
               static_cast<int>(*queue_capacity),
               static_cast<long long>(*cache_mb),
-              static_cast<int>(*batch_max));
+              static_cast<int>(*batch_max),
+              catalog.persistent() ? fsync->c_str() : "off");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

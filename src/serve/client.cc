@@ -1,14 +1,31 @@
 #include "serve/client.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "serve/protocol.h"
 
 namespace ddsgraph {
 
-Status ServeClient::Connect(const std::string& host, int port) {
-  Result<UniqueSocket> sock = TcpConnect(host, port);
+Status ServeClient::ConnectInternal() {
+  Result<UniqueSocket> sock =
+      TcpConnect(host_, port_, options_.connect_timeout_s);
   if (!sock.ok()) return sock.status();
   socket_ = std::move(sock).value();
+  if (options_.read_timeout_s > 0) {
+    RETURN_IF_ERROR(
+        SetRecvTimeout(socket_.fd(), options_.read_timeout_s));
+  }
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
   return Status::Ok();
+}
+
+Status ServeClient::Connect(const std::string& host, int port) {
+  host_ = host;
+  port_ = port;
+  return ConnectInternal();
 }
 
 Result<std::string> ServeClient::Call(const std::string& request_json) {
@@ -24,6 +41,66 @@ Result<std::string> ServeClient::Call(const std::string& request_json) {
         "server closed the connection before responding");
   }
   return response;
+}
+
+void ServeClient::Backoff(int attempt) {
+  double delay_ms = options_.backoff_initial_ms;
+  for (int k = 0; k < attempt && delay_ms < options_.backoff_max_ms; ++k) {
+    delay_ms *= 2;
+  }
+  if (delay_ms > options_.backoff_max_ms) delay_ms = options_.backoff_max_ms;
+  // Jitter in [0.5, 1): a restarted server is greeted by a spread-out
+  // trickle of reconnects, not a synchronized thundering herd.
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  delay_ms *= jitter(rng_);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+Result<std::string> ServeClient::CallRetrying(
+    const std::string& request_json) {
+  Status last = Status::Unavailable("no attempts made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      Backoff(attempt - 1);
+    }
+    if (!socket_.valid()) {
+      if (host_.empty()) {
+        return Status::Unavailable("client was never connected");
+      }
+      const Status connected = ConnectInternal();
+      if (!connected.ok()) {
+        last = connected;
+        continue;
+      }
+    }
+    Result<std::string> response = Call(request_json);
+    if (!response.ok()) {
+      // Transport failure mid-call: the stream state is unknowable, so
+      // the connection is dropped and rebuilt on the next attempt.
+      last = response.status();
+      Close();
+      continue;
+    }
+    // A well-formed error response with code UNAVAILABLE is the server
+    // saying "not now" (queue full, entry busy, draining) — the one
+    // response class the protocol documents as retry-with-jitter.
+    const std::optional<std::string> status =
+        FindJsonString(response.value(), "status");
+    if (status.has_value() && *status == "error") {
+      const std::optional<std::string> code =
+          FindJsonString(response.value(), "code");
+      if (code.has_value() && *code == "UNAVAILABLE") {
+        const std::optional<std::string> message =
+            FindJsonString(response.value(), "message");
+        last = Status::Unavailable(message.value_or("server unavailable"));
+        continue;
+      }
+    }
+    return response;
+  }
+  return last;
 }
 
 }  // namespace ddsgraph

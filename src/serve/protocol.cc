@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
+#include <vector>
 
 #include "dds/solver.h"
 #include "util/table.h"
@@ -476,16 +477,39 @@ std::string HealthResponseJson(const std::string& id_raw,
                                const RequestScheduler& scheduler) {
   // "healthy" is the liveness summary a probe branches on; the rest is
   // the minimum context to debug an unhealthy report. Deliberately
-  // cheap: no per-entry locks, no cache sweep — safe to poll hot.
+  // cheap: no per-entry locks, no cache sweep — every signal below is an
+  // atomic counter read, so the verb stays safe to poll hot.
   const bool accepting = scheduler.accepting();
+  const int64_t queued = scheduler.queued();
+  const int64_t capacity = scheduler.queue_capacity();
+  const int64_t wal_errors = catalog.wal_sync_errors();
+  const ResponseCacheCounters cache = scheduler.cache_counters();
+  std::vector<std::string> reasons;
+  if (!accepting) reasons.push_back("not_accepting");
+  // >= 80% of capacity: report saturation *before* Submit starts
+  // rejecting, so an operator polling health gets a head start on the
+  // UNAVAILABLE wave.
+  if (queued * 5 >= capacity * 4) reasons.push_back("queue_saturated");
+  // Any failed fsync means some ack may not be durable — sticky by
+  // design; only a restart (with its recovery pass) clears it.
+  if (wal_errors > 0) reasons.push_back("wal_sync_errors");
+  if (cache.evictions > 0) reasons.push_back("cache_evicting");
+
   std::string out = "{\"id\": ";
   out += id_raw.empty() ? "null" : id_raw;
-  out += ", \"status\": \"ok\", \"op\": \"health\"";
+  out += reasons.empty() ? ", \"status\": \"ok\""
+                         : ", \"status\": \"degraded\"";
+  out += ", \"op\": \"health\"";
   out += std::string(", \"healthy\": ") + (accepting ? "true" : "false");
   out += std::string(", \"accepting\": ") + (accepting ? "true" : "false");
   out += ", \"num_graphs\": " + std::to_string(catalog.size());
-  out += ", \"queued\": " + std::to_string(scheduler.queued());
-  out += "}";
+  out += ", \"queued\": " + std::to_string(queued);
+  out += ", \"reasons\": [";
+  for (size_t i = 0; i < reasons.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + reasons[i] + "\"";
+  }
+  out += "]}";
   return out;
 }
 

@@ -148,9 +148,16 @@ std::string ServerStatsResponseJson(const std::string& id_raw,
 
 /// Serializes the response to a `health` verb:
 ///   {"id": 5, "status": "ok", "op": "health", "healthy": true,
-///    "accepting": true, "num_graphs": 3, "queued": 0}
-/// `healthy` currently equals `accepting` (between Start and Stop);
-/// probes should branch on `healthy` so the meaning can widen later.
+///    "accepting": true, "num_graphs": 3, "queued": 0, "reasons": []}
+/// `healthy` equals `accepting` (between Start and Stop) — the liveness
+/// bit a probe branches on. `status` is the *quality* summary: "ok", or
+/// "degraded" when the server is alive but struggling, with the
+/// machine-checkable causes listed in `reasons`:
+///   "queue_saturated"    admission queue at >= 80% of capacity
+///   "wal_sync_errors"    a WAL fsync has failed (ack durability at risk)
+///   "cache_evicting"     the response cache has evicted under pressure
+/// A draining server (`accepting` false) also reports "degraded" with
+/// reason "not_accepting".
 std::string HealthResponseJson(const std::string& id_raw,
                                const GraphCatalog& catalog,
                                const RequestScheduler& scheduler);

@@ -174,6 +174,11 @@ class RequestScheduler {
   int64_t batched() const;
   /// True between Start() and Stop() — the health verb's signal.
   bool accepting() const;
+  /// Admission queue capacity (immutable after construction). With
+  /// queued(), the health verb's saturation signal: queued at >= 80% of
+  /// capacity reports the server as degraded before Submit starts
+  /// rejecting outright.
+  int queue_capacity() const { return options_.queue_capacity; }
 
   /// The response cache; nullptr when `cache_bytes == 0`.
   const ResponseCache* response_cache() const { return cache_.get(); }

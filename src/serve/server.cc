@@ -4,6 +4,7 @@
 
 #include "dds/solver.h"
 #include "serve/protocol.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace ddsgraph {
@@ -110,6 +111,19 @@ void DdsServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  // Deterministic overload stand-in for the retry tests: reject solve
+  // traffic with the same UNAVAILABLE a saturated queue produces, while
+  // the introspection verbs above stay answerable (an operator can still
+  // ask a "failing" server for its health).
+  if (DDS_FAILPOINT("serve:reject")) {
+    WriteResponse(conn,
+                  ErrorResponseJson(
+                      wire.id_raw,
+                      Status::Unavailable(
+                          "injected failpoint: serve:reject")));
+    return;
+  }
+
   Result<ServeRequest> serve = ToServeRequest(wire);
   if (!serve.ok()) {
     WriteResponse(conn, ErrorResponseJson(wire.id_raw, serve.status()));
@@ -186,8 +200,12 @@ void DdsServer::HandleUpdate(const std::shared_ptr<Connection>& conn,
     WriteResponse(conn, ErrorResponseJson(wire.id_raw, batch.status()));
     return;
   }
+  // Bounded apply: the reader thread must not block indefinitely behind
+  // a long solve or compaction holding the entry lock. On timeout the
+  // client sees a retryable UNAVAILABLE and this connection keeps
+  // serving other frames.
   Result<CatalogEntry::UpdateResult> applied =
-      entry->ApplyEdgeBatch(batch.value());
+      entry->ApplyEdgeBatch(batch.value(), options_.update_timeout_s);
   if (!applied.ok()) {
     WriteResponse(conn, ErrorResponseJson(wire.id_raw, applied.status()));
     return;

@@ -46,6 +46,12 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 = pick an ephemeral port (tests, benchmarks)
   SchedulerOptions scheduler;
+  /// Bound on how long an `update` may wait for a graph's entry lock
+  /// (a long solve or compaction holds it). On expiry the client gets a
+  /// retryable UNAVAILABLE instead of wedging the reader thread — the
+  /// connection keeps serving other verbs. <= 0 waits forever (the
+  /// pre-durability behavior).
+  double update_timeout_s = 5;
 };
 
 class DdsServer {

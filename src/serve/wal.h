@@ -1,0 +1,176 @@
+#ifndef DDSGRAPH_SERVE_WAL_H_
+#define DDSGRAPH_SERVE_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "stream/edge_stream.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+/// \file
+/// Per-graph durability for the serving catalog (DESIGN.md §16): a
+/// write-ahead log of edge-op batches plus a compacted snapshot, together
+/// reconstructing a live `CatalogEntry` after a crash.
+///
+/// ## Log format
+///
+/// A log file is an 8-byte magic ("DDSWAL1\n") followed by records:
+///
+///   u32 payload_len | u32 crc32 | i64 post-apply version | payload
+///
+/// (little-endian header; the CRC covers the version bytes plus the
+/// payload). The payload is the batch in the `FormatEdgeOps` grammar of
+/// stream/edge_stream.h — the same string the wire `update` verb carries,
+/// so a log is inspectable with `strings` and replayable through the
+/// parser that already defines batch semantics. The version is the entry
+/// version *after* the batch applied; recovery CHECKs it against the
+/// replayed overlay, so a log from the wrong graph or a skipped record
+/// fails loudly instead of diverging silently.
+///
+/// Torn tails are expected, not exceptional: a crash mid-append leaves a
+/// short or CRC-broken final record. `WriteAheadLog::Open` replays the
+/// longest intact prefix and truncates the rest — by the ack ordering in
+/// `CatalogEntry::ApplyEdgeBatch` (append + fsync *before* the ack), a
+/// torn record was never acked, so truncation never loses acked state.
+///
+/// ## Fsync policy
+///
+///   * kAlways   — fsync before Append returns; an ack implies the batch
+///                 is on disk ("durable by construction").
+///   * kInterval — fsync when `fsync_interval_s` has elapsed since the
+///                 last one; bounded post-ack loss window, much cheaper.
+///   * kNever    — leave flushing to the kernel; crash-consistent (the
+///                 prefix property still holds) but an ack promises
+///                 nothing about durability.
+///
+/// ## Snapshots
+///
+/// A snapshot is the compacted graph (CSR-order edge list + version) in a
+/// text format with a CRC footer, written to `path + ".tmp"`, fsynced and
+/// atomically renamed — a reader sees the old snapshot or the new one,
+/// never a half-written file. After a successful snapshot the WAL resets;
+/// recovery is snapshot + replay of records with version > snapshot
+/// version (a crash between rename and reset leaves such stale records —
+/// they are skipped, not an error).
+
+namespace ddsgraph {
+
+/// IEEE 802.3 CRC-32 (the zlib polynomial), table-driven.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+enum class FsyncPolicy { kAlways, kInterval, kNever };
+
+/// Parses "always" / "interval" / "never" (the --fsync flag vocabulary).
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct WalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  /// kInterval only: seconds between fsyncs (the post-ack loss window).
+  double fsync_interval_s = 0.05;
+};
+
+/// One replayed log record.
+struct WalRecord {
+  int64_t version = 0;  ///< entry version after the batch applied
+  EdgeBatch batch;
+};
+
+/// What Open/ReadWal found in an existing log.
+struct WalReplay {
+  std::vector<WalRecord> records;  ///< the intact prefix, in order
+  int64_t valid_bytes = 0;         ///< byte length of that prefix
+  bool torn_tail = false;          ///< trailing bytes were discarded
+};
+
+/// The append side of one graph's log. Not thread-safe: the owning
+/// CatalogEntry serializes appends under its entry mutex, which is also
+/// what makes record order equal version order.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log at `path`, replays every intact
+  /// record into `*replay`, truncates a torn tail from the file, and
+  /// positions for append. The returned log is ready for Append.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, const WalOptions& options,
+      WalReplay* replay);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and applies the fsync policy. On any error the
+  /// record must be considered not durable — the caller must not ack.
+  Status Append(int64_t version, const EdgeBatch& batch);
+
+  /// Unconditional fsync (checkpoint path, tests).
+  Status Sync();
+
+  /// Truncates the log to empty (magic only) after a snapshot has made
+  /// its records redundant, and fsyncs the truncation.
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+  int64_t records() const { return records_; }
+  /// Current file size in bytes — the checkpoint trigger's input.
+  int64_t bytes() const { return bytes_; }
+  int64_t fsyncs() const { return fsyncs_; }
+  /// fsync/write failures observed since open. Atomic: read lock-free by
+  /// the health verb while appends run under the entry mutex.
+  int64_t sync_errors() const {
+    return sync_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  WriteAheadLog(int fd, std::string path, const WalOptions& options);
+
+  int fd_ = -1;
+  const std::string path_;
+  const WalOptions options_;
+  int64_t records_ = 0;
+  int64_t bytes_ = 0;
+  int64_t fsyncs_ = 0;
+  std::atomic<int64_t> sync_errors_{0};
+  WallTimer since_sync_;
+  bool sync_pending_ = false;  ///< kInterval: unflushed bytes exist
+};
+
+/// Read-only replay of a log file (tests, tooling). Never modifies the
+/// file; a missing file is an empty replay, not an error.
+Result<WalReplay> ReadWal(const std::string& path);
+
+/// A compacted catalog entry ready to write out or just loaded: the
+/// CSR-order edge list of exactly one flavor plus the entry version the
+/// snapshot captures.
+struct GraphSnapshot {
+  bool weighted = false;
+  int64_t version = 0;
+  uint32_t num_vertices = 0;
+  std::vector<Edge> edges;                   ///< unweighted flavor
+  std::vector<WeightedEdge> weighted_edges;  ///< weighted flavor
+  std::vector<uint64_t> labels;              ///< empty = identity
+};
+
+/// Writes the snapshot via tmp + fsync + atomic rename (see file
+/// comment). On any error the previous snapshot at `path` is intact.
+Status SaveGraphSnapshot(const std::string& path,
+                         const GraphSnapshot& snapshot);
+
+/// Loads and CRC-checks a snapshot. Unlike a WAL tail, a snapshot is
+/// never legitimately torn (the rename is atomic), so corruption is an
+/// error, not a truncation.
+Result<GraphSnapshot> LoadGraphSnapshot(const std::string& path);
+
+/// Every failpoint name wired into the WAL append / fsync / snapshot
+/// path, in code order. The crash-recovery matrix iterates this list so
+/// a newly added site is covered the moment it is named here.
+std::vector<std::string> WalFailpointNames();
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_SERVE_WAL_H_

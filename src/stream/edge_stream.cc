@@ -120,14 +120,21 @@ Result<EdgeOp> ParseOneOp(const std::string& token) {
 
 }  // namespace
 
-Result<EdgeBatch> ParseEdgeOps(const std::string& spec) {
+Result<EdgeBatch> ParseEdgeOps(const std::string& spec, bool allow_empty) {
   EdgeBatch batch;
+  // A blank spec never reaches the token loop: SplitTrim would hand it a
+  // single empty token, which reads as a stray separator rather than the
+  // deliberate empty batch an allow_empty caller round-trips.
+  if (spec.find_first_not_of(" \t\r\n") == std::string::npos) {
+    if (allow_empty) return batch;
+    return Status::InvalidArgument("edge ops string is empty");
+  }
   for (const std::string& token : SplitTrim(spec, ",;")) {
     Result<EdgeOp> op = ParseOneOp(token);
     if (!op.ok()) return op.status();
     batch.push_back(op.value());
   }
-  if (batch.empty()) {
+  if (batch.empty() && !allow_empty) {
     return Status::InvalidArgument("edge ops string is empty");
   }
   return batch;

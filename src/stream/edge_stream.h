@@ -62,8 +62,11 @@ using EdgeBatch = std::vector<EdgeOp>;
 /// `+u v [w]` (insert; w optional, default 1) or `-u v` (delete) with
 /// whitespace-separated decimal fields. Rejects malformed ops with a
 /// message naming the offending token; an empty spec is InvalidArgument
-/// (an update that does nothing is almost certainly a client bug).
-Result<EdgeBatch> ParseEdgeOps(const std::string& spec);
+/// (an update that does nothing is almost certainly a client bug) unless
+/// `allow_empty` — WAL replay (serve/wal.h) round-trips every applied
+/// batch, and a batch of nothing but no-ops formats to "".
+Result<EdgeBatch> ParseEdgeOps(const std::string& spec,
+                               bool allow_empty = false);
 
 /// Inverse of ParseEdgeOps: `"+1 2, +2 3 5, -1 2"`. Weights equal to 1
 /// are omitted (the parser's default), so Format(Parse(s)) is canonical.

@@ -1,0 +1,149 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <map>
+#include <mutex>
+
+namespace ddsgraph {
+
+namespace failpoint_internal {
+std::atomic<int64_t> g_armed{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+struct Point {
+  Failpoints::Action action = Failpoints::Action::kError;
+  int64_t fire_after = 0;   ///< evaluations that pass before firing
+  int64_t fire_times = 1;   ///< kError firings before self-disarm
+  int64_t hits = 0;         ///< evaluations since activation
+  int64_t fired = 0;        ///< times this point fired
+  bool armed = true;
+};
+
+/// Armed + historical points (a disarmed point keeps its counters so
+/// hits() stays readable after the action). Guarded by PointsMu().
+std::map<std::string, Point>& Points() {
+  static auto* points = new std::map<std::string, Point>();
+  return *points;
+}
+
+std::mutex& PointsMu() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+
+void RecountArmedLocked() {
+  int64_t armed = 0;
+  for (const auto& [name, point] : Points()) {
+    if (point.armed) ++armed;
+  }
+  failpoint_internal::g_armed.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void Failpoints::Activate(const std::string& name, Action action,
+                          int64_t fire_after, int64_t fire_times) {
+  std::lock_guard<std::mutex> lock(PointsMu());
+  Point& point = Points()[name];
+  point = Point{};
+  point.action = action;
+  point.fire_after = fire_after;
+  point.fire_times = fire_times;
+  RecountArmedLocked();
+}
+
+void Failpoints::Deactivate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(PointsMu());
+  auto it = Points().find(name);
+  if (it != Points().end()) it->second.armed = false;
+  RecountArmedLocked();
+}
+
+void Failpoints::DeactivateAll() {
+  std::lock_guard<std::mutex> lock(PointsMu());
+  for (auto& [name, point] : Points()) point.armed = false;
+  RecountArmedLocked();
+}
+
+Status Failpoints::ActivateFromSpec(const std::string& spec) {
+  // Comma-separated "name=action[@N]" terms; whitespace-free by
+  // construction (the spec travels on command lines).
+  std::string term;
+  for (size_t i = 0; i <= spec.size(); ++i) {
+    if (i < spec.size() && spec[i] != ',') {
+      term += spec[i];
+      continue;
+    }
+    if (term.empty()) continue;
+    const size_t eq = term.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint term '" + term +
+                                     "' (want name=action[@N])");
+    }
+    const std::string name = term.substr(0, eq);
+    std::string action_str = term.substr(eq + 1);
+    int64_t fire_after = 0;
+    const size_t at = action_str.find('@');
+    if (at != std::string::npos) {
+      const std::string count = action_str.substr(at + 1);
+      action_str.resize(at);
+      if (count.empty() ||
+          count.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::InvalidArgument("bad failpoint fire_after '" +
+                                       count + "' in '" + term + "'");
+      }
+      fire_after = std::stoll(count);
+    }
+    Action action;
+    if (action_str == "error") {
+      action = Action::kError;
+    } else if (action_str == "abort") {
+      action = Action::kAbort;
+    } else {
+      return Status::InvalidArgument("unknown failpoint action '" +
+                                     action_str + "' in '" + term +
+                                     "' (known: error, abort)");
+    }
+    Activate(name, action, fire_after);
+    term.clear();
+  }
+  return Status::Ok();
+}
+
+int64_t Failpoints::hits(const std::string& name) {
+  std::lock_guard<std::mutex> lock(PointsMu());
+  auto it = Points().find(name);
+  return it == Points().end() ? 0 : it->second.hits;
+}
+
+bool Failpoints::active(const std::string& name) {
+  std::lock_guard<std::mutex> lock(PointsMu());
+  auto it = Points().find(name);
+  return it != Points().end() && it->second.armed;
+}
+
+bool Failpoints::Evaluate(const char* name) {
+  std::lock_guard<std::mutex> lock(PointsMu());
+  auto it = Points().find(name);
+  if (it == Points().end() || !it->second.armed) return false;
+  Point& point = it->second;
+  ++point.hits;
+  if (point.hits <= point.fire_after) return false;
+  if (point.action == Action::kAbort) {
+    // Die without destructors, flushes or atexit handlers: everything
+    // the process had not already pushed through a syscall is lost,
+    // exactly like a SIGKILL between two instructions.
+    _exit(kAbortExitCode);
+  }
+  ++point.fired;
+  if (point.fired >= point.fire_times) {
+    point.armed = false;
+    RecountArmedLocked();
+  }
+  return true;
+}
+
+}  // namespace ddsgraph

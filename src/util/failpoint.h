@@ -1,0 +1,109 @@
+#ifndef DDSGRAPH_UTIL_FAILPOINT_H_
+#define DDSGRAPH_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Deterministic failpoint injection (DESIGN.md §16).
+///
+/// A failpoint is a named hook compiled into a production code path:
+///
+///   if (DDS_FAILPOINT("wal:before_fsync")) {
+///     return FailpointError("wal:before_fsync");
+///   }
+///
+/// Inactive (the only state outside crash tests) the macro is one relaxed
+/// atomic load of a global counter and a predicted-not-taken branch — no
+/// string hashing, no lock, no registry lookup — so the hooks can live in
+/// hot paths permanently instead of behind an #ifdef that never gets CI
+/// coverage.
+///
+/// Tests arm a failpoint by name with `Failpoints::Activate`. Two actions:
+///
+///   * kError — the macro evaluates true and the call site returns an
+///     injected Status; models an I/O error (fsync failing, a send
+///     hitting a dead peer).
+///   * kAbort — the process exits immediately via `_exit(kAbortExitCode)`:
+///     no destructors, no stream flushes, no atexit handlers. At the
+///     granularity the WAL cares about (which syscalls completed) this is
+///     indistinguishable from `kill -9` at that instruction, which is what
+///     makes in-process crash tests honest stand-ins for machine loss.
+///
+/// Determinism: `fire_after = N` makes the first N evaluations pass (hits
+/// that do nothing) and the (N+1)-th fire; `fire_times = K` disarms the
+/// point after K firings (error mode only — an abort never returns). A
+/// crash matrix walks `fire_after` to place the same crash at every
+/// occurrence of a site, and `ActivateFromSpec("wal:before_fsync=abort@2")`
+/// arms points in a child process from a flag or environment variable.
+///
+/// Thread safety: Activate/Deactivate take a mutex; Evaluate takes the
+/// same mutex only when at least one point is armed (the global counter
+/// gate), so concurrent evaluations during a test serialize but the
+/// unarmed fast path never does.
+
+namespace ddsgraph {
+
+namespace failpoint_internal {
+/// Count of currently armed failpoints; the macro's fast-path gate.
+extern std::atomic<int64_t> g_armed;
+}  // namespace failpoint_internal
+
+class Failpoints {
+ public:
+  enum class Action {
+    kError,  ///< evaluation returns true; the site injects an error
+    kAbort,  ///< _exit(kAbortExitCode) — destructor-free process death
+  };
+
+  /// The exit code kAbort dies with; crash tests assert on it to tell an
+  /// intentional failpoint death from an ordinary crash.
+  static constexpr int kAbortExitCode = 86;
+
+  /// Arms `name`. The first `fire_after` evaluations pass; then it fires
+  /// (kError: `fire_times` times, then disarms; kAbort: once, fatally).
+  /// Re-activating an armed name resets its counters.
+  static void Activate(const std::string& name, Action action,
+                       int64_t fire_after = 0, int64_t fire_times = 1);
+  static void Deactivate(const std::string& name);
+  static void DeactivateAll();
+
+  /// Arms points from a spec string: comma-separated `name=action[@N]`
+  /// terms, e.g. "wal:before_fsync=abort@2,socket:send=error". N is
+  /// fire_after (default 0). Used by dds_server --failpoints so a crash
+  /// test can arm a child process from its command line.
+  static Status ActivateFromSpec(const std::string& spec);
+
+  /// Evaluations of `name` since it was last activated (passes + fires).
+  /// 0 when the name was never activated.
+  static int64_t hits(const std::string& name);
+
+  /// True while `name` is armed (kError points disarm themselves after
+  /// `fire_times` firings).
+  static bool active(const std::string& name);
+
+  /// Slow path behind DDS_FAILPOINT; call sites use the macro.
+  static bool Evaluate(const char* name);
+};
+
+/// The canonical Status an error-mode failpoint site returns, so tests
+/// can recognize injected failures by message.
+inline Status FailpointError(const char* name) {
+  return Status::Internal(std::string("injected failpoint: ") + name);
+}
+
+/// True iff the named failpoint is armed and elected to fire here. In
+/// abort mode this call does not return.
+#define DDS_FAILPOINT(name)                                             \
+  (__builtin_expect(::ddsgraph::failpoint_internal::g_armed.load(       \
+                        std::memory_order_relaxed) != 0,                \
+                    0) &&                                               \
+   ::ddsgraph::Failpoints::Evaluate(name))
+
+}  // namespace ddsgraph
+
+#endif  // DDSGRAPH_UTIL_FAILPOINT_H_

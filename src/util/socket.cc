@@ -1,13 +1,17 @@
 #include "util/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "util/failpoint.h"
 
 namespace ddsgraph {
 namespace {
@@ -74,7 +78,8 @@ Result<UniqueSocket> TcpAccept(int listen_fd) {
   }
 }
 
-Result<UniqueSocket> TcpConnect(const std::string& host, int port) {
+Result<UniqueSocket> TcpConnect(const std::string& host, int port,
+                                double timeout_s) {
   UniqueSocket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) return Errno("socket");
   sockaddr_in addr{};
@@ -83,14 +88,77 @@ Result<UniqueSocket> TcpConnect(const std::string& host, int port) {
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return Status::InvalidArgument("not an IPv4 address: " + host);
   }
-  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    return Errno("connect " + host + ":" + std::to_string(port));
+  const std::string where = host + ":" + std::to_string(port);
+  if (timeout_s <= 0) {
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (errno == ECONNREFUSED) {
+        return Status::Unavailable("connect " + where + ": " +
+                                   std::strerror(errno));
+      }
+      return Errno("connect " + where);
+    }
+  } else {
+    // Bounded connect: flip to non-blocking, start the connect, poll for
+    // writability, read the real outcome from SO_ERROR, flip back.
+    const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+      return Errno("fcntl(O_NONBLOCK)");
+    }
+    int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      if (errno == ECONNREFUSED) {
+        return Status::Unavailable("connect " + where + ": " +
+                                   std::strerror(errno));
+      }
+      return Errno("connect " + where);
+    }
+    if (rc != 0) {
+      pollfd pfd{};
+      pfd.fd = sock.fd();
+      pfd.events = POLLOUT;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1e3));
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) return Errno("poll(connect " + where + ")");
+      if (rc == 0) {
+        return Status::Unavailable("connect " + where + " timed out after " +
+                                   std::to_string(timeout_s) + "s");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error,
+                       &len) != 0) {
+        return Errno("getsockopt(SO_ERROR)");
+      }
+      if (so_error != 0) {
+        const std::string why = std::strerror(so_error);
+        if (so_error == ECONNREFUSED || so_error == ETIMEDOUT) {
+          return Status::Unavailable("connect " + where + ": " + why);
+        }
+        return Status::Internal("connect " + where + ": " + why);
+      }
+    }
+    if (::fcntl(sock.fd(), F_SETFL, flags) != 0) {
+      return Errno("fcntl(restore flags)");
+    }
   }
   // The protocol is strict request/response; never batch tiny frames.
   const int one = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return sock;
+}
+
+Status SetRecvTimeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::Ok();
 }
 
 Status SetSendTimeout(int fd, double seconds) {
@@ -104,6 +172,11 @@ Status SetSendTimeout(int fd, double seconds) {
 }
 
 Status SendAll(int fd, const void* data, size_t size) {
+  if (DDS_FAILPOINT("socket:send")) {
+    // Crash tests stand in for a vanished peer here: the caller sees the
+    // same retryable Unavailable a real EPIPE would produce.
+    return Status::Unavailable("injected failpoint: socket:send");
+  }
   const char* p = static_cast<const char*>(data);
   size_t sent = 0;
   while (sent < size) {
@@ -136,6 +209,11 @@ Status RecvExact(int fd, char* data, size_t size, bool* eof_at_start) {
       if (errno == EINTR) continue;
       if (errno == ECONNRESET) {
         return Status::Unavailable("peer reset the connection");
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expiry (SetRecvTimeout). The stream position is
+        // now unknowable — the caller must drop the connection.
+        return Status::Unavailable("recv timed out");
       }
       return Errno("recv");
     }

@@ -65,8 +65,18 @@ Result<UniqueSocket> TcpListen(const std::string& host, int port,
 /// or closed (the server's stop path), other codes for real failures.
 Result<UniqueSocket> TcpAccept(int listen_fd);
 
-/// Connects to `host:port` (blocking).
-Result<UniqueSocket> TcpConnect(const std::string& host, int port);
+/// Connects to `host:port`. `timeout_s > 0` bounds the connect itself
+/// (non-blocking connect + poll, then back to blocking mode) and returns
+/// kUnavailable on expiry; 0 blocks until the OS gives up. A refused or
+/// timed-out connect is kUnavailable — the retryable "server is
+/// restarting" class — while bad input stays kInvalidArgument.
+Result<UniqueSocket> TcpConnect(const std::string& host, int port,
+                                double timeout_s = 0);
+
+/// Caps how long one recv may block (SO_RCVTIMEO). An expired read
+/// surfaces as kUnavailable from ReadFrame; the caller must treat the
+/// connection as dead (the stream position is unknowable mid-frame).
+Status SetRecvTimeout(int fd, double seconds);
 
 /// Writes all `size` bytes (handles short writes). kUnavailable when the
 /// peer has gone away or a send timeout (SetSendTimeout) expired.

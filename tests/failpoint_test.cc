@@ -1,0 +1,123 @@
+// Deterministic failpoint injection (util/failpoint.h, DESIGN.md §16):
+// the zero-cost-when-off gate, fire_after / fire_times arithmetic, the
+// spec grammar dds_server --failpoints speaks, and the fork-based proof
+// that abort mode dies with the sentinel exit code and no cleanup.
+
+#include "util/failpoint.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace ddsgraph {
+namespace {
+
+// Failpoints are process-global; every test leaves the registry empty so
+// suites sharing this binary never see a stray armed point.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::DeactivateAll(); }
+};
+
+TEST_F(FailpointTest, InactiveByDefault) {
+  EXPECT_FALSE(DDS_FAILPOINT("fp:never_armed"));
+  EXPECT_FALSE(Failpoints::active("fp:never_armed"));
+  // An unarmed evaluation must not even register a hit: the fast path
+  // (one relaxed load) never reaches the registry.
+  EXPECT_EQ(Failpoints::hits("fp:never_armed"), 0);
+}
+
+TEST_F(FailpointTest, ErrorFiresOnceThenDisarms) {
+  Failpoints::Activate("fp:a", Failpoints::Action::kError);
+  EXPECT_TRUE(Failpoints::active("fp:a"));
+  EXPECT_TRUE(DDS_FAILPOINT("fp:a"));
+  // fire_times defaults to 1: the point disarmed itself.
+  EXPECT_FALSE(Failpoints::active("fp:a"));
+  EXPECT_FALSE(DDS_FAILPOINT("fp:a"));
+  EXPECT_EQ(Failpoints::hits("fp:a"), 1);
+}
+
+TEST_F(FailpointTest, FireAfterSkipsTheFirstNEvaluations) {
+  Failpoints::Activate("fp:b", Failpoints::Action::kError,
+                       /*fire_after=*/2);
+  EXPECT_FALSE(DDS_FAILPOINT("fp:b"));  // pass 1
+  EXPECT_FALSE(DDS_FAILPOINT("fp:b"));  // pass 2
+  EXPECT_TRUE(DDS_FAILPOINT("fp:b"));   // fire
+  EXPECT_EQ(Failpoints::hits("fp:b"), 3);
+}
+
+TEST_F(FailpointTest, FireTimesBoundsErrorFirings) {
+  Failpoints::Activate("fp:c", Failpoints::Action::kError,
+                       /*fire_after=*/1, /*fire_times=*/2);
+  EXPECT_FALSE(DDS_FAILPOINT("fp:c"));
+  EXPECT_TRUE(DDS_FAILPOINT("fp:c"));
+  EXPECT_TRUE(DDS_FAILPOINT("fp:c"));
+  EXPECT_FALSE(DDS_FAILPOINT("fp:c"));  // exhausted → disarmed
+  EXPECT_FALSE(Failpoints::active("fp:c"));
+}
+
+TEST_F(FailpointTest, ReactivationResetsCounters) {
+  Failpoints::Activate("fp:d", Failpoints::Action::kError);
+  EXPECT_TRUE(DDS_FAILPOINT("fp:d"));
+  Failpoints::Activate("fp:d", Failpoints::Action::kError,
+                       /*fire_after=*/1);
+  EXPECT_EQ(Failpoints::hits("fp:d"), 0);
+  EXPECT_FALSE(DDS_FAILPOINT("fp:d"));
+  EXPECT_TRUE(DDS_FAILPOINT("fp:d"));
+}
+
+TEST_F(FailpointTest, DeactivateAndDeactivateAll) {
+  Failpoints::Activate("fp:e", Failpoints::Action::kError);
+  Failpoints::Activate("fp:f", Failpoints::Action::kError);
+  Failpoints::Deactivate("fp:e");
+  EXPECT_FALSE(Failpoints::active("fp:e"));
+  EXPECT_TRUE(Failpoints::active("fp:f"));
+  Failpoints::DeactivateAll();
+  EXPECT_FALSE(Failpoints::active("fp:f"));
+  EXPECT_FALSE(DDS_FAILPOINT("fp:f"));
+}
+
+TEST_F(FailpointTest, SpecGrammarArmsAndRejects) {
+  ASSERT_TRUE(
+      Failpoints::ActivateFromSpec("fp:g=error@2,fp:h=abort").ok());
+  EXPECT_TRUE(Failpoints::active("fp:g"));
+  EXPECT_TRUE(Failpoints::active("fp:h"));
+  // fire_after carried through the spec.
+  EXPECT_FALSE(DDS_FAILPOINT("fp:g"));
+  EXPECT_FALSE(DDS_FAILPOINT("fp:g"));
+  EXPECT_TRUE(DDS_FAILPOINT("fp:g"));
+  Failpoints::DeactivateAll();
+
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("no_equals").ok());
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("x=bogus").ok());
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("x=error@notanumber").ok());
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("=error").ok());
+}
+
+TEST_F(FailpointTest, FailpointErrorNamesThePoint) {
+  const Status status = FailpointError("wal:fsync_error");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("injected failpoint: wal:fsync_error"),
+            std::string::npos);
+}
+
+// The abort action must be process death at the evaluation instruction —
+// exit code kAbortExitCode, no destructors, nothing after the macro runs.
+// Forked so the death is observable from the test.
+TEST_F(FailpointTest, AbortDiesWithTheSentinelExitCode) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    Failpoints::Activate("fp:boom", Failpoints::Action::kAbort);
+    (void)DDS_FAILPOINT("fp:boom");  // does not return
+    _exit(1);                        // reached = the abort failed
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), Failpoints::kAbortExitCode);
+}
+
+}  // namespace
+}  // namespace ddsgraph

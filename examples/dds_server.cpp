@@ -256,17 +256,29 @@ int main(int argc, char** argv) {
                    "no --graphs given; serving the synthetic demo catalog "
                    "(pass --graphs name=path to serve real data)\n");
     }
+    // Demo attach can fail for real reasons (durable attach hits a WAL
+    // error in --data_dir); a silently thinner catalog would mask that,
+    // so every failure is reported even though the server still starts.
+    const auto add_demo = [&](const char* name, const Status& added) {
+      if (!added.ok()) {
+        std::fprintf(stderr, "failed to add demo graph '%s': %s\n", name,
+                     added.ToString().c_str());
+      }
+    };
     if (!was_recovered("demo-rmat")) {
-      (void)catalog.AddGraph("demo-rmat", RmatDigraph(10, 8000, 7));
+      add_demo("demo-rmat",
+               catalog.AddGraph("demo-rmat", RmatDigraph(10, 8000, 7)));
     }
     if (!was_recovered("demo-uniform")) {
-      (void)catalog.AddGraph("demo-uniform",
-                             UniformDigraph(600, 5000, 11));
+      add_demo("demo-uniform",
+               catalog.AddGraph("demo-uniform",
+                                UniformDigraph(600, 5000, 11)));
     }
     if (!was_recovered("demo-weighted")) {
-      (void)catalog.AddWeightedGraph(
-          "demo-weighted",
-          UniformWeightedDigraph(400, 3000, 13, WeightOptions{}));
+      add_demo("demo-weighted",
+               catalog.AddWeightedGraph(
+                   "demo-weighted",
+                   UniformWeightedDigraph(400, 3000, 13, WeightOptions{})));
     }
   }
 

@@ -133,8 +133,10 @@ Result<CatalogEntry::UpdateResult> CatalogEntry::ApplyEdgeBatch(
   // Durability ordering (DESIGN.md §16): the record reaches the log —
   // and, under fsync=always, the disk — *before* the overlay applies and
   // the version becomes observable. A failed append leaves memory and
-  // log both at the old version (Append truncates its partial bytes), so
-  // the entry stays consistent and the client simply got no ack.
+  // log both at the old version (Append rolls back its bytes even when
+  // the record was fully written and only the fsync failed), so the
+  // entry stays consistent, the same version number is free for the
+  // retry, and the client simply got no ack.
   const int64_t next_version = VersionLocked() + 1;
   if (wal_ != nullptr) {
     RETURN_IF_ERROR(wal_->Append(next_version, batch));

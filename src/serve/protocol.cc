@@ -464,6 +464,8 @@ std::string ServerStatsResponseJson(const std::string& id_raw,
   out += ", \"cache_hits\": " + std::to_string(cache.hits);
   out += ", \"cache_misses\": " + std::to_string(cache.misses);
   out += ", \"cache_evictions\": " + std::to_string(cache.evictions);
+  out += ", \"cache_recent_evictions\": " +
+         std::to_string(cache.recent_evictions);
   out += ", \"cache_invalidations\": " +
          std::to_string(cache.invalidations);
   out += ", \"cache_entries\": " + std::to_string(cache.entries);
@@ -493,7 +495,10 @@ std::string HealthResponseJson(const std::string& id_raw,
   // Any failed fsync means some ack may not be durable — sticky by
   // design; only a restart (with its recovery pass) clears it.
   if (wal_errors > 0) reasons.push_back("wal_sync_errors");
-  if (cache.evictions > 0) reasons.push_back("cache_evicting");
+  // Windowed, not cumulative: a bounded cache evicts in normal
+  // steady state, and a signal that latches on the first eviction ever
+  // would dilute to noise. This one decays once the pressure stops.
+  if (cache.recent_evictions > 0) reasons.push_back("cache_evicting");
 
   std::string out = "{\"id\": ";
   out += id_raw.empty() ? "null" : id_raw;

@@ -140,7 +140,8 @@ std::string ListGraphsResponseJson(const std::string& id_raw,
 /// counters plus the catalog size. Since PR 9 the object also carries
 /// the fast-path counters: coalesced/batches/batched and the
 /// cache_enabled/cache_hits/cache_misses/cache_evictions/
-/// cache_invalidations/cache_entries/cache_bytes group (all-zero
+/// cache_recent_evictions/cache_invalidations/cache_entries/cache_bytes
+/// group (all-zero
 /// counters with "cache_enabled": false when the cache is off).
 std::string ServerStatsResponseJson(const std::string& id_raw,
                                     const GraphCatalog& catalog,
@@ -155,7 +156,8 @@ std::string ServerStatsResponseJson(const std::string& id_raw,
 /// machine-checkable causes listed in `reasons`:
 ///   "queue_saturated"    admission queue at >= 80% of capacity
 ///   "wal_sync_errors"    a WAL fsync has failed (ack durability at risk)
-///   "cache_evicting"     the response cache has evicted under pressure
+///   "cache_evicting"     the response cache evicted within the recent
+///                        window (decays when the pressure stops)
 /// A draining server (`accepting` false) also reports "degraded" with
 /// reason "not_accepting".
 std::string HealthResponseJson(const std::string& id_raw,

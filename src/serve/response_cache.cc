@@ -146,10 +146,12 @@ void ResponseCache::Insert(const std::string& graph, int64_t version,
     return;
   }
   if (entry_bytes > options_.max_bytes) return;  // would never fit
+  RotateEvictionWindowLocked();
   while (bytes_ + entry_bytes > options_.max_bytes && !lru_.empty()) {
     const Entry& victim = lru_.back();
     bytes_ -= victim.bytes;
     ++evictions_;
+    ++window_evictions_;
     index_.erase(victim.key);
     lru_.pop_back();
   }
@@ -180,8 +182,20 @@ int64_t ResponseCache::InvalidateGraph(const std::string& graph) {
   return InvalidateLocked(graph, std::numeric_limits<int64_t>::max());
 }
 
+void ResponseCache::RotateEvictionWindowLocked() const {
+  const double elapsed = eviction_window_.Seconds();
+  if (elapsed < options_.eviction_window_s) return;
+  // One whole window passed: the current bucket becomes "previous"; two
+  // whole windows means even that is stale.
+  prev_window_evictions_ =
+      elapsed < 2 * options_.eviction_window_s ? window_evictions_ : 0;
+  window_evictions_ = 0;
+  eviction_window_.Reset();
+}
+
 ResponseCacheCounters ResponseCache::Counters() const {
   std::lock_guard<std::mutex> lock(mu_);
+  RotateEvictionWindowLocked();
   ResponseCacheCounters counters;
   counters.hits = hits_;
   counters.misses = misses_;
@@ -189,6 +203,7 @@ ResponseCacheCounters ResponseCache::Counters() const {
   counters.invalidations = invalidations_;
   counters.entries = static_cast<int64_t>(lru_.size());
   counters.bytes = static_cast<int64_t>(bytes_);
+  counters.recent_evictions = window_evictions_ + prev_window_evictions_;
   return counters;
 }
 

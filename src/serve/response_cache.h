@@ -10,6 +10,7 @@
 
 #include "dds/engine.h"
 #include "dds/result.h"
+#include "util/timer.h"
 
 /// \file
 /// The serving daemon's version-keyed response cache (DESIGN.md §15).
@@ -63,6 +64,11 @@ struct ResponseCacheOptions {
   /// Byte budget across all entries; inserts evict LRU entries to hold
   /// it. An entry larger than the whole budget is not inserted.
   size_t max_bytes = 8u << 20;
+  /// Width of the sliding window behind `recent_evictions` — the health
+  /// verb's "is the cache shedding entries *right now*" signal (the
+  /// cumulative counter would mark a server degraded forever after its
+  /// first steady-state eviction).
+  double eviction_window_s = 10.0;
 };
 
 /// Monotone counters plus the live footprint, readable at any time.
@@ -73,6 +79,10 @@ struct ResponseCacheCounters {
   int64_t invalidations = 0;  ///< entries dropped as version-stale
   int64_t entries = 0;        ///< live entries right now
   int64_t bytes = 0;          ///< live charged bytes right now
+  /// Evictions within the last `eviction_window_s`-to-twice-that
+  /// seconds (two-bucket sliding window); decays back to 0 once the
+  /// pressure stops, unlike the cumulative `evictions`.
+  int64_t recent_evictions = 0;
 };
 
 class ResponseCache {
@@ -119,6 +129,10 @@ class ResponseCache {
   /// Drops entries of `graph` whose version is < `older_than`
   /// (pass INT64_MAX for all versions). Requires mu_ held.
   int64_t InvalidateLocked(const std::string& graph, int64_t older_than);
+  /// Advances the two-bucket eviction window when it has aged past
+  /// `eviction_window_s`. Requires mu_ held; mutable state so the const
+  /// Counters() read rotates too (a stale window must read as decayed).
+  void RotateEvictionWindowLocked() const;
 
   const ResponseCacheOptions options_;
   mutable std::mutex mu_;
@@ -129,6 +143,9 @@ class ResponseCache {
   int64_t evictions_ = 0;
   int64_t invalidations_ = 0;
   size_t bytes_ = 0;
+  mutable WallTimer eviction_window_;          ///< guarded by mu_
+  mutable int64_t window_evictions_ = 0;       ///< guarded by mu_
+  mutable int64_t prev_window_evictions_ = 0;  ///< guarded by mu_
 };
 
 }  // namespace ddsgraph

@@ -14,8 +14,9 @@ RequestScheduler::RequestScheduler(const GraphCatalog* catalog,
     : catalog_(catalog),
       options_(options),
       cache_(options.cache_bytes > 0
-                 ? std::make_unique<ResponseCache>(
-                       ResponseCacheOptions{options.cache_bytes})
+                 ? std::make_unique<ResponseCache>(ResponseCacheOptions{
+                       options.cache_bytes,
+                       options.cache_eviction_window_s})
                  : nullptr),
       pool_(options.workers) {
   CHECK(catalog != nullptr);

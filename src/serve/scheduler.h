@@ -116,6 +116,9 @@ struct SchedulerOptions {
   /// Response cache byte budget. 0 (the default) disables the cache AND
   /// single-flight coalescing — the historical always-solve behavior.
   size_t cache_bytes = 0;
+  /// Window behind the cache's `recent_evictions` counter (the health
+  /// verb's cache_evicting signal); see ResponseCacheOptions.
+  double cache_eviction_window_s = 10.0;
   /// Max flights one worker runs back to back per same-(entry, version)
   /// group; 1 disables batching.
   int batch_max = 8;

@@ -150,6 +150,30 @@ Status DecodeWal(const std::string& path, const std::string& image,
     replay->valid_bytes = static_cast<int64_t>(offset);
   }
   replay->torn_tail = offset < image.size();
+  if (!replay->torn_tail) return Status::Ok();
+  // At `offset` a torn final write and an in-place corrupted *middle*
+  // record look identical (the CRC fails either way), but truncating is
+  // only safe for a genuine tail. Disambiguate by probing the remaining
+  // bytes for any intact record: a real tear is the debris of one
+  // interrupted append, so nothing behind it can pass a CRC, whereas an
+  // intact record further on proves `offset` sits on corrupted acked
+  // state — fail loudly rather than silently cut it (and everything
+  // after it) away.
+  for (size_t probe = offset + 1; probe + kWalHeaderSize <= image.size();
+       ++probe) {
+    const char* h = image.data() + probe;
+    const uint64_t len = GetU32(h);
+    if (len > kMaxWalPayload) continue;
+    if (image.size() - probe - kWalHeaderSize < len) continue;
+    uint32_t probe_crc = Crc32(h + 8, 8);
+    probe_crc = Crc32(h + kWalHeaderSize, len, probe_crc);
+    if (probe_crc != GetU32(h + 4)) continue;
+    return Status::Internal(
+        "'" + path + "' record at offset " + std::to_string(offset) +
+        " is corrupt but an intact record follows at offset " +
+        std::to_string(probe) +
+        " — mid-log corruption, refusing to truncate acked records");
+  }
   return Status::Ok();
 }
 
@@ -235,6 +259,12 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 }
 
 Status WriteAheadLog::Append(int64_t version, const EdgeBatch& batch) {
+  if (wedged_) {
+    return Status::Internal(
+        "WAL '" + path_ +
+        "' is wedged by an earlier failed rollback; restart to recover "
+        "from the intact on-disk prefix");
+  }
   if (DDS_FAILPOINT("wal:before_append")) {
     return FailpointError("wal:before_append");
   }
@@ -248,47 +278,69 @@ Status WriteAheadLog::Append(int64_t version, const EdgeBatch& batch) {
   frame += payload;
 
   const int64_t pre_size = bytes_;
+  const int64_t pre_records = records_;
+  const bool pre_pending = sync_pending_;
   // The frame is written in two halves with a failpoint between them so
   // crash tests can manufacture a genuinely torn record (header on disk,
   // payload lost) — the exact state a power cut mid-write leaves.
   const size_t cut = frame.size() / 2;
-  Status written = WriteAll(fd_, frame.data(), cut);
-  if (written.ok() && DDS_FAILPOINT("wal:mid_append")) {
-    written = FailpointError("wal:mid_append");
+  Status result = WriteAll(fd_, frame.data(), cut);
+  if (result.ok() && DDS_FAILPOINT("wal:mid_append")) {
+    result = FailpointError("wal:mid_append");
   }
-  if (written.ok()) {
-    written = WriteAll(fd_, frame.data() + cut, frame.size() - cut);
+  if (result.ok()) {
+    result = WriteAll(fd_, frame.data() + cut, frame.size() - cut);
   }
-  if (!written.ok()) {
-    // Restore the intact-prefix invariant so the *next* append does not
-    // land behind half a record. If even the truncate fails the log file
-    // is wedged; every later append will fail the same way, which is the
-    // honest outcome.
-    sync_errors_.fetch_add(1, std::memory_order_relaxed);
-    if (::ftruncate(fd_, pre_size) == 0) {
-      (void)::lseek(fd_, pre_size, SEEK_SET);
+  if (result.ok()) {
+    bytes_ += static_cast<int64_t>(frame.size());
+    ++records_;
+    sync_pending_ = true;
+    if (DDS_FAILPOINT("wal:after_append")) {
+      result = FailpointError("wal:after_append");
     }
-    return written;
   }
-  bytes_ += static_cast<int64_t>(frame.size());
-  ++records_;
-  sync_pending_ = true;
-  if (DDS_FAILPOINT("wal:after_append")) {
+  bool from_sync = false;  // Sync counts its own failures
+  if (result.ok()) {
+    switch (options_.fsync) {
+      case FsyncPolicy::kAlways:
+        result = Sync();
+        from_sync = true;
+        break;
+      case FsyncPolicy::kInterval:
+        if (since_sync_.Seconds() >= options_.fsync_interval_s) {
+          result = Sync();
+          from_sync = true;
+        }
+        break;
+      case FsyncPolicy::kNever:
+        break;
+    }
+  }
+  if (result.ok()) return result;
+
+  // *Any* failure means the caller will not apply the batch or ack, so
+  // the record must not survive in the file either — even a fully
+  // written (or even fsynced) one. Leaving it would let the retry of the
+  // same logical update append a second record with the same version,
+  // which replay rejects, turning one transient I/O error into an
+  // unrecoverable log. Roll file and counters back to the pre-append
+  // state instead.
+  if (!from_sync) sync_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (::ftruncate(fd_, pre_size) == 0 &&
+      ::lseek(fd_, pre_size, SEEK_SET) >= 0) {
+    bytes_ = pre_size;
+    records_ = pre_records;
+    sync_pending_ = pre_pending;
+  } else {
+    // The intact-prefix invariant cannot be restored in place: refuse
+    // every further append rather than land acked records behind the
+    // debris. The prefix up to pre_size is still intact on disk, so a
+    // restart's Open truncates the partial record and recovers
+    // everything ever acked.
+    wedged_ = true;
     sync_errors_.fetch_add(1, std::memory_order_relaxed);
-    return FailpointError("wal:after_append");
   }
-  switch (options_.fsync) {
-    case FsyncPolicy::kAlways:
-      return Sync();
-    case FsyncPolicy::kInterval:
-      if (since_sync_.Seconds() >= options_.fsync_interval_s) {
-        return Sync();
-      }
-      return Status::Ok();
-    case FsyncPolicy::kNever:
-      return Status::Ok();
-  }
-  return Status::Ok();
+  return result;
 }
 
 Status WriteAheadLog::Sync() {
@@ -310,12 +362,40 @@ Status WriteAheadLog::Sync() {
 }
 
 Status WriteAheadLog::Reset() {
+  if (wedged_) {
+    return Status::Internal(
+        "WAL '" + path_ +
+        "' is wedged by an earlier failed rollback; restart to recover");
+  }
+  // A failed truncate leaves the file untouched — still consistent.
   if (::ftruncate(fd_, 0) != 0) return Errno("ftruncate " + path_);
-  if (::lseek(fd_, 0, SEEK_SET) < 0) return Errno("lseek " + path_);
-  RETURN_IF_ERROR(WriteAll(fd_, kWalMagic, kWalMagicSize));
-  bytes_ = static_cast<int64_t>(kWalMagicSize);
+  // Past this point the old records are gone; keep the counters honest
+  // at every step so a partial failure never leaves them describing
+  // bytes the file no longer holds.
+  bytes_ = 0;
   records_ = 0;
   sync_pending_ = true;
+  Status magic = Status::Ok();
+  if (::lseek(fd_, 0, SEEK_SET) < 0) magic = Errno("lseek " + path_);
+  if (magic.ok() && DDS_FAILPOINT("wal:reset_magic")) {
+    magic = FailpointError("wal:reset_magic");
+  }
+  if (magic.ok()) magic = WriteAll(fd_, kWalMagic, kWalMagicSize);
+  if (!magic.ok()) {
+    // The file is truncated but carries no (or a partial) magic;
+    // appending records to it would build a log Open() rejects as "not
+    // a ddsgraph WAL" and strand every later acked update. Wedge
+    // instead: updates fail un-acked from here on, and a restart
+    // recovers from the snapshot this Reset was folding into.
+    wedged_ = true;
+    sync_errors_.fetch_add(1, std::memory_order_relaxed);
+    return magic;
+  }
+  bytes_ = static_cast<int64_t>(kWalMagicSize);
+  // A failed final Sync is recoverable (magic-only file, counters
+  // agree): the un-synced truncation at worst resurrects pre-checkpoint
+  // records on crash, and replay skips records at or below the
+  // snapshot version.
   return Sync();
 }
 
@@ -524,6 +604,7 @@ std::vector<std::string> WalFailpointNames() {
       "snap:mid_write",       // half the tmp snapshot written
       "snap:before_rename",   // tmp durable, not yet visible
       "snap:after_rename",    // snapshot live, WAL not yet reset
+      "wal:reset_magic",      // WAL truncated, magic not yet rewritten
       "snap:after_reset",     // checkpoint complete, caller not returned
   };
 }

@@ -37,6 +37,17 @@
 /// longest intact prefix and truncates the rest — by the ack ordering in
 /// `CatalogEntry::ApplyEdgeBatch` (append + fsync *before* the ack), a
 /// torn record was never acked, so truncation never loses acked state.
+/// That argument only covers the *tail*, so replay refuses to truncate
+/// when the bad record is followed by an intact one (a bit flip in the
+/// middle of the log — corrupted acked state, a loud error).
+///
+/// A failed Append — write error, fsync error, injected fault — rolls
+/// the file back to its pre-append size before returning, whether or
+/// not the record's bytes reached the file: the caller will not apply
+/// or ack the batch, so a surviving record would collide with the retry
+/// of the same version and poison replay. If the rollback itself fails,
+/// the log wedges (every later Append/Reset refuses) rather than append
+/// acked records behind debris; the on-disk prefix stays recoverable.
 ///
 /// ## Fsync policy
 ///
@@ -125,6 +136,11 @@ class WriteAheadLog {
   int64_t sync_errors() const {
     return sync_errors_.load(std::memory_order_relaxed);
   }
+  /// True once the file could not be restored to a consistent state (a
+  /// rollback or magic rewrite failed); Append and Reset refuse from
+  /// then on, and only a restart (whose Open re-heals the file) clears
+  /// the condition.
+  bool wedged() const { return wedged_; }
 
  private:
   WriteAheadLog(int fd, std::string path, const WalOptions& options);
@@ -138,6 +154,7 @@ class WriteAheadLog {
   std::atomic<int64_t> sync_errors_{0};
   WallTimer since_sync_;
   bool sync_pending_ = false;  ///< kInterval: unflushed bytes exist
+  bool wedged_ = false;        ///< file state unrestorable; appends refuse
 };
 
 /// Read-only replay of a log file (tests, tooling). Never modifies the

@@ -5,7 +5,9 @@
 
 #include "serve/response_cache.h"
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -124,6 +126,33 @@ TEST(ResponseCacheTest, ByteBudgetEvictsColdestFirst) {
   EXPECT_EQ(counters.evictions, 1);
   EXPECT_EQ(counters.entries, 2);
   EXPECT_LE(static_cast<size_t>(counters.bytes), 2 * entry_bytes);
+}
+
+// `recent_evictions` is the health verb's input: it must report live
+// pressure, then decay to zero once the pressure stops — the cumulative
+// counter would brand the server "degraded" forever after its first
+// steady-state eviction.
+TEST(ResponseCacheTest, RecentEvictionsDecayAfterTheWindow) {
+  const DdsSolution solution = MakeSolution(1.0);
+  const size_t entry_bytes = std::string("g\x1f").size() +
+                             std::string("0\x1f" "ka").size() +
+                             ApproxSolutionBytes(solution);
+  ResponseCacheOptions options;
+  options.max_bytes = entry_bytes;  // any second insert evicts
+  options.eviction_window_s = 0.05;
+  ResponseCache cache(options);
+  cache.Insert("g", 0, "ka", solution);
+  cache.Insert("g", 0, "kb", solution);
+  ResponseCacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.evictions, 1);
+  EXPECT_EQ(counters.recent_evictions, 1);
+
+  // Two full windows with no eviction: the recent count reads zero
+  // while the cumulative one stays put.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  counters = cache.Counters();
+  EXPECT_EQ(counters.evictions, 1);
+  EXPECT_EQ(counters.recent_evictions, 0);
 }
 
 TEST(ResponseCacheTest, OversizedEntryIsNotInserted) {

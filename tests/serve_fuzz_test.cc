@@ -112,7 +112,7 @@ TEST_F(ServeFuzzTest, BadFramesDropTheConnectionNotTheServer) {
       "5\nab",                          // truncated payload, then close
       "2\n{}X",                         // wrong trailer byte
       "3\n{}\n",                        // length overshoots the payload
-      std::string("\x00\xff\xfe\x01\x80garbage\n\n", 16),  // binary noise
+      std::string("\x00\xff\xfe\x01\x80garbage\n\n", 14),  // binary noise
   };
   for (const std::string& attack : attacks) {
     const Result<UniqueSocket> sock = TcpConnect("127.0.0.1", port_, 5);

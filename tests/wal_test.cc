@@ -265,6 +265,116 @@ TEST_F(WalTest, InjectedFsyncFailureCountsAndFailsTheAppend) {
   EXPECT_GE(wal->sync_errors(), 1);
 }
 
+// The regression this guards: a record that reached the file but whose
+// append still failed (fsync error, injected fault after the write)
+// must not survive. The entry never bumps its version on a failed
+// apply, so the retry reuses the version number — a leftover record
+// would make the log carry it twice, and replay (correctly) refuses
+// non-increasing versions, turning one transient EIO into a directory
+// that can never be recovered. Each post-write failure site must roll
+// back, accept the retry, and reopen cleanly.
+TEST_F(WalTest, PostWriteFailureRollsBackSoTheRetryAndReopenSucceed) {
+  for (const char* point :
+       {"wal:after_append", "wal:fsync_error", "wal:after_fsync"}) {
+    const std::string path =
+        TempPath(std::string("rollback_") +
+                 (point + 4) + ".wal");  // skip "wal:" for the filename
+    WalReplay replay;
+    auto wal = WriteAheadLog::Open(path, WalOptions{}, &replay).value();
+    ASSERT_TRUE(wal->Append(1, {EdgeOp::Insert(1, 2)}).ok()) << point;
+    const int64_t before = wal->bytes();
+
+    Failpoints::Activate(point, Failpoints::Action::kError);
+    EXPECT_FALSE(wal->Append(2, {EdgeOp::Insert(3, 4)}).ok()) << point;
+    Failpoints::DeactivateAll();
+    // Memory and disk both back at the pre-append state.
+    EXPECT_EQ(wal->bytes(), before) << point;
+    EXPECT_EQ(wal->records(), 1) << point;
+    EXPECT_FALSE(wal->wedged()) << point;
+    EXPECT_EQ(ReadWal(path).value().records.size(), 1u) << point;
+
+    // The entry retries the same version after the failed (un-acked)
+    // update; the log must hold versions 1,2 once — and still open.
+    ASSERT_TRUE(wal->Append(2, {EdgeOp::Insert(3, 4)}).ok()) << point;
+    ASSERT_TRUE(wal->Append(3, {EdgeOp::Insert(5, 6)}).ok()) << point;
+    wal.reset();
+    WalReplay reopened;
+    auto healed = WriteAheadLog::Open(path, WalOptions{}, &reopened);
+    ASSERT_TRUE(healed.ok())
+        << point << ": " << healed.status().ToString();
+    ASSERT_EQ(reopened.records.size(), 3u) << point;
+    EXPECT_EQ(reopened.records[1].version, 2) << point;
+    EXPECT_EQ(reopened.records[2].version, 3) << point;
+  }
+}
+
+// If Reset's truncation lands but the magic rewrite fails (ENOSPC mid
+// auto-checkpoint), appending to the magic-less file would strand every
+// later acked record behind an un-openable log. The log must wedge —
+// refuse appends un-acked — and a reopen must recover.
+TEST_F(WalTest, ResetMagicFailureWedgesInsteadOfStrandingLaterAppends) {
+  const std::string path = TempPath("reset_wedge.wal");
+  WalReplay replay;
+  auto wal = WriteAheadLog::Open(path, WalOptions{}, &replay).value();
+  ASSERT_TRUE(wal->Append(1, {EdgeOp::Insert(1, 2)}).ok());
+
+  Failpoints::Activate("wal:reset_magic", Failpoints::Action::kError);
+  EXPECT_FALSE(wal->Reset().ok());
+  EXPECT_TRUE(wal->wedged());
+  EXPECT_GE(wal->sync_errors(), 1);
+
+  // Every further append (and reset) refuses instead of writing records
+  // into a file with no magic — the failure is loud, never an ack.
+  const Status refused = wal->Append(2, {EdgeOp::Insert(3, 4)});
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.message().find("wedged"), std::string::npos);
+  EXPECT_FALSE(wal->Reset().ok());
+  wal.reset();
+
+  // The truncated file reads as an empty log, and a restart's Open
+  // re-heals it into a fresh appendable one.
+  EXPECT_TRUE(ReadWal(path).value().records.empty());
+  WalReplay recovered;
+  auto reopened = WriteAheadLog::Open(path, WalOptions{}, &recovered);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened.value()->wedged());
+  ASSERT_TRUE(reopened.value()->Append(2, {EdgeOp::Insert(3, 4)}).ok());
+}
+
+// A CRC break in the *middle* of the log is corrupted acked state, not
+// a torn tail: silently truncating there would discard the intact,
+// acked records behind it. Flip every byte of the first record (with
+// two intact records after it) and require a loud error.
+TEST_F(WalTest, CorruptMiddleRecordFailsLoudlyInsteadOfTruncating) {
+  const std::string path = TempPath("mid_corrupt.wal");
+  WalReplay replay;
+  auto wal = WriteAheadLog::Open(path, WalOptions{}, &replay).value();
+  const int64_t magic_bytes = wal->bytes();
+  ASSERT_TRUE(wal->Append(1, {EdgeOp::Insert(1, 2)}).ok());
+  const int64_t first_end = wal->bytes();
+  ASSERT_TRUE(wal->Append(2, {EdgeOp::Insert(2, 3), EdgeOp::Delete(1, 2)}).ok());
+  ASSERT_TRUE(wal->Append(3, {EdgeOp::Insert(4, 5)}).ok());
+  wal.reset();
+  const std::string committed = ReadFileOrDie(path);
+
+  const std::string mutated_path = TempPath("mid_corrupt_copy.wal");
+  for (size_t at = static_cast<size_t>(magic_bytes);
+       at < static_cast<size_t>(first_end); ++at) {
+    std::string mutated = committed;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0xFF);
+    WriteFileOrDie(mutated_path, mutated);
+    const Result<WalReplay> read = ReadWal(mutated_path);
+    EXPECT_FALSE(read.ok()) << "offset " << at;
+    // Open must refuse too — never heal-by-truncation across acked
+    // records.
+    WalReplay opened_replay;
+    EXPECT_FALSE(
+        WriteAheadLog::Open(mutated_path, WalOptions{}, &opened_replay)
+            .ok())
+        << "offset " << at;
+  }
+}
+
 // ------------------------------------------------------------ snapshots
 
 TEST_F(WalTest, SnapshotRoundTripUnweightedWithLabels) {
@@ -351,7 +461,8 @@ TEST_F(WalTest, FailpointCatalogCoversTheDurabilityPath) {
   for (const char* required :
        {"apply:before_wal", "wal:mid_append", "wal:after_append",
         "wal:fsync_error", "apply:before_publish", "snap:mid_write",
-        "snap:before_rename", "snap:after_rename", "snap:after_reset"}) {
+        "snap:before_rename", "snap:after_rename", "wal:reset_magic",
+        "snap:after_reset"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), required),
               names.end())
         << required;
